@@ -1,0 +1,72 @@
+"""Ablation: electrical oxide thickness and the metal-gate what-if.
+
+Table 2's discussion: accounting for the inversion layer and gate
+depletion ("the oxide appears ~0.7 nm thicker") matters increasingly as
+physical oxides thin; removing the depletion component (metal gate)
+buys a Vth increase and a large Ioff cut -- 55 mV / 78 % at 35 nm in
+the paper.
+"""
+
+import pytest
+
+from repro.devices.mosfet import MosfetModel
+from repro.devices.params import device_for_node
+from repro.devices.solver import solve_vth_for_ion
+from repro.itrs import ITRS_2000
+
+
+def _metal_gate_gain(node_nm: int) -> tuple[float, float]:
+    device = device_for_node(node_nm)
+    target = ITRS_2000.node(node_nm).ion_target_ua_um
+    vth_poly = solve_vth_for_ion(device, target)
+    ioff_poly = MosfetModel(device.with_vth(vth_poly)).ioff_na_um()
+    metal = device.with_gate_stack(device.gate_stack.with_metal_gate())
+    vth_metal = solve_vth_for_ion(metal, target)
+    ioff_metal = MosfetModel(metal.with_vth(vth_metal)).ioff_na_um()
+    return (vth_metal - vth_poly) * 1e3, 1.0 - ioff_metal / ioff_poly
+
+
+@pytest.mark.parametrize("node_nm", ITRS_2000.node_sizes)
+def test_metal_gate_point(benchmark, node_nm):
+    vth_gain_mv, ioff_cut = benchmark(_metal_gate_gain, node_nm)
+    assert vth_gain_mv > 0
+    assert 0.0 < ioff_cut < 1.0
+
+
+def test_metal_gate_at_35nm():
+    vth_gain_mv, ioff_cut = _metal_gate_gain(35)
+    # Paper: a 55 mV Vth increase and a 78 % Ioff reduction at 35 nm.
+    assert 40.0 < vth_gain_mv < 90.0
+    assert 0.70 < ioff_cut < 0.90
+
+
+def test_capacitance_benefit_grows_with_scaling():
+    # Removing the fixed 2.5 A of gate depletion boosts Coxe more as
+    # the physical oxide thins.
+    from repro.devices.oxide import GateStack
+    gains = []
+    for node_nm in ITRS_2000.node_sizes:
+        stack = device_for_node(node_nm).gate_stack
+        gains.append(stack.with_metal_gate().coxe / stack.coxe)
+    assert all(a <= b + 1e-12 for a, b in zip(gains, gains[1:]))
+    assert gains[-1] > gains[0]
+
+
+def test_absolute_leakage_saving_grows_with_scaling():
+    # The fractional Ioff cut is largest at the old nodes (weak Vth
+    # sensitivity there demands a big Vth shift), but the *absolute*
+    # current saved explodes toward the nanometer nodes, where it
+    # matters.
+    from repro.devices.mosfet import MosfetModel
+
+    def saved_na(node_nm):
+        device = device_for_node(node_nm)
+        target = ITRS_2000.node(node_nm).ion_target_ua_um
+        vth = solve_vth_for_ion(device, target)
+        metal = device.with_gate_stack(
+            device.gate_stack.with_metal_gate())
+        vth_metal = solve_vth_for_ion(metal, target)
+        return (MosfetModel(device.with_vth(vth)).ioff_na_um()
+                - MosfetModel(metal.with_vth(vth_metal)).ioff_na_um())
+
+    assert saved_na(35) > 50 * saved_na(180)

@@ -1,0 +1,65 @@
+"""Activity substrate: simulation vs estimation, glitch grounding.
+
+Not a paper figure -- this validates the machinery that grounds the
+activity factors (Figs. 1/4) and the CMOS glitch multiplier (Section
+4's MCML comparison).
+"""
+
+import pytest
+
+from repro.circuits.mcml import CMOS_GLITCH_FACTOR
+from repro.netlist import (
+    estimated_activity_map,
+    measured_activity,
+    random_netlist,
+)
+
+
+def _simulate():
+    netlist = random_netlist(100, n_gates=250, seed=21, max_depth=24)
+    return netlist, measured_activity(netlist, n_vectors=300, seed=1)
+
+
+def test_activity_simulation(benchmark):
+    netlist, result = benchmark.pedantic(_simulate, rounds=2,
+                                         iterations=1)
+    # Busy traffic produces the high-activity regime; the glitch factor
+    # exceeds one and sits below the conservative datapath multiplier
+    # used by the MCML comparison (random logic glitches less than
+    # arithmetic).
+    assert 0.1 < result.mean_activity() < 0.5
+    assert 1.0 <= result.mean_glitch_factor() <= CMOS_GLITCH_FACTOR
+
+
+def test_estimation_cross_check(benchmark):
+    netlist = random_netlist(100, n_gates=250, seed=22)
+    estimated = benchmark(estimated_activity_map, netlist)
+    simulated = measured_activity(netlist, n_vectors=300, seed=2)
+    ratio = (sum(estimated.values())
+             / sum(simulated.activity_map().values()))
+    assert 0.4 < ratio < 2.5
+
+
+@pytest.mark.parametrize("flip,band", [(0.03, (0.005, 0.12)),
+                                       (0.5, (0.1, 0.5))])
+def test_activity_bands(benchmark, flip, band):
+    netlist = random_netlist(100, n_gates=200, seed=23)
+    result = benchmark.pedantic(
+        measured_activity, args=(netlist,),
+        kwargs=dict(n_vectors=300, seed=3, flip_probability=flip),
+        rounds=1, iterations=1)
+    low, high = band
+    assert low < result.mean_activity() < high
+
+
+def test_adder_glitch_grounding(benchmark):
+    # A real carry chain reproduces the datapath glitch multiplier the
+    # MCML comparison assumes (Section 4 / ref [42]).
+    from repro.netlist.datapath import build_ripple_adder
+
+    def run():
+        netlist, _ = build_ripple_adder(100, width=8)
+        return measured_activity(netlist, n_vectors=300, seed=1)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert abs(result.mean_glitch_factor() - CMOS_GLITCH_FACTOR) < 0.4

@@ -1,0 +1,18 @@
+"""E-C3: regenerate the Section 2.4 clustered-voltage-scaling claims."""
+
+
+def test_cvs_claims(benchmark, run):
+    result = benchmark.pedantic(run, args=("E-C3",), rounds=2,
+                                iterations=1)
+
+    # Paper: ~75 % of gates tolerate Vdd,l on slack-rich designs.
+    assert result["low_vdd_fraction"] > 0.65
+    # Paper: 45-50 % dynamic saving; our load-weighted netlists land at
+    # ~35 % (the paper's arithmetic assumes uniform per-gate power --
+    # see EXPERIMENTS.md).  Assert the saving is substantial and the
+    # level-conversion overhead sits in the paper's 8-10 % band.
+    assert result["dynamic_saving"] > 0.28
+    assert 0.06 < result["lc_power_fraction"] < 0.12
+    assert abs(result["vdd_ratio"] - 0.65) < 1e-9
+    # Ref [18]'s placement/converter/grid area overhead: ~15 %.
+    assert 0.10 < result["area_overhead"] < 0.25

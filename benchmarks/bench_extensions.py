@@ -1,0 +1,44 @@
+"""E-X1..E-X3: regenerate the extension experiments."""
+
+
+def test_leakage_toolbox(benchmark, run):
+    result = benchmark(run, "E-X1")
+    # MTCMOS: large standby reduction for a bounded delay penalty.
+    assert result["mtcmos_standby_reduction"] > 50.0
+    assert result["mtcmos_delay_penalty"] <= 0.05 + 1e-9
+    # Body bias fades with scaling (the paper's caveat).
+    assert result["body_bias_reduction_180nm"] \
+        > 10 * result["body_bias_reduction_35nm"]
+    # Mixed-Vth stacks: substantial saving, minimal delay cost.
+    assert result["stack_leakage_saving"] > 0.3
+    assert result["stack_delay_penalty"] < 0.25
+
+
+def test_dvs_vs_throttling(benchmark, run):
+    result = benchmark.pedantic(run, args=("E-X2",), rounds=2,
+                                iterations=1)
+    limit = result["tj_limit_c"]
+    assert result["dvs_max_tj_c"] <= limit + 0.5
+    assert result["throttling_max_tj_c"] <= limit + 0.5
+    assert result["dvs_advantage"] > 0.02
+
+
+def test_global_clock_domains(benchmark, run):
+    result = benchmark(run, "E-X3")
+    summary = result["summary"]
+    assert summary["divider_at_180nm"] == 1
+    assert summary["divider_at_35nm"] >= 2
+    assert summary["all_nodes_meet_itrs"]
+
+
+def test_electrothermal(benchmark, run):
+    result = benchmark(run, "E-X4")
+    # The 50 nm / Vth = 0.04 V point is electrothermally marginal on
+    # the ITRS-target package; 70 nm is comfortable.
+    assert result["leakage_fraction_50nm"] > 0.5
+    assert result["leakage_fraction_70nm"] < 0.2
+    assert result["runaway_theta_50nm"] < 2 * result["theta_ja"]
+    assert result["runaway_theta_70nm"] > 2 * result["theta_ja"]
+    # Self-heating amplifies every node's leakage vs the 300 K numbers.
+    for node in (70, 50, 35):
+        assert result[f"amplification_{node}nm"] > 2.0

@@ -1,0 +1,22 @@
+"""E-F1: regenerate Fig. 1 (Pstatic/Pdynamic vs activity)."""
+
+
+def test_figure1(benchmark, run):
+    result = benchmark(run, "E-F1")
+    series = result["series"]
+    assert set(series) == {"70nm@0.9V", "50nm@0.7V", "50nm@0.6V"}
+
+    # Each curve falls monotonically with activity (ratio ~ 1/alpha).
+    for curve in series.values():
+        ratios = [ratio for _, ratio in curve]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    # Paper: in the 0.01-0.1 activity range static power approaches and
+    # can exceed 10 % of dynamic at the nanometer nodes.
+    summary = result["summary"]
+    assert summary["ratio_50nm_0v6_at_0p1"] > 0.10
+    # The 0.6 V / 50 nm curve is the leakiest by far.
+    assert (summary["ratio_50nm_0v6_at_0p1"]
+            > 3 * summary["ratio_50nm_0v7_at_0p1"])
+    assert (summary["ratio_50nm_0v6_at_0p1"]
+            > 3 * summary["ratio_70nm_0v9_at_0p1"])

@@ -1,0 +1,23 @@
+"""E-F2: regenerate Fig. 2 (dual-Vth scaling)."""
+
+
+def test_figure2(benchmark, run):
+    result = benchmark(run, "E-F2")
+    rows = result["rows"]
+    gains = [row["ion_gain_pct"] for row in rows]
+    penalties = [row["ioff_penalty_for_20pct_ion"] for row in rows]
+
+    # Ion gain from a 100 mV Vth cut grows monotonically with scaling.
+    assert all(a < b for a, b in zip(gains, gains[1:]))
+    # The Ioff penalty for +20 % Ion falls monotonically with scaling.
+    assert all(a > b for a, b in zip(penalties, penalties[1:]))
+
+    summary = result["summary"]
+    # 35 nm endpoint lands near the paper's 7x (we measure ~8.4x).
+    assert 5.0 < summary["penalty_at_35nm"] < 15.0
+    # The old-node penalty is far larger (paper: 54x; the compact model
+    # is more velocity-saturated at 1.8 V and lands higher -- see
+    # EXPERIMENTS.md), so the scalability argument holds a fortiori.
+    assert summary["penalty_at_180nm"] > 25.0
+    # A fixed 100 mV reduction always costs ~15x in Ioff.
+    assert abs(rows[0]["ioff_ratio_100mv"] - 15.0) < 0.5

@@ -1,0 +1,25 @@
+"""E-F3: regenerate Fig. 3 (delay vs Vdd, three Vth policies)."""
+
+
+def test_figure3(benchmark, run):
+    result = benchmark(run, "E-F3")
+    summary = result["summary"]
+
+    # Paper: 3.7x at 0.2 V constant Vth (we land 3.4-3.9).
+    assert 3.0 < summary["delay_constant_vth_at_0v2"] < 4.2
+    # Paper: < 30 % with constant-Pstatic Vth scaling.
+    assert summary["delay_constant_pstatic_at_0v2"] < 1.32
+    # Paper: dynamic power 89 % lower at 0.2 V.
+    assert abs(summary["dynamic_saving_at_0v2"] - 0.89) < 0.01
+    # Paper: conservative policy leaves Pstatic at exactly 1/3.
+    assert abs(summary["conservative_pstatic_at_0v2"] - 1 / 3) < 0.01
+
+    # Policy ordering at every supply: constant >= conservative >=
+    # constant-Pstatic in delay; the reverse in static power.
+    curves = result["curves"]
+    for fast, slow in (("constant_pstatic", "conservative"),
+                       ("conservative", "constant")):
+        for p_fast, p_slow in zip(curves[fast], curves[slow]):
+            assert p_fast["delay_norm"] <= p_slow["delay_norm"] + 1e-9
+            assert (p_fast["static_power_norm"]
+                    >= p_slow["static_power_norm"] - 1e-9)

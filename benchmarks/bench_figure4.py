@@ -1,0 +1,20 @@
+"""E-F4: regenerate Fig. 4 (Pdynamic/Pstatic vs Vdd)."""
+
+
+def test_figure4(benchmark, run):
+    result = benchmark(run, "E-F4")
+    summary = result["summary"]
+
+    # Paper: the ITRS 10x constraint allows Vdd ~ 0.44 V, a ~46 %
+    # dynamic-power saving (we land 0.45 V / 44 %).
+    assert 0.40 < summary["vdd_at_ratio_10"] < 0.50
+    assert 0.35 < summary["dynamic_saving_at_ratio_10"] < 0.55
+
+    # Paper: the ratio is "pushed towards 1" at 0.2 V for low switching
+    # activity gates under the constant-Pstatic policy.
+    assert summary["ratio_constant_pstatic_at_0v2"] < 5.0
+
+    # Under constant Pstatic the ratio falls monotonically with Vdd.
+    curve = result["curves"]["constant_pstatic"]
+    ratios = [point["dyn_over_static"] for point in curve]
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,25 @@
+"""E-F5: regenerate Fig. 5 (IR-drop rail sizing)."""
+
+
+def test_figure5(benchmark, run):
+    result = benchmark(run, "E-F5")
+    summary = result["summary"]
+
+    # Paper: ~16x minimum width at 35 nm under minimum bump pitch.
+    assert 8.0 < summary["min_pitch_width_over_min_at_35nm"] < 25.0
+    # Paper: 35 nm is *less* restricted than 50 nm (power density falls).
+    assert (summary["min_pitch_width_over_min_at_50nm"]
+            > summary["min_pitch_width_over_min_at_35nm"])
+    # Paper: rails consume 17-20 % of top-level routing with pads.
+    assert 0.16 < summary["min_pitch_routing_at_35nm"] < 0.25
+
+    # Paper: ITRS pad counts blow the requirement up to >1000x minimum
+    # width (the paper reads "over 2000x" off its log axis).
+    assert summary["itrs_width_over_min_at_35nm"] > 500.0
+
+    # Both curves grow (roughly quadratically) toward the nanometer
+    # nodes, apart from the 50->35 nm density dip.
+    for scenario in ("min_pitch", "itrs_pads"):
+        widths = [point["width_over_min"]
+                  for point in result["curves"][scenario]]
+        assert all(a < b for a, b in zip(widths[:-1], widths[1:-1]))

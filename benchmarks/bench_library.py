@@ -1,0 +1,15 @@
+"""E-C7: regenerate the Section 2.3 library / cell-generation claims."""
+
+
+def test_library_claims(benchmark, run):
+    result = benchmark.pedantic(run, args=("E-C7",), rounds=2,
+                                iterations=1)
+
+    # The default library carries the richness the paper cites: 16
+    # inverter sizes and 11 2-input NANDs.
+    assert result["inverter_drive_strengths"] == 16.0
+    assert result["nand2_drive_strengths"] == 11.0
+    # On-the-fly cell generation on top of that library saves power at
+    # fixed timing (paper: 15-22 %; our already-ideal baseline mapping
+    # leaves ~10-12 % -- see EXPERIMENTS.md).
+    assert result["cellgen_power_saving"] > 0.08

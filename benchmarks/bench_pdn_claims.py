@@ -1,0 +1,21 @@
+"""E-C6: regenerate the Section 4 bump/transient/MCML claims."""
+
+
+def test_pdn_claims(benchmark, run):
+    result = benchmark(run, "E-C6")
+
+    # Paper: ~300 A worst-case supply current at 35 nm; 1500 Vdd bumps.
+    assert abs(result["supply_current_35nm_a"] - 300.0) < 15.0
+    assert abs(result["vdd_pads_35nm"] - 1500.0) < 30.0
+    # Paper: ITRS bump current capability is incompatible with 300 A.
+    assert result["itrs_budget_feasible"] == 0.0
+    assert result["per_bump_current_a"] > result["bump_limit_a"]
+    assert result["vdd_bump_shortfall"] > 0
+    # Paper: a roughly constant ~350 um effective pitch (356 at 35 nm).
+    assert abs(result["effective_pitch_um"] - 356.0) < 1.0
+    # Minimum bump pitch gives a much lower-inductance wake-up path.
+    assert result["wakeup_improvement"] > 5.0
+    assert (result["wakeup_droop_min_pitch"]
+            < result["wakeup_droop_itrs"])
+    # MCML draws a several-x smaller peak supply current.
+    assert result["mcml_transient_advantage"] > 2.0

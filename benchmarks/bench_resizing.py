@@ -1,0 +1,19 @@
+"""E-C5: regenerate the Section 3.3 re-sizing-vs-Vdd claims."""
+
+
+def test_resizing_claims(benchmark, run):
+    result = benchmark.pedantic(run, args=("E-C5",), rounds=1,
+                                iterations=1)
+
+    # Re-sizing is sublinear: power saving well below the width saving.
+    assert result["sizing_sublinearity"] < 0.75
+    assert result["sizing_width_saving"] > result["sizing_dynamic_saving"]
+    # Multi-Vdd beats re-sizing on the same design (quadratic vs
+    # sublinear).
+    assert result["cvs_dynamic_saving"] > result["sizing_dynamic_saving"]
+    # Re-sizing first destroys a large part of the multi-Vdd population.
+    assert (result["cvs_first_low_vdd_fraction"]
+            - result["cvs_after_sizing_low_vdd_fraction"]) > 0.10
+    # The combined Conclusion-3 flow compounds the savings.
+    assert result["combined_total_saving"] > result["cvs_dynamic_saving"]
+    assert result["combined_static_saving"] > 0.5

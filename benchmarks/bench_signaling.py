@@ -1,0 +1,20 @@
+"""E-C2: regenerate the Section 2.2 global-signaling claims."""
+
+
+def test_signaling_claims(benchmark, run):
+    result = benchmark(run, "E-C2")
+
+    # Paper: ~1e4 repeaters in a large 180 nm MPU, nearly 1e6 at 50 nm.
+    assert 5e3 < result["repeater_count_180nm"] < 3e4
+    assert 5e5 < result["repeater_count_50nm"] < 3e6
+    # Paper: >50 W of signaling power in the nanometer regime.
+    assert result["signaling_power_50nm_w"] > 50.0
+    # Low-swing differential: ~80 % bus-energy saving at 10 % swing,
+    # several-x smaller supply transients, and nowhere near 2x area.
+    assert 0.7 < result["low_swing_energy_saving"] < 0.95
+    assert result["low_swing_transient_reduction"] > 3.0
+    assert result["low_swing_area_ratio"] < 1.5
+    # Footnote 2: cluster power density "can exceed 100 W/cm^2", at a
+    # small quantisation delay cost.
+    assert result["cluster_power_density_w_cm2"] > 100.0
+    assert result["cluster_delay_penalty"] < 0.10

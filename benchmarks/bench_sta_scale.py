@@ -1,0 +1,35 @@
+"""Performance benchmark: STA and the incremental timer at scale.
+
+Not a paper artifact -- this tracks the engine costs that bound how
+large a netlist the optimization flows can handle.
+"""
+
+import pytest
+
+from repro.netlist import compute_sta, random_netlist
+from repro.optim import IncrementalTimer
+
+
+@pytest.mark.parametrize("n_gates", [200, 800, 2000])
+def test_full_sta(benchmark, n_gates):
+    netlist = random_netlist(100, n_gates=n_gates, seed=7)
+    report = benchmark(compute_sta, netlist)
+    assert report.meets_timing()
+
+
+def test_incremental_vs_full(benchmark):
+    netlist = random_netlist(100, n_gates=800, seed=7)
+    timer = IncrementalTimer(netlist)
+    names = list(netlist.topo_order())
+
+    def toggle_one():
+        name = names[400]
+        instance = netlist.instances[name]
+        instance.vth_v = instance.cell.device.vth_v + 0.05
+        timer.try_change([name])
+        instance.vth_v = None
+        timer.try_change([name])
+
+    benchmark(toggle_one)
+    report = compute_sta(netlist)
+    assert abs(report.critical_delay_s - timer.critical_delay_s) < 1e-15

@@ -1,0 +1,15 @@
+"""E-T1: regenerate Table 1 (published devices vs ITRS)."""
+
+
+def test_table1(benchmark, run):
+    result = benchmark(run, "E-T1")
+    rows = result["rows"]
+    # Six published devices plus three ITRS rows, as printed.
+    assert len(rows) == 9
+    published = [row for row in rows if row["ref"] != "ITRS"]
+    assert len(published) == 6
+    # The paper's headline: no sub-1 V device meets the ITRS Ion target.
+    assert result["summary"]["sub_1v_devices_meeting_itrs_ion"] == 0
+    # And the 1.2 V fallback costs 78 % dynamic power.
+    assert abs(result["summary"]["dynamic_power_penalty_at_1v2"]
+               - 0.78) < 0.01

@@ -1,0 +1,28 @@
+"""E-T2: regenerate Table 2 (analytical Ioff scaling)."""
+
+
+def test_table2(benchmark, run):
+    result = benchmark(run, "E-T2")
+    rows = {row["node_nm"]: row for row in result["rows"]}
+
+    # Solved Vth reproduces the paper's threshold row within 15 mV.
+    for node_nm, row in rows.items():
+        assert abs(row["vth_v"] - row["vth_paper_v"]) < 0.015, node_nm
+
+    # Ioff reproduces the paper's row within 25 % at every node.
+    for node_nm, row in rows.items():
+        ratio = row["ioff_na_um"] / row["ioff_paper_na_um"]
+        assert 0.75 < ratio < 1.25, node_nm
+
+    summary = result["summary"]
+    # Paper: 152x model increase vs 23x ITRS; >= 2.9x over ITRS at 35 nm.
+    assert 120 < summary["model_ioff_increase_180_to_35"] < 220
+    assert 20 < summary["itrs_ioff_increase_180_to_35"] < 26
+    assert 2.5 < summary["model_over_itrs_at_35nm"] < 3.6
+    # Metal gate cuts Ioff by ~78 % at 35 nm.
+    assert 0.70 < summary["metal_gate_ioff_reduction_at_35nm"] < 0.90
+
+    # The 0.7 V fallback at 50 nm: several-x Ioff relief, +36 % dynamic.
+    variant = result["variant_50nm_0v7"]
+    assert variant["ioff_relief_vs_0v6"] > 5.0
+    assert abs(variant["dynamic_power_penalty"] - 0.36) < 0.01

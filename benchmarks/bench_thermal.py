@@ -1,0 +1,21 @@
+"""E-C1: regenerate the Section 2.1 thermal-management claims."""
+
+
+def test_thermal_claims(benchmark, run):
+    result = benchmark.pedantic(run, args=("E-C1",), rounds=2,
+                                iterations=1)
+
+    # DTM buys a 33 % higher theta_ja (1/0.75).
+    assert abs(result["theta_relief"] - 1 / 3) < 0.01
+    # The 65 -> 75 W cooling-cost cliff triples cost.
+    assert abs(result["cooling_cost_ratio_75_over_65"] - 3.0) < 0.01
+
+    limit = result["tj_limit_c"]
+    # A DTM-protected chip on an effective-worst-case package holds Tj.
+    assert result["virus_dtm_max_tj_c"] <= limit + 0.5
+    # The same package without DTM violates under the virus.
+    assert result["virus_unmanaged_max_tj_c"] > limit + 1.0
+    # Realistic applications run (essentially) unthrottled.
+    assert result["app_dtm_throughput"] > 0.97
+    # The virus pays a bounded throughput tax instead of overheating.
+    assert 0.5 <= result["virus_dtm_throughput"] < 1.0

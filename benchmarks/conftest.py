@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (table, figure or claim)
+via the experiment registry and asserts its headline *shape* against the
+paper, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction harness.  Timings measure the full experiment pipeline.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run():
+    """Run an experiment by id through the registry."""
+    from repro.analysis import run_experiment
+    return run_experiment

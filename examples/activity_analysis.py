@@ -1,0 +1,72 @@
+"""Grounding the switching-activity factors (Figs. 1, 4; Section 4).
+
+The paper's power analyses hinge on assumed activity factors
+("switching activities on the order of 0.01 to 0.1" for logic,
+"high activity circuitry such as datapaths" for MCML).  This example
+derives those numbers instead of assuming them:
+
+1. simulate a synthetic netlist with busy and quiet input streams and
+   measure the per-net functional activity;
+2. count the *glitch* transitions a unit-delay simulation adds -- the
+   multiplier the MCML comparison charges CMOS for;
+3. cross-check against the vectorless probabilistic estimate;
+4. feed the measured per-net map into the power model.
+
+Run:  python examples/activity_analysis.py
+"""
+
+from repro.netlist import (
+    estimated_activity_map,
+    measured_activity,
+    netlist_power,
+    random_netlist,
+)
+
+
+def main() -> None:
+    netlist = random_netlist(100, n_gates=300, seed=21)
+    print(f"Design: {len(netlist)} gates at 100 nm, "
+          f"{len(netlist.primary_inputs)} inputs\n")
+
+    print("Measured functional activity vs input traffic:")
+    for label, flip in (("busy (uncorrelated vectors)", 0.5),
+                        ("typical logic", 0.15),
+                        ("quiet control", 0.03)):
+        result = measured_activity(netlist, n_vectors=400, seed=1,
+                                   flip_probability=flip)
+        print(f"  {label:<28} mean alpha = "
+              f"{result.mean_activity():.3f}   glitch factor = "
+              f"{result.mean_glitch_factor():.2f}")
+    print("\n(the paper's 0.01-0.1 'logic' band corresponds to quiet-"
+          "to-typical input traffic; glitching multiplies the CMOS "
+          "transition count, which is what MCML avoids)\n")
+
+    busy = measured_activity(netlist, n_vectors=400, seed=1)
+    estimated = estimated_activity_map(netlist)
+    total_measured = sum(busy.activity_map().values())
+    total_estimated = sum(estimated.values())
+    print("Vectorless estimate vs simulation (busy traffic): "
+          f"{total_estimated:.1f} vs {total_measured:.1f} total "
+          "transitions/vector "
+          f"({total_estimated / total_measured:.2f}x; independence "
+          "assumptions bias reconvergent nets)\n")
+
+    from_map = netlist_power(netlist, activity=busy.activity_map())
+    flat = netlist_power(netlist, activity=0.1)
+    print(f"Dynamic power from the measured map: "
+          f"{from_map.dynamic_w * 1e3:.3f} mW vs "
+          f"{flat.dynamic_w * 1e3:.3f} mW at the flat alpha = 0.1 the "
+          "roadmap analyses assume.\n")
+
+    from repro.netlist import build_ripple_adder
+    adder, ports = build_ripple_adder(100, width=8)
+    carry = measured_activity(adder, n_vectors=400, seed=1)
+    print(f"A real 8-bit ripple adder ({len(adder)} NANDs): glitch "
+          f"factor {carry.mean_glitch_factor():.2f} -- the carry chain "
+          "reproduces the ~1.8x datapath multiplier the Section-4 MCML "
+          "comparison assumes, where random logic shows only "
+          f"{busy.mean_glitch_factor():.2f}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""DVS vs clock throttling under the same thermal envelope (Section 2.1).
+
+The paper mentions two production DTM styles: Transmeta's dynamic
+voltage scaling and Intel's Pentium 4 clock duty-cycling.  This example
+runs both against a power virus on a package sized for the effective
+worst case, and shows why the cubic power-frequency lever of DVS loses
+less throughput per shed watt.
+
+Run:  python examples/dvs_vs_throttling.py
+"""
+
+from repro.analysis import run_experiment
+from repro.thermal.dvs import DEFAULT_LADDER
+
+
+def main() -> None:
+    print("DVS ladder (V, f, P relative to nominal):")
+    for point in DEFAULT_LADDER:
+        print(f"  V = {point.vdd_ratio:.2f}  f = {point.freq_ratio:.2f}"
+              f"  P = {point.power_ratio:.2f}")
+
+    result = run_experiment("E-X2")
+    print(f"\nPower virus on an effective-worst-case package "
+          f"(Tj limit {result['tj_limit_c']:.0f} C):")
+    print(f"  duty-cycle throttling: max Tj "
+          f"{result['throttling_max_tj_c']:.1f} C, throughput "
+          f"{result['throttling_throughput']:.0%}")
+    print(f"  voltage scaling:       max Tj "
+          f"{result['dvs_max_tj_c']:.1f} C, throughput "
+          f"{result['dvs_throughput']:.0%}")
+    print(f"\nDVS advantage: {result['dvs_advantage']:+.1%} throughput "
+          "at the same junction limit -- the cubic P(f) lever at work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Leakage roadmap explorer (Section 3, Table 2, Figs. 1-2).
+
+Walks the static-power story end to end: the published-device reality
+check of Table 1, the Eq.-(2)-(4) Ioff trajectory of Table 2 with the
+metal-gate what-if, the Fig. 1 static/dynamic crossover, the Fig. 2
+dual-Vth scalability argument, and the chip-level standby-current
+budget ("an MPU can draw 30 A in standby" at 35 nm).
+
+Run:  python examples/leakage_roadmap.py
+"""
+
+from repro.analysis import run_experiment
+from repro.analysis.report import render_table
+from repro.power.static import (
+    OPERATING_TEMPERATURE_K,
+    chip_static_power_w,
+    itrs_standby_current_budget_a,
+    static_power_reduction_required,
+    unchecked_static_projection_w,
+)
+
+
+def main() -> None:
+    table1 = run_experiment("E-T1")
+    print("Table 1 -- published devices vs ITRS:\n")
+    print(render_table(
+        ["ref", "node", "Tox [A]", "kind", "Vdd [V]", "Ion", "Ioff"],
+        [[r["ref"], r["node_nm"], r["tox_a"], r["tox_kind"], r["vdd_v"],
+          r["ion_ua_um"], r["ioff_na_um"]] for r in table1["rows"]]))
+    print(f"\nSub-1 V devices meeting the ITRS Ion target: "
+          f"{table1['summary']['sub_1v_devices_meeting_itrs_ion']:.0f} "
+          "(the paper's point); running at the published 1.2 V instead "
+          f"of 0.9 V costs "
+          f"{table1['summary']['dynamic_power_penalty_at_1v2']:.0%} "
+          "extra dynamic power.\n")
+
+    figure2 = run_experiment("E-F2")
+    print("Fig. 2 -- dual-Vth is inherently scalable:\n")
+    print(render_table(
+        ["node [nm]", "Ion gain for -100 mV [%]",
+         "Ioff cost of +20 % Ion [x]"],
+        [[r["node_nm"], r["ion_gain_pct"],
+          r["ioff_penalty_for_20pct_ion"]] for r in figure2["rows"]]))
+
+    print("\nChip-level standby budget (ITRS 10 % static rule, "
+          "Tj = 85 C):")
+    for node_nm in (70, 50, 35):
+        unchecked = chip_static_power_w(
+            node_nm, temperature_k=OPERATING_TEMPERATURE_K)
+        budget = itrs_standby_current_budget_a(node_nm)
+        required = static_power_reduction_required(node_nm)
+        projection = unchecked_static_projection_w(node_nm)
+        print(f"  {node_nm:>3} nm: unchecked leakage {unchecked:7.1f} W "
+              f"(ref [23] projection {projection:6.0f} W), allowed "
+              f"standby {budget:5.1f} A, circuit techniques must cut "
+              f"{required:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Power-delivery signoff across the roadmap (Section 4, Fig. 5).
+
+Sizes the top-level power rails for <10 % IR drop in 4x hot-spots under
+both bump-pitch scenarios, cross-checks the analytic model against the
+sparse resistive-grid solver, audits the 35 nm bump current budget, and
+compares standby wake-up transients.
+
+Run:  python examples/power_grid_signoff.py
+"""
+
+from repro.analysis.report import render_table
+from repro.itrs import ITRS_2000
+from repro.pdn import (
+    bump_budget,
+    fig5_point,
+    validate_analytic_model,
+    wakeup_transient,
+)
+from repro.pdn.bacpac import PitchScenario
+
+
+def main() -> None:
+    rows = []
+    for node_nm in ITRS_2000.node_sizes:
+        min_pitch = fig5_point(node_nm, PitchScenario.MIN_PITCH)
+        itrs = fig5_point(node_nm, PitchScenario.ITRS_PADS)
+        rows.append([node_nm, min_pitch.bump_pitch_um,
+                     min_pitch.width_over_min,
+                     min_pitch.routing_fraction,
+                     itrs.bump_pitch_um, itrs.width_over_min,
+                     itrs.routing_fraction])
+    print("Fig. 5 -- required power-rail width (x minimum width) for "
+          "<10 % IR drop:\n")
+    print(render_table(
+        ["node", "min pitch [um]", "W/Wmin", "routing", "ITRS pitch",
+         "W/Wmin (ITRS)", "routing (ITRS)"], rows))
+
+    validation = validate_analytic_model(35)
+    print(f"\nGrid-solver cross-check at 35 nm: analytic "
+          f"{validation.analytic_drop_v * 1e3:.1f} mV, 1-D strip solver "
+          f"{validation.strip_drop_v * 1e3:.1f} mV (error "
+          f"{validation.strip_error:.1%}), 2-D mesh "
+          f"{validation.grid_drop_v * 1e3:.1f} mV")
+
+    budget = bump_budget(35)
+    print(f"\n35 nm bump budget: {budget.total_pads} ITRS pads -> "
+          f"{budget.vdd_pads} Vdd bumps for "
+          f"{budget.supply_current_a:.0f} A "
+          f"= {budget.current_per_vdd_bump_a * 1e3:.0f} mA per bump "
+          f"(limit {budget.bump_current_limit_a * 1e3:.0f} mA): "
+          f"{'OK' if budget.feasible else 'INFEASIBLE'}, "
+          f"{budget.vdd_bump_shortfall} more Vdd bumps needed")
+
+    wake_itrs = wakeup_transient(35, use_min_pitch=False)
+    wake_min = wakeup_transient(35, use_min_pitch=True)
+    print(f"\nStandby wake-up ({wake_itrs.current_step_a:.0f} A step in "
+          f"{wake_itrs.wake_time_s * 1e9:.0f} ns):")
+    print(f"  ITRS bump count:  droop {wake_itrs.droop_fraction:.2%} of "
+          "Vdd")
+    print(f"  minimum pitch:    droop {wake_min.droop_fraction:.2%} of "
+          f"Vdd ({wake_itrs.droop_v / wake_min.droop_v:.0f}x better)")
+
+
+if __name__ == "__main__":
+    main()

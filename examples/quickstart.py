@@ -1,0 +1,45 @@
+"""Quickstart: the paper's core result in a dozen lines.
+
+Solves the Table 2 leakage-scaling analysis (Eqs. 2-4 of the paper) and
+prints the model's Ioff trajectory next to the paper's printed values
+and the ITRS projections, then shows the Fig. 3 headline: lowering Vdd
+to 0.2 V at 35 nm costs 3.7x in delay at constant Vth, but under 30 %
+when Vth is scaled to keep static power constant.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import run_experiment
+from repro.analysis.report import render_table
+
+
+def main() -> None:
+    table2 = run_experiment("E-T2")
+    headers = ["node [nm]", "Vth* [V]", "Vth paper", "Ioff [nA/um]",
+               "Ioff paper", "Ioff metal", "ITRS Ioff"]
+    rows = [[row["node_nm"], row["vth_v"], row["vth_paper_v"],
+             row["ioff_na_um"], row["ioff_paper_na_um"],
+             row["ioff_metal_na_um"], row["ioff_itrs_na_um"]]
+            for row in table2["rows"]]
+    print("Table 2 -- analytical Ioff scaling (Vth solved for "
+          "Ion = 750 uA/um)\n")
+    print(render_table(headers, rows))
+    summary = table2["summary"]
+    print(f"\nModel Ioff grows {summary['model_ioff_increase_180_to_35']:.0f}x"
+          f" from 180 to 35 nm (paper: 152x; ITRS allows "
+          f"{summary['itrs_ioff_increase_180_to_35']:.0f}x).")
+
+    figure3 = run_experiment("E-F3")["summary"]
+    print("\nFig. 3 -- the multi-Vdd + multi-Vth lever at 35 nm, "
+          "Vdd 0.6 -> 0.2 V:")
+    print(f"  constant Vth:            delay x"
+          f"{figure3['delay_constant_vth_at_0v2']:.2f}   (paper: x3.7)")
+    print(f"  Vth @ constant Pstatic:  delay x"
+          f"{figure3['delay_constant_pstatic_at_0v2']:.2f}   "
+          f"(paper: < x1.3)")
+    print(f"  dynamic power saving:    "
+          f"{figure3['dynamic_saving_at_0v2']:.0%}      (paper: 89 %)")
+
+
+if __name__ == "__main__":
+    main()

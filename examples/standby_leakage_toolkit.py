@@ -1,0 +1,59 @@
+"""The standby-leakage technique toolbox (Sections 3.2.1 and 3.3).
+
+Walks the circuit techniques the paper surveys for taming Ioff:
+
+* MTCMOS sleep transistors -- huge standby reduction, but area cost and
+  no active-mode relief;
+* reverse body biasing -- effective today, fading with scaling (the
+  paper's explicit caveat);
+* mixed-Vth stacked cells with state parking -- the paper's preferred
+  forward-looking option (no sleep devices, leverages state-dependent
+  leakage).
+
+Run:  python examples/standby_leakage_toolkit.py
+"""
+
+from repro.analysis.report import render_table
+from repro.devices.params import device_for_node
+from repro.power.body_bias import effectiveness_trend
+from repro.power.mtcmos import penalty_area_tradeoff
+from repro.power.stacks import mixed_vth_stack_study
+
+
+def main() -> None:
+    standard = device_for_node(70)
+    low = standard.with_vth(standard.vth_v - 0.1)
+    high = standard.with_vth(standard.vth_v + 0.1)
+
+    print("MTCMOS sleep-transistor sizing (70 nm block, 1000 um of "
+          "low-Vth logic):\n")
+    rows = []
+    for design in penalty_area_tradeoff(low, high, 1000.0):
+        rows.append([f"{design.delay_penalty:.0%}",
+                     f"{design.area_overhead:.0%}",
+                     f"{design.standby_reduction():,.0f}x",
+                     f"{design.virtual_rail_bounce_v * 1e3:.0f} mV"])
+    print(render_table(["delay penalty", "area overhead",
+                        "standby reduction", "rail bounce"], rows))
+
+    print("\nReverse body bias (1 V) across the roadmap -- note the "
+          "decay the paper warns about:\n")
+    rows = [[point.node_nm, f"{point.vth_shift_v * 1e3:.0f} mV",
+             f"{point.leakage_reduction_factor:.1f}x"]
+            for point in effectiveness_trend()]
+    print(render_table(["node [nm]", "Vth shift", "Ioff reduction"],
+                       rows))
+
+    study = mixed_vth_stack_study(device_for_node(35))
+    print(f"\nMixed-Vth 2-stack at 35 nm (high-Vth foot): "
+          f"{study.leakage_saving:.0%} average leakage saving for a "
+          f"{study.delay_penalty:.0%} pull-delay penalty,")
+    parked = study.mixed.leakage_a(study.mixed.best_standby_state())
+    awake = study.all_low.average_leakage_a()
+    print(f"and parking the cell in its best standby state leaks "
+          f"{parked * 1e9:.2f} nA vs {awake * 1e9:.2f} nA for the "
+          "all-low-Vth cell -- no sleep transistor required.")
+
+
+if __name__ == "__main__":
+    main()

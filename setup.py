@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (`pip install -e .`).
+
+The metadata lives in pyproject.toml; this file exists because the build
+environment has no `wheel` package, so PEP 660 editable wheels cannot be
+built offline and pip falls back to `setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Reproduction of Sylvester & Kaul, "Future Performance Challenges in
+Nanometer Design" (DAC 2001).
+
+An analytical modeling library for power-limited nanometer-era VLSI
+design: compact MOSFET I-V and leakage models (Eqs. 2-4), ITRS-2000
+roadmap data, gate/FO4 circuit models, global interconnect and repeater
+insertion, low-swing signaling, thermal packaging and dynamic thermal
+management, gate-level netlists with STA and multi-Vdd/multi-Vth/sizing
+optimization flows, and BACPAC-style power-grid IR analysis -- plus an
+experiment harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro.analysis import run_experiment
+    table2 = run_experiment("E-T2")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Experiment harness: one callable per paper table, figure and claim.
+
+``repro.analysis.experiments.EXPERIMENTS`` maps experiment ids (E-T1,
+E-T2, E-F1..E-F5, E-C1..E-C7, E-V1) to functions returning plain data
+structures; :mod:`repro.analysis.report` renders them as text tables.
+The benchmark suite and EXPERIMENTS.md are generated from this registry.
+"""
+
+from repro.analysis.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.analysis.report import render_table
+
+__all__ = ["EXPERIMENTS", "Experiment", "run_experiment", "render_table"]

@@ -1,0 +1,112 @@
+"""The experiment registry: every table, figure and claim, by id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.analysis.claims import (
+    claim_c1_thermal,
+    claim_c2_signaling,
+    claim_c3_cvs,
+    claim_c4_dual_vth,
+    claim_c5_resizing,
+    claim_c6_pdn,
+    claim_c7_library,
+)
+from repro.analysis.extensions import (
+    extension_x1_leakage_toolbox,
+    extension_x2_dvs_vs_throttling,
+    extension_x3_global_clock_domains,
+    extension_x4_electrothermal,
+)
+from repro.analysis.figure1 import reproduce_figure1
+from repro.analysis.figure2 import reproduce_figure2
+from repro.analysis.figure3 import reproduce_figure3
+from repro.analysis.figure4 import reproduce_figure4
+from repro.analysis.figure5 import reproduce_figure5
+from repro.analysis.table1 import reproduce_table1
+from repro.analysis.table2 import reproduce_table2
+from repro.errors import ReproError
+
+
+def _validate_grid() -> dict[str, float]:
+    from repro.pdn.grid import validate_analytic_model
+    result = validate_analytic_model(35)
+    return {
+        "analytic_drop_v": result.analytic_drop_v,
+        "strip_drop_v": result.strip_drop_v,
+        "grid_drop_v": result.grid_drop_v,
+        "strip_error": result.strip_error,
+        "grid_margin": result.grid_margin,
+    }
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper."""
+
+    id: str
+    description: str
+    paper_artifact: str
+    runner: Callable[[], Any]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.id: experiment for experiment in (
+        Experiment("E-T1", "Published NMOS devices vs ITRS projections",
+                   "Table 1", reproduce_table1),
+        Experiment("E-T2", "Analytical Ioff scaling, 180-35 nm",
+                   "Table 2", reproduce_table2),
+        Experiment("E-F1", "Pstatic/Pdynamic vs switching activity",
+                   "Figure 1", reproduce_figure1),
+        Experiment("E-F2", "Dual-Vth Ion gain and Ioff penalty scaling",
+                   "Figure 2", reproduce_figure2),
+        Experiment("E-F3", "Delay vs Vdd under three Vth policies",
+                   "Figure 3", reproduce_figure3),
+        Experiment("E-F4", "Pdynamic/Pstatic vs Vdd at 35 nm",
+                   "Figure 4", reproduce_figure4),
+        Experiment("E-F5", "IR-drop rail sizing vs bump pitch scenario",
+                   "Figure 5", reproduce_figure5),
+        Experiment("E-C1", "DTM thermal management and packaging cost",
+                   "Section 2.1", claim_c1_thermal),
+        Experiment("E-C2", "Repeater count/power and low-swing signaling",
+                   "Section 2.2", claim_c2_signaling),
+        Experiment("E-C3", "Clustered voltage scaling savings",
+                   "Section 2.4", claim_c3_cvs),
+        Experiment("E-C4", "Dual-Vth assignment leakage savings",
+                   "Section 3.2.2", claim_c4_dual_vth),
+        Experiment("E-C5", "Re-sizing sublinearity vs Vdd reduction",
+                   "Section 3.3", claim_c5_resizing),
+        Experiment("E-C6", "Bump budgets, wake-up transients, MCML",
+                   "Section 4", claim_c6_pdn),
+        Experiment("E-C7", "Library richness and on-the-fly cells",
+                   "Section 2.3", claim_c7_library),
+        Experiment("E-V1", "Analytic IR model vs sparse grid solver",
+                   "(validation)", _validate_grid),
+        Experiment("E-X1", "Standby-leakage technique toolbox",
+                   "Sections 3.2.1/3.3 (extension)",
+                   extension_x1_leakage_toolbox),
+        Experiment("E-X2", "DVS vs clock-throttling thermal management",
+                   "Section 2.1 (extension)",
+                   extension_x2_dvs_vs_throttling),
+        Experiment("E-X3", "Global clock domains / cross-chip latency",
+                   "Section 2.2 (extension)",
+                   extension_x3_global_clock_domains),
+        Experiment("E-X4", "Electrothermal leakage feedback and runaway",
+                   "Sections 2.1 + 3 (extension)",
+                   extension_x4_electrothermal),
+    )
+}
+
+
+def run_experiment(experiment_id: str) -> Any:
+    """Run one experiment by id and return its result structure."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return experiment.runner()

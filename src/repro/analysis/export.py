@@ -1,0 +1,106 @@
+"""Export experiment results to CSV / JSON for external plotting.
+
+Experiment results are plain dicts of rows/curves/summaries; these
+helpers flatten them into files a spreadsheet or plotting tool ingests
+directly::
+
+    from repro.analysis.export import export_experiment
+    export_experiment("E-F5", "out/")   # writes out/E-F5.json (+ .csv)
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any
+
+from repro.analysis.experiments import run_experiment
+from repro.errors import ReproError
+
+
+def _flatten_rows(result: Any) -> list[dict[str, Any]] | None:
+    """Extract a homogeneous row list from an experiment result."""
+    if not isinstance(result, dict):
+        return None
+    rows = result.get("rows")
+    if isinstance(rows, list) and rows and isinstance(rows[0], dict):
+        return rows
+    curves = result.get("curves") or result.get("series")
+    if isinstance(curves, dict):
+        flattened: list[dict[str, Any]] = []
+        for name, points in curves.items():
+            for point in points:
+                if isinstance(point, dict):
+                    flattened.append({"curve": name, **point})
+                else:  # (x, y) pairs from Fig. 1 series
+                    x, y = point
+                    flattened.append({"curve": name, "x": x, "y": y})
+        return flattened
+    return None
+
+
+def result_to_csv_rows(result: Any) -> list[dict[str, Any]]:
+    """Rows suitable for ``csv.DictWriter``; scalars become one row."""
+    rows = _flatten_rows(result)
+    if rows is not None:
+        return rows
+    if isinstance(result, dict):
+        scalars = {key: value for key, value in result.items()
+                   if isinstance(value, (int, float, bool, str))}
+        if scalars:
+            return [scalars]
+        summary = result.get("summary")
+        if isinstance(summary, dict):
+            return [{key: value for key, value in summary.items()
+                     if isinstance(value, (int, float, bool, str))}]
+    raise ReproError("result has no tabular content to export")
+
+
+def write_csv(result: Any, path: str) -> None:
+    """Write an experiment result as CSV."""
+    rows = result_to_csv_rows(result)
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with open(path, "w", newline="", encoding="utf-8") as stream:
+        writer = csv.DictWriter(stream, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, bool, str)) or value is None:
+        return value
+    return str(value)
+
+
+def write_json(result: Any, path: str) -> None:
+    """Write an experiment result as JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(_jsonable(result), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def export_experiment(experiment_id: str, directory: str = ".") -> list[str]:
+    """Run an experiment and write ``<id>.json`` (and ``.csv`` when the
+    result is tabular).  Returns the written paths."""
+    result = run_experiment(experiment_id)
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    json_path = os.path.join(directory, f"{experiment_id}.json")
+    write_json(result, json_path)
+    written.append(json_path)
+    try:
+        csv_path = os.path.join(directory, f"{experiment_id}.csv")
+        write_csv(result, csv_path)
+        written.append(csv_path)
+    except ReproError:
+        pass
+    return written

@@ -1,0 +1,129 @@
+"""E-X1..E-X3: extension experiments beyond the paper's own artifacts.
+
+These quantify mechanisms the paper discusses qualitatively (Sections
+2.1, 2.2, 3.2.1, 3.3) but does not plot: the standby-leakage technique
+toolbox, DVS versus clock throttling, and the global clock-domain
+latency picture.
+"""
+
+from __future__ import annotations
+
+from repro.devices.params import device_for_node
+from repro.interconnect.latency import latency_roadmap
+from repro.itrs import ITRS_2000
+from repro.power.body_bias import effectiveness_trend
+from repro.power.mtcmos import size_sleep_transistor
+from repro.power.stacks import mixed_vth_stack_study
+from repro.thermal.dtm import DtmController, simulate_dtm
+from repro.thermal.dvs import (
+    DvsController,
+    dvs_vs_throttling_throughput,
+    simulate_dvs,
+)
+from repro.thermal.package import theta_ja
+from repro.thermal.rc_network import default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import power_virus_trace
+
+
+def extension_x1_leakage_toolbox() -> dict[str, float]:
+    """E-X1: the Section 3.2.1 / 3.3 standby-leakage technique toolbox.
+
+    MTCMOS sleep transistors, reverse body bias, and mixed-Vth stacks,
+    each with its cost axis (area / effectiveness decay / delay).
+    """
+    standard = device_for_node(70)
+    low = standard.with_vth(standard.vth_v - 0.1)
+    high = standard.with_vth(standard.vth_v + 0.1)
+    mtcmos = size_sleep_transistor(low, high, logic_width_um=1000.0,
+                                   max_delay_penalty=0.05)
+    bias = effectiveness_trend()
+    stack = mixed_vth_stack_study(device_for_node(35))
+    return {
+        "mtcmos_standby_reduction": mtcmos.standby_reduction(),
+        "mtcmos_area_overhead": mtcmos.area_overhead,
+        "mtcmos_delay_penalty": mtcmos.delay_penalty,
+        "body_bias_reduction_180nm": bias[0].leakage_reduction_factor,
+        "body_bias_reduction_35nm": bias[-1].leakage_reduction_factor,
+        "stack_leakage_saving": stack.leakage_saving,
+        "stack_delay_penalty": stack.delay_penalty,
+    }
+
+
+def extension_x2_dvs_vs_throttling() -> dict[str, float]:
+    """E-X2: Transmeta-style DVS vs Pentium-4-style duty cycling.
+
+    Same package (sized for the 75 % effective worst case), same virus,
+    same sensor: DVS delivers more throughput at the same junction
+    limit.
+    """
+    tj_limit = 85.0
+    virus_w = 100.0
+    theta = theta_ja(tj_limit, 45.0, 0.75 * virus_w)
+    trace = power_virus_trace(virus_w, 60.0)
+
+    dvs = simulate_dvs(trace, default_thermal_network(theta),
+                       DvsController(ThermalSensor(trip_c=tj_limit - 2)))
+    throttled = simulate_dtm(
+        trace, default_thermal_network(theta),
+        DtmController(ThermalSensor(trip_c=tj_limit - 2)))
+    return {
+        "tj_limit_c": tj_limit,
+        "dvs_max_tj_c": dvs.max_junction_c,
+        "throttling_max_tj_c": throttled.max_junction_c,
+        "dvs_throughput": dvs.throughput_fraction,
+        "throttling_throughput": throttled.throughput_fraction,
+        "dvs_advantage": dvs_vs_throttling_throughput(dvs, throttled),
+    }
+
+
+def extension_x4_electrothermal() -> dict[str, float]:
+    """E-X4: leakage-temperature feedback and runaway margin.
+
+    Couples the Section 3 leakage models to the Section 2.1 thermal
+    model: at the ITRS-target 0.25 C/W package, the 50 nm node's
+    0.04 V threshold makes leakage the *majority* of settled power and
+    leaves almost no electrothermal margin -- an independent argument
+    for the paper's preference of the 0.7 V / higher-Vth variant.
+    """
+    from repro.thermal.electrothermal import (
+        leakage_amplification,
+        runaway_theta,
+        solve_operating_point,
+    )
+    theta = 0.25
+    dynamic_w = 160.0
+    results: dict[str, float] = {"theta_ja": theta,
+                                 "dynamic_power_w": dynamic_w}
+    for node_nm in (70, 50, 35):
+        point = solve_operating_point(node_nm, theta, dynamic_w)
+        results[f"tj_{node_nm}nm_c"] = point.junction_c
+        results[f"leakage_fraction_{node_nm}nm"] = \
+            point.leakage_fraction
+        results[f"amplification_{node_nm}nm"] = leakage_amplification(
+            node_nm, theta, dynamic_w)
+        results[f"runaway_theta_{node_nm}nm"] = runaway_theta(
+            node_nm, dynamic_w)
+    return results
+
+
+def extension_x3_global_clock_domains() -> dict[str, object]:
+    """E-X3: cross-chip latency and the global clock divider per node."""
+    rows = [{
+        "node_nm": point.node_nm,
+        "edge_crossing_cycles": point.edge_crossing_cycles,
+        "global_clock_divider": point.global_clock_divider,
+        "reach_fraction_of_edge": point.reach_fraction_of_edge,
+        "meets_itrs_global_clock": point.meets_itrs_global_clock,
+    } for point in latency_roadmap()]
+    last = rows[-1]
+    return {
+        "rows": rows,
+        "summary": {
+            "divider_at_180nm": rows[0]["global_clock_divider"],
+            "divider_at_35nm": last["global_clock_divider"],
+            "all_nodes_meet_itrs": all(row["meets_itrs_global_clock"]
+                                       for row in rows),
+            "nodes": len(ITRS_2000),
+        },
+    }

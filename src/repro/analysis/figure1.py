@@ -1,0 +1,35 @@
+"""E-F1: reproduce Fig. 1 (Pstatic/Pdynamic vs switching activity)."""
+
+from __future__ import annotations
+
+from repro.power.ratio import (
+    FIG1_VARIANTS,
+    static_dynamic_ratio_sweep,
+)
+
+
+def reproduce_figure1() -> dict[str, object]:
+    """Return the three Fig. 1 curves as (activity, ratio) series.
+
+    The paper's reading: for activities of 0.01-0.1, static power can
+    approach and exceed 10 % of dynamic power at the nanometer nodes.
+    """
+    points = static_dynamic_ratio_sweep()
+    series: dict[str, list[tuple[float, float]]] = {}
+    for point in points:
+        key = f"{point.node_nm}nm@{point.vdd_v:g}V"
+        series.setdefault(key, []).append((point.activity, point.ratio))
+
+    def ratio_at(key: str, activity: float) -> float:
+        curve = series[key]
+        return min(curve, key=lambda pair: abs(pair[0] - activity))[1]
+
+    return {
+        "series": series,
+        "summary": {
+            "variants": [f"{n}nm@{v:g}V" for n, v in FIG1_VARIANTS],
+            "ratio_50nm_0v6_at_0p1": ratio_at("50nm@0.6V", 0.1),
+            "ratio_50nm_0v7_at_0p1": ratio_at("50nm@0.7V", 0.1),
+            "ratio_70nm_0v9_at_0p1": ratio_at("70nm@0.9V", 0.1),
+        },
+    }

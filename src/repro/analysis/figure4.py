@@ -1,0 +1,39 @@
+"""E-F4: reproduce Fig. 4 (Pdynamic/Pstatic vs Vdd at 35 nm)."""
+
+from __future__ import annotations
+
+from repro.power.vdd_scaling import (
+    VthPolicy,
+    vdd_for_power_ratio,
+    vdd_scaling_sweep,
+)
+
+
+def reproduce_figure4() -> dict[str, object]:
+    """Fig. 4's curves plus the ITRS-constraint operating point.
+
+    Paper: at activity 0.1 the constant-Pstatic policy pushes
+    Pdyn/Pstat toward 1 at Vdd = 0.2 V, and a 10x dynamic-over-static
+    constraint allows Vdd ~ 0.44 V -- a ~46 % dynamic-power saving.
+    """
+    curves = {
+        policy.value: [{
+            "vdd_v": point.vdd_v,
+            "dyn_over_static": point.dyn_over_static,
+        } for point in vdd_scaling_sweep(policy)]
+        for policy in VthPolicy
+    }
+    vdd_at_10x = vdd_for_power_ratio(10.0,
+                                     policy=VthPolicy.CONSTANT_PSTATIC)
+    nominal = 0.6
+    return {
+        "curves": curves,
+        "summary": {
+            "vdd_at_ratio_10": vdd_at_10x,
+            "paper_vdd_at_ratio_10": 0.44,
+            "dynamic_saving_at_ratio_10": 1.0 - (vdd_at_10x / nominal) ** 2,
+            "paper_dynamic_saving_at_ratio_10": 0.46,
+            "ratio_constant_pstatic_at_0v2":
+                curves["constant_pstatic"][0]["dyn_over_static"],
+        },
+    }

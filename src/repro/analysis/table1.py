@@ -1,0 +1,18 @@
+"""E-T1: reproduce Table 1 (published NMOS devices vs ITRS)."""
+
+from __future__ import annotations
+
+from repro.devices.published import sub_1v_gap_summary, table1_rows
+
+
+def reproduce_table1() -> dict[str, object]:
+    """Return Table 1's rows plus the paper's headline observation.
+
+    The observation: no published sub-1 V technology meets the ITRS
+    Ion target, and using the published 1.2 V supplies where 0.9 V was
+    projected costs 78 % extra dynamic power.
+    """
+    return {
+        "rows": table1_rows(),
+        "summary": sub_1v_gap_summary(),
+    }

@@ -1,0 +1,89 @@
+"""E-T2: reproduce Table 2 (analytical Ioff scaling, 180 -> 35 nm).
+
+Per node: the normalised electrical gate capacitance, the Vth solved to
+meet 750 uA/um, the resulting Eq.-(4) Ioff, the metal-gate variant, and
+the ITRS Ioff projection -- plus the paper's two headline derived
+numbers (the 152x model Ioff increase across the roadmap vs the ITRS'
+23x, and the ~7x Ioff relief from running the 50 nm node at 0.7 V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.devices.mosfet import MosfetModel
+from repro.devices.params import device_for_node, PAPER_VTH_BY_NODE_V
+from repro.devices.solver import solve_vth_for_ion
+from repro.itrs import ITRS_2000
+
+#: The paper's printed Table 2 Ioff row [nA/um], for comparison columns.
+PAPER_IOFF_BY_NODE_NA = {180: 3.0, 130: 4.0, 100: 26.0, 70: 210.0,
+                         50: 3205.0, 35: 456.0}
+
+#: The paper's printed metal-gate Ioff row [nA/um].
+PAPER_IOFF_METAL_BY_NODE_NA = {180: 1.0, 130: 1.4, 100: 8.7, 70: 55.0,
+                               50: 666.0, 35: 103.0}
+
+
+def table2_row(node_nm: int) -> dict[str, float]:
+    """Compute one Table 2 column."""
+    record = ITRS_2000.node(node_nm)
+    device = device_for_node(node_nm)
+    target = record.ion_target_ua_um
+
+    vth = solve_vth_for_ion(device, target)
+    model = MosfetModel(device.with_vth(vth))
+    ioff = model.ioff_na_um()
+
+    metal = device.with_gate_stack(device.gate_stack.with_metal_gate())
+    vth_metal = solve_vth_for_ion(metal, target)
+    ioff_metal = MosfetModel(metal.with_vth(vth_metal)).ioff_na_um()
+
+    coxe_180 = device_for_node(180).gate_stack.coxe
+    return {
+        "node_nm": node_nm,
+        "coxe_norm": device.gate_stack.coxe / coxe_180,
+        "vth_v": vth,
+        "vth_paper_v": PAPER_VTH_BY_NODE_V[node_nm],
+        "ioff_na_um": ioff,
+        "ioff_paper_na_um": PAPER_IOFF_BY_NODE_NA[node_nm],
+        "ioff_metal_na_um": ioff_metal,
+        "ioff_metal_paper_na_um": PAPER_IOFF_METAL_BY_NODE_NA[node_nm],
+        "ioff_itrs_na_um": record.ioff_itrs_na_um,
+        "metal_gate_vth_gain_mv": (vth_metal - vth) * 1e3,
+    }
+
+
+def fifty_nm_at_0v7() -> dict[str, float]:
+    """The parenthetical 50 nm / Vdd = 0.7 V column of Table 2."""
+    record = ITRS_2000.node(50)
+    device = replace(device_for_node(50), vdd_v=0.7)
+    vth = solve_vth_for_ion(device, record.ion_target_ua_um)
+    ioff = MosfetModel(device.with_vth(vth)).ioff_na_um()
+    base = table2_row(50)
+    return {
+        "vth_v": vth,
+        "ioff_na_um": ioff,
+        "ioff_relief_vs_0v6": base["ioff_na_um"] / ioff,
+        "dynamic_power_penalty": (0.7 / 0.6) ** 2 - 1.0,
+    }
+
+
+def reproduce_table2() -> dict[str, object]:
+    """Full Table 2 plus the derived scaling statistics."""
+    rows = [table2_row(node_nm) for node_nm in ITRS_2000.node_sizes]
+    first, last = rows[0], rows[-1]
+    model_increase = last["ioff_na_um"] / first["ioff_na_um"]
+    itrs_increase = (last["ioff_itrs_na_um"] / first["ioff_itrs_na_um"])
+    return {
+        "rows": rows,
+        "variant_50nm_0v7": fifty_nm_at_0v7(),
+        "summary": {
+            "model_ioff_increase_180_to_35": model_increase,
+            "itrs_ioff_increase_180_to_35": itrs_increase,
+            "model_over_itrs_at_35nm": (last["ioff_na_um"]
+                                        / last["ioff_itrs_na_um"]),
+            "metal_gate_ioff_reduction_at_35nm": (
+                1.0 - last["ioff_metal_na_um"] / last["ioff_na_um"]),
+        },
+    }

@@ -1,0 +1,58 @@
+"""Gate- and cell-level circuit models.
+
+Builds static-CMOS gate models on top of the calibrated device cards
+(:mod:`repro.devices`): propagation delay, dynamic energy and leakage for
+inverters/NANDs/NORs, the fan-out-of-4 reference configuration used by
+Figs. 1 and 4, a parametric standard-cell library with the drive-strength
+richness discussed in Section 2.3, the on-the-fly cell generation
+optimizer of [17], a logical-effort sizing substrate, and the MOS
+current-mode logic (MCML) model of Section 4.
+"""
+
+from repro.circuits.gate import (
+    CAP_FACTOR,
+    DELAY_FIT_K,
+    GateKind,
+    GateDesign,
+    GateModel,
+)
+from repro.circuits.fo4 import Fo4Reference, fo4_reference
+from repro.circuits.library import (
+    Cell,
+    CellLibrary,
+    build_library,
+)
+from repro.circuits.cellgen import (
+    CellGenerationResult,
+    generate_cell_for_load,
+    optimize_block,
+)
+from repro.circuits.logical_effort import (
+    LOGICAL_EFFORT,
+    PARASITIC_DELAY,
+    PathSizing,
+    size_path,
+)
+from repro.circuits.mcml import McmlGate, mcml_vs_cmos_crossover
+
+__all__ = [
+    "CAP_FACTOR",
+    "DELAY_FIT_K",
+    "GateKind",
+    "GateDesign",
+    "GateModel",
+    "Fo4Reference",
+    "fo4_reference",
+    "Cell",
+    "CellLibrary",
+    "build_library",
+    "CellGenerationResult",
+    "generate_cell_for_load",
+    "optimize_block",
+    "LOGICAL_EFFORT",
+    "PARASITIC_DELAY",
+    "PathSizing",
+    "size_path",
+    "McmlGate",
+    "mcml_vs_cmos_crossover",
+]

@@ -1,0 +1,76 @@
+"""The fan-out-of-4 reference configuration of Figs. 1 and 4.
+
+Both figures evaluate "an inverter driving a fan-out of 4 with an average
+interconnect load".  This module packages that configuration: the
+footnote-6 inverter (Wn/L = 4, Wp/L = 8) loaded by four copies of itself
+plus the node's average local wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.circuits.gate import GateDesign, GateKind, GateModel
+from repro.devices.mosfet import DeviceParams
+from repro.devices.params import device_for_node
+from repro.itrs import ITRS_2000
+
+
+@dataclass(frozen=True)
+class Fo4Reference:
+    """An FO4 inverter stage with its average wiring load."""
+
+    gate: GateModel
+    #: Average interconnect load on the output net [F].
+    wire_cap_f: float
+    #: Clock frequency used for power numbers [Hz].
+    frequency_hz: float
+
+    @property
+    def load_f(self) -> float:
+        """Total switched load: four input caps plus the wire [F]."""
+        return 4.0 * self.gate.input_cap_f + self.wire_cap_f
+
+    def delay_s(self, vdd_v: float | None = None,
+                vth_v: float | None = None) -> float:
+        """Stage delay into the full load [s]."""
+        return self.gate.delay_s(self.load_f, vdd_v, vth_v)
+
+    def dynamic_power_w(self, activity: float,
+                        vdd_v: float | None = None) -> float:
+        """Switching power at the given activity factor [W]."""
+        return self.gate.dynamic_power_w(self.load_f, self.frequency_hz,
+                                         activity, vdd_v)
+
+    def static_power_w(self, vdd_v: float | None = None,
+                       vth_v: float | None = None,
+                       temperature_k: float = 300.0) -> float:
+        """Leakage power of the driving inverter [W]."""
+        return self.gate.static_power_w(vdd_v, vth_v, temperature_k)
+
+    def static_to_dynamic_ratio(self, activity: float,
+                                vdd_v: float | None = None,
+                                vth_v: float | None = None,
+                                temperature_k: float = 300.0) -> float:
+        """Pstatic / Pdynamic -- the y-axis of Fig. 1."""
+        dynamic = self.dynamic_power_w(activity, vdd_v)
+        if dynamic == 0:
+            raise ZeroDivisionError("dynamic power is zero at zero activity")
+        return self.static_power_w(vdd_v, vth_v, temperature_k) / dynamic
+
+
+def fo4_reference(node_nm: int,
+                  device: DeviceParams | None = None) -> Fo4Reference:
+    """Build the FO4 reference stage for a roadmap node.
+
+    ``device`` overrides the calibrated model card (used e.g. for the
+    50 nm / 0.7 V variant of Fig. 1).
+    """
+    record = ITRS_2000.node(node_nm)
+    if device is None:
+        device = device_for_node(node_nm)
+    gate = GateModel(device, GateDesign(kind=GateKind.INVERTER))
+    wire_cap = units.fF(record.avg_wire_length_um * record.wire_cap_ff_per_um)
+    return Fo4Reference(gate=gate, wire_cap_f=wire_cap,
+                        frequency_hz=units.ghz(record.clock_ghz))

@@ -1,0 +1,112 @@
+"""Logical-effort path sizing substrate.
+
+Used by the repeater-insertion and netlist layers to reason about path
+delay in technology-neutral units.  Standard Sutherland/Sproull model:
+logical effort g per topology, parasitic delay p, optimal stage effort
+achieved by equalising f = g*h across stages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.gate import GateDesign, GateKind, GateModel
+from repro.devices.mosfet import DeviceParams
+from repro.errors import ModelParameterError
+
+#: Logical effort per topology (2-input variants; n-input handled below).
+LOGICAL_EFFORT = {
+    GateKind.INVERTER: 1.0,
+    GateKind.NAND: 4.0 / 3.0,
+    GateKind.NOR: 5.0 / 3.0,
+}
+
+#: Parasitic delay per topology, in units of the inverter parasitic.
+PARASITIC_DELAY = {
+    GateKind.INVERTER: 1.0,
+    GateKind.NAND: 2.0,
+    GateKind.NOR: 2.0,
+}
+
+
+def logical_effort(kind: GateKind, n_inputs: int = 2) -> float:
+    """Logical effort of an n-input gate."""
+    if kind is GateKind.INVERTER:
+        return 1.0
+    if n_inputs < 2:
+        raise ModelParameterError("multi-input gates need >= 2 inputs")
+    if kind is GateKind.NAND:
+        return (n_inputs + 2.0) / 3.0
+    return (2.0 * n_inputs + 1.0) / 3.0
+
+
+def parasitic_delay(kind: GateKind, n_inputs: int = 2) -> float:
+    """Parasitic delay of an n-input gate, in inverter-parasitic units."""
+    if kind is GateKind.INVERTER:
+        return 1.0
+    return float(n_inputs)
+
+
+def tau_s(device: DeviceParams) -> float:
+    """The technology time constant: unit inverter driving one copy [s]."""
+    model = GateModel(device, GateDesign(kind=GateKind.INVERTER))
+    # Delay into one copy of itself minus the parasitic contribution
+    # would be the pure tau; we use the conventional definition of the
+    # FO1 effort delay.
+    return model.delay_s(model.input_cap_f) - model.delay_s(0.0)
+
+
+@dataclass(frozen=True)
+class PathSizing:
+    """Result of sizing a logic path by logical effort."""
+
+    #: Gate kinds along the path, driver first.
+    kinds: tuple[GateKind, ...]
+    #: Input capacitance of each stage [F].
+    input_caps_f: tuple[float, ...]
+    #: Optimal stage effort f.
+    stage_effort: float
+    #: Total path delay in tau units (effort + parasitics).
+    delay_tau: float
+    #: Total path delay [s].
+    delay_s: float
+
+
+def size_path(device: DeviceParams, kinds: list[GateKind],
+              cin_f: float, cload_f: float,
+              n_inputs: int = 2, branching: float = 1.0) -> PathSizing:
+    """Size a path of gates for minimum delay.
+
+    ``branching`` is the per-stage branching effort b (off-path fanout).
+    """
+    if not kinds:
+        raise ModelParameterError("path must contain at least one gate")
+    if cin_f <= 0 or cload_f <= 0:
+        raise ModelParameterError("path capacitances must be positive")
+    if branching < 1.0:
+        raise ModelParameterError("branching effort cannot be below 1")
+    n_stages = len(kinds)
+    path_logical = math.prod(
+        logical_effort(kind, n_inputs) for kind in kinds)
+    path_effort = path_logical * (branching ** (n_stages - 1)) \
+        * (cload_f / cin_f)
+    stage_effort = path_effort ** (1.0 / n_stages)
+
+    # Work backwards assigning input capacitances: Cin_i = g_i * Cout_i / f.
+    caps = [0.0] * n_stages
+    cout = cload_f
+    for index in range(n_stages - 1, -1, -1):
+        caps[index] = (logical_effort(kinds[index], n_inputs) * cout
+                       / stage_effort)
+        cout = caps[index] * branching
+
+    parasitics = sum(parasitic_delay(kind, n_inputs) for kind in kinds)
+    delay_tau = n_stages * stage_effort + parasitics
+    return PathSizing(
+        kinds=tuple(kinds),
+        input_caps_f=tuple(caps),
+        stage_effort=stage_effort,
+        delay_tau=delay_tau,
+        delay_s=delay_tau * tau_s(device),
+    )

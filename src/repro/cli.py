@@ -1,0 +1,96 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every experiment id with its paper artifact and description.
+``run <id>``
+    Run one experiment and pretty-print its result.
+``roadmap``
+    Print the ITRS roadmap table the models are built on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.analysis.report import render_dict_rows, render_table
+from repro.errors import ReproError
+from repro.itrs import ITRS_2000
+
+
+def _print_result(result: Any) -> None:
+    if isinstance(result, dict):
+        rows = result.get("rows")
+        if isinstance(rows, list) and rows \
+                and isinstance(rows[0], dict):
+            print(render_dict_rows(rows))
+            print()
+        curves = result.get("curves") or result.get("series")
+        if isinstance(curves, dict):
+            for name in curves:
+                print(f"curve: {name} ({len(curves[name])} points)")
+            print()
+        summary = result.get("summary")
+        scalars = summary if isinstance(summary, dict) else (
+            result if not (rows or curves) else None)
+        if isinstance(scalars, dict):
+            width = max(len(key) for key in scalars)
+            for key, value in scalars.items():
+                print(f"  {key.ljust(width)}  {value}")
+    else:
+        print(result)
+
+
+def _cmd_list() -> int:
+    rows = [[experiment.id, experiment.paper_artifact,
+             experiment.description]
+            for experiment in EXPERIMENTS.values()]
+    print(render_table(["id", "artifact", "description"], rows))
+    return 0
+
+
+def _cmd_run(experiment_id: str) -> int:
+    try:
+        result = run_experiment(experiment_id)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    experiment = EXPERIMENTS[experiment_id]
+    print(f"{experiment.id} -- {experiment.description} "
+          f"({experiment.paper_artifact})\n")
+    _print_result(result)
+    return 0
+
+
+def _cmd_roadmap() -> int:
+    headers = ["node [nm]", "year", "Vdd [V]", "Leff [nm]", "Tox [A]",
+               "clock [GHz]", "power [W]", "area [mm2]", "Tj [C]"]
+    rows = [[r.node_nm, r.year, r.vdd_v, r.leff_nm, r.tox_physical_a,
+             r.clock_ghz, r.chip_power_w, r.die_area_mm2, r.tj_max_c]
+            for r in ITRS_2000]
+    print(render_table(headers, rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Sylvester & Kaul, DAC 2001",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    subparsers.add_parser("roadmap", help="print the ITRS roadmap")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment_id)
+    return _cmd_roadmap()

@@ -1,0 +1,50 @@
+"""Compact MOSFET models (Section 3 of the paper).
+
+Implements the paper's Eqs. (2)-(4): the velocity-saturated drain current
+``Idsat0`` (Eq. 3), the source-resistance-degraded on-current ``Ion``
+(Eq. 2) and the exponential subthreshold off-current ``Ioff`` (Eq. 4),
+plus the electrical-oxide-thickness correction discussed around Table 2,
+per-node fitted model cards, the published-device database of Table 1, and
+the dual-Vth scaling analysis of Fig. 2.
+"""
+
+from repro.devices.oxide import GateStack, GateType
+from repro.devices.mosfet import DeviceParams, MosfetModel
+from repro.devices.solver import (
+    fit_mobility_for_vth,
+    solve_vth_for_ion,
+)
+from repro.devices.params import device_for_node, DEVICES_BY_NODE
+from repro.devices.published import (
+    PublishedDevice,
+    PUBLISHED_DEVICES,
+    ITRS_TABLE1_ROWS,
+    table1_rows,
+)
+from repro.devices.dual_vth import (
+    DualVthPoint,
+    dual_vth_scaling,
+    ioff_penalty_for_ion_gain,
+    ion_gain_for_vth_reduction,
+    soi_vth_relief,
+)
+
+__all__ = [
+    "GateStack",
+    "GateType",
+    "DeviceParams",
+    "MosfetModel",
+    "fit_mobility_for_vth",
+    "solve_vth_for_ion",
+    "device_for_node",
+    "DEVICES_BY_NODE",
+    "PublishedDevice",
+    "PUBLISHED_DEVICES",
+    "ITRS_TABLE1_ROWS",
+    "table1_rows",
+    "DualVthPoint",
+    "dual_vth_scaling",
+    "ioff_penalty_for_ion_gain",
+    "ion_gain_for_vth_reduction",
+    "soi_vth_relief",
+]

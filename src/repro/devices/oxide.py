@@ -1,0 +1,94 @@
+"""Gate-stack model: physical vs electrical oxide thickness.
+
+Table 2 of the paper stresses that the *electrical* oxide thickness -- the
+physical dielectric plus the finite inversion-layer thickness plus
+poly-gate depletion (GDE) -- is what sets the gate capacitance seen by the
+channel.  The paper quotes a net effect of ~0.7 nm (7 Angstrom) for a
+conventional poly-gate stack and shows that a metal gate (which removes
+the depletion component but not inversion-layer quantization) cuts Ioff by
+78 % at 35 nm by allowing a 55 mV higher Vth at constant Ion.
+
+We split the 7 Angstrom into a 4.5 A inversion-layer component and a
+2.5 A gate-depletion component; the split is a calibration choice (the
+paper quotes only the 7 A total) tuned so the 35 nm metal-gate row of
+Table 2 reproduces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro import units
+from repro.errors import ModelParameterError
+
+#: Electrical thickening from inversion-layer quantization [Angstrom].
+INVERSION_LAYER_A = 4.5
+
+#: Electrical thickening from poly-gate depletion [Angstrom].
+GATE_DEPLETION_A = 2.5
+
+
+class GateType(enum.Enum):
+    """Gate electrode technology."""
+
+    #: Conventional n+/p+ polysilicon gate: suffers gate depletion.
+    POLY = "poly"
+    #: Metal gate: no depletion; inversion-layer thickness remains.
+    METAL = "metal"
+
+
+@dataclass(frozen=True)
+class GateStack:
+    """A gate dielectric stack.
+
+    Parameters
+    ----------
+    tox_physical_a:
+        Physical (equivalent SiO2) oxide thickness [Angstrom].
+    gate_type:
+        Poly or metal gate electrode.
+    """
+
+    tox_physical_a: float
+    gate_type: GateType = GateType.POLY
+
+    def __post_init__(self) -> None:
+        if self.tox_physical_a <= 0:
+            raise ModelParameterError(
+                f"physical oxide thickness must be positive, "
+                f"got {self.tox_physical_a} A"
+            )
+
+    @property
+    def tox_electrical_a(self) -> float:
+        """Electrical oxide thickness [Angstrom].
+
+        Physical thickness plus inversion-layer quantization, plus gate
+        depletion for poly gates only.
+        """
+        thickness = self.tox_physical_a + INVERSION_LAYER_A
+        if self.gate_type is GateType.POLY:
+            thickness += GATE_DEPLETION_A
+        return thickness
+
+    @property
+    def cox_physical(self) -> float:
+        """Capacitance of the physical dielectric alone [F/m^2]."""
+        return units.EPSILON_OX / units.angstrom(self.tox_physical_a)
+
+    @property
+    def coxe(self) -> float:
+        """Electrical gate capacitance per unit area [F/m^2].
+
+        This is the ``Coxe`` of Eq. (3).
+        """
+        return units.EPSILON_OX / units.angstrom(self.tox_electrical_a)
+
+    def with_metal_gate(self) -> "GateStack":
+        """Return the same stack with a metal (depletion-free) gate."""
+        return replace(self, gate_type=GateType.METAL)
+
+    def with_poly_gate(self) -> "GateStack":
+        """Return the same stack with a conventional poly gate."""
+        return replace(self, gate_type=GateType.POLY)

@@ -1,0 +1,150 @@
+"""Table 1: recent published NMOS device results vs ITRS projections.
+
+The paper surveys six advanced-CMOS publications (IEDM/VLSI 1995-2000) and
+compares their Ion/Ioff/Vdd/Tox against the ITRS targets for the 100, 70
+and 50 nm nodes.  Its key observation: excellent Ion/Ioff ratios exist,
+but *no sub-1 V technology* comes close to ITRS expectations -- e.g. the
+70 nm-class devices of [26, 28] need Vdd = 1.2 V rather than the 0.9 V the
+roadmap assumes, a (1.2/0.9)^2 - 1 = 78 % dynamic-power penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class PublishedDevice:
+    """One row of the paper's Table 1."""
+
+    #: Citation key as used by the paper, e.g. "[24]".
+    ref: str
+    #: First author / venue, for readability.
+    label: str
+    #: ITRS node class the paper assigns [nm] (lower bound of a range).
+    node_nm: int
+    #: Gate oxide thickness [Angstrom].
+    tox_a: float
+    #: True when the quoted Tox is electrical rather than physical.
+    tox_is_electrical: bool
+    #: Supply voltage [V].
+    vdd_v: float
+    #: NMOS drive current [uA/um].
+    ion_ua_um: float
+    #: NMOS off current [nA/um].
+    ioff_na_um: float
+
+    def __post_init__(self) -> None:
+        if min(self.tox_a, self.vdd_v, self.ion_ua_um, self.ioff_na_um) <= 0:
+            raise ModelParameterError(
+                f"published device {self.ref} has non-positive entries"
+            )
+
+    @property
+    def on_off_ratio(self) -> float:
+        """Ion/Ioff (dimensionless)."""
+        return self.ion_ua_um * 1e3 / self.ioff_na_um
+
+    @property
+    def is_sub_1v(self) -> bool:
+        """True for supply voltages below 1 V."""
+        return self.vdd_v < 1.0
+
+
+#: The six published devices of Table 1, transcribed from the paper.
+PUBLISHED_DEVICES: tuple[PublishedDevice, ...] = (
+    PublishedDevice(ref="[24]", label="Chau, IEDM 2000 (30 nm Lgate)",
+                    node_nm=50, tox_a=18.0, tox_is_electrical=True,
+                    vdd_v=0.85, ion_ua_um=514.0, ioff_na_um=100.0),
+    PublishedDevice(ref="[25]", label="Song, IEDM 2000",
+                    node_nm=100, tox_a=21.0, tox_is_electrical=False,
+                    vdd_v=1.2, ion_ua_um=860.0, ioff_na_um=10.0),
+    PublishedDevice(ref="[26]", label="Wakabayashi, IEDM 2000 (45 nm)",
+                    node_nm=70, tox_a=25.0, tox_is_electrical=False,
+                    vdd_v=1.2, ion_ua_um=697.0, ioff_na_um=10.0),
+    PublishedDevice(ref="[27]", label="Mehrotra, IEDM 1999",
+                    node_nm=100, tox_a=27.0, tox_is_electrical=False,
+                    vdd_v=1.2, ion_ua_um=800.0, ioff_na_um=10.0),
+    PublishedDevice(ref="[28]", label="Yang, IEDM 1999 (sub-60 nm SOI)",
+                    node_nm=70, tox_a=32.0, tox_is_electrical=False,
+                    vdd_v=1.2, ion_ua_um=650.0, ioff_na_um=3.0),
+    PublishedDevice(ref="[29]", label="Ono, VLSI 2000 (70 nm Lgate)",
+                    node_nm=100, tox_a=13.0, tox_is_electrical=False,
+                    vdd_v=1.0, ion_ua_um=723.0, ioff_na_um=16.0),
+)
+
+
+@dataclass(frozen=True)
+class ItrsTable1Row:
+    """An ITRS comparison row of Table 1."""
+
+    node_nm: int
+    tox_min_a: float
+    tox_max_a: float
+    vdd_v: float
+    ion_ua_um: float
+    ioff_na_um: float
+
+    @property
+    def tox_mid_a(self) -> float:
+        """Midpoint of the quoted physical-Tox range [Angstrom]."""
+        return 0.5 * (self.tox_min_a + self.tox_max_a)
+
+
+#: The three ITRS rows of Table 1 (physical Tox ranges), as printed.
+ITRS_TABLE1_ROWS: tuple[ItrsTable1Row, ...] = (
+    ItrsTable1Row(node_nm=100, tox_min_a=12.0, tox_max_a=15.0,
+                  vdd_v=1.2, ion_ua_um=750.0, ioff_na_um=13.0),
+    ItrsTable1Row(node_nm=70, tox_min_a=8.0, tox_max_a=12.0,
+                  vdd_v=0.9, ion_ua_um=750.0, ioff_na_um=40.0),
+    ItrsTable1Row(node_nm=50, tox_min_a=6.0, tox_max_a=8.0,
+                  vdd_v=0.6, ion_ua_um=750.0, ioff_na_um=80.0),
+)
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Return Table 1 as a list of dictionaries (published + ITRS rows)."""
+    rows: list[dict[str, object]] = []
+    for device in PUBLISHED_DEVICES:
+        rows.append({
+            "ref": device.ref,
+            "node_nm": device.node_nm,
+            "tox_a": device.tox_a,
+            "tox_kind": ("electrical" if device.tox_is_electrical
+                         else "physical"),
+            "vdd_v": device.vdd_v,
+            "ion_ua_um": device.ion_ua_um,
+            "ioff_na_um": device.ioff_na_um,
+        })
+    for itrs in ITRS_TABLE1_ROWS:
+        rows.append({
+            "ref": "ITRS",
+            "node_nm": itrs.node_nm,
+            "tox_a": itrs.tox_mid_a,
+            "tox_kind": "physical",
+            "vdd_v": itrs.vdd_v,
+            "ion_ua_um": itrs.ion_ua_um,
+            "ioff_na_um": itrs.ioff_na_um,
+        })
+    return rows
+
+
+def sub_1v_gap_summary() -> dict[str, float]:
+    """Quantify the paper's headline Table 1 observation.
+
+    Returns the count of sub-1 V published devices meeting the ITRS
+    (Ion >= 750 uA/um at their node's target Ioff) and the dynamic-power
+    penalty of running a 70 nm-class design at the published 1.2 V instead
+    of the projected 0.9 V.
+    """
+    sub_1v_meeting_itrs = sum(
+        1 for device in PUBLISHED_DEVICES
+        if device.is_sub_1v and device.ion_ua_um >= 750.0
+    )
+    penalty = (1.2 / 0.9) ** 2 - 1.0
+    return {
+        "sub_1v_devices_meeting_itrs_ion": float(sub_1v_meeting_itrs),
+        "dynamic_power_penalty_at_1v2": penalty,
+    }

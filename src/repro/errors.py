@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  The subclasses distinguish the common failure domains:
+bad model parameters, unknown roadmap nodes, infeasible optimization
+constraints, and timing violations detected by the STA engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelParameterError(ReproError, ValueError):
+    """A physical model was given an out-of-domain or inconsistent parameter."""
+
+
+class UnknownNodeError(ReproError, KeyError):
+    """A technology node was requested that the roadmap does not define."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """A calibration / root-finding routine failed to converge."""
+
+
+class InfeasibleConstraintError(ReproError, ValueError):
+    """An optimization was asked to satisfy constraints it cannot meet."""
+
+
+class TimingViolationError(ReproError, RuntimeError):
+    """A transformation produced (or was asked to accept) negative slack."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A netlist is malformed (cycles, dangling references, bad fanout)."""

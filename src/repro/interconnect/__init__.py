@@ -1,0 +1,70 @@
+"""Global interconnect models (Section 2.2 of the paper).
+
+Per-node RC wire models for the scaled (semi-global) and unscaled
+(top-level) wiring tiers, Bakoglu-style optimal repeater insertion with
+the count/power scaling analysis of refs [9, 11], alternative signaling
+schemes (low-swing, differential) with their energy/noise/area
+trade-offs, and crosstalk / inductive-coupling estimates.
+"""
+
+from repro.interconnect.wire import WireSpec, global_wire, semiglobal_wire
+from repro.interconnect.repeaters import (
+    RepeaterDesign,
+    RepeaterScalingPoint,
+    optimal_repeater_design,
+    repeater_scaling,
+)
+from repro.interconnect.signaling import (
+    SignalingScheme,
+    full_swing_scheme,
+    low_swing_differential_scheme,
+    compare_schemes,
+)
+from repro.interconnect.noise import (
+    capacitive_crosstalk_v,
+    differential_residual_noise_v,
+    shielded_coupling_fraction,
+)
+from repro.interconnect.latency import (
+    GlobalLatency,
+    global_latency,
+    latency_roadmap,
+    pipeline_stages_for_route,
+)
+from repro.interconnect.clusters import (
+    ClusterStation,
+    cluster_station,
+    snapped_spacing_m,
+    spacing_delay_penalty,
+)
+from repro.interconnect.capacitance import (
+    WireGeometry,
+    global_tier_geometry,
+)
+
+__all__ = [
+    "WireSpec",
+    "global_wire",
+    "semiglobal_wire",
+    "RepeaterDesign",
+    "RepeaterScalingPoint",
+    "optimal_repeater_design",
+    "repeater_scaling",
+    "SignalingScheme",
+    "full_swing_scheme",
+    "low_swing_differential_scheme",
+    "compare_schemes",
+    "capacitive_crosstalk_v",
+    "differential_residual_noise_v",
+    "shielded_coupling_fraction",
+    "GlobalLatency",
+    "global_latency",
+    "latency_roadmap",
+    "pipeline_stages_for_route",
+    "ClusterStation",
+    "cluster_station",
+    "snapped_spacing_m",
+    "spacing_delay_penalty",
+    "WireGeometry",
+    "global_tier_geometry",
+]

@@ -1,0 +1,125 @@
+"""Geometric wire capacitance (Sakurai-Tamaru) behind the constant-F/m
+assumption.
+
+The wire tiers in :mod:`repro.interconnect.wire` use the standard
+~0.2-0.25 fF/um total capacitance.  This module derives that number
+from geometry with Sakurai and Tamaru's empirical formulas for a line
+over a ground plane with neighbours:
+
+* area + fringe to the plane::
+
+      C_ground / eps = 1.15 (w/h) + 2.80 (t/h)^0.222
+
+* coupling to each neighbour at spacing s::
+
+      C_couple / eps = 0.03 (w/h) + 0.83 (t/h) - 0.07 (t/h)^0.222
+                       ) (s/h)^-1.34
+
+(w = width, t = thickness, h = dielectric height, eps = dielectric
+permittivity).  Valid within ~10 % for 0.3 <= w/h, s/h <= 10 and
+0.3 <= t/h <= 10 -- the regime every tier here occupies.
+
+The tests confirm that aspect-ratio-preserving scaling keeps the total
+per-length capacitance nearly constant (the justification for the
+constant used by the tiers) while the *coupling fraction* grows as
+spacing shrinks -- the crosstalk trend behind Section 2.2's shielding
+discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ModelParameterError
+
+#: Relative permittivity of the interlevel dielectric (oxide-class).
+DIELECTRIC_K = 3.9
+
+
+@dataclass(frozen=True)
+class WireGeometry:
+    """Cross-section of one wire in its dielectric environment."""
+
+    width_um: float
+    thickness_um: float
+    #: Dielectric height to the plane below [um].
+    height_um: float
+    #: Edge-to-edge spacing to each neighbour [um].
+    spacing_um: float
+    dielectric_k: float = DIELECTRIC_K
+
+    def __post_init__(self) -> None:
+        if min(self.width_um, self.thickness_um, self.height_um,
+               self.spacing_um, self.dielectric_k) <= 0:
+            raise ModelParameterError(
+                "wire geometry parameters must be positive"
+            )
+
+    @property
+    def _eps(self) -> float:
+        return self.dielectric_k * units.EPSILON_0
+
+    def ground_cap_per_m(self) -> float:
+        """Area + fringe capacitance to the plane [F/m]."""
+        w_h = self.width_um / self.height_um
+        t_h = self.thickness_um / self.height_um
+        return self._eps * (1.15 * w_h + 2.80 * t_h ** 0.222)
+
+    def coupling_cap_per_m(self) -> float:
+        """Capacitance to ONE neighbour [F/m]."""
+        w_h = self.width_um / self.height_um
+        t_h = self.thickness_um / self.height_um
+        s_h = self.spacing_um / self.height_um
+        return self._eps * (0.03 * w_h + 0.83 * t_h
+                            - 0.07 * t_h ** 0.222) * s_h ** -1.34
+
+    def total_cap_per_m(self, n_neighbours: int = 2) -> float:
+        """Total capacitance with ``n_neighbours`` coupled lines [F/m]."""
+        if n_neighbours < 0:
+            raise ModelParameterError(
+                "neighbour count cannot be negative"
+            )
+        return (self.ground_cap_per_m()
+                + n_neighbours * self.coupling_cap_per_m())
+
+    def coupling_fraction(self, n_neighbours: int = 2) -> float:
+        """Share of the total capacitance that couples to neighbours.
+
+        This is the quantity behind the 0.5 coupling fraction the wire
+        tiers assume and behind the crosstalk ratios in
+        :mod:`repro.interconnect.noise`.
+        """
+        total = self.total_cap_per_m(n_neighbours)
+        return n_neighbours * self.coupling_cap_per_m() / total
+
+    def scaled(self, factor: float) -> "WireGeometry":
+        """Shrink every dimension by ``factor`` (aspect-preserving)."""
+        if factor <= 0:
+            raise ModelParameterError("scale factor must be positive")
+        return WireGeometry(
+            width_um=self.width_um * factor,
+            thickness_um=self.thickness_um * factor,
+            height_um=self.height_um * factor,
+            spacing_um=self.spacing_um * factor,
+            dielectric_k=self.dielectric_k,
+        )
+
+
+def global_tier_geometry() -> WireGeometry:
+    """The unscaled top-level wire of :func:`repro.interconnect.wire
+    .global_wire`, in its dielectric context."""
+    return WireGeometry(width_um=1.0, thickness_um=2.0, height_um=1.0,
+                        spacing_um=1.0)
+
+
+def validates_constant_cap_assumption(tolerance: float = 0.15) -> bool:
+    """Check the tiers' constant-F/m assumption against the formulas.
+
+    The geometric total for the global tier must land within
+    ``tolerance`` of the 0.25 fF/um the tier model uses.
+    """
+    from repro.interconnect.wire import GLOBAL_CAP_PER_M
+    geometric = global_tier_geometry().total_cap_per_m()
+    return abs(geometric - GLOBAL_CAP_PER_M) / GLOBAL_CAP_PER_M \
+        <= tolerance

@@ -1,0 +1,164 @@
+"""Repeater clusters (Section 2.2, footnote 2).
+
+"Repeater clusters constrain repeater placement to ease floorplanning
+and simplify insertion of repeaters late in the design.  Resulting
+power densities can exceed 100 W/cm^2, complicating power
+distribution."
+
+Two effects are modelled:
+
+* **Placement quantisation.**  Snapping repeaters to a cluster grid of
+  pitch ``g`` makes the realised spacing deviate from the Bakoglu
+  optimum; the repeated-line delay is convex in the spacing
+  (``t(h) = a/h + b h`` at fixed size), so the penalty follows in
+  closed form from the optimal design.
+* **Power concentration.**  All repeaters of the wires crossing a
+  cluster burn their switching power inside the cluster's footprint;
+  with hundreds of global wires per channel the local density far
+  exceeds the chip average -- the paper's >100 W/cm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.interconnect.repeaters import (
+    GLOBAL_ACTIVITY,
+    RepeaterDesign,
+    optimal_repeater_design,
+)
+from repro.itrs import ITRS_2000
+
+#: Repeater layout area per unit inverter of drive [m^2]: a unit
+#: inverter footprint of ~40 Leff^2 at the 100 nm node, kept constant
+#: in absolute terms for the big top-level drivers (their area is
+#: dominated by device width, which the size factor captures).
+_UNIT_REPEATER_AREA_M2 = 40 * (65e-9) ** 2
+
+#: Cluster station depth along the wire direction [m]: the row of
+#: repeaters plus local power hookup.
+CLUSTER_DEPTH_M = 25e-6
+
+#: Share of the segment's switching energy dissipated inside the
+#: driving repeater (the rest is burned in the distributed wire
+#: resistance; the two are comparable at the Bakoglu optimum).
+DRIVER_DISSIPATION_SHARE = 0.5
+
+
+def snapped_spacing_m(optimal_m: float, grid_m: float) -> float:
+    """Realised spacing when repeaters snap to a cluster grid [m].
+
+    The spacing is quantised to the nearest non-zero grid multiple.
+    """
+    if optimal_m <= 0 or grid_m <= 0:
+        raise ModelParameterError("spacings must be positive")
+    multiples = max(1, round(optimal_m / grid_m))
+    return multiples * grid_m
+
+
+def spacing_delay_penalty(design: RepeaterDesign,
+                          spacing_m: float) -> float:
+    """Fractional delay increase at a non-optimal spacing.
+
+    At the optimum the two spacing-dependent delay terms (driver
+    charging per segment ~ 1/h, distributed wire ~ h) are equal, so
+    ``t(h)/t(h_opt) = (h_opt/h + h/h_opt) / 2`` for the spacing-
+    sensitive part; the size-dependent constant part is spacing-
+    independent and assumed half the total (p = 1), giving a convex,
+    closed-form penalty.
+    """
+    if spacing_m <= 0:
+        raise ModelParameterError("spacing must be positive")
+    ratio = spacing_m / design.spacing_m
+    variable = 0.5 * (ratio + 1.0 / ratio)
+    return 0.5 * (variable - 1.0)
+
+
+@dataclass(frozen=True)
+class ClusterStation:
+    """One repeater cluster crossed by a bundle of global wires."""
+
+    node_nm: int
+    design: RepeaterDesign
+    #: Wires passing through the cluster.
+    n_wires: int
+    #: Cluster grid pitch (spacing between stations) [m].
+    grid_m: float
+
+    def __post_init__(self) -> None:
+        if self.n_wires < 1:
+            raise ModelParameterError("cluster needs at least one wire")
+        if self.grid_m <= 0:
+            raise ModelParameterError("grid pitch must be positive")
+
+    @property
+    def realised_spacing_m(self) -> float:
+        """Snapped repeater spacing [m]."""
+        return snapped_spacing_m(self.design.spacing_m, self.grid_m)
+
+    @property
+    def delay_penalty(self) -> float:
+        """Fractional line-delay cost of the quantised spacing."""
+        return spacing_delay_penalty(self.design,
+                                     self.realised_spacing_m)
+
+    @property
+    def station_power_w(self) -> float:
+        """Switching power burned inside the station [W].
+
+        Per wire, one repeater stage: its own (1+p) input capacitance
+        switches locally, and the driver dissipates its share of the
+        wire segment's charging energy (the remainder is lost in the
+        distributed wire resistance along the segment).
+        """
+        record = ITRS_2000.node(self.node_nm)
+        frequency = record.clock_ghz * 1e9
+        local_cap = (1.0 + 1.0) * self.design.size \
+            * self.design.unit_cap_f
+        segment_cap = self.design.wire.c_per_m * self.realised_spacing_m
+        per_wire_cap = local_cap \
+            + DRIVER_DISSIPATION_SHARE * segment_cap
+        energy = per_wire_cap * record.vdd_v ** 2
+        return GLOBAL_ACTIVITY * frequency * energy * self.n_wires
+
+    @property
+    def station_area_m2(self) -> float:
+        """Cluster footprint [m^2]: the repeater row plus hookup depth.
+
+        Width is set by the wire bundle at the global wire pitch (2x
+        width for wire+space).
+        """
+        wire_pitch = 2.0 * units.um(self.design.wire.width_um)
+        width = self.n_wires * wire_pitch
+        repeater_area = (self.n_wires * self.design.size
+                         * _UNIT_REPEATER_AREA_M2)
+        return max(width * CLUSTER_DEPTH_M, repeater_area)
+
+    @property
+    def power_density_w_cm2(self) -> float:
+        """Local power density inside the cluster [W/cm^2]."""
+        return units.to_w_per_cm2(self.station_power_w
+                                  / self.station_area_m2)
+
+    def exceeds_chip_average(self) -> float:
+        """Cluster density over the chip-average power density."""
+        record = ITRS_2000.node(self.node_nm)
+        return self.power_density_w_cm2 / record.power_density_w_cm2
+
+
+def cluster_station(node_nm: int, n_wires: int = 256,
+                    grid_m: float | None = None) -> ClusterStation:
+    """Build a representative global-bus cluster at a node.
+
+    The default grid pitch is 1.3x the optimal spacing (clusters are
+    placed where the floorplan allows, not where Bakoglu wants them).
+    """
+    device = device_for_node(node_nm)
+    design = optimal_repeater_design(node_nm, device=device)
+    if grid_m is None:
+        grid_m = 1.3 * design.spacing_m
+    return ClusterStation(node_nm=node_nm, design=design,
+                          n_wires=n_wires, grid_m=grid_m)

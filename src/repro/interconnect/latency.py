@@ -1,0 +1,103 @@
+"""Cross-chip latency and global clock domains (Section 2.2).
+
+"It appears likely that global signaling will use a slower clock than
+localized logic" -- this module quantifies that: how many core cycles a
+repeated global wire needs to cross the die, the largest distance
+reachable in a single cycle, and the clock divider a synchronous global
+domain needs.  Ref [9]'s claim that "using unscaled top level wiring,
+ITRS projected global clock frequencies can be met" is checked by
+comparing the repeated-wire velocity against the cross-chip distance
+per (possibly divided) clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.interconnect.repeaters import optimal_repeater_design
+from repro.interconnect.wire import global_wire
+from repro.itrs import ITRS_2000
+
+#: Fraction of a cycle usable for wire flight (the rest is flop
+#: overhead, clock skew and driver/receiver latency).
+CYCLE_UTILISATION = 0.8
+
+
+@dataclass(frozen=True)
+class GlobalLatency:
+    """Cross-chip timing picture at one node."""
+
+    node_nm: int
+    #: Repeated-wire signal velocity [m/s].
+    velocity_m_per_s: float
+    #: Chip edge length [m].
+    chip_edge_m: float
+    #: Core clock [Hz].
+    core_clock_hz: float
+    #: Core cycles needed to cross one chip edge.
+    edge_crossing_cycles: float
+    #: Largest distance reachable within one (utilisation-derated)
+    #: core cycle [m].
+    single_cycle_reach_m: float
+    #: Clock divider a synchronous full-chip global domain needs.
+    global_clock_divider: int
+
+    @property
+    def global_clock_hz(self) -> float:
+        """The divided global clock [Hz]."""
+        return self.core_clock_hz / self.global_clock_divider
+
+    @property
+    def reach_fraction_of_edge(self) -> float:
+        """Single-cycle reach as a fraction of the chip edge."""
+        return self.single_cycle_reach_m / self.chip_edge_m
+
+    @property
+    def meets_itrs_global_clock(self) -> bool:
+        """True when the divided global clock crosses the chip per cycle.
+
+        This is ref [9]'s feasibility statement: with unscaled top-level
+        wiring and repeaters, a (divided) global clock can still span
+        the die synchronously.
+        """
+        flight_s = self.chip_edge_m / self.velocity_m_per_s
+        return flight_s <= CYCLE_UTILISATION / self.global_clock_hz
+
+
+def global_latency(node_nm: int) -> GlobalLatency:
+    """Evaluate the cross-chip latency picture for a roadmap node."""
+    record = ITRS_2000.node(node_nm)
+    design = optimal_repeater_design(node_nm, global_wire(node_nm))
+    velocity = design.velocity_m_per_s
+    edge_m = record.chip_edge_mm * 1e-3
+    clock_hz = record.clock_ghz * 1e9
+    usable_s = CYCLE_UTILISATION / clock_hz
+    reach = velocity * usable_s
+    crossing_cycles = edge_m / velocity * clock_hz
+    divider = max(1, math.ceil(crossing_cycles / CYCLE_UTILISATION))
+    return GlobalLatency(
+        node_nm=node_nm,
+        velocity_m_per_s=velocity,
+        chip_edge_m=edge_m,
+        core_clock_hz=clock_hz,
+        edge_crossing_cycles=crossing_cycles,
+        single_cycle_reach_m=reach,
+        global_clock_divider=divider,
+    )
+
+
+def latency_roadmap() -> list[GlobalLatency]:
+    """Cross-chip latency across the roadmap."""
+    return [global_latency(node_nm) for node_nm in ITRS_2000.node_sizes]
+
+
+def pipeline_stages_for_route(node_nm: int, length_m: float) -> int:
+    """Pipeline registers needed to cover a route at the core clock."""
+    if length_m < 0:
+        raise ModelParameterError("route length cannot be negative")
+    if length_m == 0.0:
+        return 0
+    latency = global_latency(node_nm)
+    return max(1, math.ceil(length_m / latency.single_cycle_reach_m))

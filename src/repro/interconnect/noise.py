@@ -1,0 +1,79 @@
+"""Coupling-noise estimates for global signaling (Section 2.2, ref [13]).
+
+Simple, explicit first-order models: capacitive crosstalk through the
+coupling fraction of the wire capacitance; shields divert a fixed share
+of the coupling field; a differential receiver rejects all but the
+mismatch-limited residue of common-mode noise; and an inductive term for
+wide buses switching simultaneously, which shielding attenuates far less
+effectively than it attenuates capacitive coupling -- the paper's stated
+reason low-swing differential signaling remains necessary.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelParameterError
+
+#: Fraction of capacitive coupling remaining per shield track.
+SHIELD_LEAKAGE = 0.15
+
+#: Fraction of *inductive* coupling remaining with shields: return paths
+#: help, but long-range mutual inductance survives (ref [13]).
+SHIELD_INDUCTIVE_LEAKAGE = 0.6
+
+#: Differential pair mismatch: fraction of common-mode that converts to
+#: differential noise at the receiver.
+DIFFERENTIAL_MISMATCH = 0.05
+
+#: Mutual inductance between adjacent global wires [H/m].
+MUTUAL_INDUCTANCE_PER_M = 4.0e-7
+
+
+def capacitive_crosstalk_v(aggressor_swing_v: float,
+                           coupling_ratio: float) -> float:
+    """Victim noise from one aggressor transition [V].
+
+    ``coupling_ratio`` is Cc / Ctotal of the victim wire.
+    """
+    if aggressor_swing_v < 0:
+        raise ModelParameterError("aggressor swing cannot be negative")
+    if not 0.0 <= coupling_ratio <= 1.0:
+        raise ModelParameterError("coupling ratio must lie in [0, 1]")
+    return aggressor_swing_v * coupling_ratio
+
+
+def shielded_coupling_fraction(shields_per_bit: float) -> float:
+    """Residual capacitive coupling with ``shields_per_bit`` shields."""
+    if shields_per_bit < 0:
+        raise ModelParameterError("shield count cannot be negative")
+    return SHIELD_LEAKAGE ** min(shields_per_bit, 2.0) \
+        if shields_per_bit >= 1.0 else 1.0
+
+
+def differential_residual_noise_v(common_mode_v: float) -> float:
+    """Noise surviving a differential receiver [V]."""
+    if common_mode_v < 0:
+        raise ModelParameterError("noise cannot be negative")
+    return DIFFERENTIAL_MISMATCH * common_mode_v
+
+
+def inductive_noise_v(n_aggressors: int, di_dt_a_per_s: float,
+                      coupled_length_m: float,
+                      shielded: bool = False) -> float:
+    """L di/dt noise induced on a victim by a switching bus [V].
+
+    Mutual inductance falls off slowly with distance, so the noise grows
+    with the number of simultaneously-switching aggressors roughly as
+    sqrt(n) (partial cancellation of far aggressors) and shields only
+    attenuate it by :data:`SHIELD_INDUCTIVE_LEAKAGE`.
+    """
+    if n_aggressors < 0:
+        raise ModelParameterError("aggressor count cannot be negative")
+    if coupled_length_m < 0:
+        raise ModelParameterError("length cannot be negative")
+    noise = (MUTUAL_INDUCTANCE_PER_M * coupled_length_m * di_dt_a_per_s
+             * math.sqrt(float(n_aggressors)))
+    if shielded:
+        noise *= SHIELD_INDUCTIVE_LEAKAGE
+    return noise

@@ -1,0 +1,176 @@
+"""Optimal repeater insertion and its scaling (Section 2.2, refs [9, 11]).
+
+Bakoglu's classic result: breaking a distributed-RC line with inverters
+of size ``k`` every ``h`` metres minimises delay at::
+
+    h_opt = sqrt(2 r0 c0 (1 + p) / (R' C'))
+    k_opt = sqrt(r0 C' / (R' c0))
+
+where ``r0``/``c0`` are the unit inverter's output resistance and input
+capacitance and ``p`` its parasitic ratio.  The repeated line then
+propagates at constant velocity, which is what lets unscaled top-level
+wiring meet ITRS cross-chip clock targets -- at the cost the paper
+emphasises: repeater *count* explodes from ~1e4 in a large 180 nm MPU to
+nearly 1e6 at 50 nm, and the switched wire+repeater capacitance burns
+>50 W of signaling power.
+
+Repeated-wire demand per node is a calibrated model input (documented
+below), since it derives from the wire-length distribution analyses of
+ref [9] rather than from first principles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.gate import GateDesign, GateKind, GateModel
+from repro.devices.mosfet import DeviceParams
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.interconnect.wire import WireSpec, global_wire, semiglobal_wire
+from repro.itrs import ITRS_2000
+
+#: Repeater parasitic-to-input capacitance ratio (logical-effort p).
+PARASITIC_RATIO = 1.0
+
+#: Switching activity of global wiring (busy cross-chip buses).
+GLOBAL_ACTIVITY = 0.10
+
+#: Total repeated wire length demand per node [m]: (semi-global, global).
+#: Calibrated to the wire-length-distribution results of ref [9]: the
+#: demand grows steeply with integration (more blocks communicating over
+#: distances that no longer scale), reproducing the ~1e4 (180 nm) to
+#: ~1e6 (50 nm) repeater-count trajectory quoted by the paper.
+REPEATED_LENGTH_BY_NODE_M: dict[int, tuple[float, float]] = {
+    180: (25.0, 15.0),
+    130: (55.0, 25.0),
+    100: (120.0, 40.0),
+    70: (260.0, 65.0),
+    50: (560.0, 100.0),
+    35: (1000.0, 150.0),
+}
+
+
+def _unit_inverter(device: DeviceParams) -> GateModel:
+    return GateModel(device, GateDesign(kind=GateKind.INVERTER))
+
+
+def driver_resistance_ohm(device: DeviceParams, size: float = 1.0) -> float:
+    """Effective switching resistance of an inverter [ohm]: Vdd / Ion."""
+    model = _unit_inverter(device)
+    drive = model.drive_current_a() * size
+    if drive <= 0:
+        raise ModelParameterError("inverter has no drive current")
+    return device.vdd_v / drive
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """Optimal repeater insertion for one wire tier at one node."""
+
+    node_nm: int
+    wire: WireSpec
+    #: Repeater size in multiples of the unit inverter.
+    size: float
+    #: Repeater spacing [m].
+    spacing_m: float
+    #: Delay per unit length of the repeated line [s/m].
+    delay_per_m: float
+    #: Unit inverter input capacitance [F].
+    unit_cap_f: float
+
+    @property
+    def velocity_m_per_s(self) -> float:
+        """Signal velocity on the repeated line [m/s]."""
+        return 1.0 / self.delay_per_m
+
+    def repeater_cap_per_m(self) -> float:
+        """Repeater input+parasitic capacitance per metre of line [F/m]."""
+        per_repeater = (1.0 + PARASITIC_RATIO) * self.size * self.unit_cap_f
+        return per_repeater / self.spacing_m
+
+    def switched_cap_per_m(self) -> float:
+        """Total switched capacitance per metre (wire + repeaters) [F/m]."""
+        return self.wire.c_per_m + self.repeater_cap_per_m()
+
+    def energy_per_m_per_transition_j(self, vdd_v: float) -> float:
+        """Switching energy per metre per transition [J/m]."""
+        return self.switched_cap_per_m() * vdd_v ** 2
+
+    def cross_chip_cycles(self, chip_edge_m: float,
+                          clock_hz: float) -> float:
+        """Clock cycles needed to cross one chip edge."""
+        return chip_edge_m * self.delay_per_m * clock_hz
+
+
+def optimal_repeater_design(node_nm: int, wire: WireSpec | None = None,
+                            device: DeviceParams | None = None
+                            ) -> RepeaterDesign:
+    """Compute Bakoglu-optimal repeaters for a node/tier."""
+    if device is None:
+        device = device_for_node(node_nm)
+    if wire is None:
+        wire = global_wire(node_nm)
+    unit = _unit_inverter(device)
+    r0 = driver_resistance_ohm(device)
+    c0 = unit.input_cap_f
+    spacing = math.sqrt(2.0 * r0 * c0 * (1.0 + PARASITIC_RATIO)
+                        / (wire.r_per_m * wire.c_per_m))
+    size = math.sqrt(r0 * wire.c_per_m / (wire.r_per_m * c0))
+    # Delay of one optimally-repeated segment, per unit length
+    # (Bakoglu): ~ 2.5 sqrt(r0 c0 R' C') with p = 1.
+    segment_delay = (0.7 * (r0 / size) * (size * c0 * (1 + PARASITIC_RATIO)
+                                          + wire.c_per_m * spacing)
+                     + 0.4 * wire.r_per_m * wire.c_per_m * spacing ** 2
+                     + 0.7 * wire.r_per_m * spacing * size * c0)
+    return RepeaterDesign(
+        node_nm=node_nm,
+        wire=wire,
+        size=size,
+        spacing_m=spacing,
+        delay_per_m=segment_delay / spacing,
+        unit_cap_f=c0,
+    )
+
+
+@dataclass(frozen=True)
+class RepeaterScalingPoint:
+    """Per-node repeater count / power summary (the E-C2 experiment)."""
+
+    node_nm: int
+    semiglobal: RepeaterDesign
+    global_tier: RepeaterDesign
+    #: Total repeater count across both tiers.
+    repeater_count: float
+    #: Signaling power (wires + repeaters) at GLOBAL_ACTIVITY [W].
+    signaling_power_w: float
+    #: Clock cycles to cross the chip edge on the global tier.
+    cross_chip_cycles: float
+
+
+def repeater_scaling(node_nm: int,
+                     activity: float = GLOBAL_ACTIVITY
+                     ) -> RepeaterScalingPoint:
+    """Evaluate the repeater count/power trajectory at one node."""
+    if not 0.0 < activity <= 1.0:
+        raise ModelParameterError("activity must lie in (0, 1]")
+    record = ITRS_2000.node(node_nm)
+    semi = optimal_repeater_design(node_nm, semiglobal_wire(node_nm))
+    top = optimal_repeater_design(node_nm, global_wire(node_nm))
+    semi_len, top_len = REPEATED_LENGTH_BY_NODE_M[node_nm]
+    count = semi_len / semi.spacing_m + top_len / top.spacing_m
+    frequency = record.clock_ghz * 1e9
+    energy_per_transition = (
+        semi.energy_per_m_per_transition_j(record.vdd_v) * semi_len
+        + top.energy_per_m_per_transition_j(record.vdd_v) * top_len)
+    power = activity * frequency * energy_per_transition
+    edge_m = record.chip_edge_mm * 1e-3
+    return RepeaterScalingPoint(
+        node_nm=node_nm,
+        semiglobal=semi,
+        global_tier=top,
+        repeater_count=count,
+        signaling_power_w=power,
+        cross_chip_cycles=top.cross_chip_cycles(edge_m, frequency),
+    )

@@ -1,0 +1,201 @@
+"""Alternative global signaling schemes (Section 2.2, refs [8, 12, 13]).
+
+The paper recommends differential and/or low-swing signaling for global
+communication: smaller voltage transitions cut both power and the power-
+grid current transients, and differential receivers reject the coupled
+noise that shielding alone cannot fully suppress (inductive coupling in
+particular).  The Alpha 21264's differential low-swing buses, with the
+swing limited to 10 % of Vdd, are the paper's existence proof.
+
+Each :class:`SignalingScheme` reports, per metre of bus wire:
+
+* switching energy per transition;
+* routing track count per signal bit (shields included);
+* peak supply-current transient per transition;
+* worst-case received noise as a fraction of the receiver margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.interconnect.noise import (
+    capacitive_crosstalk_v,
+    differential_residual_noise_v,
+    shielded_coupling_fraction,
+)
+from repro.interconnect.wire import WireSpec, global_wire
+
+#: The Alpha 21264 swing fraction quoted by the paper.
+ALPHA_SWING_FRACTION = 0.10
+
+#: Transition (rise) time of a driven global segment, as a fraction of a
+#: clock period -- used only to convert energy into peak current.
+_TRANSITION_TIME_S = 5e-11
+
+
+@dataclass(frozen=True)
+class SignalingScheme:
+    """One signaling strategy on one wire tier."""
+
+    name: str
+    wire: WireSpec
+    vdd_v: float
+    #: Output swing [V].
+    swing_v: float
+    #: Physical wires per signal bit (pair = 2).
+    wires_per_bit: float
+    #: Shield tracks per signal bit (shared shields count fractionally).
+    shields_per_bit: float
+    #: True when the receiver is differential (common-mode rejecting).
+    differential: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.swing_v <= self.vdd_v:
+            raise ModelParameterError(
+                f"swing {self.swing_v} V must lie in (0, Vdd]"
+            )
+        if self.wires_per_bit < 1:
+            raise ModelParameterError("need at least one wire per bit")
+
+    @property
+    def tracks_per_bit(self) -> float:
+        """Routing tracks consumed per signal bit."""
+        return self.wires_per_bit + self.shields_per_bit
+
+    def energy_per_m_j(self) -> float:
+        """Supply energy per transition per metre of bus [J/m].
+
+        Charge C * swing is drawn from the Vdd rail, so the energy is
+        C * Vdd * swing per wire that moves (one wire of a differential
+        pair rises per transition while the other falls; both legs'
+        rising edges draw from the rail on alternating transitions, so
+        on average one leg charges per transition).
+        """
+        moving_wires = 1.0
+        return (moving_wires * self.wire.c_per_m * self.vdd_v
+                * self.swing_v)
+
+    def peak_current_per_m_a(self) -> float:
+        """Peak supply current per metre of bus during a transition [A/m]."""
+        return self.wire.c_per_m * self.swing_v / _TRANSITION_TIME_S
+
+    def received_noise_v(self, aggressor_swing_v: float | None = None
+                         ) -> float:
+        """Worst-case noise at the receiver [V].
+
+        Capacitive coupling from a neighbouring wire of the same bus
+        (which therefore swings by this scheme's own swing), attenuated
+        by shields; differential receivers further reject the
+        common-mode part.  Pass ``aggressor_swing_v`` explicitly to
+        model a foreign full-swing aggressor.
+        """
+        if aggressor_swing_v is None:
+            aggressor_swing_v = self.swing_v
+        coupling = self.wire.coupling_cap_per_m() / self.wire.c_per_m
+        coupling *= shielded_coupling_fraction(self.shields_per_bit)
+        coupled = capacitive_crosstalk_v(aggressor_swing_v, coupling)
+        if self.differential:
+            return differential_residual_noise_v(coupled)
+        return coupled
+
+    def noise_margin_fraction(self) -> float:
+        """Received noise over the receiver margin (swing / 2)."""
+        return self.received_noise_v() / (self.swing_v / 2.0)
+
+
+def full_swing_scheme(node_nm: int,
+                      shields_per_bit: float = 1.0) -> SignalingScheme:
+    """Conventional repeated full-swing CMOS signaling.
+
+    One wire per bit; ``shields_per_bit`` accounts for the shared shield
+    wires the paper notes are already common on long lines.
+    """
+    device = device_for_node(node_nm)
+    return SignalingScheme(
+        name="full-swing CMOS",
+        wire=global_wire(node_nm),
+        vdd_v=device.vdd_v,
+        swing_v=device.vdd_v,
+        wires_per_bit=1.0,
+        shields_per_bit=shields_per_bit,
+        differential=False,
+    )
+
+
+def low_swing_differential_scheme(
+        node_nm: int,
+        swing_fraction: float = ALPHA_SWING_FRACTION) -> SignalingScheme:
+    """Differential low-swing signaling (the Alpha 21264 style).
+
+    Two wires per bit, no shields: the pair is its own return path and
+    the receiver rejects common-mode coupling.
+    """
+    if not 0.0 < swing_fraction <= 1.0:
+        raise ModelParameterError("swing fraction must lie in (0, 1]")
+    device = device_for_node(node_nm)
+    return SignalingScheme(
+        name="differential low-swing",
+        wire=global_wire(node_nm),
+        vdd_v=device.vdd_v,
+        swing_v=swing_fraction * device.vdd_v,
+        wires_per_bit=2.0,
+        shields_per_bit=0.0,
+        differential=True,
+    )
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Head-to-head of two signaling schemes on the same bus."""
+
+    baseline: SignalingScheme
+    alternative: SignalingScheme
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional per-bit energy saving of the alternative."""
+        base = self.baseline.energy_per_m_j() * self.baseline.wires_per_bit
+        alt = (self.alternative.energy_per_m_j()
+               * self.alternative.wires_per_bit)
+        return 1.0 - alt / base
+
+    @property
+    def transient_reduction(self) -> float:
+        """Peak supply-current reduction factor of the alternative."""
+        base = (self.baseline.peak_current_per_m_a()
+                * self.baseline.wires_per_bit)
+        alt = (self.alternative.peak_current_per_m_a()
+               * self.alternative.wires_per_bit)
+        return base / alt
+
+    @property
+    def area_ratio(self) -> float:
+        """Routing-track ratio alternative / baseline.
+
+        The paper notes the increase "may be less than the expected
+        factor of 2 due to the use of shield wires" by the baseline.
+        """
+        return (self.alternative.tracks_per_bit
+                / self.baseline.tracks_per_bit)
+
+    @property
+    def noise_improvement(self) -> float:
+        """Noise-margin-fraction ratio baseline / alternative (> 1 means
+        the alternative is more noise-immune)."""
+        alt = self.alternative.noise_margin_fraction()
+        if alt == 0:
+            return float("inf")
+        return self.baseline.noise_margin_fraction() / alt
+
+
+def compare_schemes(node_nm: int,
+                    swing_fraction: float = ALPHA_SWING_FRACTION
+                    ) -> SchemeComparison:
+    """Full-swing vs differential low-swing at one node."""
+    return SchemeComparison(
+        baseline=full_swing_scheme(node_nm),
+        alternative=low_swing_differential_scheme(node_nm, swing_fraction),
+    )

@@ -1,0 +1,117 @@
+"""Per-node RC wire models.
+
+Two tiers matter for the paper's global-signaling analysis:
+
+* the **top-level (global) tier**, which ref [9] keeps *unscaled* --
+  fat, thick wires whose geometry stays constant across nodes so that
+  cross-chip latency targets remain reachable;
+* the **semi-global tier**, which scales with the technology (a fixed
+  multiple of the node's minimum top-metal width) and carries the bulk
+  of repeated block-to-block wiring.
+
+Capacitance per unit length is nearly geometry-independent for
+aspect-ratio-preserving scaling (~0.2-0.25 fF/um total including
+coupling); resistance per unit length follows the cross-section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+
+#: Total capacitance per metre for global-class wires [F/m] (~0.25 fF/um).
+GLOBAL_CAP_PER_M = 2.5e-10
+
+#: Total capacitance per metre for semi-global wires [F/m] (~0.2 fF/um).
+SEMIGLOBAL_CAP_PER_M = 2.0e-10
+
+#: Fraction of total wire capacitance that couples to neighbours.
+COUPLING_FRACTION = 0.5
+
+#: Unscaled top-level geometry used across all nodes (ref [9]).
+UNSCALED_GLOBAL_WIDTH_UM = 1.0
+UNSCALED_GLOBAL_THICKNESS_UM = 2.0
+
+#: Semi-global width as a multiple of the node's minimum top-metal width.
+SEMIGLOBAL_WIDTH_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """Geometry and electrical properties of one wiring tier."""
+
+    name: str
+    width_um: float
+    thickness_um: float
+    cap_per_m: float
+    resistivity_ohm_m: float = units.COPPER_RESISTIVITY
+
+    def __post_init__(self) -> None:
+        if min(self.width_um, self.thickness_um, self.cap_per_m,
+               self.resistivity_ohm_m) <= 0:
+            raise ModelParameterError(
+                f"wire {self.name!r} has non-positive parameters"
+            )
+
+    @property
+    def cross_section_m2(self) -> float:
+        """Conductor cross-section [m^2]."""
+        return units.um(self.width_um) * units.um(self.thickness_um)
+
+    @property
+    def r_per_m(self) -> float:
+        """Resistance per unit length [ohm/m]."""
+        return self.resistivity_ohm_m / self.cross_section_m2
+
+    @property
+    def c_per_m(self) -> float:
+        """Capacitance per unit length [F/m]."""
+        return self.cap_per_m
+
+    @property
+    def rc_per_m2(self) -> float:
+        """Distributed RC product [s/m^2]."""
+        return self.r_per_m * self.c_per_m
+
+    def unrepeated_delay_s(self, length_m: float) -> float:
+        """Distributed-RC (Elmore) delay of an unrepeated line [s]:
+        0.38 R C l^2."""
+        if length_m < 0:
+            raise ModelParameterError("length cannot be negative")
+        return 0.38 * self.rc_per_m2 * length_m ** 2
+
+    def coupling_cap_per_m(self) -> float:
+        """Neighbour-coupling portion of the capacitance [F/m]."""
+        return COUPLING_FRACTION * self.cap_per_m
+
+
+def global_wire(node_nm: int) -> WireSpec:
+    """The unscaled top-level wire used for cross-chip signaling.
+
+    Geometry is deliberately node-independent (ref [9]): keeping the top
+    level fat is what lets ITRS global clock targets be met at all.  The
+    node argument is validated against the roadmap for interface
+    uniformity.
+    """
+    ITRS_2000.node(node_nm)  # raises UnknownNodeError for bad nodes
+    return WireSpec(
+        name=f"global_{node_nm}nm",
+        width_um=UNSCALED_GLOBAL_WIDTH_UM,
+        thickness_um=UNSCALED_GLOBAL_THICKNESS_UM,
+        cap_per_m=GLOBAL_CAP_PER_M,
+    )
+
+
+def semiglobal_wire(node_nm: int) -> WireSpec:
+    """The scaled semi-global tier carrying most repeated wiring."""
+    record = ITRS_2000.node(node_nm)
+    width = SEMIGLOBAL_WIDTH_FACTOR * record.top_metal_min_width_um
+    return WireSpec(
+        name=f"semiglobal_{node_nm}nm",
+        width_um=width,
+        thickness_um=width * record.top_metal_aspect_ratio,
+        cap_per_m=SEMIGLOBAL_CAP_PER_M,
+    )

@@ -1,0 +1,27 @@
+"""ITRS 2000-update roadmap data used by the paper.
+
+The paper anchors every analysis to the six technology nodes of the
+1999/2000 ITRS: 180, 130, 100, 70, 50 and 35 nm.  This subpackage encodes a
+per-node :class:`~repro.itrs.node.TechnologyNode` record with the scalar
+projections the paper consumes (supply voltage, oxide thickness, drive and
+leakage current targets, clock frequency, power, die area, packaging and
+bump parameters) and a :class:`~repro.itrs.roadmap.Roadmap` container with
+convenient lookups.
+
+Values quoted in the paper are transcribed verbatim; the remaining fields
+are documented estimates from the ITRS 1999 edition / 2000 update (the
+original web tables are defunct).  See ``DESIGN.md`` section 2.
+"""
+
+from repro.itrs.node import TechnologyNode
+from repro.itrs.roadmap import ITRS_2000, Roadmap, NODES_NM
+from repro.itrs.packaging import PackagingProjection, PACKAGING_BY_NODE
+
+__all__ = [
+    "TechnologyNode",
+    "Roadmap",
+    "ITRS_2000",
+    "NODES_NM",
+    "PackagingProjection",
+    "PACKAGING_BY_NODE",
+]

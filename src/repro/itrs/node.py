@@ -1,0 +1,156 @@
+"""Per-node roadmap record.
+
+A :class:`TechnologyNode` is a frozen dataclass holding every per-node
+scalar the models in this library need.  Units follow the engineering
+conventions of the paper (nm, Angstrom, volts, GHz, W, mm^2, um) and are
+converted to SI at the point of use via :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro import units
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One row of the roadmap.
+
+    Attributes are grouped by the paper section that consumes them.
+    """
+
+    # --- identity -------------------------------------------------------
+    #: Drawn feature size / DRAM half pitch label [nm].
+    node_nm: int
+    #: Year of production per the ITRS 2000 update.
+    year: int
+
+    # --- device (Sections 3.1-3.2, Table 2) -----------------------------
+    #: Nominal supply voltage [V].
+    vdd_v: float
+    #: Effective (as-etched) MPU gate length [nm].
+    leff_nm: float
+    #: Physical gate oxide thickness (equivalent SiO2) [Angstrom].
+    tox_physical_a: float
+    #: Saturation drive current target used throughout the paper [uA/um].
+    ion_target_ua_um: float
+    #: ITRS off-current projection (room temperature) [nA/um].
+    ioff_itrs_na_um: float
+
+    # --- system (Sections 2, 4) -----------------------------------------
+    #: Across-chip clock frequency [GHz].
+    clock_ghz: float
+    #: Maximum MPU power dissipation [W].
+    chip_power_w: float
+    #: MPU die area [mm^2].
+    die_area_mm2: float
+    #: Maximum junction temperature requirement [C].
+    tj_max_c: float
+
+    # --- packaging / power delivery (Section 4, Fig. 5) -----------------
+    #: Minimum achievable flip-chip bump pitch [um].
+    min_bump_pitch_um: float
+    #: Effective bump pitch implied by ITRS pad-count projections [um].
+    #: The paper observes this stays roughly constant near 350 um.
+    itrs_bump_pitch_um: float
+    #: Total ITRS pad/bump count projection for the die.
+    itrs_total_pads: int
+    #: Maximum sustained current per power bump [A].
+    bump_current_limit_a: float
+
+    # --- interconnect (Sections 2.2, 4) ----------------------------------
+    #: Minimum top-level (global) metal width [um].
+    top_metal_min_width_um: float
+    #: Top-level metal aspect ratio (thickness / width).
+    top_metal_aspect_ratio: float
+    #: Number of wiring levels.
+    wiring_levels: int
+    #: Average local net length driven by a typical gate [um] (Fig. 1 load).
+    avg_wire_length_um: float
+    #: Average wire capacitance per unit length [fF/um].
+    wire_cap_ff_per_um: float
+    #: Chip edge length for global wiring analyses [mm].
+    chip_edge_mm: float
+
+    def __post_init__(self) -> None:
+        positive_fields = [
+            "node_nm",
+            "vdd_v",
+            "leff_nm",
+            "tox_physical_a",
+            "ion_target_ua_um",
+            "ioff_itrs_na_um",
+            "clock_ghz",
+            "chip_power_w",
+            "die_area_mm2",
+            "min_bump_pitch_um",
+            "itrs_bump_pitch_um",
+            "itrs_total_pads",
+            "bump_current_limit_a",
+            "top_metal_min_width_um",
+            "top_metal_aspect_ratio",
+            "wiring_levels",
+            "avg_wire_length_um",
+            "wire_cap_ff_per_um",
+            "chip_edge_mm",
+        ]
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ModelParameterError(
+                    f"TechnologyNode.{name} must be positive, "
+                    f"got {getattr(self, name)!r} for node {self.node_nm} nm"
+                )
+        if self.leff_nm > self.node_nm:
+            raise ModelParameterError(
+                f"effective gate length {self.leff_nm} nm exceeds the drawn "
+                f"feature size {self.node_nm} nm"
+            )
+        if self.min_bump_pitch_um > self.itrs_bump_pitch_um:
+            raise ModelParameterError(
+                f"minimum bump pitch {self.min_bump_pitch_um} um exceeds the "
+                f"ITRS effective pitch {self.itrs_bump_pitch_um} um at "
+                f"{self.node_nm} nm"
+            )
+
+    # --- derived quantities ----------------------------------------------
+
+    @property
+    def leff_m(self) -> float:
+        """Effective gate length [m]."""
+        return units.nm(self.leff_nm)
+
+    @property
+    def die_area_m2(self) -> float:
+        """Die area [m^2]."""
+        return self.die_area_mm2 * 1e-6
+
+    @property
+    def power_density_w_cm2(self) -> float:
+        """Average (uniform) power density [W/cm^2]."""
+        return self.chip_power_w / (self.die_area_mm2 * 1e-2)
+
+    @property
+    def supply_current_a(self) -> float:
+        """Total chip supply current Pchip / Vdd [A]."""
+        return self.chip_power_w / self.vdd_v
+
+    @property
+    def clock_period_ps(self) -> float:
+        """Across-chip clock period [ps]."""
+        return 1e3 / self.clock_ghz
+
+    @property
+    def top_metal_thickness_um(self) -> float:
+        """Top-level metal thickness [um]."""
+        return self.top_metal_min_width_um * self.top_metal_aspect_ratio
+
+    @property
+    def top_metal_sheet_resistance(self) -> float:
+        """Sheet resistance of the top metal level [ohm/square]."""
+        return units.COPPER_RESISTIVITY / units.um(self.top_metal_thickness_um)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the raw record as a plain dictionary (for reporting)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

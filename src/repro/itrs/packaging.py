@@ -1,0 +1,102 @@
+"""ITRS packaging and cooling projections (Section 2.1 of the paper).
+
+The paper quotes:
+
+* present-day (2001) junction-to-ambient thermal resistance of
+  0.6-1.0 C/W for workstation/desktop processors;
+* an ITRS target of 0.25 C/W "in 3 years" (~2004, the 100/70 nm era);
+* junction temperature requirement falling from 100 C (1999) to 85 C (2002);
+* ambient temperature of approximately 45 C;
+* vapor-compression refrigeration cost on the order of $1 per watt cooled.
+
+This module encodes those projections per node so the thermal models in
+:mod:`repro.thermal` can consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError, UnknownNodeError
+
+#: Ambient (outside-package) temperature assumed by the paper [C].
+AMBIENT_C = 45.0
+
+#: Cost of vapor-compression refrigeration, per watt cooled [$/W].
+REFRIGERATION_COST_PER_W = 1.0
+
+
+@dataclass(frozen=True)
+class PackagingProjection:
+    """Packaging capability and requirement at one node."""
+
+    #: Technology node [nm].
+    node_nm: int
+    #: Junction-to-ambient thermal resistance achievable at moderate cost
+    #: with conventional (fan + heat sink) packaging [C/W].
+    theta_ja_conventional: float
+    #: Junction-to-ambient thermal resistance the ITRS roadmap requires [C/W].
+    theta_ja_required: float
+    #: Maximum junction temperature requirement [C].
+    tj_max_c: float
+
+    def __post_init__(self) -> None:
+        if self.theta_ja_conventional <= 0 or self.theta_ja_required <= 0:
+            raise ModelParameterError("thermal resistances must be positive")
+        if self.tj_max_c <= AMBIENT_C:
+            raise ModelParameterError(
+                f"junction limit {self.tj_max_c} C must exceed the "
+                f"{AMBIENT_C} C ambient"
+            )
+
+    @property
+    def headroom_c(self) -> float:
+        """Junction-to-ambient temperature budget [C]."""
+        return self.tj_max_c - AMBIENT_C
+
+    @property
+    def max_power_conventional_w(self) -> float:
+        """Power dissipatable with conventional packaging [W], Eq. (1)."""
+        return self.headroom_c / self.theta_ja_conventional
+
+    @property
+    def max_power_required_w(self) -> float:
+        """Power the ITRS-required package must dissipate [W], Eq. (1)."""
+        return self.headroom_c / self.theta_ja_required
+
+    @property
+    def requires_advanced_cooling(self) -> bool:
+        """True when the required theta_ja beats conventional packaging."""
+        return self.theta_ja_required < self.theta_ja_conventional
+
+
+#: Per-node packaging projections.  theta_ja_required follows Eq. (1) with
+#: the ITRS power/junction-temperature numbers; theta_ja_conventional decays
+#: slowly (heat-sink technology improves far more slowly than power grows),
+#: passing through the paper's quoted 0.6-1.0 C/W range in 2001 and its
+#: 0.25 C/W ITRS target around 2004.
+PACKAGING_BY_NODE: dict[int, PackagingProjection] = {
+    180: PackagingProjection(180, theta_ja_conventional=0.80,
+                             theta_ja_required=0.61, tj_max_c=100.0),
+    130: PackagingProjection(130, theta_ja_conventional=0.65,
+                             theta_ja_required=0.42, tj_max_c=100.0),
+    100: PackagingProjection(100, theta_ja_conventional=0.55,
+                             theta_ja_required=0.25, tj_max_c=85.0),
+    70: PackagingProjection(70, theta_ja_conventional=0.48,
+                            theta_ja_required=0.235, tj_max_c=85.0),
+    50: PackagingProjection(50, theta_ja_conventional=0.42,
+                            theta_ja_required=0.222, tj_max_c=85.0),
+    35: PackagingProjection(35, theta_ja_conventional=0.38,
+                            theta_ja_required=0.219, tj_max_c=85.0),
+}
+
+
+def packaging_for_node(node_nm: int) -> PackagingProjection:
+    """Return the packaging projection for a roadmap node."""
+    try:
+        return PACKAGING_BY_NODE[node_nm]
+    except KeyError as exc:
+        raise UnknownNodeError(
+            f"no packaging projection for {node_nm} nm; available: "
+            f"{sorted(PACKAGING_BY_NODE)}"
+        ) from exc

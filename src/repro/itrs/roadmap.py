@@ -1,0 +1,187 @@
+"""The ITRS 2000-update roadmap table used throughout the library.
+
+Provenance of the values (see also DESIGN.md section 2):
+
+* ``vdd_v``, ``tox_physical_a`` (via the 12-15 / 8-12 / 6-8 Angstrom ranges
+  of the paper's Table 1), ``ion_target_ua_um`` (750 uA/um at every node),
+  ``ioff_itrs_na_um`` (7/10/16/40/80/160 nA/um), the ~350 um effective ITRS
+  bump pitch, the 4416-pad / 1500-Vdd-bump figures at 35 nm, and the 85 C
+  junction temperature are quoted directly by the paper.
+* ``chip_power_w`` / ``die_area_mm2`` follow the ITRS 1999 MPU projections,
+  adjusted so the paper's footnote 9 holds (total power at the last nodes
+  grows only slightly while area jumps ~15 %, so power *density* peaks at
+  50 nm and falls at 35 nm) and so that the paper's quoted 300 A worst-case
+  supply current at 35 nm is reproduced (183 W / 0.6 V = 305 A).
+* Remaining fields (clock, metal geometry, average wire load, minimum bump
+  pitch) are documented estimates consistent with the ITRS 1999 tables and
+  the 2000-era literature the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownNodeError
+from repro.itrs.node import TechnologyNode
+
+#: Nodes of the roadmap in scaling order (largest feature size first).
+NODES_NM: tuple[int, ...] = (180, 130, 100, 70, 50, 35)
+
+_NODE_RECORDS: tuple[TechnologyNode, ...] = (
+    TechnologyNode(
+        node_nm=180, year=1999, vdd_v=1.8, leff_nm=140.0, tox_physical_a=22.0,
+        ion_target_ua_um=750.0, ioff_itrs_na_um=7.0,
+        clock_ghz=1.25, chip_power_w=90.0, die_area_mm2=340.0, tj_max_c=100.0,
+        min_bump_pitch_um=250.0, itrs_bump_pitch_um=340.0,
+        itrs_total_pads=1500, bump_current_limit_a=0.25,
+        top_metal_min_width_um=0.50, top_metal_aspect_ratio=2.0,
+        wiring_levels=6, avg_wire_length_um=40.0, wire_cap_ff_per_um=0.20,
+        chip_edge_mm=18.4,
+    ),
+    TechnologyNode(
+        node_nm=130, year=2001, vdd_v=1.5, leff_nm=90.0, tox_physical_a=17.0,
+        ion_target_ua_um=750.0, ioff_itrs_na_um=10.0,
+        clock_ghz=2.1, chip_power_w=130.0, die_area_mm2=340.0, tj_max_c=100.0,
+        min_bump_pitch_um=200.0, itrs_bump_pitch_um=345.0,
+        itrs_total_pads=1900, bump_current_limit_a=0.22,
+        top_metal_min_width_um=0.40, top_metal_aspect_ratio=2.0,
+        wiring_levels=7, avg_wire_length_um=32.0, wire_cap_ff_per_um=0.20,
+        chip_edge_mm=18.4,
+    ),
+    TechnologyNode(
+        node_nm=100, year=2003, vdd_v=1.2, leff_nm=65.0, tox_physical_a=13.5,
+        ion_target_ua_um=750.0, ioff_itrs_na_um=16.0,
+        clock_ghz=3.5, chip_power_w=160.0, die_area_mm2=340.0, tj_max_c=85.0,
+        min_bump_pitch_um=160.0, itrs_bump_pitch_um=350.0,
+        itrs_total_pads=2300, bump_current_limit_a=0.20,
+        top_metal_min_width_um=0.30, top_metal_aspect_ratio=2.0,
+        wiring_levels=8, avg_wire_length_um=26.0, wire_cap_ff_per_um=0.21,
+        chip_edge_mm=18.4,
+    ),
+    TechnologyNode(
+        node_nm=70, year=2005, vdd_v=0.9, leff_nm=45.0, tox_physical_a=10.0,
+        ion_target_ua_um=750.0, ioff_itrs_na_um=40.0,
+        clock_ghz=6.0, chip_power_w=170.0, die_area_mm2=310.0, tj_max_c=85.0,
+        min_bump_pitch_um=120.0, itrs_bump_pitch_um=350.0,
+        itrs_total_pads=2700, bump_current_limit_a=0.17,
+        top_metal_min_width_um=0.20, top_metal_aspect_ratio=2.0,
+        wiring_levels=9, avg_wire_length_um=22.0, wire_cap_ff_per_um=0.22,
+        chip_edge_mm=17.6,
+    ),
+    TechnologyNode(
+        node_nm=50, year=2008, vdd_v=0.6, leff_nm=32.0, tox_physical_a=7.0,
+        ion_target_ua_um=750.0, ioff_itrs_na_um=80.0,
+        clock_ghz=10.0, chip_power_w=180.0, die_area_mm2=310.0, tj_max_c=85.0,
+        min_bump_pitch_um=100.0, itrs_bump_pitch_um=352.0,
+        itrs_total_pads=3400, bump_current_limit_a=0.14,
+        top_metal_min_width_um=0.13, top_metal_aspect_ratio=2.0,
+        wiring_levels=9, avg_wire_length_um=18.0, wire_cap_ff_per_um=0.23,
+        chip_edge_mm=17.6,
+    ),
+    TechnologyNode(
+        node_nm=35, year=2011, vdd_v=0.6, leff_nm=22.0, tox_physical_a=5.0,
+        ion_target_ua_um=750.0, ioff_itrs_na_um=160.0,
+        clock_ghz=13.5, chip_power_w=183.0, die_area_mm2=356.0, tj_max_c=85.0,
+        min_bump_pitch_um=80.0, itrs_bump_pitch_um=356.0,
+        itrs_total_pads=4416, bump_current_limit_a=0.12,
+        top_metal_min_width_um=0.10, top_metal_aspect_ratio=2.0,
+        wiring_levels=10, avg_wire_length_um=12.0, wire_cap_ff_per_um=0.24,
+        chip_edge_mm=18.9,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Roadmap:
+    """A collection of :class:`TechnologyNode` records with lookups."""
+
+    nodes: tuple[TechnologyNode, ...]
+
+    def __post_init__(self) -> None:
+        sizes = [n.node_nm for n in self.nodes]
+        if sizes != sorted(sizes, reverse=True):
+            raise ValueError("roadmap nodes must be ordered largest-first")
+        if len(set(sizes)) != len(sizes):
+            raise ValueError("roadmap nodes must be unique")
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_nm: int) -> TechnologyNode:
+        """Return the record for a node, e.g. ``roadmap.node(50)``."""
+        for record in self.nodes:
+            if record.node_nm == node_nm:
+                return record
+        raise UnknownNodeError(
+            f"no {node_nm} nm node; roadmap defines "
+            f"{[n.node_nm for n in self.nodes]}"
+        )
+
+    def __getitem__(self, node_nm: int) -> TechnologyNode:
+        return self.node(node_nm)
+
+    def __contains__(self, node_nm: int) -> bool:
+        return any(record.node_nm == node_nm for record in self.nodes)
+
+    @property
+    def node_sizes(self) -> tuple[int, ...]:
+        """Feature sizes, largest first."""
+        return tuple(record.node_nm for record in self.nodes)
+
+    def nanometer_nodes(self) -> tuple[TechnologyNode, ...]:
+        """The sub-100 nm ("nanometer design") nodes the paper focuses on."""
+        return tuple(record for record in self.nodes if record.node_nm < 100)
+
+    def successor(self, node_nm: int) -> TechnologyNode:
+        """Return the next (smaller) node after ``node_nm``."""
+        sizes = self.node_sizes
+        index = sizes.index(self.node(node_nm).node_nm)
+        if index + 1 >= len(sizes):
+            raise UnknownNodeError(f"{node_nm} nm is the last roadmap node")
+        return self.nodes[index + 1]
+
+    def scaling_ratio(self, attribute: str) -> float:
+        """Ratio of ``attribute`` between the last and first nodes."""
+        first = getattr(self.nodes[0], attribute)
+        last = getattr(self.nodes[-1], attribute)
+        return last / first
+
+    def interpolate(self, attribute: str, node_nm: float) -> float:
+        """Log-log interpolate a numeric attribute at an off-roadmap
+        feature size (e.g. the 90 or 65 nm nodes that later ITRS
+        editions inserted).  Exact at the defined nodes; raises outside
+        the 35-180 nm span.
+        """
+        import math
+
+        sizes = [float(record.node_nm) for record in self.nodes]
+        values = [float(getattr(record, attribute))
+                  for record in self.nodes]
+        if not sizes[-1] <= node_nm <= sizes[0]:
+            raise UnknownNodeError(
+                f"{node_nm} nm lies outside the roadmap span "
+                f"[{sizes[-1]}, {sizes[0]}] nm"
+            )
+        if any(value <= 0 for value in values):
+            raise ValueError(
+                f"attribute {attribute!r} is not positive everywhere; "
+                "log interpolation undefined"
+            )
+        for (size_hi, value_hi), (size_lo, value_lo) in zip(
+                zip(sizes, values), zip(sizes[1:], values[1:])):
+            if size_lo <= node_nm <= size_hi:
+                if size_hi == size_lo:
+                    return value_hi
+                fraction = ((math.log(node_nm) - math.log(size_hi))
+                            / (math.log(size_lo) - math.log(size_hi)))
+                return math.exp(math.log(value_hi) + fraction
+                                * (math.log(value_lo)
+                                   - math.log(value_hi)))
+        raise AssertionError("unreachable")
+
+
+#: The roadmap instance used throughout the library.
+ITRS_2000 = Roadmap(nodes=_NODE_RECORDS)

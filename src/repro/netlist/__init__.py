@@ -1,0 +1,66 @@
+"""Gate-level netlist substrate.
+
+The paper's multi-Vdd (Section 2.4), dual-Vth (Section 3.2.2) and
+re-sizing (Section 3.3) discussions are statements about gate-level
+netlists and their path-slack distributions.  This subpackage provides a
+combinational DAG with per-instance supply/threshold/size assignment
+state, a static timing analyzer, whole-netlist power accounting, and a
+synthetic netlist generator calibrated to the slack profile the paper
+cites ("over half of all timing paths commonly use less than half the
+clock cycle").
+"""
+
+from repro.netlist.graph import Instance, Netlist
+from repro.netlist.sta import TimingReport, compute_sta
+from repro.netlist.power import NetlistPower, netlist_power
+from repro.netlist.generate import random_netlist
+from repro.netlist.logic import (
+    SimulationResult,
+    evaluate_netlist,
+    measured_activity,
+    random_vectors,
+    simulate,
+)
+from repro.netlist.datapath import (
+    AdderPorts,
+    adder_inputs,
+    build_ripple_adder,
+    read_sum,
+)
+from repro.netlist.activity import (
+    estimated_activity_map,
+    signal_probabilities,
+    transition_densities,
+)
+from repro.netlist.io import (
+    dumps_netlist,
+    loads_netlist,
+    read_netlist,
+    save_netlist,
+)
+
+__all__ = [
+    "Instance",
+    "Netlist",
+    "TimingReport",
+    "compute_sta",
+    "NetlistPower",
+    "netlist_power",
+    "random_netlist",
+    "SimulationResult",
+    "evaluate_netlist",
+    "measured_activity",
+    "random_vectors",
+    "simulate",
+    "AdderPorts",
+    "adder_inputs",
+    "build_ripple_adder",
+    "read_sum",
+    "estimated_activity_map",
+    "signal_probabilities",
+    "transition_densities",
+    "dumps_netlist",
+    "loads_netlist",
+    "read_netlist",
+    "save_netlist",
+]

@@ -1,0 +1,102 @@
+"""Probabilistic switching-activity estimation (static counterpart of
+:mod:`repro.netlist.logic`).
+
+Classic signal-probability / transition-density propagation (Najm):
+
+* signal probabilities propagate through gate functions assuming
+  spatially independent inputs (INV: ``1-p``; NAND: ``1 - prod(p)``;
+  NOR: ``prod(1-p)``);
+* transition densities propagate through Boolean differences:
+  ``D(out) = sum_i P(df/dx_i) D(x_i)``.
+
+Reconvergent fanout makes the independence assumption optimistic or
+pessimistic net-by-net, but the netlist-level aggregate tracks the
+logic simulator well (see ``tests/test_netlist_activity.py``), giving
+a vectorless way to populate the power model's activity map.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.gate import GateKind
+from repro.errors import NetlistError
+from repro.netlist.graph import Netlist
+
+
+def _gate_probability(kind: GateKind, pins: list[float]) -> float:
+    if kind is GateKind.INVERTER:
+        return 1.0 - pins[0]
+    if kind is GateKind.NAND:
+        return 1.0 - math.prod(pins)
+    if kind is GateKind.NOR:
+        return math.prod(1.0 - p for p in pins)
+    raise NetlistError(f"unknown gate kind {kind!r}")
+
+
+def _boolean_difference_probability(kind: GateKind, pins: list[float],
+                                    index: int) -> float:
+    """P(df/dx_i = 1): probability the output is sensitised to pin i."""
+    others = pins[:index] + pins[index + 1:]
+    if kind is GateKind.INVERTER:
+        return 1.0
+    if kind is GateKind.NAND:
+        # Sensitised when every other input is 1.
+        return math.prod(others)
+    if kind is GateKind.NOR:
+        # Sensitised when every other input is 0.
+        return math.prod(1.0 - p for p in others)
+    raise NetlistError(f"unknown gate kind {kind!r}")
+
+
+def signal_probabilities(netlist: Netlist,
+                         input_probability: float = 0.5
+                         ) -> dict[str, float]:
+    """Probability each net is logic 1, inputs independent."""
+    if not 0.0 <= input_probability <= 1.0:
+        raise NetlistError("input probability must lie in [0, 1]")
+    probabilities: dict[str, float] = {
+        name: input_probability for name in netlist.primary_inputs}
+    for name in netlist.topo_order():
+        instance = netlist.instances[name]
+        pins = [probabilities[f] for f in instance.fanins]
+        probabilities[name] = _gate_probability(
+            instance.cell.design.kind, pins)
+    return probabilities
+
+
+def transition_densities(netlist: Netlist,
+                         input_density: float = 0.5,
+                         input_probability: float = 0.5
+                         ) -> dict[str, float]:
+    """Expected transitions per vector for every net (Najm propagation).
+
+    ``input_density`` is the per-vector toggle probability of each
+    primary input (the ``flip_probability`` of
+    :func:`repro.netlist.logic.random_vectors`).
+    """
+    if input_density < 0:
+        raise NetlistError("input density cannot be negative")
+    probabilities = signal_probabilities(netlist, input_probability)
+    densities: dict[str, float] = {
+        name: input_density for name in netlist.primary_inputs}
+    for name in netlist.topo_order():
+        instance = netlist.instances[name]
+        pins = [probabilities[f] for f in instance.fanins]
+        kind = instance.cell.design.kind
+        density = 0.0
+        for index, fanin in enumerate(instance.fanins):
+            sensitised = _boolean_difference_probability(kind, pins,
+                                                         index)
+            density += sensitised * densities[fanin]
+        densities[name] = density
+    return {name: densities[name] for name in netlist.topo_order()}
+
+
+def estimated_activity_map(netlist: Netlist,
+                           input_density: float = 0.5
+                           ) -> dict[str, float]:
+    """Per-gate activity map for the power model (capped at 1)."""
+    return {name: min(density, 1.0)
+            for name, density in
+            transition_densities(netlist, input_density).items()}

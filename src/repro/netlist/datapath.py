@@ -1,0 +1,149 @@
+"""Structured datapath generator: a NAND-only ripple-carry adder.
+
+The random generator (:mod:`repro.netlist.generate`) produces
+statistically realistic netlists; this module produces a *functionally
+meaningful* one -- an N-bit ripple-carry adder built from 2-input NANDs
+-- which serves three purposes:
+
+* it gives the logic simulator an arithmetic ground truth
+  (``sum == a + b + cin``) to be verified against;
+* its carry chain is the canonical glitch generator, grounding the
+  datapath glitch multiplier the MCML comparison charges CMOS for
+  (Section 4, ref [42]);
+* it gives the optimization flows a circuit whose critical path (the
+  carry ripple) and slack structure (early sum bits) are *known*, not
+  sampled.
+
+Construction per bit (9 NANDs): ``x = NAND(a, b)``; the XOR of a and b
+via the 4-NAND idiom; the sum as the XOR of that with the carry; and
+``cout = NAND(x, NAND(a XOR b, cin))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gate import GateKind
+from repro.circuits.library import CellLibrary, build_library
+from repro.errors import NetlistError
+from repro.netlist.graph import Netlist
+from repro.netlist.logic import evaluate_netlist
+from repro.itrs import ITRS_2000
+
+#: Gates per full-adder bit.
+GATES_PER_BIT = 9
+
+
+@dataclass(frozen=True)
+class AdderPorts:
+    """Named ports of a generated ripple-carry adder."""
+
+    a: tuple[str, ...]
+    b: tuple[str, ...]
+    cin: str
+    sum: tuple[str, ...]
+    cout: str
+
+    @property
+    def width(self) -> int:
+        """Operand width in bits."""
+        return len(self.a)
+
+
+def _xor4(netlist: Netlist, cell, prefix: str, a: str,
+          b: str) -> tuple[str, str]:
+    """4-NAND XOR; returns (xor_output, nand(a,b) by-product)."""
+    x = f"{prefix}_x"
+    netlist.add_instance(x, cell, (a, b))
+    s1 = f"{prefix}_s1"
+    netlist.add_instance(s1, cell, (a, x))
+    s2 = f"{prefix}_s2"
+    netlist.add_instance(s2, cell, (b, x))
+    out = f"{prefix}_y"
+    netlist.add_instance(out, cell, (s1, s2))
+    return out, x
+
+
+def build_ripple_adder(node_nm: int, width: int = 8,
+                       clock_margin: float = 1.10,
+                       library: CellLibrary | None = None,
+                       drive_index: int = 4
+                       ) -> tuple[Netlist, AdderPorts]:
+    """Build an N-bit ripple-carry adder netlist.
+
+    Returns the netlist and its port map; the clock is set to
+    ``clock_margin`` times the adder's own critical (carry) path.
+    """
+    if width < 1:
+        raise NetlistError("adder needs at least one bit")
+    if clock_margin < 1.0:
+        raise NetlistError("clock_margin below 1.0 cannot meet timing")
+    if library is None:
+        library = build_library(node_nm)
+    nands = library.cells_of_kind(GateKind.NAND, vth_class="svt")
+    if not 0 <= drive_index < len(nands):
+        raise NetlistError(
+            f"drive_index must lie in [0, {len(nands)})"
+        )
+    cell = nands[drive_index]
+
+    record = ITRS_2000.node(node_nm)
+    netlist = Netlist(node_nm,
+                      clock_period_s=1.0 / (record.clock_ghz * 1e9))
+
+    a_ports = tuple(f"a{i}" for i in range(width))
+    b_ports = tuple(f"b{i}" for i in range(width))
+    for name in (*a_ports, *b_ports, "cin"):
+        netlist.add_input(name)
+
+    carry = "cin"
+    sums = []
+    for i in range(width):
+        prefix = f"fa{i}"
+        axb, nand_ab = _xor4(netlist, cell, f"{prefix}_p", a_ports[i],
+                             b_ports[i])
+        sum_bit, nand_pc = _xor4(netlist, cell, f"{prefix}_s", axb,
+                                 carry)
+        cout = f"{prefix}_c"
+        netlist.add_instance(cout, cell, (nand_ab, nand_pc))
+        sums.append(sum_bit)
+        carry = cout
+
+    for name in (*sums, carry):
+        netlist.mark_output(name)
+    netlist.finalize()
+
+    from repro.netlist.sta import compute_sta  # local import, no cycle
+    report = compute_sta(netlist, clock_period_s=1.0)
+    netlist.clock_period_s = report.critical_delay_s * clock_margin
+    netlist.frequency_hz = 1.0 / netlist.clock_period_s
+
+    ports = AdderPorts(a=a_ports, b=b_ports, cin="cin",
+                       sum=tuple(sums), cout=carry)
+    return netlist, ports
+
+
+def adder_inputs(ports: AdderPorts, a: int, b: int,
+                 cin: int = 0) -> dict[str, bool]:
+    """Encode two integers (and a carry-in) as an input vector."""
+    width = ports.width
+    if not 0 <= a < 2 ** width or not 0 <= b < 2 ** width:
+        raise NetlistError(f"operands must fit in {width} bits")
+    if cin not in (0, 1):
+        raise NetlistError("cin must be 0 or 1")
+    vector: dict[str, bool] = {ports.cin: bool(cin)}
+    for i in range(width):
+        vector[ports.a[i]] = bool((a >> i) & 1)
+        vector[ports.b[i]] = bool((b >> i) & 1)
+    return vector
+
+
+def read_sum(netlist: Netlist, ports: AdderPorts,
+             vector: dict[str, bool]) -> int:
+    """Evaluate the adder on a vector and decode the integer result."""
+    values = evaluate_netlist(netlist, vector)
+    result = 0
+    for i, name in enumerate(ports.sum):
+        result |= int(values[name]) << i
+    result |= int(values[ports.cout]) << ports.width
+    return result

@@ -1,0 +1,130 @@
+"""Synthetic netlist generator with a calibrated path-slack profile.
+
+The paper's multi-Vdd and dual-Vth savings hinge on the slack
+distribution of real MPU netlists: "existing media processor designs
+that use CVS report that ~75 % of all gates can tolerate Vdd,l" and
+"path slack distributions for high-end MPUs show that over half of all
+timing paths commonly use less than half the clock cycle" [21, 22].
+
+We reproduce that profile with a layered random DAG whose endpoints are
+spread across logic depths: a few full-depth critical cones plus many
+shallow cones.  ``depth_skew`` shapes the endpoint-depth distribution
+(depth ~ max_depth * u^depth_skew for uniform u), so larger skews give
+more short paths and more slack.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.gate import GateKind
+from repro.circuits.library import CellLibrary, build_library
+from repro.errors import NetlistError
+from repro.netlist.graph import Netlist
+from repro.itrs import ITRS_2000
+
+#: Topology mix of generated gates: (kind, n_inputs, weight).
+_GATE_MIX = (
+    (GateKind.INVERTER, 1, 0.35),
+    (GateKind.NAND, 2, 0.45),
+    (GateKind.NOR, 2, 0.20),
+)
+
+
+def _pick_kind(rng: random.Random) -> tuple[GateKind, int]:
+    roll = rng.random()
+    cumulative = 0.0
+    for kind, n_inputs, weight in _GATE_MIX:
+        cumulative += weight
+        if roll <= cumulative:
+            return kind, n_inputs
+    kind, n_inputs, _ = _GATE_MIX[-1]
+    return kind, n_inputs
+
+
+def random_netlist(node_nm: int, n_gates: int = 400, n_inputs: int = 32,
+                   max_depth: int = 18, depth_skew: float = 1.6,
+                   clock_margin: float = 1.05, seed: int = 0,
+                   library: CellLibrary | None = None) -> Netlist:
+    """Generate a layered combinational netlist.
+
+    Parameters
+    ----------
+    node_nm:
+        Roadmap node the gates are implemented in.
+    n_gates:
+        Number of gate instances.
+    n_inputs:
+        Number of primary inputs.
+    max_depth:
+        Number of logic levels of the deepest cone.
+    depth_skew:
+        Endpoint-depth skew; 1.0 spreads endpoints uniformly over depth,
+        larger values concentrate them at shallow depths (more slack).
+    clock_margin:
+        Clock period as a multiple of the generated critical delay.
+    seed:
+        RNG seed; generation is fully deterministic given the seed.
+    library:
+        Cell library to draw from (default: ``build_library(node_nm)``).
+    """
+    if n_gates < max_depth:
+        raise NetlistError("need at least one gate per level")
+    if max_depth < 2:
+        raise NetlistError("max_depth must be at least 2")
+    if clock_margin < 1.0:
+        raise NetlistError("clock_margin below 1.0 cannot meet timing")
+    rng = random.Random(seed)
+    if library is None:
+        library = build_library(node_nm)
+
+    # Mid-ladder drive strengths so gates can be resized both ways.
+    def pick_cell(kind: GateKind):
+        candidates = library.cells_of_kind(kind, vth_class="svt")
+        mid = [cell for cell in candidates
+               if 1.0 <= cell.design.size <= 4.0]
+        return rng.choice(mid if mid else candidates)
+
+    # Provisional period; replaced after generation.
+    record = ITRS_2000.node(node_nm)
+    netlist = Netlist(node_nm, clock_period_s=1.0 / (record.clock_ghz * 1e9))
+
+    for index in range(n_inputs):
+        netlist.add_input(f"pi{index}")
+
+    # Assign each gate a level; guarantee each level is populated so the
+    # deepest cone really has max_depth stages.
+    levels = list(range(1, max_depth + 1))
+    for _ in range(n_gates - max_depth):
+        depth = 1 + int(max_depth * (rng.random() ** depth_skew))
+        levels.append(min(depth, max_depth))
+    levels.sort()
+
+    by_level: dict[int, list[str]] = {0: list(netlist.primary_inputs)}
+    for index, level in enumerate(levels):
+        name = f"g{index}"
+        kind, n_pins = _pick_kind(rng)
+        cell = pick_cell(kind)
+        fanins = []
+        for _ in range(n_pins):
+            # Mostly the previous level (forms long chains), sometimes a
+            # shallower signal for reconvergence.
+            if rng.random() < 0.75:
+                source_level = level - 1
+            else:
+                source_level = rng.randrange(0, level)
+            while source_level > 0 and source_level not in by_level:
+                source_level -= 1
+            fanins.append(rng.choice(by_level.get(source_level,
+                                                  netlist.primary_inputs)))
+        netlist.add_instance(name, cell, tuple(fanins))
+        by_level.setdefault(level, []).append(name)
+
+    netlist.finalize()
+
+    # Set the clock from the actual critical delay.
+    from repro.netlist.sta import compute_sta  # local import: no cycle
+    report = compute_sta(netlist, clock_period_s=1.0)
+    netlist.clock_period_s = report.critical_delay_s * clock_margin
+    netlist.frequency_hz = 1.0 / netlist.clock_period_s
+    return netlist

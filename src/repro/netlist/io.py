@@ -1,0 +1,177 @@
+"""Plain-text netlist serialisation (the ``.rnl`` format).
+
+A minimal structural format so designs survive a session and golden
+netlists can live under version control::
+
+    # rnl v1
+    node 100
+    clock 8.48e-10
+    input a
+    input b
+    gate g0 nand2_x2 a b
+    gate g1 inv_x1.414 g0
+    output g1
+    attr g0 vdd 0.78
+    attr g1 vth 0.12
+    attr g1 size 0.8
+
+Cell references are resolved against the node's default library
+(:func:`repro.circuits.library.build_library`); ``attr`` lines restore
+the optimization state (supply, threshold override, re-sizing factor).
+Round-tripping preserves structure, clocking and assignment state
+exactly (see ``tests/test_netlist_io.py``).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.circuits.library import build_library, CellLibrary
+from repro.errors import NetlistError
+from repro.netlist.graph import Netlist
+
+FORMAT_HEADER = "# rnl v1"
+
+
+def dump_netlist(netlist: Netlist, stream: io.TextIOBase) -> None:
+    """Write a netlist to a text stream."""
+    stream.write(f"{FORMAT_HEADER}\n")
+    stream.write(f"node {netlist.node_nm}\n")
+    stream.write(f"clock {netlist.clock_period_s!r}\n")
+    stream.write(f"wirecap {netlist.wire_cap_per_net_f!r}\n")
+    for name in netlist.primary_inputs:
+        stream.write(f"input {name}\n")
+    for name, instance in netlist.instances.items():
+        fanins = " ".join(instance.fanins)
+        stream.write(f"gate {name} {instance.cell.name} {fanins}\n")
+    for name in netlist.primary_outputs:
+        stream.write(f"output {name}\n")
+    for name, instance in netlist.instances.items():
+        if instance.vdd_v is not None:
+            stream.write(f"attr {name} vdd {instance.vdd_v!r}\n")
+        if instance.vth_v is not None:
+            stream.write(f"attr {name} vth {instance.vth_v!r}\n")
+        if instance.size_factor != 1.0:
+            stream.write(f"attr {name} size {instance.size_factor!r}\n")
+
+
+def dumps_netlist(netlist: Netlist) -> str:
+    """Serialise a netlist to a string."""
+    buffer = io.StringIO()
+    dump_netlist(netlist, buffer)
+    return buffer.getvalue()
+
+
+def _tokenise(stream: io.TextIOBase) -> list[list[str]]:
+    lines = []
+    for raw in stream:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        lines.append(line.split())
+    return lines
+
+
+def load_netlist(stream: io.TextIOBase,
+                 library: CellLibrary | None = None) -> Netlist:
+    """Parse a netlist from a text stream."""
+    lines = _tokenise(stream)
+    if not lines:
+        raise NetlistError("empty netlist file")
+
+    node_nm: int | None = None
+    clock_s: float | None = None
+    wirecap_f: float | None = None
+    header: list[list[str]] = []
+    body: list[list[str]] = []
+    for tokens in lines:
+        if tokens[0] in ("node", "clock", "wirecap"):
+            header.append(tokens)
+        else:
+            body.append(tokens)
+    for tokens in header:
+        keyword = tokens[0]
+        if len(tokens) != 2:
+            raise NetlistError(f"malformed header line: {tokens}")
+        if keyword == "node":
+            node_nm = int(tokens[1])
+        elif keyword == "clock":
+            clock_s = float(tokens[1])
+        else:
+            wirecap_f = float(tokens[1])
+    if node_nm is None or clock_s is None:
+        raise NetlistError("netlist file needs 'node' and 'clock' lines")
+
+    if library is None:
+        library = build_library(node_nm)
+    cells = {cell.name: cell for cell in library.cells}
+
+    netlist = Netlist(node_nm, clock_period_s=clock_s,
+                      wire_cap_per_net_f=wirecap_f)
+    outputs: list[str] = []
+    attrs: list[list[str]] = []
+    for tokens in body:
+        keyword = tokens[0]
+        if keyword == "input":
+            if len(tokens) != 2:
+                raise NetlistError(f"malformed input line: {tokens}")
+            netlist.add_input(tokens[1])
+        elif keyword == "gate":
+            if len(tokens) < 4:
+                raise NetlistError(f"malformed gate line: {tokens}")
+            name, cell_name = tokens[1], tokens[2]
+            if cell_name not in cells:
+                raise NetlistError(
+                    f"unknown cell {cell_name!r} for instance {name!r}"
+                )
+            netlist.add_instance(name, cells[cell_name],
+                                 tuple(tokens[3:]))
+        elif keyword == "output":
+            if len(tokens) != 2:
+                raise NetlistError(f"malformed output line: {tokens}")
+            outputs.append(tokens[1])
+        elif keyword == "attr":
+            if len(tokens) != 4:
+                raise NetlistError(f"malformed attr line: {tokens}")
+            attrs.append(tokens)
+        else:
+            raise NetlistError(f"unknown keyword {keyword!r}")
+
+    for name in outputs:
+        netlist.mark_output(name)
+    if not outputs:
+        netlist.finalize()
+
+    for _, name, attribute, value in attrs:
+        if name not in netlist.instances:
+            raise NetlistError(f"attr for unknown instance {name!r}")
+        instance = netlist.instances[name]
+        if attribute == "vdd":
+            instance.vdd_v = float(value)
+        elif attribute == "vth":
+            instance.vth_v = float(value)
+        elif attribute == "size":
+            instance.size_factor = float(value)
+        else:
+            raise NetlistError(f"unknown attribute {attribute!r}")
+    netlist.refresh_level_converters()
+    return netlist
+
+
+def loads_netlist(text: str,
+                  library: CellLibrary | None = None) -> Netlist:
+    """Parse a netlist from a string."""
+    return load_netlist(io.StringIO(text), library)
+
+
+def save_netlist(netlist: Netlist, path: str) -> None:
+    """Write a netlist to a file."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_netlist(netlist, stream)
+
+
+def read_netlist(path: str,
+                 library: CellLibrary | None = None) -> Netlist:
+    """Read a netlist from a file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_netlist(stream, library)

@@ -1,0 +1,38 @@
+"""Power-optimization flows (Sections 2.4, 3.2, 3.3).
+
+Implements the algorithms the paper builds its savings estimates on:
+clustered voltage scaling (CVS) for multi-Vdd assignment, sensitivity-
+based dual-Vth assignment, post-synthesis transistor re-sizing, and the
+combined multi-Vdd + multi-Vth + re-sizing flow of Conclusion 3 -- all on
+top of an incremental timing engine so assignments are verified against
+the clock constraint as they are made.
+"""
+
+from repro.optim.incremental import IncrementalTimer
+from repro.optim.cvs import CvsResult, assign_cvs
+from repro.optim.dual_vth import DualVthResult, assign_dual_vth
+from repro.optim.sizing import (
+    SizingResult,
+    downsize_netlist,
+    resizing_vs_vdd_comparison,
+)
+from repro.optim.combined import CombinedResult, combined_flow
+from repro.optim.upsize import UpsizeResult, fix_timing
+from repro.optim.placement import PlacementOverhead, placement_overhead
+
+__all__ = [
+    "IncrementalTimer",
+    "CvsResult",
+    "assign_cvs",
+    "DualVthResult",
+    "assign_dual_vth",
+    "SizingResult",
+    "downsize_netlist",
+    "resizing_vs_vdd_comparison",
+    "CombinedResult",
+    "combined_flow",
+    "UpsizeResult",
+    "fix_timing",
+    "PlacementOverhead",
+    "placement_overhead",
+]

@@ -1,0 +1,68 @@
+"""Power-distribution network analysis (Section 4, Fig. 5).
+
+A BACPAC-style analytic IR-drop model that sizes top-level power rails
+for hot-spot current densities, bump pitch/count budgets against ITRS
+pad projections, an independent sparse resistive-grid solver used to
+validate the analytic model, and di/dt transient models for standby
+wake-up and MCML-vs-CMOS comparisons.
+"""
+
+from repro.pdn.bacpac import (
+    HOTSPOT_FACTOR,
+    IR_DROP_BUDGET,
+    LANDING_PAD_FRACTION,
+    Fig5Point,
+    fig5_point,
+    fig5_sweep,
+    required_rail_width_m,
+    routing_resource_fraction,
+)
+from repro.pdn.bumps import (
+    BumpBudget,
+    bump_budget,
+    min_pitch_bump_count,
+    vdd_bumps_required,
+)
+from repro.pdn.grid import (
+    solve_rail_strip,
+    solve_power_grid_2d,
+    validate_analytic_model,
+)
+from repro.pdn.transients import (
+    WakeupTransient,
+    wakeup_transient,
+    mcml_transient_advantage,
+    supply_impedance_ohm,
+)
+from repro.pdn.decap import (
+    DecapBudget,
+    decap_area_m2,
+    decap_budget,
+    required_decap_f,
+)
+
+__all__ = [
+    "HOTSPOT_FACTOR",
+    "IR_DROP_BUDGET",
+    "LANDING_PAD_FRACTION",
+    "Fig5Point",
+    "fig5_point",
+    "fig5_sweep",
+    "required_rail_width_m",
+    "routing_resource_fraction",
+    "BumpBudget",
+    "bump_budget",
+    "min_pitch_bump_count",
+    "vdd_bumps_required",
+    "solve_rail_strip",
+    "solve_power_grid_2d",
+    "validate_analytic_model",
+    "WakeupTransient",
+    "wakeup_transient",
+    "mcml_transient_advantage",
+    "supply_impedance_ohm",
+    "DecapBudget",
+    "decap_area_m2",
+    "decap_budget",
+    "required_decap_f",
+]

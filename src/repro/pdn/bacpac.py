@@ -1,0 +1,127 @@
+"""BACPAC-style IR-drop scaling model (Fig. 5 of the paper, ref [41]).
+
+Model, following the paper's setup:
+
+* A **hot-spot** dissipates at four times the uniform power density
+  (footnote 7: half the die is memory at ~1/10th logic density, and some
+  logic runs at twice the average).
+* Top-level Vdd/GND rails run at the bump pitch; each rail collects the
+  current of a pitch-wide swath of the hot-spot.  Between two bump
+  connections the worst (mid-span) distributed IR drop of a rail with
+  sheet resistance Rsq and width W is ``j * Rsq * p^2 / (8 W)`` for a
+  linear current density j [A/m].
+* Both rails of the Vdd/GND loop see the drop, so each gets half of the
+  10 % budget, and a current-crowding/via allowance multiplies the
+  required width (calibration constant below).
+
+Two scenarios per node: the **minimum achievable** bump pitch, and the
+**effective pitch implied by ITRS pad counts** (~350 um throughout the
+roadmap), which is what makes the required width explode at the end of
+the roadmap -- the paper's headline Fig. 5 observation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000, TechnologyNode
+
+#: Hot-spot power density over the uniform density (footnote 7).
+HOTSPOT_FACTOR = 4.0
+
+#: Allowed supply droop as a fraction of Vdd.
+IR_DROP_BUDGET = 0.10
+
+#: Fraction of the IR budget allocated to each rail of the Vdd/GND loop.
+_PER_RAIL_BUDGET = 0.5
+
+#: Current crowding / via-stack allowance on the required width.
+CROWDING_FACTOR = 1.7
+
+#: Top-level routing fraction consumed by bump landing pads (the paper's
+#: constant 16 %).
+LANDING_PAD_FRACTION = 0.16
+
+
+class PitchScenario(enum.Enum):
+    """Which bump pitch assumption Fig. 5 uses."""
+
+    MIN_PITCH = "min_pitch"
+    ITRS_PADS = "itrs_pads"
+
+
+def _pitch_m(record: TechnologyNode, scenario: PitchScenario) -> float:
+    if scenario is PitchScenario.MIN_PITCH:
+        return units.um(record.min_bump_pitch_um)
+    return units.um(record.itrs_bump_pitch_um)
+
+
+def hotspot_current_density_a_m2(record: TechnologyNode) -> float:
+    """Hot-spot supply-current density [A/m^2]."""
+    uniform = record.chip_power_w / (record.die_area_m2 * record.vdd_v)
+    return HOTSPOT_FACTOR * uniform
+
+
+def required_rail_width_m(node_nm: int, scenario: PitchScenario,
+                          ir_budget: float = IR_DROP_BUDGET) -> float:
+    """Rail width keeping hot-spot droop within the budget [m]."""
+    if not 0.0 < ir_budget < 1.0:
+        raise ModelParameterError("IR budget must lie in (0, 1)")
+    record = ITRS_2000.node(node_nm)
+    pitch = _pitch_m(record, scenario)
+    current_per_m = hotspot_current_density_a_m2(record) * pitch
+    allowed_drop_v = _PER_RAIL_BUDGET * ir_budget * record.vdd_v
+    sheet_r = record.top_metal_sheet_resistance
+    return (CROWDING_FACTOR * current_per_m * sheet_r * pitch ** 2
+            / (8.0 * allowed_drop_v))
+
+
+def routing_resource_fraction(node_nm: int, scenario: PitchScenario,
+                              ir_budget: float = IR_DROP_BUDGET) -> float:
+    """Fraction of top-level routing consumed by power delivery.
+
+    Two rails (Vdd and GND) per pitch plus the constant landing-pad
+    share.  Values above 1.0 mean the grid physically cannot be routed.
+    """
+    record = ITRS_2000.node(node_nm)
+    pitch = _pitch_m(record, scenario)
+    width = required_rail_width_m(node_nm, scenario, ir_budget)
+    return 2.0 * width / pitch + LANDING_PAD_FRACTION
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    """One node's Fig. 5 data for one pitch scenario."""
+
+    node_nm: int
+    scenario: PitchScenario
+    bump_pitch_um: float
+    rail_width_um: float
+    #: Rail width normalised to the node's minimum top-metal width
+    #: (Fig. 5's left axis).
+    width_over_min: float
+    #: Top-level routing fraction used (Fig. 5's right axis).
+    routing_fraction: float
+
+
+def fig5_point(node_nm: int, scenario: PitchScenario) -> Fig5Point:
+    """Evaluate Fig. 5 at one node/scenario."""
+    record = ITRS_2000.node(node_nm)
+    width = required_rail_width_m(node_nm, scenario)
+    return Fig5Point(
+        node_nm=node_nm,
+        scenario=scenario,
+        bump_pitch_um=units.to_um(_pitch_m(record, scenario)),
+        rail_width_um=units.to_um(width),
+        width_over_min=width / units.um(record.top_metal_min_width_um),
+        routing_fraction=routing_resource_fraction(node_nm, scenario),
+    )
+
+
+def fig5_sweep(scenario: PitchScenario) -> list[Fig5Point]:
+    """Fig. 5 across the whole roadmap for one scenario."""
+    return [fig5_point(node_nm, scenario)
+            for node_nm in ITRS_2000.node_sizes]

@@ -1,0 +1,92 @@
+"""Bump pitch/count budgets vs ITRS pad projections (Section 4).
+
+The paper's observations, which :func:`bump_budget` quantifies per node:
+
+* the ITRS pad counts correspond to a roughly constant ~350 um effective
+  bump pitch even though the *achievable* pitch falls to 80 um at 35 nm;
+* at 35 nm the ITRS allots 4416 pads, ~1500 of them Vdd, while the
+  worst-case supply current is ~300 A -- 0.2 A per Vdd bump, beyond the
+  projected per-bump capability, so more Vdd/GND connections are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+
+#: Fraction of pads assigned to Vdd (and, symmetrically, to GND); the
+#: paper's 1500-of-4416 at 35 nm.
+VDD_PAD_FRACTION = 0.34
+
+
+@dataclass(frozen=True)
+class BumpBudget:
+    """Power-delivery budget of one node under ITRS pad counts."""
+
+    node_nm: int
+    total_pads: int
+    vdd_pads: int
+    supply_current_a: float
+    current_per_vdd_bump_a: float
+    bump_current_limit_a: float
+    effective_pitch_um: float
+    min_pitch_um: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when the per-bump current stays within its limit."""
+        return self.current_per_vdd_bump_a <= self.bump_current_limit_a
+
+    @property
+    def vdd_bump_shortfall(self) -> int:
+        """Additional Vdd bumps needed to respect the per-bump limit."""
+        needed = vdd_bumps_required(self.supply_current_a,
+                                    self.bump_current_limit_a)
+        return max(0, needed - self.vdd_pads)
+
+    @property
+    def pitch_headroom(self) -> float:
+        """Ratio of ITRS effective pitch to the achievable minimum.
+
+        Values far above 1 are the unexploited packaging capability the
+        paper says the roadmap should leverage.
+        """
+        return self.effective_pitch_um / self.min_pitch_um
+
+
+def vdd_bumps_required(supply_current_a: float,
+                       bump_limit_a: float) -> int:
+    """Minimum Vdd bump count for a supply current."""
+    if supply_current_a < 0:
+        raise ModelParameterError("supply current cannot be negative")
+    if bump_limit_a <= 0:
+        raise ModelParameterError("bump current limit must be positive")
+    return math.ceil(supply_current_a / bump_limit_a)
+
+
+def min_pitch_bump_count(node_nm: int) -> int:
+    """Bumps available over the die at the minimum achievable pitch."""
+    record = ITRS_2000.node(node_nm)
+    pitch_m = units.um(record.min_bump_pitch_um)
+    return int(record.die_area_m2 / pitch_m ** 2)
+
+
+def bump_budget(node_nm: int) -> BumpBudget:
+    """Evaluate the ITRS bump budget for a node."""
+    record = ITRS_2000.node(node_nm)
+    vdd_pads = round(VDD_PAD_FRACTION * record.itrs_total_pads)
+    supply = record.supply_current_a
+    return BumpBudget(
+        node_nm=node_nm,
+        total_pads=record.itrs_total_pads,
+        vdd_pads=vdd_pads,
+        supply_current_a=supply,
+        current_per_vdd_bump_a=supply / vdd_pads,
+        bump_current_limit_a=record.bump_current_limit_a,
+        effective_pitch_um=record.itrs_bump_pitch_um,
+        min_pitch_um=record.min_bump_pitch_um,
+    )

@@ -1,0 +1,103 @@
+"""On-die decoupling-capacitance sizing (Section 4's transient story).
+
+Between the instant a current step hits and the time the package loop
+responds, on-die decap is the only charge source.  Keeping the droop
+within a budget requires the supply's characteristic impedance
+``Z0 = sqrt(L_eff / C_decap)`` to stay below ``dV / dI``::
+
+    C_required = L_eff * (dI / dV)^2
+
+This module sizes that capacitance, translates it into die-area cost
+through the thin-oxide decap density, and evaluates roadmap scenarios
+(wake-up step, bump-count choice).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+from repro.pdn.bumps import min_pitch_bump_count, VDD_PAD_FRACTION
+from repro.pdn.transients import DECAP_PER_M2, supply_inductance_h
+
+
+def required_decap_f(current_step_a: float, droop_budget_v: float,
+                     inductance_h: float) -> float:
+    """Decap needed to hold a current step within a droop budget [F]."""
+    if current_step_a < 0:
+        raise ModelParameterError("current step cannot be negative")
+    if droop_budget_v <= 0:
+        raise ModelParameterError("droop budget must be positive")
+    if inductance_h <= 0:
+        raise ModelParameterError("inductance must be positive")
+    return inductance_h * (current_step_a / droop_budget_v) ** 2
+
+
+def decap_area_m2(capacitance_f: float) -> float:
+    """Die area consumed by thin-oxide decap fill [m^2]."""
+    if capacitance_f < 0:
+        raise ModelParameterError("capacitance cannot be negative")
+    return capacitance_f / DECAP_PER_M2
+
+
+@dataclass(frozen=True)
+class DecapBudget:
+    """Decap sizing outcome for one node / bump scenario."""
+
+    node_nm: int
+    use_min_pitch: bool
+    current_step_a: float
+    droop_budget_v: float
+    inductance_h: float
+    required_f: float
+    area_m2: float
+    die_area_m2: float
+
+    @property
+    def area_fraction(self) -> float:
+        """Decap area as a fraction of the die."""
+        return self.area_m2 / self.die_area_m2
+
+    @property
+    def feasible(self) -> bool:
+        """True when the decap fits in a reasonable (<15 %) die share."""
+        return self.area_fraction <= 0.15
+
+    @property
+    def achieved_impedance_ohm(self) -> float:
+        """Z0 of the sized network [ohm]."""
+        return math.sqrt(self.inductance_h / self.required_f)
+
+
+def decap_budget(node_nm: int, use_min_pitch: bool,
+                 droop_fraction: float = 0.10,
+                 standby_fraction: float = 0.05) -> DecapBudget:
+    """Size the wake-up decap for a node under either bump scenario.
+
+    More bumps (the minimum-pitch scenario) lower the loop inductance
+    quadratically shrink the decap requirement -- the same lever the
+    paper recommends for di/dt control.
+    """
+    if not 0.0 < droop_fraction < 1.0:
+        raise ModelParameterError("droop fraction must lie in (0, 1)")
+    record = ITRS_2000.node(node_nm)
+    if use_min_pitch:
+        n_bumps = round(min_pitch_bump_count(node_nm) * VDD_PAD_FRACTION)
+    else:
+        n_bumps = round(record.itrs_total_pads * VDD_PAD_FRACTION)
+    inductance = supply_inductance_h(n_bumps)
+    step = record.supply_current_a * (1.0 - standby_fraction)
+    budget_v = droop_fraction * record.vdd_v
+    required = required_decap_f(step, budget_v, inductance)
+    return DecapBudget(
+        node_nm=node_nm,
+        use_min_pitch=use_min_pitch,
+        current_step_a=step,
+        droop_budget_v=budget_v,
+        inductance_h=inductance,
+        required_f=required,
+        area_m2=decap_area_m2(required),
+        die_area_m2=record.die_area_m2,
+    )

@@ -1,0 +1,183 @@
+"""Multi-layer power-grid stack (Fig. 5's footnote 8, completed).
+
+Fig. 5 sizes only the top-level rails, "assuming that the remainder of
+the power grid is under the designer's control whereas the top-level
+granularity is technology-limited".  This module models that remainder:
+a series stack of grid layers between the bumps and the devices, each
+collecting current at its own pitch, plus the via arrays between
+layers.  The worst-case device-level droop is the sum of the per-layer
+distributed drops and the via drops, and a budget allocator splits the
+10 % IR budget across the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+from repro.itrs import ITRS_2000, TechnologyNode
+from repro.pdn.bacpac import (
+    IR_DROP_BUDGET,
+    PitchScenario,
+    hotspot_current_density_a_m2,
+    required_rail_width_m,
+)
+
+#: Resistance of one power via (stacked, farmed) [ohm].
+VIA_RESISTANCE_OHM = 1.0
+
+#: Vias per via farm connecting adjacent layers in one grid cell.
+VIAS_PER_FARM = 16
+
+
+@dataclass(frozen=True)
+class GridLayer:
+    """One layer of the power grid."""
+
+    name: str
+    #: Sheet resistance [ohm/square].
+    sheet_resistance: float
+    #: Power rail width on this layer [m].
+    rail_width_m: float
+    #: Rail pitch on this layer [m].
+    rail_pitch_m: float
+    #: Pitch of connections to the layer above [m].
+    feed_pitch_m: float
+
+    def __post_init__(self) -> None:
+        if min(self.sheet_resistance, self.rail_width_m,
+               self.rail_pitch_m, self.feed_pitch_m) <= 0:
+            raise ModelParameterError(
+                f"grid layer {self.name!r} needs positive parameters"
+            )
+        if self.feed_pitch_m < self.rail_pitch_m:
+            raise ModelParameterError(
+                f"layer {self.name!r}: feeds cannot be denser than rails"
+            )
+
+    def worst_drop_v(self, current_density_a_m2: float) -> float:
+        """Mid-span distributed drop between feed points [V]."""
+        if current_density_a_m2 < 0:
+            raise ModelParameterError("current density cannot be negative")
+        current_per_m = current_density_a_m2 * self.rail_pitch_m
+        return (current_per_m * self.sheet_resistance
+                * self.feed_pitch_m ** 2 / (8.0 * self.rail_width_m))
+
+    def via_drop_v(self, current_density_a_m2: float) -> float:
+        """Drop across the via farm feeding one cell of this layer [V]."""
+        cell_current = current_density_a_m2 * self.feed_pitch_m ** 2
+        return cell_current * VIA_RESISTANCE_OHM / VIAS_PER_FARM
+
+
+class GridStack:
+    """A bump-to-device stack of grid layers (top layer first)."""
+
+    def __init__(self, node_nm: int, layers: list[GridLayer]):
+        if not layers:
+            raise ModelParameterError("stack needs at least one layer")
+        pitches = [layer.rail_pitch_m for layer in layers]
+        if any(a < b for a, b in zip(pitches, pitches[1:])):
+            raise ModelParameterError(
+                "layers must be ordered coarse (top) to fine (bottom)"
+            )
+        self.record: TechnologyNode = ITRS_2000.node(node_nm)
+        self.layers = list(layers)
+
+    def total_drop_v(self,
+                     current_density_a_m2: float | None = None) -> float:
+        """Worst-case device-level droop through the whole stack [V]."""
+        if current_density_a_m2 is None:
+            current_density_a_m2 = hotspot_current_density_a_m2(
+                self.record)
+        total = 0.0
+        for layer in self.layers:
+            total += layer.worst_drop_v(current_density_a_m2)
+            total += layer.via_drop_v(current_density_a_m2)
+        return total
+
+    def drop_fraction(self,
+                      current_density_a_m2: float | None = None) -> float:
+        """Total droop over Vdd (compare against the 10 % budget)."""
+        return self.total_drop_v(current_density_a_m2) \
+            / self.record.vdd_v
+
+    def meets_budget(self, budget: float = IR_DROP_BUDGET) -> bool:
+        """True when the hot-spot droop stays inside the budget."""
+        return self.drop_fraction() <= budget
+
+    def layer_breakdown(self) -> list[tuple[str, float, float]]:
+        """(name, rail drop, via drop) per layer at the hot-spot [V]."""
+        density = hotspot_current_density_a_m2(self.record)
+        return [(layer.name, layer.worst_drop_v(density),
+                 layer.via_drop_v(density))
+                for layer in self.layers]
+
+
+def default_grid_stack(node_nm: int,
+                       scenario: PitchScenario = PitchScenario.MIN_PITCH,
+                       budget: float = IR_DROP_BUDGET) -> GridStack:
+    """Build a three-layer stack meeting the budget at a node.
+
+    The top layer uses the Fig. 5 sizing (half the budget); the
+    intermediate and M2-class layers are sized by the allocator to
+    split the remainder.  Raises
+    :class:`InfeasibleConstraintError` when even maximal lower-layer
+    widths cannot close the budget.
+    """
+    record = ITRS_2000.node(node_nm)
+    density = hotspot_current_density_a_m2(record)
+    pitch = units.um(record.min_bump_pitch_um
+                     if scenario is PitchScenario.MIN_PITCH
+                     else record.itrs_bump_pitch_um)
+
+    top = GridLayer(
+        name="top",
+        sheet_resistance=record.top_metal_sheet_resistance,
+        rail_width_m=required_rail_width_m(node_nm, scenario, budget),
+        rail_pitch_m=pitch,
+        feed_pitch_m=pitch,
+    )
+
+    # Lower layers: scaled geometry, fed at the pitch of the layer
+    # above; widths sized to take 30 % / 10 % of the remaining budget.
+    intermediate_width_min = units.um(record.top_metal_min_width_um) / 2
+    m2_width_min = units.um(record.top_metal_min_width_um) / 4
+    intermediate_sheet = record.top_metal_sheet_resistance * 3.0
+    m2_sheet = record.top_metal_sheet_resistance * 8.0
+    intermediate_pitch = pitch / 8.0
+    m2_pitch = pitch / 32.0
+
+    remaining_v = budget * record.vdd_v \
+        - top.worst_drop_v(density) - top.via_drop_v(density)
+    if remaining_v <= 0:
+        raise InfeasibleConstraintError(
+            f"top layer alone exceeds the {budget:.0%} budget at "
+            f"{node_nm} nm"
+        )
+
+    def size_layer(name, sheet, rail_pitch, feed_pitch, width_min,
+                   share):
+        probe = GridLayer(name=name, sheet_resistance=sheet,
+                          rail_width_m=width_min,
+                          rail_pitch_m=rail_pitch,
+                          feed_pitch_m=feed_pitch)
+        target_v = share * remaining_v - probe.via_drop_v(density)
+        if target_v <= 0:
+            raise InfeasibleConstraintError(
+                f"via drop alone exceeds layer {name!r}'s budget share "
+                f"at {node_nm} nm"
+            )
+        width = probe.worst_drop_v(density) * width_min / target_v \
+            if probe.worst_drop_v(density) > target_v else width_min
+        return GridLayer(name=name, sheet_resistance=sheet,
+                         rail_width_m=max(width, width_min),
+                         rail_pitch_m=rail_pitch,
+                         feed_pitch_m=feed_pitch)
+
+    intermediate = size_layer("intermediate", intermediate_sheet,
+                              intermediate_pitch, pitch,
+                              intermediate_width_min, 0.6)
+    m2 = size_layer("m2", m2_sheet, m2_pitch, intermediate_pitch,
+                    m2_width_min, 0.4)
+    return GridStack(node_nm, [top, intermediate, m2])

@@ -1,0 +1,120 @@
+"""Supply-current transients (Section 4's closing discussion).
+
+Two phenomena:
+
+* **Standby wake-up.**  Sleep/standby modes save leakage, but waking
+  swings the chip current from the standby level to the full active
+  level in microseconds; the resulting L di/dt droop stresses the power
+  network.  Every bump contributes its loop inductance in parallel, so
+  using the *minimum* bump pitch (many bumps) directly lowers the
+  transient -- the paper's recommendation.
+* **MCML.**  Current-steering logic draws a near-constant supply
+  current, trading static power for drastically smaller di/dt; the
+  comparison helper quantifies the peak-current advantage over a CMOS
+  datapath of equal throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.mcml import cmos_peak_current_a, mcml_matching_cmos
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+from repro.pdn.bumps import min_pitch_bump_count, VDD_PAD_FRACTION
+
+#: Loop inductance of a single flip-chip bump + package via [H].
+BUMP_INDUCTANCE_H = 1.0e-10
+
+#: On-die decoupling capacitance per unit area [F/m^2] (thin-oxide
+#: decap fill, ~10 % of die area at ~10 fF/um^2).
+DECAP_PER_M2 = 1.0e-2
+
+
+def supply_inductance_h(n_power_bumps: int) -> float:
+    """Effective supply loop inductance with bumps in parallel [H]."""
+    if n_power_bumps < 1:
+        raise ModelParameterError("need at least one power bump")
+    return BUMP_INDUCTANCE_H / n_power_bumps
+
+
+def supply_impedance_ohm(n_power_bumps: int, die_area_m2: float) -> float:
+    """Characteristic impedance sqrt(L/C) of the supply loop [ohm]."""
+    if die_area_m2 <= 0:
+        raise ModelParameterError("die area must be positive")
+    inductance = supply_inductance_h(n_power_bumps)
+    capacitance = DECAP_PER_M2 * die_area_m2
+    return math.sqrt(inductance / capacitance)
+
+
+@dataclass(frozen=True)
+class WakeupTransient:
+    """Wake-up droop analysis at one node/bump scenario."""
+
+    node_nm: int
+    n_power_bumps: int
+    current_step_a: float
+    wake_time_s: float
+    di_dt_a_per_s: float
+    droop_v: float
+    vdd_v: float
+
+    @property
+    def droop_fraction(self) -> float:
+        """Droop as a fraction of Vdd."""
+        return self.droop_v / self.vdd_v
+
+    @property
+    def acceptable(self) -> bool:
+        """True when the droop stays within the usual 10 % budget."""
+        return self.droop_fraction <= 0.10
+
+
+def wakeup_transient(node_nm: int, use_min_pitch: bool,
+                     standby_fraction: float = 0.05,
+                     wake_time_s: float = 1.0e-8) -> WakeupTransient:
+    """Evaluate the standby -> active wake-up droop.
+
+    ``use_min_pitch`` selects between the minimum-achievable bump count
+    and the ITRS pad-count scenario.  The droop is the inductive kick
+    L_eff * di/dt of the parallel bump array -- the component that the
+    paper's recommendation (use the minimum bump pitch, i.e. many more
+    Vdd/GND bumps in parallel) directly attacks.  On-die decoupling
+    (see :func:`supply_impedance_ohm`) further limits the droop but does
+    not depend on the bump count, so it is reported separately.
+    """
+    if not 0.0 <= standby_fraction < 1.0:
+        raise ModelParameterError("standby fraction must lie in [0, 1)")
+    if wake_time_s <= 0:
+        raise ModelParameterError("wake time must be positive")
+    record = ITRS_2000.node(node_nm)
+    if use_min_pitch:
+        n_bumps = round(min_pitch_bump_count(node_nm) * VDD_PAD_FRACTION)
+    else:
+        n_bumps = round(record.itrs_total_pads * VDD_PAD_FRACTION)
+    step = record.supply_current_a * (1.0 - standby_fraction)
+    di_dt = step / wake_time_s
+    droop = supply_inductance_h(n_bumps) * di_dt
+    return WakeupTransient(
+        node_nm=node_nm,
+        n_power_bumps=n_bumps,
+        current_step_a=step,
+        wake_time_s=wake_time_s,
+        di_dt_a_per_s=di_dt,
+        droop_v=droop,
+        vdd_v=record.vdd_v,
+    )
+
+
+def mcml_transient_advantage(node_nm: int, load_f: float = 20e-15,
+                             cmos_size: float = 4.0) -> float:
+    """Peak-supply-current ratio CMOS / MCML for matched-speed gates.
+
+    Values well above 1 quantify the paper's "much smaller current
+    transients" claim for current-steering logic.
+    """
+    device = device_for_node(node_nm)
+    cmos, mcml = mcml_matching_cmos(device, load_f, cmos_size=cmos_size)
+    return cmos_peak_current_a(cmos) / mcml.peak_supply_current_a()

@@ -1,0 +1,71 @@
+"""Chip- and gate-level power analysis (Sections 2-3 of the paper).
+
+Dynamic (CV^2 f) and static (leakage) power calculators, the
+static-to-dynamic ratio study of Fig. 1, and the multi-Vdd + multi-Vth
+scaling strategies of Figs. 3 and 4.
+"""
+
+from repro.power.dynamic import (
+    dynamic_power_w,
+    switching_energy_j,
+    dynamic_power_scaling,
+)
+from repro.power.static import (
+    chip_static_power_w,
+    standby_current_a,
+    static_power_reduction_required,
+)
+from repro.power.ratio import RatioPoint, static_dynamic_ratio_sweep
+from repro.power.vdd_scaling import (
+    VthPolicy,
+    VddScalingPoint,
+    vth_for_policy,
+    vdd_scaling_sweep,
+    vdd_for_power_ratio,
+)
+from repro.power.mtcmos import (
+    MtcmosDesign,
+    penalty_area_tradeoff,
+    size_sleep_transistor,
+)
+from repro.power.body_bias import (
+    BodyBiasResult,
+    body_factor,
+    effectiveness_trend,
+    standby_leakage_reduction,
+    vth_shift_v,
+)
+from repro.power.stacks import (
+    MixedVthComparison,
+    StackedDevice,
+    TransistorStack,
+    mixed_vth_stack_study,
+)
+
+__all__ = [
+    "dynamic_power_w",
+    "switching_energy_j",
+    "dynamic_power_scaling",
+    "chip_static_power_w",
+    "standby_current_a",
+    "static_power_reduction_required",
+    "RatioPoint",
+    "static_dynamic_ratio_sweep",
+    "VthPolicy",
+    "VddScalingPoint",
+    "vth_for_policy",
+    "vdd_scaling_sweep",
+    "vdd_for_power_ratio",
+    "MtcmosDesign",
+    "penalty_area_tradeoff",
+    "size_sleep_transistor",
+    "BodyBiasResult",
+    "body_factor",
+    "effectiveness_trend",
+    "standby_leakage_reduction",
+    "vth_shift_v",
+    "MixedVthComparison",
+    "StackedDevice",
+    "TransistorStack",
+    "mixed_vth_stack_study",
+]

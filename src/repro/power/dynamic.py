@@ -1,0 +1,44 @@
+"""Dynamic (switching) power: alpha * f * C * Vdd^2.
+
+Also provides the simple scaling comparisons the paper makes repeatedly:
+dynamic power grows as Vdd^2 at fixed frequency, so a 1.2 V device used
+where 0.9 V was projected costs (1.2/0.9)^2 - 1 = 78 % extra (Section
+3.1), and a 0.7 V fallback at the 50 nm node costs 36 % over 0.6 V.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelParameterError
+
+
+def switching_energy_j(capacitance_f: float, vdd_v: float) -> float:
+    """Energy drawn from the supply per full charge cycle, C * Vdd^2 [J]."""
+    if capacitance_f < 0:
+        raise ModelParameterError("capacitance cannot be negative")
+    if vdd_v < 0:
+        raise ModelParameterError("Vdd cannot be negative")
+    return capacitance_f * vdd_v ** 2
+
+
+def dynamic_power_w(capacitance_f: float, vdd_v: float, frequency_hz: float,
+                    activity: float) -> float:
+    """Average switching power, alpha * f * C * Vdd^2 [W]."""
+    if not 0.0 <= activity <= 1.0:
+        raise ModelParameterError(
+            f"switching activity must lie in [0, 1], got {activity}"
+        )
+    if frequency_hz < 0:
+        raise ModelParameterError("frequency cannot be negative")
+    return activity * frequency_hz * switching_energy_j(capacitance_f, vdd_v)
+
+
+def dynamic_power_scaling(vdd_from_v: float, vdd_to_v: float) -> float:
+    """Fractional dynamic-power change when moving Vdd (same f, C).
+
+    Positive values are increases: ``dynamic_power_scaling(0.9, 1.2)``
+    returns ~0.78, the paper's 78 % penalty for the published 1.2 V
+    devices of Table 1.
+    """
+    if vdd_from_v <= 0 or vdd_to_v <= 0:
+        raise ModelParameterError("supply voltages must be positive")
+    return (vdd_to_v / vdd_from_v) ** 2 - 1.0

@@ -1,0 +1,162 @@
+"""MTCMOS sleep-transistor analysis (Section 3.2.1, ref [34]).
+
+Multi-Threshold CMOS gates fast low-Vth logic through a high-Vth sleep
+transistor: in standby the high-Vth device limits leakage to its own
+(tiny) off current; in active mode the sleep device is a series
+resistance that raises the virtual-ground rail and slows the logic.
+Up-sizing the sleep transistor buys speed at the cost of area -- the
+trade-off the paper lists among the technique's disadvantages, together
+with "no leakage reduction in active mode" and sleep-signal routing.
+
+The model follows the standard virtual-rail analysis: the sleep device
+operates in its linear region, with on-resistance::
+
+    R_sleep = 1 / (mu Coxe (W/Leff) (Vdd - Vth_high))
+
+the virtual-ground bounce is ``Vx = I_active * R_sleep`` and the logic
+slows by approximately ``Vx / (Vdd - Vth_low)`` (lost gate overdrive,
+plus the same loss in drain bias).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.devices.mosfet import DeviceParams, MosfetModel
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+
+#: Fraction of the block's devices simultaneously drawing current
+#: (switching) at the activity peak -- sets the sleep device's load.
+PEAK_CURRENT_FRACTION = 0.10
+
+#: Delay sensitivity to virtual-rail bounce: lost overdrive counts
+#: roughly twice (gate drive and source degeneration/body effect).
+_BOUNCE_DELAY_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class MtcmosDesign:
+    """One sized MTCMOS block."""
+
+    #: Low-Vth logic device card.
+    logic_device: DeviceParams
+    #: High-Vth sleep device card.
+    sleep_device: DeviceParams
+    #: Total logic transistor width in the block [um].
+    logic_width_um: float
+    #: Sleep transistor width [um].
+    sleep_width_um: float
+
+    def __post_init__(self) -> None:
+        if self.logic_width_um <= 0 or self.sleep_width_um <= 0:
+            raise ModelParameterError("widths must be positive")
+        if self.sleep_device.vth_v <= self.logic_device.vth_v:
+            raise ModelParameterError(
+                "the sleep transistor must be the high-Vth device"
+            )
+
+    # --- active mode -----------------------------------------------------
+
+    @property
+    def sleep_resistance_ohm(self) -> float:
+        """Linear-region resistance of the on sleep transistor [ohm]."""
+        device = self.sleep_device
+        mu_si = units.cm2_per_vs(device.mu_eff_cm2)
+        coxe = device.gate_stack.coxe
+        overdrive = device.vdd_v - device.vth_v
+        if overdrive <= 0:
+            raise ModelParameterError(
+                "sleep device has no overdrive when on"
+            )
+        width_m = units.um(self.sleep_width_um)
+        leff_m = units.nm(device.leff_nm)
+        return 1.0 / (mu_si * coxe * (width_m / leff_m) * overdrive)
+
+    @property
+    def peak_active_current_a(self) -> float:
+        """Peak current the logic block pulls through the sleep device."""
+        ion_a_per_um = MosfetModel(self.logic_device).ion_ua_um() * 1e-6
+        return (PEAK_CURRENT_FRACTION * self.logic_width_um
+                * ion_a_per_um)
+
+    @property
+    def virtual_rail_bounce_v(self) -> float:
+        """Virtual-ground rise during peak activity [V]."""
+        return self.peak_active_current_a * self.sleep_resistance_ohm
+
+    @property
+    def delay_penalty(self) -> float:
+        """Fractional logic slowdown from the virtual rail (active mode)."""
+        overdrive = self.logic_device.vdd_v - self.logic_device.vth_v
+        return _BOUNCE_DELAY_FACTOR * self.virtual_rail_bounce_v \
+            / overdrive
+
+    @property
+    def area_overhead(self) -> float:
+        """Sleep-device width over logic width."""
+        return self.sleep_width_um / self.logic_width_um
+
+    # --- standby mode ------------------------------------------------------
+
+    def standby_leakage_a(self, temperature_k: float = 300.0) -> float:
+        """Block leakage with the sleep device off [A].
+
+        Series composition: the high-Vth sleep device's off current caps
+        the stack.
+        """
+        ioff_a_per_um = MosfetModel(self.sleep_device).ioff_na_um(
+            temperature_k=temperature_k) * 1e-9
+        return ioff_a_per_um * self.sleep_width_um
+
+    def active_leakage_a(self, temperature_k: float = 300.0) -> float:
+        """Block leakage with the sleep device on [A].
+
+        "No leakage reduction in active mode": the low-Vth logic leaks
+        at full tilt (half the width off on average).
+        """
+        ioff_a_per_um = MosfetModel(self.logic_device).ioff_na_um(
+            temperature_k=temperature_k) * 1e-9
+        return 0.5 * self.logic_width_um * ioff_a_per_um
+
+    def standby_reduction(self, temperature_k: float = 300.0) -> float:
+        """Leakage ratio active / standby (the headline MTCMOS win)."""
+        return (self.active_leakage_a(temperature_k)
+                / self.standby_leakage_a(temperature_k))
+
+
+def size_sleep_transistor(logic_device: DeviceParams,
+                          sleep_device: DeviceParams,
+                          logic_width_um: float,
+                          max_delay_penalty: float = 0.05
+                          ) -> MtcmosDesign:
+    """Smallest sleep transistor meeting a delay-penalty budget.
+
+    The penalty is inversely proportional to the sleep width, so the
+    minimum width follows in closed form from a unit-width evaluation.
+    """
+    if max_delay_penalty <= 0:
+        raise InfeasibleConstraintError(
+            "delay-penalty budget must be positive"
+        )
+    probe = MtcmosDesign(logic_device=logic_device,
+                         sleep_device=sleep_device,
+                         logic_width_um=logic_width_um,
+                         sleep_width_um=1.0)
+    width = probe.delay_penalty / max_delay_penalty
+    return MtcmosDesign(logic_device=logic_device,
+                        sleep_device=sleep_device,
+                        logic_width_um=logic_width_um,
+                        sleep_width_um=width)
+
+
+def penalty_area_tradeoff(logic_device: DeviceParams,
+                          sleep_device: DeviceParams,
+                          logic_width_um: float,
+                          penalties: tuple[float, ...] = (0.02, 0.05,
+                                                          0.10, 0.20)
+                          ) -> list[MtcmosDesign]:
+    """Sweep the delay-penalty budget (the paper's area trade-off)."""
+    return [size_sleep_transistor(logic_device, sleep_device,
+                                  logic_width_um, penalty)
+            for penalty in penalties]

@@ -1,0 +1,89 @@
+"""Fig. 1: the ratio of static to dynamic power vs switching activity.
+
+"Figure 1 shows the relative importance of static and dynamic power for
+an inverter driving a fan-out of 4 with an average interconnect load.
+70 nm and 50 nm technologies are explored; results indicate that for
+logic with switching activities on the order of 0.01 to 0.1, static power
+can approach and exceed 10 % of dynamic power.  Temperature is 85 C."
+
+The three curves are 70 nm at 0.9 V, 50 nm at 0.7 V and 50 nm at 0.6 V.
+The 0.7 V variant re-solves Vth for the 750 uA/um Ion target at the
+raised supply (the paper's Table 2 parenthetical column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro import units
+from repro.circuits.fo4 import fo4_reference
+from repro.devices.params import device_for_node
+from repro.devices.solver import solve_vth_for_ion
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+
+#: Junction temperature of Fig. 1 [K].
+FIG1_TEMPERATURE_K = units.celsius_to_kelvin(85.0)
+
+#: Activity-factor grid of Fig. 1 (log-spaced over the plotted range).
+DEFAULT_ACTIVITIES = tuple(np.logspace(np.log10(0.01), np.log10(0.5), 24))
+
+#: The (node, Vdd) variants plotted by Fig. 1.
+FIG1_VARIANTS: tuple[tuple[int, float], ...] = (
+    (70, 0.9),
+    (50, 0.7),
+    (50, 0.6),
+)
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """One sample of a Fig. 1 curve."""
+
+    node_nm: int
+    vdd_v: float
+    activity: float
+    ratio: float
+
+
+def device_at_vdd(node_nm: int, vdd_v: float):
+    """Model card re-targeted to ``vdd_v`` with Vth re-solved for Ion.
+
+    For the node's nominal supply this returns the calibrated card
+    unchanged (up to solver tolerance); for alternatives such as 50 nm at
+    0.7 V it reproduces the paper's procedure of re-solving Vth to meet
+    750 uA/um.
+    """
+    device = device_for_node(node_nm)
+    if vdd_v <= 0:
+        raise ModelParameterError("Vdd must be positive")
+    if abs(vdd_v - device.vdd_v) < 1e-12:
+        return device
+    retargeted = replace(device, vdd_v=vdd_v)
+    target = ITRS_2000.node(node_nm).ion_target_ua_um
+    vth = solve_vth_for_ion(retargeted, target)
+    return retargeted.with_vth(vth)
+
+
+def static_dynamic_ratio_sweep(
+    variants: tuple[tuple[int, float], ...] = FIG1_VARIANTS,
+    activities: tuple[float, ...] = DEFAULT_ACTIVITIES,
+    temperature_k: float = FIG1_TEMPERATURE_K,
+) -> list[RatioPoint]:
+    """Compute the Fig. 1 curves.
+
+    Returns one :class:`RatioPoint` per (variant, activity) pair, in
+    variant-major order.
+    """
+    points: list[RatioPoint] = []
+    for node_nm, vdd_v in variants:
+        device = device_at_vdd(node_nm, vdd_v)
+        stage = fo4_reference(node_nm, device=device)
+        for activity in activities:
+            ratio = stage.static_to_dynamic_ratio(
+                activity, temperature_k=temperature_k)
+            points.append(RatioPoint(node_nm=node_nm, vdd_v=vdd_v,
+                                     activity=float(activity), ratio=ratio))
+    return points

@@ -1,0 +1,171 @@
+"""Intra-cell stacks, state-dependent leakage and mixed-Vth cells.
+
+Section 3.3's closing idea: "the use of different threshold transistors
+in a stacked arrangement can give fairly substantial leakage savings
+with minimal delay penalties.  Furthermore, the state dependence of
+leakage can be leveraged in cases with stacked multi-Vth's without
+additional sleep transistors" (see also ref [38]).
+
+Model: a series stack of N devices conducts the leakage of its weakest
+barrier.  With one device off, the stack leaks that device's Ioff; with
+two or more off, the internal node settles so that the stack leaks
+roughly :data:`STACK_FACTOR` of the single-off value (the classic ~10x
+stack effect).  Mixed-Vth stacks leak through whichever series path the
+input state leaves on, so placing a single high-Vth device in the stack
+caps the worst state at the high-Vth Ioff while only that device's
+delay contribution slows the gate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.devices.mosfet import DeviceParams, MosfetModel
+from repro.errors import ModelParameterError
+
+#: Residual leakage fraction when two or more stacked devices are off.
+STACK_FACTOR = 0.1
+
+
+@dataclass(frozen=True)
+class StackedDevice:
+    """One transistor of a series stack."""
+
+    device: DeviceParams
+    width_um: float
+
+    def __post_init__(self) -> None:
+        if self.width_um <= 0:
+            raise ModelParameterError("width must be positive")
+
+    def ioff_a(self, temperature_k: float = 300.0) -> float:
+        """Off current of this device alone [A]."""
+        return (MosfetModel(self.device).ioff_na_um(
+            temperature_k=temperature_k) * 1e-9 * self.width_um)
+
+    def on_resistance_weight(self) -> float:
+        """Relative series-resistance contribution when on (~1/(W*Ion))."""
+        ion = MosfetModel(self.device).ion_ua_um()
+        return 1.0 / (self.width_um * ion)
+
+
+class TransistorStack:
+    """A series stack of (possibly mixed-Vth) transistors."""
+
+    def __init__(self, devices: list[StackedDevice]):
+        if not devices:
+            raise ModelParameterError("stack needs at least one device")
+        self.devices = list(devices)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def leakage_a(self, off_mask: tuple[bool, ...],
+                  temperature_k: float = 300.0) -> float:
+        """Stack leakage for a given input state [A].
+
+        ``off_mask[i]`` is True when device i is off.  A fully-on stack
+        does not leak (the output node is driven); with off devices the
+        stack leaks the *minimum* off current among them (the weakest
+        barrier dominates the series path), suppressed by the stack
+        factor when several are off.
+        """
+        if len(off_mask) != len(self.devices):
+            raise ModelParameterError(
+                f"mask length {len(off_mask)} != stack height "
+                f"{len(self.devices)}"
+            )
+        off_currents = [device.ioff_a(temperature_k)
+                        for device, off in zip(self.devices, off_mask)
+                        if off]
+        if not off_currents:
+            return 0.0
+        bottleneck = min(off_currents)
+        if len(off_currents) >= 2:
+            bottleneck *= STACK_FACTOR
+        return bottleneck
+
+    def average_leakage_a(self, temperature_k: float = 300.0) -> float:
+        """Leakage averaged over equiprobable input states [A]."""
+        states = list(itertools.product((False, True),
+                                        repeat=len(self.devices)))
+        total = sum(self.leakage_a(state, temperature_k)
+                    for state in states)
+        return total / len(states)
+
+    def worst_state_leakage_a(self,
+                              temperature_k: float = 300.0) -> float:
+        """Leakage of the worst (leakiest) input state [A]."""
+        states = itertools.product((False, True),
+                                   repeat=len(self.devices))
+        return max(self.leakage_a(state, temperature_k)
+                   for state in states)
+
+    def best_standby_state(self, temperature_k: float = 300.0
+                           ) -> tuple[bool, ...]:
+        """Input state minimising leakage with at least one device off.
+
+        This is ref [38]'s technique: park the logic in its lowest-
+        leakage state instead of adding sleep transistors.
+        """
+        states = [state for state in
+                  itertools.product((False, True),
+                                    repeat=len(self.devices))
+                  if any(state)]
+        return min(states,
+                   key=lambda state: self.leakage_a(state,
+                                                    temperature_k))
+
+    def relative_delay(self) -> float:
+        """Series-resistance proxy for the stack's pull delay.
+
+        The sum of per-device 1/(W * Ion) weights; comparing two stacks
+        of equal height gives their delay ratio.
+        """
+        return sum(device.on_resistance_weight()
+                   for device in self.devices)
+
+
+@dataclass(frozen=True)
+class MixedVthComparison:
+    """All-low-Vth vs one-high-Vth-in-stack comparison (Section 3.3)."""
+
+    all_low: TransistorStack
+    mixed: TransistorStack
+    temperature_k: float
+
+    @property
+    def leakage_saving(self) -> float:
+        """Average-leakage reduction of the mixed stack (0..1)."""
+        base = self.all_low.average_leakage_a(self.temperature_k)
+        return 1.0 - self.mixed.average_leakage_a(self.temperature_k) \
+            / base
+
+    @property
+    def delay_penalty(self) -> float:
+        """Fractional pull-delay increase of the mixed stack."""
+        return self.mixed.relative_delay() \
+            / self.all_low.relative_delay() - 1.0
+
+
+def mixed_vth_stack_study(device: DeviceParams, height: int = 2,
+                          width_um: float = 1.0,
+                          vth_offset_v: float = 0.100,
+                          temperature_k: float = 300.0
+                          ) -> MixedVthComparison:
+    """Compare an all-low-Vth stack against one with a high-Vth foot.
+
+    The high-Vth device sits nearest the rail (the usual placement), so
+    every leaking state sees its strong barrier.
+    """
+    if height < 2:
+        raise ModelParameterError("a stack study needs height >= 2")
+    low = device.with_vth(device.vth_v - vth_offset_v)
+    all_low = TransistorStack(
+        [StackedDevice(low, width_um) for _ in range(height)])
+    mixed = TransistorStack(
+        [StackedDevice(device, width_um)]
+        + [StackedDevice(low, width_um) for _ in range(height - 1)])
+    return MixedVthComparison(all_low=all_low, mixed=mixed,
+                              temperature_k=temperature_k)

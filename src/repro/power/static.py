@@ -1,0 +1,123 @@
+"""Chip-level static power (Section 3.1).
+
+The ITRS constrains static power to 10 % of the maximum MPU dissipation;
+the paper notes that at 35 nm this still allows a 30 A standby current,
+and that without circuit/architecture innovation the projected leakage
+reaches kilowatt levels -- a 98 % reduction burden on design techniques.
+
+This module scales per-micron device leakage up to a whole chip using a
+total-transistor-width estimate, and quantifies those two headline
+numbers.
+"""
+
+from __future__ import annotations
+
+from repro.devices.mosfet import MosfetModel
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+
+#: Fraction of the maximum chip power the ITRS allows to be static.
+ITRS_STATIC_FRACTION = 0.10
+
+#: Total transistor width per unit die area [m of width per m^2 of die].
+#: Derived from typical MPU layout density: at 180 nm roughly 20 M
+#: transistors of ~10*Leff average width on a 340 mm^2 die; the density
+#: scales as 1/node^2 along the roadmap while average width scales with
+#: Leff, making width-per-area scale roughly as 1/node.
+_WIDTH_DENSITY_180NM_M_PER_M2 = 8.0e4
+
+
+def total_device_width_m(node_nm: int) -> float:
+    """Estimated total (leaking) transistor width on the die [m]."""
+    record = ITRS_2000.node(node_nm)
+    density = _WIDTH_DENSITY_180NM_M_PER_M2 * (180.0 / node_nm)
+    return density * record.die_area_m2
+
+
+def standby_current_a(node_nm: int, vth_v: float | None = None,
+                      temperature_k: float = 300.0,
+                      off_fraction: float = 0.5) -> float:
+    """Chip standby current from subthreshold leakage [A].
+
+    ``off_fraction`` is the fraction of total width that is off and
+    leaking at any time (half, for complementary logic).
+    """
+    if not 0.0 < off_fraction <= 1.0:
+        raise ModelParameterError("off_fraction must lie in (0, 1]")
+    device = device_for_node(node_nm)
+    model = MosfetModel(device)
+    ioff_a_per_m = model.ioff_na_um(vth_v=vth_v,
+                                    temperature_k=temperature_k) * 1e-3
+    return ioff_a_per_m * total_device_width_m(node_nm) * off_fraction
+
+
+def chip_static_power_w(node_nm: int, vth_v: float | None = None,
+                        temperature_k: float = 300.0) -> float:
+    """Chip static power Vdd * Istandby [W]."""
+    device = device_for_node(node_nm)
+    return device.vdd_v * standby_current_a(node_nm, vth_v, temperature_k)
+
+
+def itrs_static_budget_w(node_nm: int) -> float:
+    """Static power allowed by the ITRS 10 % rule [W]."""
+    return ITRS_STATIC_FRACTION * ITRS_2000.node(node_nm).chip_power_w
+
+
+def itrs_standby_current_budget_a(node_nm: int) -> float:
+    """Standby current implied by the 10 % rule [A].
+
+    At 35 nm this is the paper's "30 A of current in standby":
+    0.1 * 183 W / 0.6 V = 30.5 A.
+    """
+    record = ITRS_2000.node(node_nm)
+    return itrs_static_budget_w(node_nm) / record.vdd_v
+
+
+#: Operating junction temperature for chip-level leakage accounting [K]
+#: (the 85 C the roadmap requires; leakage is evaluated hot, not at the
+#: 300 K used for the Eq.-(4) device comparison).
+OPERATING_TEMPERATURE_K = 358.15
+
+
+def static_power_reduction_required(
+        node_nm: int,
+        temperature_k: float = OPERATING_TEMPERATURE_K) -> float:
+    """Fractional reduction circuit techniques must deliver (0..1).
+
+    The paper quotes 98 % at the end of the roadmap (using the ITRS'
+    own Ioff growth); with our calibrated per-node Vth the hot-junction
+    requirement lands at 70-90 % for the sub-100 nm nodes -- same
+    conclusion, somewhat milder because the 35 nm Vth of 0.11 V leaks
+    less than the anomalous 0.04 V point at 50 nm.
+    """
+    unchecked = chip_static_power_w(node_nm, temperature_k=temperature_k)
+    budget = itrs_static_budget_w(node_nm)
+    if unchecked <= budget:
+        return 0.0
+    return 1.0 - budget / unchecked
+
+
+def unchecked_static_projection_w(node_nm: int,
+                                  growth_per_generation: float = 5.0
+                                  ) -> float:
+    """Static power if Ioff grows unchecked (ref [23]'s projection) [W].
+
+    Ref [23] projects a 5x Ioff rise per generation (the ITRS assumes
+    2x).  Compounding that from the 180 nm baseline, together with the
+    growing integrated transistor width, "static power would reach
+    kilowatt levels, dwarfing dynamic power" by the end of the roadmap
+    -- this function reproduces that trajectory.
+    """
+    if growth_per_generation <= 0:
+        raise ModelParameterError("growth per generation must be positive")
+    sizes = list(ITRS_2000.node_sizes)
+    generation = sizes.index(ITRS_2000.node(node_nm).node_nm)
+    baseline = chip_static_power_w(
+        180, temperature_k=OPERATING_TEMPERATURE_K)
+    width_growth = (total_device_width_m(node_nm)
+                    / total_device_width_m(180))
+    vdd_ratio = (ITRS_2000.node(node_nm).vdd_v
+                 / ITRS_2000.node(180).vdd_v)
+    return (baseline * growth_per_generation ** generation
+            * width_growth * vdd_ratio)

@@ -1,0 +1,174 @@
+"""Figs. 3 and 4: the multi-Vdd + multi-Vth scalable power approach.
+
+Section 3.3 evaluates a 35 nm gate as its local supply is lowered from
+the nominal 0.6 V down to 0.2 V under three threshold policies:
+
+* **CONSTANT**: Vth stays at its nominal value; delay degrades steeply
+  (the paper quotes 3.7x at 0.2 V).
+* **CONSTANT_PSTATIC**: Vth is lowered just fast enough that
+  Pstatic = Vdd * Ioff stays constant.  Because Ioff also shrinks with
+  Vdd through DIBL, a substantial Vth reduction is affordable and the
+  delay increase at 0.2 V stays modest (paper: < 30 %) while dynamic
+  power falls 89 %.
+* **CONSERVATIVE**: Vth is lowered only enough to keep Ioff constant, so
+  Pstatic falls linearly with Vdd; delay lies between the other two.
+
+Fig. 4 plots the resulting Pdynamic/Pstatic ratio (activity 0.1) and the
+paper derives that a 10x dynamic-over-static constraint allows
+Vdd ~ 0.44 V, a ~46 % dynamic-power saving.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro import units
+from repro.circuits.fo4 import Fo4Reference, fo4_reference
+from repro.devices.mosfet import DeviceParams, MosfetModel
+from repro.devices.params import device_for_node
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+
+#: Node analysed by Figs. 3 and 4.
+FIG34_NODE_NM = 35
+
+#: Junction temperature for the Fig. 4 power ratio [K] (as in Fig. 1).
+FIG4_TEMPERATURE_K = units.celsius_to_kelvin(85.0)
+
+#: Activity factor of Fig. 4.
+FIG4_ACTIVITY = 0.1
+
+#: Supply sweep of Figs. 3-4 [V].
+DEFAULT_VDD_SWEEP = tuple(np.linspace(0.2, 0.6, 21))
+
+
+class VthPolicy(enum.Enum):
+    """Threshold-scaling policy applied as the local Vdd is lowered."""
+
+    CONSTANT = "constant"
+    CONSTANT_PSTATIC = "constant_pstatic"
+    CONSERVATIVE = "conservative"
+
+
+def vth_for_policy(device: DeviceParams, vdd_v: float,
+                   policy: VthPolicy) -> float:
+    """Threshold voltage at a reduced supply under the given policy.
+
+    All algebra follows from the extended Eq. (4):
+    ``Ioff = I0 * 10^(-(Vth - eta (Vdd - Vdd_nom)) / S)``.
+    """
+    if vdd_v <= 0 or vdd_v > device.vdd_v:
+        raise ModelParameterError(
+            f"policy supplies must lie in (0, {device.vdd_v}] V, got {vdd_v}"
+        )
+    if policy is VthPolicy.CONSTANT:
+        return device.vth_v
+    dibl_shift = device.dibl_v_per_v * (vdd_v - device.vdd_v)
+    if policy is VthPolicy.CONSERVATIVE:
+        # Keep Ioff constant: the effective threshold must not change, so
+        # the nominal Vth absorbs the (negative) DIBL shift.
+        return device.vth_v + dibl_shift
+    # CONSTANT_PSTATIC: Vdd * Ioff constant, i.e. Ioff may grow by
+    # (Vdd_nom / Vdd); on top of that the DIBL reduction of Ioff at the
+    # lower drain bias can also be given back as Vth reduction.
+    swing_v = MosfetModel(device).subthreshold_swing_mv() * 1e-3
+    allowed_ioff_growth = device.vdd_v / vdd_v
+    return (device.vth_v + dibl_shift
+            - swing_v * np.log10(allowed_ioff_growth))
+
+
+@dataclass(frozen=True)
+class VddScalingPoint:
+    """One sample of the Fig. 3 / Fig. 4 sweeps."""
+
+    vdd_v: float
+    policy: VthPolicy
+    vth_v: float
+    #: FO4 delay normalised to the nominal-Vdd, nominal-Vth gate.
+    delay_norm: float
+    #: Dynamic power normalised to nominal (same f and C): (Vdd/Vnom)^2.
+    dynamic_power_norm: float
+    #: Static power normalised to nominal.
+    static_power_norm: float
+    #: Pdynamic / Pstatic at the Fig. 4 operating point.
+    dyn_over_static: float
+
+
+def _stage(node_nm: int) -> Fo4Reference:
+    return fo4_reference(node_nm)
+
+
+def scaling_point(vdd_v: float, policy: VthPolicy,
+                  node_nm: int = FIG34_NODE_NM,
+                  activity: float = FIG4_ACTIVITY,
+                  temperature_k: float = FIG4_TEMPERATURE_K
+                  ) -> VddScalingPoint:
+    """Evaluate one (Vdd, policy) operating point."""
+    device = device_for_node(node_nm)
+    stage = _stage(node_nm)
+    vth = vth_for_policy(device, vdd_v, policy)
+
+    delay_nom = stage.delay_s()
+    delay = stage.delay_s(vdd_v=vdd_v, vth_v=vth)
+
+    static_nom = stage.static_power_w(temperature_k=temperature_k)
+    static = stage.static_power_w(vdd_v=vdd_v, vth_v=vth,
+                                  temperature_k=temperature_k)
+
+    dynamic = stage.dynamic_power_w(activity, vdd_v=vdd_v)
+
+    return VddScalingPoint(
+        vdd_v=vdd_v,
+        policy=policy,
+        vth_v=vth,
+        delay_norm=delay / delay_nom,
+        dynamic_power_norm=(vdd_v / device.vdd_v) ** 2,
+        static_power_norm=static / static_nom,
+        dyn_over_static=dynamic / static,
+    )
+
+
+def vdd_scaling_sweep(policy: VthPolicy,
+                      vdds_v: tuple[float, ...] = DEFAULT_VDD_SWEEP,
+                      node_nm: int = FIG34_NODE_NM,
+                      activity: float = FIG4_ACTIVITY,
+                      temperature_k: float = FIG4_TEMPERATURE_K
+                      ) -> list[VddScalingPoint]:
+    """Compute one Fig. 3 / Fig. 4 curve."""
+    return [scaling_point(float(vdd), policy, node_nm, activity,
+                          temperature_k)
+            for vdd in vdds_v]
+
+
+def vdd_for_power_ratio(target_ratio: float,
+                        policy: VthPolicy = VthPolicy.CONSTANT_PSTATIC,
+                        node_nm: int = FIG34_NODE_NM,
+                        activity: float = FIG4_ACTIVITY,
+                        temperature_k: float = FIG4_TEMPERATURE_K) -> float:
+    """Lowest Vdd keeping Pdynamic/Pstatic above ``target_ratio`` [V].
+
+    With the ITRS 10x constraint and the constant-Pstatic policy the
+    paper obtains ~0.44 V, a ~46 % dynamic-power saving.
+    """
+    if target_ratio <= 0:
+        raise ModelParameterError("target ratio must be positive")
+    device = device_for_node(node_nm)
+    vdd_max = device.vdd_v
+
+    def residual(vdd_v: float) -> float:
+        point = scaling_point(vdd_v, policy, node_nm, activity,
+                              temperature_k)
+        return point.dyn_over_static - target_ratio
+
+    if residual(vdd_max) < 0:
+        raise InfeasibleConstraintError(
+            f"Pdyn/Pstat is below {target_ratio} even at the nominal "
+            f"{vdd_max} V supply (activity {activity})"
+        )
+    low = 0.05 * vdd_max
+    if residual(low) > 0:
+        return low
+    return float(brentq(residual, low, vdd_max, xtol=1e-4))

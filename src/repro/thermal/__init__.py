@@ -1,0 +1,73 @@
+"""Thermal and packaging models (Section 2.1 of the paper).
+
+Eq. (1)'s junction-to-ambient thermal resistance model, a packaging /
+cooling-solution catalog with the paper's cost cliffs, a lumped thermal
+RC network of the die/spreader/heat-sink stack, the Pentium-4-style
+on-die thermal sensor, and a dynamic thermal management (DTM) simulator
+that closes the sensor -> clock-throttle feedback loop.
+"""
+
+from repro.thermal.package import (
+    CoolingSolution,
+    COOLING_CATALOG,
+    EFFECTIVE_WORST_CASE_FRACTION,
+    cheapest_cooling,
+    cooling_cost_usd,
+    junction_temperature_c,
+    max_power_w,
+    theta_ja,
+    dtm_packaging_benefit,
+)
+from repro.thermal.rc_network import ThermalNetwork, ThermalStage, \
+    default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.dtm import DtmController, DtmResult, simulate_dtm
+from repro.thermal.dvs import (
+    DvsController,
+    DvsResult,
+    OperatingPoint,
+    dvs_vs_throttling_throughput,
+    simulate_dvs,
+)
+from repro.thermal.electrothermal import (
+    leakage_amplification,
+    runaway_theta,
+    solve_operating_point,
+)
+from repro.thermal.workloads import (
+    PowerTrace,
+    power_virus_trace,
+    realistic_app_trace,
+    bursty_trace,
+)
+
+__all__ = [
+    "CoolingSolution",
+    "COOLING_CATALOG",
+    "EFFECTIVE_WORST_CASE_FRACTION",
+    "cheapest_cooling",
+    "cooling_cost_usd",
+    "junction_temperature_c",
+    "max_power_w",
+    "theta_ja",
+    "dtm_packaging_benefit",
+    "ThermalNetwork",
+    "ThermalStage",
+    "default_thermal_network",
+    "ThermalSensor",
+    "DtmController",
+    "DtmResult",
+    "simulate_dtm",
+    "DvsController",
+    "DvsResult",
+    "OperatingPoint",
+    "dvs_vs_throttling_throughput",
+    "simulate_dvs",
+    "leakage_amplification",
+    "runaway_theta",
+    "solve_operating_point",
+    "PowerTrace",
+    "power_virus_trace",
+    "realistic_app_trace",
+    "bursty_trace",
+]

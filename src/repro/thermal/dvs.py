@@ -1,0 +1,158 @@
+"""Dynamic voltage scaling as a thermal-management lever (Section 2.1).
+
+"Transmeta's approach dynamically varies the supply voltage when the
+CPU is not heavily loaded."  Against Pentium-4-style clock duty-cycling,
+DVS wins on the throughput/power curve: at a scaled supply v (and the
+frequency the logic then sustains), power falls roughly as v^3 while
+throughput falls only as the frequency -- so shedding a given number of
+watts costs less performance than gating the clock.
+
+The controller steps through a table of (voltage, relative frequency)
+operating points when the thermal sensor trips, and back up when it
+releases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+from repro.thermal.dtm import DtmResult
+from repro.thermal.rc_network import ThermalNetwork
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import PowerTrace
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVS table entry."""
+
+    #: Supply relative to nominal.
+    vdd_ratio: float
+    #: Sustainable clock relative to nominal at that supply.
+    freq_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.vdd_ratio <= 1.0:
+            raise ModelParameterError("vdd_ratio must lie in (0, 1]")
+        if not 0.0 < self.freq_ratio <= 1.0:
+            raise ModelParameterError("freq_ratio must lie in (0, 1]")
+
+    @property
+    def power_ratio(self) -> float:
+        """Dynamic power relative to nominal: f * V^2."""
+        return self.freq_ratio * self.vdd_ratio ** 2
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Delivered compute relative to nominal (frequency-bound)."""
+        return self.freq_ratio
+
+
+#: A typical four-step DVS ladder: frequency tracks the supply linearly
+#: in the near-nominal regime (alpha-power exponent ~1 at these
+#: overdrives), giving the classic ~cubic power-frequency relation.
+DEFAULT_LADDER: tuple[OperatingPoint, ...] = (
+    OperatingPoint(vdd_ratio=1.00, freq_ratio=1.00),
+    OperatingPoint(vdd_ratio=0.90, freq_ratio=0.87),
+    OperatingPoint(vdd_ratio=0.80, freq_ratio=0.73),
+    OperatingPoint(vdd_ratio=0.70, freq_ratio=0.58),
+)
+
+
+@dataclass
+class DvsController:
+    """Sensor-driven voltage/frequency stepping."""
+
+    sensor: ThermalSensor
+    ladder: tuple[OperatingPoint, ...] = DEFAULT_LADDER
+    _level: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ModelParameterError("ladder cannot be empty")
+        powers = [point.power_ratio for point in self.ladder]
+        if any(a < b for a, b in zip(powers, powers[1:])):
+            raise ModelParameterError(
+                "ladder must be ordered from fastest to slowest"
+            )
+
+    @property
+    def level(self) -> int:
+        """Current ladder index (0 = nominal)."""
+        return self._level
+
+    def modulate(self, demanded_power_w: float,
+                 junction_c: float) -> tuple[float, float]:
+        """One control step: returns (delivered power, throughput ratio).
+
+        Trips step one rung down the ladder; releases step one rung up.
+        """
+        tripped = self.sensor.sample(junction_c)
+        if tripped and self._level + 1 < len(self.ladder):
+            self._level += 1
+        elif not tripped and self._level > 0:
+            self._level -= 1
+        point = self.ladder[self._level]
+        return demanded_power_w * point.power_ratio, \
+            point.throughput_ratio
+
+
+@dataclass(frozen=True)
+class DvsResult:
+    """Outcome of one DVS simulation run."""
+
+    junction_c: tuple[float, ...]
+    delivered_w: tuple[float, ...]
+    throughput_ratio: tuple[float, ...]
+    dt_s: float
+
+    @property
+    def max_junction_c(self) -> float:
+        """Hottest junction temperature reached [C]."""
+        return max(self.junction_c)
+
+    @property
+    def throughput_fraction(self) -> float:
+        """Mean delivered throughput relative to nominal."""
+        return sum(self.throughput_ratio) / len(self.throughput_ratio)
+
+    @property
+    def scaled_fraction(self) -> float:
+        """Fraction of samples spent below the nominal operating point."""
+        return sum(1 for ratio in self.throughput_ratio if ratio < 1.0) \
+            / len(self.throughput_ratio)
+
+
+def simulate_dvs(trace: PowerTrace, network: ThermalNetwork,
+                 controller: DvsController,
+                 preheat_power_w: float | None = None) -> DvsResult:
+    """Run a power trace through the stack under DVS control."""
+    if preheat_power_w is None:
+        preheat_power_w = 0.5 * trace.peak_w
+    network.settle(preheat_power_w)
+    junction: list[float] = []
+    delivered: list[float] = []
+    throughput: list[float] = []
+    for demand_w in trace.samples_w:
+        power, ratio = controller.modulate(demand_w, network.junction_c)
+        network.step(power, trace.dt_s)
+        junction.append(network.junction_c)
+        delivered.append(power)
+        throughput.append(ratio)
+    return DvsResult(
+        junction_c=tuple(junction),
+        delivered_w=tuple(delivered),
+        throughput_ratio=tuple(throughput),
+        dt_s=trace.dt_s,
+    )
+
+
+def dvs_vs_throttling_throughput(dvs: DvsResult,
+                                 throttling: DtmResult) -> float:
+    """Throughput advantage of DVS over duty-cycle throttling.
+
+    Positive values mean DVS delivered more compute under the same
+    thermal envelope -- the Transmeta argument.
+    """
+    return dvs.throughput_fraction - throttling.throughput_fraction

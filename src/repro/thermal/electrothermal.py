@@ -1,0 +1,151 @@
+"""Electrothermal feedback: leakage-temperature coupling and runaway.
+
+The paper treats its two headline problems -- packaging-limited heat
+removal (Section 2.1) and exponentially-growing subthreshold leakage
+(Section 3) -- in separate sections, but on a real die they couple:
+leakage grows steeply with junction temperature, the extra leakage
+power raises the junction temperature further, and past a critical
+package resistance the fixed point disappears entirely (thermal
+runaway).  This module closes that loop:
+
+* :func:`solve_operating_point` -- fixed-point solve of
+  ``Tj = Ta + theta * (Pdyn + Pleak(Tj))`` by bisection on the
+  monotone residual;
+* :func:`runaway_theta` -- the critical junction-to-ambient resistance
+  beyond which no stable operating point exists below the search
+  ceiling;
+* :func:`leakage_amplification` -- how much larger the settled leakage
+  is than the naive room-temperature estimate, which is exactly the
+  correction the Section 3.1 chip-leakage numbers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+from repro.itrs.packaging import AMBIENT_C
+from repro.power.static import chip_static_power_w
+
+#: Highest junction temperature considered physical / searchable [C].
+T_SEARCH_MAX_C = 400.0
+
+
+def chip_leakage_at_c(node_nm: int, junction_c: float) -> float:
+    """Chip leakage power at a junction temperature [W]."""
+    if junction_c < -55.0:
+        raise ModelParameterError("junction temperature below -55 C")
+    return chip_static_power_w(node_nm,
+                               temperature_k=junction_c + 273.15)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A settled electrothermal operating point."""
+
+    node_nm: int
+    theta_ja: float
+    dynamic_power_w: float
+    junction_c: float
+    leakage_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Dynamic plus settled leakage [W]."""
+        return self.dynamic_power_w + self.leakage_w
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of the total power."""
+        return self.leakage_w / self.total_power_w
+
+
+def solve_operating_point(node_nm: int, theta_ja: float,
+                          dynamic_power_w: float,
+                          t_ambient_c: float = AMBIENT_C
+                          ) -> OperatingPoint:
+    """Find the stable junction temperature with leakage feedback.
+
+    The residual ``f(T) = Ta + theta (Pdyn + Pleak(T)) - T`` is strictly
+    decreasing in ``-T`` ... concretely: f(Ta) > 0 always, and a stable
+    point exists iff f crosses zero below :data:`T_SEARCH_MAX_C`.
+    Raises :class:`InfeasibleConstraintError` on thermal runaway.
+    """
+    if theta_ja <= 0:
+        raise ModelParameterError("theta_ja must be positive")
+    if dynamic_power_w < 0:
+        raise ModelParameterError("dynamic power cannot be negative")
+
+    def residual(junction_c: float) -> float:
+        total = dynamic_power_w + chip_leakage_at_c(node_nm, junction_c)
+        return t_ambient_c + theta_ja * total - junction_c
+
+    if residual(T_SEARCH_MAX_C) > 0:
+        raise InfeasibleConstraintError(
+            f"thermal runaway: no operating point below "
+            f"{T_SEARCH_MAX_C} C at theta_ja = {theta_ja} C/W with "
+            f"{dynamic_power_w} W dynamic at {node_nm} nm"
+        )
+    junction = float(brentq(residual, t_ambient_c, T_SEARCH_MAX_C,
+                            xtol=1e-6))
+    return OperatingPoint(
+        node_nm=node_nm,
+        theta_ja=theta_ja,
+        dynamic_power_w=dynamic_power_w,
+        junction_c=junction,
+        leakage_w=chip_leakage_at_c(node_nm, junction),
+    )
+
+
+def leakage_amplification(node_nm: int, theta_ja: float,
+                          dynamic_power_w: float,
+                          t_ambient_c: float = AMBIENT_C) -> float:
+    """Settled leakage over the room-temperature (300 K) estimate.
+
+    The Section 3.1 chip-leakage numbers quoted at 300 K understate the
+    real burden by this factor once the die self-heats.
+    """
+    point = solve_operating_point(node_nm, theta_ja, dynamic_power_w,
+                                  t_ambient_c)
+    room = chip_static_power_w(node_nm, temperature_k=300.0)
+    return point.leakage_w / room
+
+
+def runaway_theta(node_nm: int, dynamic_power_w: float,
+                  t_ambient_c: float = AMBIENT_C,
+                  theta_max: float = 10.0) -> float:
+    """Critical theta_ja beyond which thermal runaway occurs [C/W].
+
+    Bisection on the existence of a stable operating point.  A value
+    comfortably above the packaging requirement means the design has
+    electrothermal margin; a value near it means the leakage feedback
+    is eating the thermal budget.
+    """
+    if dynamic_power_w < 0:
+        raise ModelParameterError("dynamic power cannot be negative")
+
+    def stable(theta: float) -> bool:
+        try:
+            solve_operating_point(node_nm, theta, dynamic_power_w,
+                                  t_ambient_c)
+            return True
+        except InfeasibleConstraintError:
+            return False
+
+    if not stable(1e-3):
+        raise InfeasibleConstraintError(
+            f"{dynamic_power_w} W at {node_nm} nm runs away even with "
+            "a near-ideal package"
+        )
+    if stable(theta_max):
+        return theta_max
+    low, high = 1e-3, theta_max
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        if stable(mid):
+            low = mid
+        else:
+            high = mid
+    return low

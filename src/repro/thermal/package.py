@@ -1,0 +1,163 @@
+"""Eq. (1) and the packaging-cost analysis of Section 2.1.
+
+    theta_ja = (Tchip - Tambient) / Pchip                          (1)
+
+The paper's quantitative anchors, which this module reproduces:
+
+* theta_ja of 0.6-1.0 C/W for 2001 desktop/workstation processors,
+  with an ITRS target of 0.25 C/W;
+* a rise from 65 W to 75 W *triples* cooling cost (heat-pipe cliff);
+* vapor-compression refrigeration costs ~$1 per watt cooled;
+* dynamic thermal management lets packages be sized for the *effective*
+  worst case, ~75 % of the theoretical worst case, which buys a 33 %
+  higher allowable theta_ja (1 / 0.75 = 1.33).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.itrs.packaging import AMBIENT_C, REFRIGERATION_COST_PER_W
+
+#: Effective worst-case power as a fraction of theoretical worst case,
+#: from running power-hungry real applications (refs [7, 8]).
+EFFECTIVE_WORST_CASE_FRACTION = 0.75
+
+
+def theta_ja(t_chip_c: float, t_ambient_c: float, p_chip_w: float) -> float:
+    """Junction-to-ambient thermal resistance, Eq. (1) [C/W]."""
+    if p_chip_w <= 0:
+        raise ModelParameterError("chip power must be positive")
+    if t_chip_c <= t_ambient_c:
+        raise ModelParameterError(
+            f"junction temperature {t_chip_c} C must exceed ambient "
+            f"{t_ambient_c} C for heat to flow outward"
+        )
+    return (t_chip_c - t_ambient_c) / p_chip_w
+
+
+def junction_temperature_c(theta_ja_c_per_w: float, p_chip_w: float,
+                           t_ambient_c: float = AMBIENT_C) -> float:
+    """On-die temperature for a given package and power [C]."""
+    if theta_ja_c_per_w <= 0:
+        raise ModelParameterError("theta_ja must be positive")
+    if p_chip_w < 0:
+        raise ModelParameterError("power cannot be negative")
+    return t_ambient_c + theta_ja_c_per_w * p_chip_w
+
+
+def max_power_w(theta_ja_c_per_w: float, tj_max_c: float,
+                t_ambient_c: float = AMBIENT_C) -> float:
+    """Largest power a package can dissipate within the Tj limit [W]."""
+    if theta_ja_c_per_w <= 0:
+        raise ModelParameterError("theta_ja must be positive")
+    if tj_max_c <= t_ambient_c:
+        raise ModelParameterError("junction limit must exceed ambient")
+    return (tj_max_c - t_ambient_c) / theta_ja_c_per_w
+
+
+@dataclass(frozen=True)
+class CoolingSolution:
+    """One rung of the cooling-technology ladder."""
+
+    name: str
+    theta_ja_c_per_w: float
+    cost_usd: float
+
+    def can_cool(self, p_chip_w: float, tj_max_c: float,
+                 t_ambient_c: float = AMBIENT_C) -> bool:
+        """True when this solution keeps the junction within its limit."""
+        return junction_temperature_c(self.theta_ja_c_per_w, p_chip_w,
+                                      t_ambient_c) <= tj_max_c
+
+
+#: The cooling ladder, calibrated so that (at Tj = 85 C, Ta = 45 C)
+#: 65 W fits the standard fan+sink while 75 W requires the 3x-costlier
+#: heat-pipe solution -- the paper's Intel anecdote.
+COOLING_CATALOG: tuple[CoolingSolution, ...] = (
+    CoolingSolution("passive heat sink", theta_ja_c_per_w=0.90,
+                    cost_usd=6.0),
+    CoolingSolution("fan + heat sink", theta_ja_c_per_w=0.60,
+                    cost_usd=15.0),
+    CoolingSolution("heat pipe + fan", theta_ja_c_per_w=0.45,
+                    cost_usd=45.0),
+    CoolingSolution("advanced heat pipe cluster", theta_ja_c_per_w=0.33,
+                    cost_usd=120.0),
+    CoolingSolution("liquid cooling", theta_ja_c_per_w=0.25,
+                    cost_usd=300.0),
+)
+
+
+def cheapest_cooling(p_chip_w: float, tj_max_c: float,
+                     t_ambient_c: float = AMBIENT_C) -> CoolingSolution:
+    """Cheapest catalog solution that keeps the junction in spec.
+
+    Beyond the catalog, vapor-compression refrigeration is synthesised
+    at $1 per watt cooled with an effective theta_ja low enough for the
+    request (the paper's cost reference point).
+    """
+    feasible = [solution for solution in COOLING_CATALOG
+                if solution.can_cool(p_chip_w, tj_max_c, t_ambient_c)]
+    if feasible:
+        return min(feasible, key=lambda solution: solution.cost_usd)
+    required = theta_ja(tj_max_c, t_ambient_c, p_chip_w)
+    # Compressor hardware has a base cost on top of the paper's ~$1 per
+    # watt cooled, keeping the ladder monotone past the catalog.
+    base_cost = max(solution.cost_usd for solution in COOLING_CATALOG)
+    return CoolingSolution(
+        name="vapor-compression refrigeration",
+        theta_ja_c_per_w=required,
+        cost_usd=base_cost + REFRIGERATION_COST_PER_W * p_chip_w,
+    )
+
+
+def cooling_cost_usd(p_chip_w: float, tj_max_c: float,
+                     t_ambient_c: float = AMBIENT_C) -> float:
+    """Cost of the cheapest adequate cooling solution [$]."""
+    return cheapest_cooling(p_chip_w, tj_max_c, t_ambient_c).cost_usd
+
+
+@dataclass(frozen=True)
+class DtmBenefit:
+    """Packaging benefit of dynamic thermal management at one design."""
+
+    theoretical_worst_w: float
+    effective_worst_w: float
+    theta_without_dtm: float
+    theta_with_dtm: float
+    cost_without_dtm_usd: float
+    cost_with_dtm_usd: float
+
+    @property
+    def theta_relief(self) -> float:
+        """Fractional theta_ja increase DTM allows (paper: ~33 %)."""
+        return self.theta_with_dtm / self.theta_without_dtm - 1.0
+
+    @property
+    def cost_saving_usd(self) -> float:
+        """Cooling-cost saving from sizing for the effective worst case."""
+        return self.cost_without_dtm_usd - self.cost_with_dtm_usd
+
+
+def dtm_packaging_benefit(theoretical_worst_w: float, tj_max_c: float,
+                          t_ambient_c: float = AMBIENT_C,
+                          effective_fraction: float =
+                          EFFECTIVE_WORST_CASE_FRACTION) -> DtmBenefit:
+    """Quantify Section 2.1's DTM argument for one design point."""
+    if not 0.0 < effective_fraction <= 1.0:
+        raise ModelParameterError(
+            "effective fraction must lie in (0, 1]"
+        )
+    effective = effective_fraction * theoretical_worst_w
+    return DtmBenefit(
+        theoretical_worst_w=theoretical_worst_w,
+        effective_worst_w=effective,
+        theta_without_dtm=theta_ja(tj_max_c, t_ambient_c,
+                                   theoretical_worst_w),
+        theta_with_dtm=theta_ja(tj_max_c, t_ambient_c, effective),
+        cost_without_dtm_usd=cooling_cost_usd(theoretical_worst_w,
+                                              tj_max_c, t_ambient_c),
+        cost_with_dtm_usd=cooling_cost_usd(effective, tj_max_c,
+                                           t_ambient_c),
+    )

@@ -1,0 +1,136 @@
+"""Lumped thermal RC network of the die / spreader / heat-sink stack.
+
+The DTM simulator needs thermal *dynamics*, not just the steady state of
+Eq. (1): the die heats in milliseconds while the heat sink responds in
+tens of seconds, which is exactly the separation of time scales that
+makes sensor-driven throttling effective.
+
+The stack is a chain of stages, each with a heat capacity and a thermal
+resistance toward ambient-side; power enters at the junction (stage 0).
+Integration is explicit Euler with an automatic sub-stepping rule that
+keeps the step below a fraction of the fastest RC time constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.itrs.packaging import AMBIENT_C
+
+#: Explicit-Euler stability/accuracy margin: dt <= margin * min(RC).
+_EULER_MARGIN = 0.2
+
+
+@dataclass(frozen=True)
+class ThermalStage:
+    """One stage of the stack: a heat capacity and its outward resistance."""
+
+    name: str
+    #: Heat capacity [J/K].
+    capacity_j_per_k: float
+    #: Resistance from this stage toward the next (or ambient) [C/W].
+    resistance_c_per_w: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_j_per_k <= 0 or self.resistance_c_per_w <= 0:
+            raise ModelParameterError(
+                f"thermal stage {self.name!r} needs positive R and C"
+            )
+
+
+class ThermalNetwork:
+    """A chain of :class:`ThermalStage` between junction and ambient."""
+
+    def __init__(self, stages: list[ThermalStage],
+                 t_ambient_c: float = AMBIENT_C):
+        if not stages:
+            raise ModelParameterError("network needs at least one stage")
+        self.stages = list(stages)
+        self.t_ambient_c = t_ambient_c
+        self.temperatures_c = [t_ambient_c] * len(stages)
+
+    @property
+    def theta_ja(self) -> float:
+        """Total junction-to-ambient resistance [C/W]."""
+        return sum(stage.resistance_c_per_w for stage in self.stages)
+
+    @property
+    def junction_c(self) -> float:
+        """Current junction temperature [C]."""
+        return self.temperatures_c[0]
+
+    def reset(self, t_c: float | None = None) -> None:
+        """Set every stage to ``t_c`` (default: ambient)."""
+        value = self.t_ambient_c if t_c is None else t_c
+        self.temperatures_c = [value] * len(self.stages)
+
+    def steady_state_c(self, power_w: float) -> list[float]:
+        """Steady-state temperature of every stage at constant power [C]."""
+        if power_w < 0:
+            raise ModelParameterError("power cannot be negative")
+        temperatures = []
+        downstream = self.theta_ja
+        for stage in self.stages:
+            temperatures.append(self.t_ambient_c + power_w * downstream)
+            downstream -= stage.resistance_c_per_w
+        return temperatures
+
+    def settle(self, power_w: float) -> None:
+        """Jump the network to its steady state at ``power_w``."""
+        self.temperatures_c = self.steady_state_c(power_w)
+
+    def _min_time_constant_s(self) -> float:
+        return min(stage.capacity_j_per_k * stage.resistance_c_per_w
+                   for stage in self.stages)
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the network by ``dt_s`` with power injected at stage 0.
+
+        Returns the junction temperature after the step [C].
+        """
+        if power_w < 0:
+            raise ModelParameterError("power cannot be negative")
+        if dt_s <= 0:
+            raise ModelParameterError("time step must be positive")
+        max_sub = _EULER_MARGIN * self._min_time_constant_s()
+        n_sub = max(1, int(dt_s / max_sub) + 1)
+        sub_dt = dt_s / n_sub
+        n_stages = len(self.stages)
+        for _ in range(n_sub):
+            temps = self.temperatures_c
+            flows_out = []
+            for index, stage in enumerate(self.stages):
+                downstream_t = (temps[index + 1] if index + 1 < n_stages
+                                else self.t_ambient_c)
+                flows_out.append((temps[index] - downstream_t)
+                                 / stage.resistance_c_per_w)
+            new_temps = []
+            for index, stage in enumerate(self.stages):
+                inflow = power_w if index == 0 else flows_out[index - 1]
+                delta = (inflow - flows_out[index]) * sub_dt \
+                    / stage.capacity_j_per_k
+                new_temps.append(temps[index] + delta)
+            self.temperatures_c = new_temps
+        return self.junction_c
+
+
+def default_thermal_network(theta_ja_total: float,
+                            t_ambient_c: float = AMBIENT_C
+                            ) -> ThermalNetwork:
+    """Build a three-stage die/spreader/sink stack with total theta_ja.
+
+    The resistance split (20/30/50 %) and heat capacities are typical of
+    a desktop processor package: the die responds in ~10 ms, the
+    spreader in ~1 s, the sink in ~100 s.
+    """
+    if theta_ja_total <= 0:
+        raise ModelParameterError("theta_ja must be positive")
+    return ThermalNetwork([
+        ThermalStage("die", capacity_j_per_k=0.3,
+                     resistance_c_per_w=0.20 * theta_ja_total),
+        ThermalStage("spreader", capacity_j_per_k=40.0,
+                     resistance_c_per_w=0.30 * theta_ja_total),
+        ThermalStage("heat sink", capacity_j_per_k=400.0,
+                     resistance_c_per_w=0.50 * theta_ja_total),
+    ], t_ambient_c=t_ambient_c)

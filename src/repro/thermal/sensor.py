@@ -1,0 +1,84 @@
+"""On-die thermal sensor (Section 2.1, ref [7]).
+
+The Pentium 4 thermal monitor: a diode with a fixed forward current whose
+voltage falls ~2 mV/K, a reference source, and a current comparator that
+trips when the die exceeds a set temperature.  We model the diode
+transfer curve, additive measurement noise, and comparator hysteresis
+(trip and release thresholds) -- the hysteresis is what prevents
+throttle chatter in the DTM loop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+
+#: Diode forward-voltage temperature coefficient [V/C].
+DIODE_TEMPCO_V_PER_C = -2.0e-3
+
+#: Diode forward voltage at 25 C with the reference bias [V].
+DIODE_V25_V = 0.65
+
+
+def diode_voltage_v(temperature_c: float) -> float:
+    """Forward voltage of the sense diode at a die temperature [V]."""
+    return DIODE_V25_V + DIODE_TEMPCO_V_PER_C * (temperature_c - 25.0)
+
+
+def diode_temperature_c(voltage_v: float) -> float:
+    """Inverse transfer: temperature for a measured diode voltage [C]."""
+    return 25.0 + (voltage_v - DIODE_V25_V) / DIODE_TEMPCO_V_PER_C
+
+
+@dataclass
+class ThermalSensor:
+    """Diode + comparator with hysteresis.
+
+    ``trip_c`` is the over-temperature threshold; the comparator releases
+    only when the die falls below ``trip_c - hysteresis_c``.
+    """
+
+    trip_c: float
+    hysteresis_c: float = 2.0
+    #: 1-sigma measurement noise [C].
+    noise_sigma_c: float = 0.5
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    _tripped: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.hysteresis_c < 0 or self.noise_sigma_c < 0:
+            raise ModelParameterError(
+                "hysteresis and noise must be non-negative"
+            )
+        self._rng = random.Random(self.seed)
+
+    @property
+    def tripped(self) -> bool:
+        """Current comparator state."""
+        return self._tripped
+
+    def measure_c(self, true_temperature_c: float) -> float:
+        """Noisy temperature readout via the diode transfer curve [C]."""
+        noisy_v = (diode_voltage_v(true_temperature_c)
+                   + self._rng.gauss(0.0, abs(DIODE_TEMPCO_V_PER_C)
+                                     * self.noise_sigma_c))
+        return diode_temperature_c(noisy_v)
+
+    def sample(self, true_temperature_c: float) -> bool:
+        """Update the comparator from one reading; returns trip state."""
+        measured = self.measure_c(true_temperature_c)
+        if self._tripped:
+            if measured < self.trip_c - self.hysteresis_c:
+                self._tripped = False
+        else:
+            if measured >= self.trip_c:
+                self._tripped = True
+        return self._tripped
+
+    def reset(self) -> None:
+        """Clear comparator state and reseed the noise source."""
+        self._tripped = False
+        self._rng = random.Random(self.seed)

@@ -1,0 +1,236 @@
+"""Physical constants and unit helpers used throughout the library.
+
+Internally the library works in SI units (meters, volts, amperes, watts,
+seconds, kelvin, farads).  The paper, like most of the VLSI literature,
+quotes quantities in mixed engineering units (nm, Angstrom, uA/um, nA/um,
+fF, W/cm^2, ...), so this module provides explicit, named conversion
+helpers rather than scattering magic powers of ten across the code base.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_K = 1.380649e-23
+
+#: Elementary charge [C].
+ELECTRON_CHARGE = 1.602176634e-19
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2 (thermal gate oxide).
+EPSILON_SIO2 = 3.9
+
+#: Absolute permittivity of SiO2 [F/m].
+EPSILON_OX = EPSILON_SIO2 * EPSILON_0
+
+#: Room temperature used by the ITRS and Eq. (4) of the paper [K].
+ROOM_TEMPERATURE_K = 300.0
+
+#: Zero Celsius in kelvin.
+ZERO_CELSIUS_K = 273.15
+
+#: Resistivity of copper interconnect, including barrier/scattering
+#: degradation typical for the nodes considered [ohm*m].
+COPPER_RESISTIVITY = 2.2e-8
+
+# ---------------------------------------------------------------------------
+# Length
+# ---------------------------------------------------------------------------
+
+
+def nm(value: float) -> float:
+    """Convert nanometres to metres."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Convert micrometres to metres."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Convert millimetres to metres."""
+    return value * 1e-3
+
+
+def cm(value: float) -> float:
+    """Convert centimetres to metres."""
+    return value * 1e-2
+
+
+def angstrom(value: float) -> float:
+    """Convert Angstrom to metres (1 A = 0.1 nm)."""
+    return value * 1e-10
+
+
+def to_nm(value_m: float) -> float:
+    """Convert metres to nanometres."""
+    return value_m * 1e9
+
+
+def to_um(value_m: float) -> float:
+    """Convert metres to micrometres."""
+    return value_m * 1e6
+
+
+def to_angstrom(value_m: float) -> float:
+    """Convert metres to Angstrom."""
+    return value_m * 1e10
+
+
+# ---------------------------------------------------------------------------
+# Current densities (per unit transistor width)
+# ---------------------------------------------------------------------------
+
+
+def ua_per_um(value: float) -> float:
+    """Convert microamps-per-micron to amps-per-metre."""
+    return value * 1e-6 / 1e-6  # 1 uA/um == 1 A/m
+
+
+def na_per_um(value: float) -> float:
+    """Convert nanoamps-per-micron to amps-per-metre."""
+    return value * 1e-3
+
+
+def to_ua_per_um(value_a_per_m: float) -> float:
+    """Convert amps-per-metre to microamps-per-micron."""
+    return value_a_per_m
+
+
+def to_na_per_um(value_a_per_m: float) -> float:
+    """Convert amps-per-metre to nanoamps-per-micron."""
+    return value_a_per_m * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Capacitance
+# ---------------------------------------------------------------------------
+
+
+def fF(value: float) -> float:  # noqa: N802 - standard engineering symbol
+    """Convert femtofarads to farads."""
+    return value * 1e-15
+
+
+def pF(value: float) -> float:  # noqa: N802
+    """Convert picofarads to farads."""
+    return value * 1e-12
+
+
+def to_fF(value_f: float) -> float:  # noqa: N802
+    """Convert farads to femtofarads."""
+    return value_f * 1e15
+
+
+# ---------------------------------------------------------------------------
+# Time / frequency
+# ---------------------------------------------------------------------------
+
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * 1e-12
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def to_ps(value_s: float) -> float:
+    """Convert seconds to picoseconds."""
+    return value_s * 1e12
+
+
+def ghz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+
+def celsius_to_kelvin(value_c: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return value_c + ZERO_CELSIUS_K
+
+
+def kelvin_to_celsius(value_k: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return value_k - ZERO_CELSIUS_K
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """kT/q at the given temperature [V].
+
+    At 300 K this is ~25.85 mV; the subthreshold swing of an ideal MOSFET
+    is ln(10) * kT/q ~ 59.5 mV/decade, degraded by the body factor in
+    real devices (the paper assumes 85 mV/decade at room temperature).
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return BOLTZMANN_K * temperature_k / ELECTRON_CHARGE
+
+
+# ---------------------------------------------------------------------------
+# Power density
+# ---------------------------------------------------------------------------
+
+
+def w_per_cm2(value: float) -> float:
+    """Convert W/cm^2 to W/m^2."""
+    return value * 1e4
+
+
+def to_w_per_cm2(value_w_per_m2: float) -> float:
+    """Convert W/m^2 to W/cm^2."""
+    return value_w_per_m2 * 1e-4
+
+
+# ---------------------------------------------------------------------------
+# Mobility
+# ---------------------------------------------------------------------------
+
+
+def cm2_per_vs(value: float) -> float:
+    """Convert cm^2/(V*s) mobility to m^2/(V*s)."""
+    return value * 1e-4
+
+
+def to_cm2_per_vs(value_si: float) -> float:
+    """Convert m^2/(V*s) mobility to cm^2/(V*s)."""
+    return value_si * 1e4
+
+
+# ---------------------------------------------------------------------------
+# Misc helpers
+# ---------------------------------------------------------------------------
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibels."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def decades(ratio: float) -> float:
+    """Express a ratio in decades (log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return math.log10(ratio)

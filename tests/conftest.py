@@ -1,0 +1,12 @@
+"""Test-suite configuration.
+
+Registers a deterministic hypothesis profile: model evaluations involve
+scipy root-finding whose wall time varies across machines, so the
+per-example deadline is disabled and examples are derandomised for
+reproducible CI runs.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")

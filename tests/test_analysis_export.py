@@ -1,0 +1,77 @@
+"""CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    export_experiment,
+    result_to_csv_rows,
+    write_csv,
+    write_json,
+)
+from repro.errors import ReproError
+
+
+def test_rows_from_table_result():
+    from repro.analysis import run_experiment
+    rows = result_to_csv_rows(run_experiment("E-T2"))
+    assert len(rows) == 6
+    assert "vth_v" in rows[0]
+
+
+def test_rows_from_curve_result():
+    from repro.analysis import run_experiment
+    rows = result_to_csv_rows(run_experiment("E-F3"))
+    assert {row["curve"] for row in rows} \
+        == {"constant", "constant_pstatic", "conservative"}
+
+
+def test_rows_from_series_pairs():
+    from repro.analysis import run_experiment
+    rows = result_to_csv_rows(run_experiment("E-F1"))
+    assert {"curve", "x", "y"} <= set(rows[0])
+
+
+def test_rows_from_scalar_result():
+    from repro.analysis import run_experiment
+    rows = result_to_csv_rows(run_experiment("E-V1"))
+    assert len(rows) == 1
+    assert "strip_error" in rows[0]
+
+
+def test_unexportable_rejected():
+    with pytest.raises(ReproError):
+        result_to_csv_rows([1, 2, 3])
+
+
+def test_write_csv_round_trip(tmp_path):
+    from repro.analysis import run_experiment
+    path = tmp_path / "t2.csv"
+    write_csv(run_experiment("E-T2"), str(path))
+    with open(path, newline="", encoding="utf-8") as stream:
+        rows = list(csv.DictReader(stream))
+    assert len(rows) == 6
+    assert float(rows[0]["vth_v"]) == pytest.approx(0.30, abs=0.02)
+
+
+def test_write_json_valid(tmp_path):
+    from repro.analysis import run_experiment
+    path = tmp_path / "f5.json"
+    write_json(run_experiment("E-F5"), str(path))
+    with open(path, encoding="utf-8") as stream:
+        data = json.load(stream)
+    assert "curves" in data
+    assert "summary" in data
+
+
+def test_export_experiment_writes_both(tmp_path):
+    written = export_experiment("E-T2", str(tmp_path))
+    assert any(path.endswith(".json") for path in written)
+    assert any(path.endswith(".csv") for path in written)
+
+
+def test_export_scalar_only_json_plus_csv(tmp_path):
+    written = export_experiment("E-V1", str(tmp_path))
+    assert len(written) == 2

@@ -1,0 +1,59 @@
+"""Figure reproductions: series structure and headline values."""
+
+import pytest
+
+from repro.analysis.figure1 import reproduce_figure1
+from repro.analysis.figure2 import reproduce_figure2
+from repro.analysis.figure3 import reproduce_figure3
+from repro.analysis.figure4 import reproduce_figure4
+from repro.analysis.figure5 import reproduce_figure5
+
+
+def test_figure1_series():
+    result = reproduce_figure1()
+    assert set(result["series"]) == {"70nm@0.9V", "50nm@0.7V",
+                                     "50nm@0.6V"}
+    for curve in result["series"].values():
+        activities = [a for a, _ in curve]
+        assert activities == sorted(activities)
+        assert activities[0] == pytest.approx(0.01)
+        assert activities[-1] == pytest.approx(0.5)
+
+
+def test_figure2_headlines():
+    summary = reproduce_figure2()["summary"]
+    assert summary["penalty_at_35nm"] < summary["penalty_at_180nm"]
+    assert summary["ion_gain_at_35nm_pct"] \
+        > summary["ion_gain_at_180nm_pct"]
+
+
+def test_figure3_curves_have_policies():
+    result = reproduce_figure3()
+    assert set(result["curves"]) == {"constant", "constant_pstatic",
+                                     "conservative"}
+    for curve in result["curves"].values():
+        assert curve[0]["vdd_v"] == pytest.approx(0.2)
+        assert curve[-1]["vdd_v"] == pytest.approx(0.6)
+        assert curve[-1]["delay_norm"] == pytest.approx(1.0)
+
+
+def test_figure3_summary_bands():
+    summary = reproduce_figure3()["summary"]
+    assert summary["delay_constant_pstatic_at_0v2"] \
+        < summary["paper_delay_constant_pstatic_bound"] + 0.05
+    assert summary["dynamic_saving_at_0v2"] == pytest.approx(0.89,
+                                                             abs=0.01)
+
+
+def test_figure4_summary():
+    summary = reproduce_figure4()["summary"]
+    assert 0.40 < summary["vdd_at_ratio_10"] < 0.50
+    assert summary["ratio_constant_pstatic_at_0v2"] < 5.0
+
+
+def test_figure5_structure():
+    result = reproduce_figure5()
+    assert set(result["curves"]) == {"min_pitch", "itrs_pads"}
+    summary = result["summary"]
+    assert summary["itrs_width_over_min_at_35nm"] \
+        > 20 * summary["min_pitch_width_over_min_at_35nm"]

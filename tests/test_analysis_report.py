@@ -1,0 +1,38 @@
+"""Text rendering of experiment results."""
+
+from repro.analysis.report import render_dict_rows, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["node", "value"], [[180, 1.5], [35, 1204.7]])
+    lines = text.splitlines()
+    assert lines[0].startswith("node")
+    assert "---" in lines[1]
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows padded to the same width
+
+
+def test_float_formatting():
+    text = render_table(["x"], [[0.000123], [12345.0], [1.5], [0.0]])
+    assert "0.000123" in text
+    assert "1.23e+04" in text or "12345" in text.replace(",", "")
+    assert "1.500" in text
+    assert "0" in text
+
+
+def test_bool_formatting():
+    text = render_table(["ok"], [[True], [False]])
+    assert "yes" in text
+    assert "no" in text
+
+
+def test_render_dict_rows():
+    rows = [{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}]
+    text = render_dict_rows(rows)
+    assert text.splitlines()[0].startswith("a")
+    assert len(text.splitlines()) == 4
+
+
+def test_render_dict_rows_empty():
+    assert render_dict_rows([]) == "(no rows)"

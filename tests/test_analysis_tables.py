@@ -1,0 +1,46 @@
+"""Table reproductions: structure and paper-band checks."""
+
+import pytest
+
+from repro.analysis.table1 import reproduce_table1
+from repro.analysis.table2 import (
+    fifty_nm_at_0v7,
+    reproduce_table2,
+    table2_row,
+)
+
+
+class TestTable1:
+    def test_rows_and_summary(self):
+        result = reproduce_table1()
+        assert len(result["rows"]) == 9
+        assert result["summary"]["sub_1v_devices_meeting_itrs_ion"] == 0
+
+
+class TestTable2:
+    def test_row_fields(self):
+        row = table2_row(70)
+        assert row["node_nm"] == 70
+        assert row["vth_v"] == pytest.approx(0.14, abs=0.015)
+        assert row["ioff_na_um"] == pytest.approx(210.0, rel=0.25)
+        assert row["ioff_metal_na_um"] < row["ioff_na_um"]
+        assert row["metal_gate_vth_gain_mv"] > 0
+
+    def test_coxe_normalisation(self):
+        assert table2_row(180)["coxe_norm"] == pytest.approx(1.0)
+        norms = [table2_row(n)["coxe_norm"]
+                 for n in (180, 130, 100, 70, 50, 35)]
+        assert all(a < b for a, b in zip(norms, norms[1:]))
+
+    def test_50nm_variant(self):
+        variant = fifty_nm_at_0v7()
+        assert variant["vth_v"] > table2_row(50)["vth_v"]
+        assert variant["ioff_relief_vs_0v6"] > 5.0
+        assert variant["dynamic_power_penalty"] == pytest.approx(
+            0.361, abs=1e-3)
+
+    def test_summary_bands(self):
+        summary = reproduce_table2()["summary"]
+        assert 120 < summary["model_ioff_increase_180_to_35"] < 220
+        assert summary["model_over_itrs_at_35nm"] > 2.5
+        assert 0.70 < summary["metal_gate_ioff_reduction_at_35nm"] < 0.90

@@ -1,0 +1,113 @@
+"""On-the-fly cell generation (Section 2.3)."""
+
+import pytest
+
+from repro import units
+from repro.circuits.cellgen import (
+    BlockOptimizationResult,
+    generate_cell_for_load,
+    optimize_block,
+    size_instance,
+)
+from repro.circuits.gate import GateDesign, GateKind, GateModel
+from repro.circuits.library import build_library
+from repro.devices.params import device_for_node
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+
+
+@pytest.fixture(scope="module")
+def device():
+    return device_for_node(100)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(100)
+
+
+def _budget(device, load, slack_factor=1.5):
+    reference = GateModel(device, GateDesign(size=2.0))
+    return reference.delay_s(load) * slack_factor
+
+
+class TestGenerateCell:
+    def test_meets_delay_exactly_or_at_floor(self, device):
+        load = units.fF(15.0)
+        budget = _budget(device, load)
+        design = generate_cell_for_load(device, GateKind.INVERTER, 1,
+                                        load, budget)
+        delay = GateModel(device, design).delay_s(load)
+        assert delay <= budget * (1.0 + 1e-6)
+
+    def test_tighter_budget_bigger_cell(self, device):
+        load = units.fF(15.0)
+        relaxed = generate_cell_for_load(device, GateKind.INVERTER, 1,
+                                         load, _budget(device, load, 2.0))
+        tight = generate_cell_for_load(device, GateKind.INVERTER, 1,
+                                       load, _budget(device, load, 1.05))
+        assert tight.size > relaxed.size
+
+    def test_infeasible_budget_raises(self, device):
+        with pytest.raises(InfeasibleConstraintError):
+            generate_cell_for_load(device, GateKind.INVERTER, 1,
+                                   units.fF(100.0), 1e-15)
+
+    def test_nonpositive_budget_rejected(self, device):
+        with pytest.raises(ModelParameterError):
+            generate_cell_for_load(device, GateKind.INVERTER, 1,
+                                   units.fF(1.0), 0.0)
+
+    def test_nand_generation(self, device):
+        load = units.fF(10.0)
+        design = generate_cell_for_load(device, GateKind.NAND, 2, load,
+                                        _budget(device, load))
+        assert design.kind is GateKind.NAND
+        assert design.n_inputs == 2
+
+
+class TestSizeInstance:
+    def test_generated_never_worse_than_library(self, device, library):
+        load = units.fF(8.0)
+        result = size_instance(device, library, GateKind.INVERTER, 1,
+                               load, _budget(device, load, 2.0))
+        assert result.energy_j <= result.library_energy_j * (1 + 1e-9)
+        assert 0.0 <= result.energy_saving < 1.0
+
+    def test_guardband_fallback_on_tight_budget(self, device, library):
+        # A budget only the fastest cell can meet at full (not
+        # guardbanded) timing must not raise.
+        load = units.fF(30.0)
+        fastest = library.fastest_cell(GateKind.INVERTER, load)
+        tight = fastest.delay_s(load) * 1.02
+        result = size_instance(device, library, GateKind.INVERTER, 1,
+                               load, tight)
+        assert result.library_energy_j > 0
+
+    def test_bad_guardband_rejected(self, device, library):
+        with pytest.raises(ModelParameterError):
+            size_instance(device, library, GateKind.INVERTER, 1,
+                          units.fF(5.0), 1e-9, library_guardband=1.5)
+
+
+class TestOptimizeBlock:
+    def test_block_saving_positive(self, device, library):
+        load = units.fF(6.0)
+        budget = _budget(device, load, 2.5)
+        instances = [(GateKind.INVERTER, 1, load, budget)] * 10 \
+            + [(GateKind.NAND, 2, load * 2, budget * 2)] * 5
+        result = optimize_block(device, library, instances)
+        assert isinstance(result, BlockOptimizationResult)
+        assert result.power_saving > 0.0
+        assert len(result.per_instance) == 15
+
+    def test_empty_block_rejected(self, device, library):
+        with pytest.raises(ModelParameterError):
+            optimize_block(device, library, [])
+
+    def test_totals_sum_per_instance(self, device, library):
+        load = units.fF(5.0)
+        budget = _budget(device, load, 2.0)
+        result = optimize_block(device, library,
+                                [(GateKind.INVERTER, 1, load, budget)] * 4)
+        assert result.total_energy_j == pytest.approx(
+            sum(r.energy_j for r in result.per_instance))

@@ -1,0 +1,61 @@
+"""FO4 reference stage (Figs. 1 and 4 configuration)."""
+
+import pytest
+
+from repro import units
+from repro.circuits.fo4 import fo4_reference
+from repro.devices.params import device_for_node
+from repro.itrs import ITRS_2000
+
+
+def test_load_is_four_fanouts_plus_wire():
+    stage = fo4_reference(100)
+    record = ITRS_2000.node(100)
+    wire = units.fF(record.avg_wire_length_um * record.wire_cap_ff_per_um)
+    assert stage.wire_cap_f == pytest.approx(wire)
+    assert stage.load_f == pytest.approx(4.0 * stage.gate.input_cap_f
+                                         + wire)
+
+
+def test_frequency_matches_roadmap():
+    stage = fo4_reference(50)
+    assert stage.frequency_hz == pytest.approx(1e10)
+
+
+def test_delay_monotone_across_nodes():
+    delays = [fo4_reference(n).delay_s() for n in ITRS_2000.node_sizes]
+    assert all(a > b for a, b in zip(delays, delays[1:]))
+
+
+def test_ratio_inverse_in_activity():
+    stage = fo4_reference(50)
+    at_01 = stage.static_to_dynamic_ratio(0.1)
+    at_02 = stage.static_to_dynamic_ratio(0.2)
+    assert at_01 == pytest.approx(2.0 * at_02)
+
+
+def test_ratio_raises_at_zero_activity():
+    stage = fo4_reference(50)
+    with pytest.raises(Exception):
+        stage.static_to_dynamic_ratio(0.0)
+
+
+def test_custom_device_override():
+    import dataclasses
+    device = dataclasses.replace(device_for_node(50), vdd_v=0.7,
+                                 vth_v=0.12)
+    stage = fo4_reference(50, device=device)
+    assert stage.gate.device.vdd_v == 0.7
+
+
+def test_static_power_uses_temperature():
+    stage = fo4_reference(70)
+    assert stage.static_power_w(temperature_k=358.15) \
+        > stage.static_power_w(temperature_k=300.0)
+
+
+def test_dynamic_power_scales_with_vdd_squared():
+    stage = fo4_reference(35)
+    full = stage.dynamic_power_w(0.1)
+    half = stage.dynamic_power_w(0.1, vdd_v=0.3)
+    assert half == pytest.approx(0.25 * full)

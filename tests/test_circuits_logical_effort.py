@@ -1,0 +1,111 @@
+"""Logical-effort sizing substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.circuits.gate import GateKind
+from repro.circuits.logical_effort import (
+    logical_effort,
+    parasitic_delay,
+    size_path,
+    tau_s,
+)
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+
+
+def test_standard_efforts():
+    assert logical_effort(GateKind.INVERTER) == 1.0
+    assert logical_effort(GateKind.NAND, 2) == pytest.approx(4.0 / 3.0)
+    assert logical_effort(GateKind.NOR, 2) == pytest.approx(5.0 / 3.0)
+    assert logical_effort(GateKind.NAND, 3) == pytest.approx(5.0 / 3.0)
+
+
+def test_nor_worse_than_nand():
+    for n in (2, 3, 4):
+        assert logical_effort(GateKind.NOR, n) \
+            > logical_effort(GateKind.NAND, n)
+
+
+def test_parasitics():
+    assert parasitic_delay(GateKind.INVERTER) == 1.0
+    assert parasitic_delay(GateKind.NAND, 3) == 3.0
+
+
+def test_bad_input_count():
+    with pytest.raises(ModelParameterError):
+        logical_effort(GateKind.NAND, 1)
+
+
+def test_tau_positive_and_scales(device_pair=(180, 35)):
+    old, new = (tau_s(device_for_node(n)) for n in device_pair)
+    assert new < old
+    assert new > 0
+
+
+def test_inverter_chain_optimal_effort():
+    device = device_for_node(100)
+    cin = units.fF(2.0)
+    cload = units.fF(2.0) * 4 ** 4
+    sizing = size_path(device, [GateKind.INVERTER] * 4, cin, cload)
+    # Path effort 256 over 4 stages: stage effort 4 -- the classic FO4.
+    assert sizing.stage_effort == pytest.approx(4.0)
+    assert sizing.input_caps_f[0] == pytest.approx(cin, rel=1e-6)
+
+
+def test_caps_grow_geometrically_along_path():
+    device = device_for_node(100)
+    sizing = size_path(device, [GateKind.INVERTER] * 3, units.fF(1.0),
+                       units.fF(64.0))
+    caps = sizing.input_caps_f
+    assert all(a < b for a, b in zip(caps, caps[1:]))
+
+
+def test_more_stages_lower_stage_effort():
+    device = device_for_node(100)
+    short = size_path(device, [GateKind.INVERTER] * 2, units.fF(1.0),
+                      units.fF(100.0))
+    long = size_path(device, [GateKind.INVERTER] * 4, units.fF(1.0),
+                     units.fF(100.0))
+    assert long.stage_effort < short.stage_effort
+
+
+def test_branching_increases_delay():
+    device = device_for_node(100)
+    no_branch = size_path(device, [GateKind.INVERTER] * 3, units.fF(1.0),
+                          units.fF(30.0))
+    branched = size_path(device, [GateKind.INVERTER] * 3, units.fF(1.0),
+                         units.fF(30.0), branching=2.0)
+    assert branched.delay_tau > no_branch.delay_tau
+
+
+def test_mixed_path():
+    device = device_for_node(100)
+    sizing = size_path(device,
+                       [GateKind.NAND, GateKind.INVERTER, GateKind.NOR],
+                       units.fF(1.5), units.fF(40.0))
+    assert len(sizing.input_caps_f) == 3
+    assert sizing.delay_s > 0
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(kinds=[], cin_f=1e-15, cload_f=1e-14),
+    dict(kinds=[GateKind.INVERTER], cin_f=0.0, cload_f=1e-14),
+    dict(kinds=[GateKind.INVERTER], cin_f=1e-15, cload_f=1e-14,
+         branching=0.5),
+])
+def test_invalid_paths_rejected(kwargs):
+    with pytest.raises(ModelParameterError):
+        size_path(device_for_node(100), **kwargs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cload_ff=st.floats(min_value=5.0, max_value=500.0))
+def test_delay_consistent_with_effort_formula(cload_ff):
+    device = device_for_node(70)
+    n_stages = 3
+    sizing = size_path(device, [GateKind.INVERTER] * n_stages,
+                       units.fF(1.0), units.fF(cload_ff))
+    expected = n_stages * sizing.stage_effort + n_stages * 1.0
+    assert sizing.delay_tau == pytest.approx(expected)

@@ -1,0 +1,110 @@
+"""MOS current-mode logic model (Section 4)."""
+
+import pytest
+
+from repro import units
+from repro.circuits.mcml import (
+    McmlGate,
+    cmos_peak_current_a,
+    mcml_matching_cmos,
+    mcml_vs_cmos_crossover,
+)
+from repro.devices.params import device_for_node
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+
+
+@pytest.fixture(scope="module")
+def device():
+    return device_for_node(50)
+
+
+def test_speed_matching(device):
+    load = units.fF(20.0)
+    cmos, mcml = mcml_matching_cmos(device, load, cmos_size=4.0)
+    assert mcml.delay_s(load + cmos.parasitic_cap_f) == pytest.approx(
+        cmos.delay_s(load), rel=1e-6)
+
+
+def test_static_power_is_bias_power(device):
+    gate = McmlGate(device=device, tail_current_a=1e-4)
+    assert gate.static_power_w() == pytest.approx(device.vdd_v * 1e-4)
+
+
+def test_peak_current_is_tail(device):
+    gate = McmlGate(device=device, tail_current_a=2e-4)
+    assert gate.peak_supply_current_a() == 2e-4
+
+
+def test_transient_advantage_over_cmos(device):
+    load = units.fF(20.0)
+    cmos, mcml = mcml_matching_cmos(device, load, cmos_size=4.0)
+    assert cmos_peak_current_a(cmos) > 2.0 * mcml.peak_supply_current_a()
+
+
+def test_dynamic_power_scales_with_swing(device):
+    low = McmlGate(device=device, tail_current_a=1e-4,
+                   swing_fraction=0.1)
+    high = McmlGate(device=device, tail_current_a=1e-4,
+                    swing_fraction=0.4)
+    load, freq, act = units.fF(10.0), 1e9, 0.5
+    assert high.dynamic_power_w(load, freq, act) == pytest.approx(
+        4.0 * low.dynamic_power_w(load, freq, act))
+
+
+def test_crossover_exists_for_datapath_loads(device):
+    # Paper: MCML offers "lower total power in high activity circuitry
+    # such as datapaths" -- a finite crossover activity must exist.
+    activity = mcml_vs_cmos_crossover(device, units.fF(20.0), 1e10,
+                                      cmos_size=4.0)
+    assert 0.0 < activity < 1.0
+
+
+def _glitched_cmos_power(cmos, load, freq, activity):
+    from repro.circuits.mcml import CMOS_GLITCH_FACTOR
+    return (CMOS_GLITCH_FACTOR * activity * freq
+            * cmos.dynamic_energy_j(load) + cmos.static_power_w())
+
+
+def test_below_crossover_cmos_wins(device):
+    load, freq = units.fF(20.0), 1e10
+    activity = mcml_vs_cmos_crossover(device, load, freq, cmos_size=4.0)
+    cmos, mcml = mcml_matching_cmos(device, load, cmos_size=4.0)
+    low = 0.5 * activity
+    assert mcml.total_power_w(load, freq, low) \
+        > _glitched_cmos_power(cmos, load, freq, low)
+
+
+def test_above_crossover_mcml_wins(device):
+    load, freq = units.fF(20.0), 1e10
+    activity = mcml_vs_cmos_crossover(device, load, freq, cmos_size=4.0)
+    if activity >= 0.99:
+        pytest.skip("crossover at the activity ceiling")
+    cmos, mcml = mcml_matching_cmos(device, load, cmos_size=4.0)
+    high = min(1.0, activity * 1.4)
+    assert mcml.total_power_w(load, freq, high) \
+        < _glitched_cmos_power(cmos, load, freq, high)
+
+
+def test_slow_clock_makes_mcml_hopeless(device):
+    # At low frequency the bias power can never amortise.
+    with pytest.raises(InfeasibleConstraintError):
+        mcml_vs_cmos_crossover(device, units.fF(20.0), 1e6,
+                               cmos_size=4.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(tail_current_a=0.0),
+    dict(tail_current_a=1e-4, swing_fraction=0.0),
+    dict(tail_current_a=1e-4, swing_fraction=1.5),
+])
+def test_validation(device, kwargs):
+    with pytest.raises(ModelParameterError):
+        McmlGate(device=device, **kwargs)
+
+
+def test_negative_load_rejected(device):
+    gate = McmlGate(device=device, tail_current_a=1e-4)
+    with pytest.raises(ModelParameterError):
+        gate.delay_s(-1e-15)
+    with pytest.raises(ModelParameterError):
+        gate.dynamic_power_w(1e-15, 1e9, 1.2)

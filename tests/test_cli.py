@@ -1,0 +1,43 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "E-T2" in out
+    assert "Figure 5" in out
+
+
+def test_roadmap_command(capsys):
+    assert main(["roadmap"]) == 0
+    out = capsys.readouterr().out
+    assert "180" in out
+    assert "35" in out
+    assert "Vdd" in out
+
+
+def test_run_fast_experiment(capsys):
+    assert main(["run", "E-T2"]) == 0
+    out = capsys.readouterr().out
+    assert "E-T2" in out
+    assert "vth" in out.lower()
+
+
+def test_run_figure(capsys):
+    assert main(["run", "E-F3"]) == 0
+    out = capsys.readouterr().out
+    assert "curve:" in out
+
+
+def test_unknown_experiment_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["run", "E-X9"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

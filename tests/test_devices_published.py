@@ -1,0 +1,68 @@
+"""Table 1 device database."""
+
+import pytest
+
+from repro.devices.published import (
+    ITRS_TABLE1_ROWS,
+    PUBLISHED_DEVICES,
+    PublishedDevice,
+    sub_1v_gap_summary,
+    table1_rows,
+)
+from repro.errors import ModelParameterError
+
+
+def test_six_published_devices():
+    assert len(PUBLISHED_DEVICES) == 6
+
+
+def test_refs_match_paper():
+    assert [d.ref for d in PUBLISHED_DEVICES] \
+        == ["[24]", "[25]", "[26]", "[27]", "[28]", "[29]"]
+
+
+def test_chau_row_values():
+    chau = PUBLISHED_DEVICES[0]
+    assert chau.vdd_v == 0.85
+    assert chau.ion_ua_um == 514.0
+    assert chau.ioff_na_um == 100.0
+    assert chau.tox_is_electrical
+
+
+def test_on_off_ratio():
+    yang = next(d for d in PUBLISHED_DEVICES if d.ref == "[28]")
+    assert yang.on_off_ratio == pytest.approx(650.0 * 1e3 / 3.0)
+
+
+def test_sub_1v_classification():
+    sub_1v = [d.ref for d in PUBLISHED_DEVICES if d.is_sub_1v]
+    assert sub_1v == ["[24]"]
+
+
+def test_no_sub_1v_device_meets_itrs():
+    summary = sub_1v_gap_summary()
+    assert summary["sub_1v_devices_meeting_itrs_ion"] == 0.0
+    assert summary["dynamic_power_penalty_at_1v2"] \
+        == pytest.approx(7.0 / 9.0)
+
+
+def test_itrs_rows_cover_three_nodes():
+    assert [row.node_nm for row in ITRS_TABLE1_ROWS] == [100, 70, 50]
+    for row in ITRS_TABLE1_ROWS:
+        assert row.ion_ua_um == 750.0
+        assert row.tox_mid_a == pytest.approx(
+            0.5 * (row.tox_min_a + row.tox_max_a))
+
+
+def test_table1_rows_shape():
+    rows = table1_rows()
+    assert len(rows) == 9
+    assert all({"ref", "node_nm", "tox_a", "tox_kind", "vdd_v",
+                "ion_ua_um", "ioff_na_um"} <= set(row) for row in rows)
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        PublishedDevice(ref="[x]", label="bad", node_nm=100, tox_a=-1.0,
+                        tox_is_electrical=False, vdd_v=1.0,
+                        ion_ua_um=700.0, ioff_na_um=10.0)

@@ -1,0 +1,70 @@
+"""Vth/mobility root-finding: consistency and failure modes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.mosfet import MosfetModel
+from repro.devices.params import device_for_node
+from repro.devices.solver import fit_mobility_for_vth, solve_vth_for_ion
+from repro.errors import CalibrationError
+from repro.itrs import ITRS_2000
+
+
+class TestSolveVth:
+    @pytest.mark.parametrize("node_nm", ITRS_2000.node_sizes)
+    def test_solution_meets_target(self, node_nm):
+        device = device_for_node(node_nm)
+        target = ITRS_2000.node(node_nm).ion_target_ua_um
+        vth = solve_vth_for_ion(device, target)
+        assert MosfetModel(device).ion_ua_um(vth_v=vth) \
+            == pytest.approx(target, rel=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(target=st.floats(min_value=300.0, max_value=900.0))
+    def test_solved_vth_monotone_in_target(self, target):
+        device = device_for_node(100)
+        easy = solve_vth_for_ion(device, target)
+        hard = solve_vth_for_ion(device, target + 50.0)
+        assert hard < easy  # more current needs a lower threshold
+
+    def test_higher_vdd_allows_higher_vth(self):
+        device = device_for_node(70)
+        low = solve_vth_for_ion(device, 750.0, vdd_v=0.9)
+        high = solve_vth_for_ion(device, 750.0, vdd_v=1.0)
+        assert high > low
+
+    def test_unreachable_target_raises(self):
+        device = device_for_node(35)
+        with pytest.raises(CalibrationError):
+            solve_vth_for_ion(device, 5000.0)
+
+    def test_trivial_target_raises(self):
+        device = device_for_node(100)
+        with pytest.raises(CalibrationError):
+            solve_vth_for_ion(device, 1e-9)
+
+    def test_nonpositive_target_raises(self):
+        with pytest.raises(CalibrationError):
+            solve_vth_for_ion(device_for_node(100), 0.0)
+
+
+class TestFitMobility:
+    def test_fit_round_trips(self):
+        device = device_for_node(70)
+        mu = fit_mobility_for_vth(device, vth_target_v=0.14,
+                                  ion_target_ua_um=750.0)
+        refit = device.with_mobility(mu)
+        assert solve_vth_for_ion(refit, 750.0) == pytest.approx(
+            0.14, abs=1e-3)
+
+    def test_harder_vth_needs_more_mobility(self):
+        device = device_for_node(70)
+        mu_low = fit_mobility_for_vth(device, 0.10, 750.0)
+        mu_high = fit_mobility_for_vth(device, 0.20, 750.0)
+        assert mu_high > mu_low  # less overdrive -> stronger channel
+
+    def test_impossible_fit_raises(self):
+        device = device_for_node(35)
+        with pytest.raises(CalibrationError):
+            fit_mobility_for_vth(device, 0.45, 750.0,
+                                 mu_max_cm2=1500.0)

@@ -1,0 +1,34 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for exc_type in (errors.ModelParameterError, errors.UnknownNodeError,
+                     errors.CalibrationError,
+                     errors.InfeasibleConstraintError,
+                     errors.TimingViolationError, errors.NetlistError):
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_model_parameter_error_is_value_error():
+    assert issubclass(errors.ModelParameterError, ValueError)
+
+
+def test_unknown_node_error_is_key_error():
+    assert issubclass(errors.UnknownNodeError, KeyError)
+
+
+def test_calibration_error_is_runtime_error():
+    assert issubclass(errors.CalibrationError, RuntimeError)
+
+
+def test_netlist_error_is_value_error():
+    assert issubclass(errors.NetlistError, ValueError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.InfeasibleConstraintError("nope")

@@ -1,0 +1,40 @@
+"""Every example script must run clean end-to-end.
+
+These are the library's integration surface for new users; each is run
+as a subprocess exactly the way the README invokes it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[path.stem for path in EXAMPLES])
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_cli_module_entry_point():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "E-T2" in completed.stdout

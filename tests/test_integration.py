@@ -1,0 +1,115 @@
+"""Cross-module integration scenarios.
+
+Each test exercises a realistic multi-subsystem flow end to end, the way
+the examples (and a downstream user) would.
+"""
+
+import pytest
+
+from repro import units
+from repro.circuits.fo4 import fo4_reference
+from repro.devices.mosfet import MosfetModel
+from repro.devices.params import device_for_node
+from repro.devices.solver import solve_vth_for_ion
+from repro.interconnect.repeaters import repeater_scaling
+from repro.interconnect.signaling import compare_schemes
+from repro.itrs import ITRS_2000
+from repro.netlist.generate import random_netlist
+from repro.netlist.power import netlist_power
+from repro.netlist.sta import compute_sta
+from repro.optim.combined import combined_flow
+from repro.pdn.bacpac import PitchScenario, fig5_point
+from repro.pdn.bumps import bump_budget
+from repro.thermal.dtm import DtmController, simulate_dtm
+from repro.thermal.package import theta_ja
+from repro.thermal.rc_network import default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import power_virus_trace
+
+
+def test_device_to_gate_to_netlist_consistency():
+    """Vth solved at the device level propagates through gate delay into
+    netlist timing coherently."""
+    device = device_for_node(70)
+    vth = solve_vth_for_ion(device, 750.0)
+    assert MosfetModel(device).ion_ua_um(vth_v=vth) \
+        == pytest.approx(750.0, rel=1e-3)
+    netlist = random_netlist(70, n_gates=100, seed=13)
+    report = compute_sta(netlist)
+    # The critical path is a realistic number of FO4-equivalents.
+    fo4 = fo4_reference(70).delay_s()
+    depth = report.critical_delay_s / fo4
+    assert 3.0 < depth < 60.0
+
+
+def test_low_power_flow_preserves_function_and_timing():
+    netlist = random_netlist(100, n_gates=200, seed=17, depth_skew=2.0,
+                             clock_margin=1.12)
+    fanins_before = {name: netlist.instances[name].fanins
+                     for name in netlist.instances}
+    result = combined_flow(netlist)
+    # Structure untouched, only assignment state changed.
+    assert {name: netlist.instances[name].fanins
+            for name in netlist.instances} == fanins_before
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+    assert result.total_saving > 0.2
+
+
+def test_chip_power_budget_closes_with_signaling_and_leakage():
+    """Global signaling plus leakage must fit inside the roadmap's chip
+    power at the nanometer nodes -- with room for logic."""
+    for node_nm in (70, 50):
+        record = ITRS_2000.node(node_nm)
+        signaling = repeater_scaling(node_nm).signaling_power_w
+        assert signaling < record.chip_power_w
+
+
+def test_thermal_budget_from_roadmap_power():
+    """Feed the roadmap's 50 nm chip power through the packaging chain:
+    a package sized for the DTM effective worst case keeps Tj in spec
+    when a virus hits."""
+    record = ITRS_2000.node(50)
+    theta = theta_ja(record.tj_max_c, 45.0, 0.75 * record.chip_power_w)
+    network = default_thermal_network(theta)
+    controller = DtmController(
+        ThermalSensor(trip_c=record.tj_max_c - 2.0))
+    result = simulate_dtm(power_virus_trace(record.chip_power_w, 45.0),
+                          network, controller)
+    assert result.max_junction_c <= record.tj_max_c + 0.5
+
+
+def test_power_delivery_consistent_with_chip_current():
+    """Fig. 5 sizing and the bump budget consume the same roadmap
+    numbers and agree on which node breaks first."""
+    budget = bump_budget(35)
+    point = fig5_point(35, PitchScenario.ITRS_PADS)
+    assert not budget.feasible
+    assert point.routing_fraction > 0.5
+    healthy = fig5_point(180, PitchScenario.ITRS_PADS)
+    assert healthy.routing_fraction < 0.25
+    assert bump_budget(180).feasible
+
+
+def test_cvs_netlist_power_matches_scheme_arithmetic():
+    """The netlist-level CVS saving is bounded by the ideal per-gate
+    arithmetic (1 - ratio^2) the paper uses."""
+    from repro.optim.cvs import assign_cvs
+    netlist = random_netlist(100, n_gates=200, seed=19, depth_skew=2.2,
+                             clock_margin=1.15)
+    result = assign_cvs(netlist, vdd_ratio=0.65)
+    ideal = result.low_vdd_fraction * (1.0 - 0.65 ** 2)
+    assert 0.0 < result.dynamic_saving <= ideal + 1e-9
+
+
+def test_signaling_energy_against_netlist_scale():
+    """A 64-bit 1 cm low-swing bus costs far less than the equivalent
+    full-swing bus at the same node."""
+    comparison = compare_schemes(50)
+    length_m = 1e-2
+    bits = 64
+    full = comparison.baseline.energy_per_m_j() \
+        * comparison.baseline.wires_per_bit * length_m * bits
+    low = comparison.alternative.energy_per_m_j() \
+        * comparison.alternative.wires_per_bit * length_m * bits
+    assert low < 0.3 * full
+    assert units.to_fF(1.0) > 0  # sanity: units module imported live

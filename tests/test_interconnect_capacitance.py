@@ -1,0 +1,90 @@
+"""Sakurai-Tamaru geometric wire capacitance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.interconnect.capacitance import (
+    WireGeometry,
+    global_tier_geometry,
+    validates_constant_cap_assumption,
+)
+
+
+def _geometry(**overrides):
+    base = dict(width_um=1.0, thickness_um=2.0, height_um=1.0,
+                spacing_um=1.0)
+    base.update(overrides)
+    return WireGeometry(**base)
+
+
+def test_global_tier_lands_on_the_assumed_constant():
+    geometry = global_tier_geometry()
+    total = geometry.total_cap_per_m()
+    assert total == pytest.approx(2.5e-10, rel=0.15)
+    assert validates_constant_cap_assumption()
+
+
+def test_scaling_invariance():
+    # Aspect-preserving scaling leaves per-length capacitance exactly
+    # unchanged -- the physical basis of the constant-F/m tiers.
+    geometry = _geometry()
+    for factor in (0.25, 0.5, 2.0):
+        assert geometry.scaled(factor).total_cap_per_m() \
+            == pytest.approx(geometry.total_cap_per_m(), rel=1e-12)
+
+
+def test_wider_wire_more_ground_cap():
+    assert _geometry(width_um=2.0).ground_cap_per_m() \
+        > _geometry().ground_cap_per_m()
+
+
+def test_closer_neighbours_more_coupling():
+    assert _geometry(spacing_um=0.5).coupling_cap_per_m() \
+        > _geometry().coupling_cap_per_m()
+
+
+def test_coupling_fraction_grows_as_spacing_shrinks():
+    # The crosstalk trend behind Section 2.2's shielding discussion.
+    fractions = [_geometry(spacing_um=s).coupling_fraction()
+                 for s in (2.0, 1.0, 0.5, 0.4)]
+    assert all(a < b for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] > 0.5
+
+
+def test_coupling_fraction_near_assumed_half_at_unit_spacing():
+    fraction = global_tier_geometry().coupling_fraction()
+    assert 0.3 < fraction < 0.6
+
+
+def test_no_neighbours_no_coupling():
+    geometry = _geometry()
+    assert geometry.total_cap_per_m(n_neighbours=0) \
+        == pytest.approx(geometry.ground_cap_per_m())
+    assert geometry.coupling_fraction(n_neighbours=0) == 0.0
+
+
+def test_higher_k_more_cap():
+    assert _geometry(dielectric_k=7.0).total_cap_per_m() \
+        > _geometry().total_cap_per_m()
+
+
+@settings(max_examples=30, deadline=None)
+@given(width=st.floats(min_value=0.3, max_value=5.0),
+       thickness=st.floats(min_value=0.3, max_value=5.0),
+       spacing=st.floats(min_value=0.3, max_value=5.0))
+def test_caps_positive_in_validity_region(width, thickness, spacing):
+    geometry = _geometry(width_um=width, thickness_um=thickness,
+                         spacing_um=spacing)
+    assert geometry.ground_cap_per_m() > 0
+    assert geometry.coupling_cap_per_m() > 0
+    assert 0.0 < geometry.coupling_fraction() < 1.0
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        _geometry(width_um=0.0)
+    with pytest.raises(ModelParameterError):
+        _geometry().total_cap_per_m(n_neighbours=-1)
+    with pytest.raises(ModelParameterError):
+        _geometry().scaled(0.0)

@@ -1,0 +1,93 @@
+"""Repeater clusters (Section 2.2, footnote 2)."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.interconnect.clusters import (
+    ClusterStation,
+    cluster_station,
+    snapped_spacing_m,
+    spacing_delay_penalty,
+)
+from repro.interconnect.repeaters import optimal_repeater_design
+from repro.itrs import ITRS_2000
+
+
+class TestSnapping:
+    def test_exact_multiple_unchanged(self):
+        assert snapped_spacing_m(4e-3, 2e-3) == pytest.approx(4e-3)
+
+    def test_rounds_to_nearest(self):
+        assert snapped_spacing_m(4.6e-3, 2e-3) == pytest.approx(4e-3)
+        assert snapped_spacing_m(5.2e-3, 2e-3) == pytest.approx(6e-3)
+
+    def test_never_zero(self):
+        assert snapped_spacing_m(0.4e-3, 2e-3) == pytest.approx(2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            snapped_spacing_m(0.0, 1e-3)
+
+
+class TestSpacingPenalty:
+    def test_zero_at_optimum(self):
+        design = optimal_repeater_design(50)
+        assert spacing_delay_penalty(design, design.spacing_m) \
+            == pytest.approx(0.0)
+
+    def test_symmetric_and_convex(self):
+        design = optimal_repeater_design(50)
+        h = design.spacing_m
+        assert spacing_delay_penalty(design, 2 * h) == pytest.approx(
+            spacing_delay_penalty(design, 0.5 * h))
+        assert spacing_delay_penalty(design, 3 * h) \
+            > spacing_delay_penalty(design, 2 * h)
+
+    def test_moderate_quantisation_cheap(self):
+        # The engineering rationale for clusters: +-30 % spacing error
+        # costs only a few percent of delay.
+        design = optimal_repeater_design(50)
+        assert spacing_delay_penalty(design, 1.3 * design.spacing_m) \
+            < 0.05
+
+    def test_validation(self):
+        design = optimal_repeater_design(50)
+        with pytest.raises(ModelParameterError):
+            spacing_delay_penalty(design, 0.0)
+
+
+class TestClusterStation:
+    @pytest.mark.parametrize("node_nm", ITRS_2000.node_sizes)
+    def test_density_exceeds_100w_cm2(self, node_nm):
+        # The paper's footnote 2: "Resulting power densities can exceed
+        # 100 W/cm2".
+        station = cluster_station(node_nm)
+        assert station.power_density_w_cm2 > 100.0
+
+    def test_density_far_exceeds_chip_average(self):
+        station = cluster_station(50)
+        assert station.exceeds_chip_average() > 3.0
+
+    def test_more_wires_similar_density_more_power(self):
+        small = cluster_station(50, n_wires=64)
+        large = cluster_station(50, n_wires=512)
+        assert large.station_power_w > 4 * small.station_power_w
+
+    def test_delay_penalty_small(self):
+        station = cluster_station(50)
+        assert 0.0 <= station.delay_penalty < 0.10
+
+    def test_finer_grid_smaller_penalty(self):
+        design = optimal_repeater_design(50)
+        coarse = ClusterStation(50, design, n_wires=128,
+                                grid_m=0.7 * design.spacing_m)
+        fine = ClusterStation(50, design, n_wires=128,
+                              grid_m=0.05 * design.spacing_m)
+        assert fine.delay_penalty <= coarse.delay_penalty
+
+    def test_validation(self):
+        design = optimal_repeater_design(50)
+        with pytest.raises(ModelParameterError):
+            ClusterStation(50, design, n_wires=0, grid_m=1e-3)
+        with pytest.raises(ModelParameterError):
+            ClusterStation(50, design, n_wires=8, grid_m=0.0)

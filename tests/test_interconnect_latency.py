@@ -1,0 +1,69 @@
+"""Cross-chip latency and global clock domains."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.interconnect.latency import (
+    global_latency,
+    latency_roadmap,
+    pipeline_stages_for_route,
+)
+from repro.itrs import ITRS_2000
+
+
+def test_crossing_cycles_grow_with_scaling():
+    cycles = [point.edge_crossing_cycles for point in latency_roadmap()]
+    assert all(a < b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_180nm_single_cycle_chip():
+    # At 180 nm the whole die is reachable in one cycle.
+    assert global_latency(180).edge_crossing_cycles < 1.0
+    assert global_latency(180).global_clock_divider == 1
+
+
+def test_nanometer_nodes_are_multicycle():
+    # Paper: "global signaling will use a slower clock than localized
+    # logic".
+    for node_nm in (70, 50, 35):
+        assert global_latency(node_nm).global_clock_divider >= 2
+
+
+def test_divided_global_clock_meets_itrs():
+    # Ref [9]: with unscaled top-level wiring the ITRS global clock
+    # targets can be met (at the divided rate).
+    for point in latency_roadmap():
+        assert point.meets_itrs_global_clock
+
+
+def test_global_clock_relation():
+    point = global_latency(50)
+    assert point.global_clock_hz == pytest.approx(
+        point.core_clock_hz / point.global_clock_divider)
+
+
+def test_reach_fraction_shrinks():
+    fractions = [point.reach_fraction_of_edge
+                 for point in latency_roadmap()]
+    assert all(a > b for a, b in zip(fractions, fractions[1:]))
+
+
+def test_pipeline_stage_count():
+    point = global_latency(35)
+    one_hop = point.single_cycle_reach_m * 0.9
+    assert pipeline_stages_for_route(35, one_hop) == 1
+    assert pipeline_stages_for_route(35, 3.1 * point.single_cycle_reach_m) == 4
+
+
+def test_pipeline_zero_route():
+    assert pipeline_stages_for_route(35, 0.0) == 0
+
+
+def test_negative_route_rejected():
+    with pytest.raises(ModelParameterError):
+        pipeline_stages_for_route(35, -1.0)
+
+
+def test_roadmap_coverage():
+    assert [point.node_nm for point in latency_roadmap()] \
+        == list(ITRS_2000.node_sizes)

@@ -1,0 +1,69 @@
+"""Coupling-noise estimates."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.interconnect.noise import (
+    capacitive_crosstalk_v,
+    differential_residual_noise_v,
+    inductive_noise_v,
+    shielded_coupling_fraction,
+)
+
+
+def test_crosstalk_proportional():
+    assert capacitive_crosstalk_v(1.0, 0.5) == pytest.approx(0.5)
+    assert capacitive_crosstalk_v(0.0, 0.5) == 0.0
+
+
+def test_crosstalk_bounds():
+    with pytest.raises(ModelParameterError):
+        capacitive_crosstalk_v(1.0, 1.5)
+    with pytest.raises(ModelParameterError):
+        capacitive_crosstalk_v(-1.0, 0.5)
+
+
+def test_shield_attenuation():
+    assert shielded_coupling_fraction(0.0) == 1.0
+    assert shielded_coupling_fraction(1.0) == pytest.approx(0.15)
+    assert shielded_coupling_fraction(2.0) < \
+        shielded_coupling_fraction(1.0)
+
+
+def test_shield_count_validated():
+    with pytest.raises(ModelParameterError):
+        shielded_coupling_fraction(-1.0)
+
+
+def test_differential_rejection():
+    assert differential_residual_noise_v(1.0) == pytest.approx(0.05)
+    with pytest.raises(ModelParameterError):
+        differential_residual_noise_v(-1.0)
+
+
+def test_inductive_noise_sqrt_aggressors():
+    one = inductive_noise_v(1, 1e9, 1e-3)
+    four = inductive_noise_v(4, 1e9, 1e-3)
+    assert four == pytest.approx(2.0 * one)
+
+
+def test_inductive_noise_shielding_weak():
+    # Paper: "shielding may be insufficient to limit inductively
+    # coupled noise" -- shields leave 60 % of it.
+    raw = inductive_noise_v(8, 1e9, 1e-3)
+    shielded = inductive_noise_v(8, 1e9, 1e-3, shielded=True)
+    assert shielded == pytest.approx(0.6 * raw)
+    assert shielded > 0.25 * raw
+
+
+def test_inductive_scales_with_di_dt_and_length():
+    base = inductive_noise_v(4, 1e9, 1e-3)
+    assert inductive_noise_v(4, 2e9, 1e-3) == pytest.approx(2 * base)
+    assert inductive_noise_v(4, 1e9, 2e-3) == pytest.approx(2 * base)
+
+
+def test_inductive_validation():
+    with pytest.raises(ModelParameterError):
+        inductive_noise_v(-1, 1e9, 1e-3)
+    with pytest.raises(ModelParameterError):
+        inductive_noise_v(1, 1e9, -1e-3)

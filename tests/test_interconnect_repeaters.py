@@ -1,0 +1,96 @@
+"""Repeater insertion and its scaling (Section 2.2)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.interconnect.repeaters import (
+    driver_resistance_ohm,
+    optimal_repeater_design,
+    repeater_scaling,
+)
+from repro.interconnect.wire import global_wire, semiglobal_wire
+from repro.devices.params import device_for_node
+from repro.itrs import ITRS_2000
+
+
+def test_driver_resistance_positive_and_scales_inverse():
+    device = device_for_node(100)
+    assert driver_resistance_ohm(device, size=2.0) == pytest.approx(
+        0.5 * driver_resistance_ohm(device, size=1.0))
+
+
+def test_optimal_spacing_near_bakoglu():
+    # Closed form: h = sqrt(2 r0 c0 (1+p) / (R' C')).
+    design = optimal_repeater_design(50)
+    device = device_for_node(50)
+    from repro.circuits.gate import GateModel
+    r0 = driver_resistance_ohm(device)
+    c0 = GateModel(device).input_cap_f
+    wire = global_wire(50)
+    expected = math.sqrt(2 * r0 * c0 * 2.0 / (wire.r_per_m * wire.c_per_m))
+    assert design.spacing_m == pytest.approx(expected)
+
+
+def test_spacing_millimetre_scale():
+    for node_nm in ITRS_2000.node_sizes:
+        design = optimal_repeater_design(node_nm)
+        assert 0.5e-3 < design.spacing_m < 10e-3
+
+
+def test_repeaters_large():
+    # Global repeaters are hundreds of unit inverters wide.
+    design = optimal_repeater_design(50)
+    assert design.size > 100
+
+
+def test_semiglobal_spacing_shorter():
+    for node_nm in (100, 50):
+        top = optimal_repeater_design(node_nm)
+        semi = optimal_repeater_design(node_nm,
+                                       semiglobal_wire(node_nm))
+        assert semi.spacing_m < top.spacing_m
+
+
+def test_velocity_constant_along_line():
+    design = optimal_repeater_design(70)
+    assert design.velocity_m_per_s == pytest.approx(
+        1.0 / design.delay_per_m)
+
+
+def test_repeater_cap_comparable_to_wire_cap():
+    # At the optimum, repeater loading is the same order as wire cap.
+    design = optimal_repeater_design(50)
+    ratio = design.repeater_cap_per_m() / design.wire.c_per_m
+    assert 0.3 < ratio < 3.0
+
+
+def test_count_trajectory_matches_paper():
+    at_180 = repeater_scaling(180)
+    at_50 = repeater_scaling(50)
+    assert 5e3 < at_180.repeater_count < 3e4      # paper: ~1e4
+    assert 5e5 < at_50.repeater_count < 3e6       # paper: ~1e6
+
+
+def test_power_exceeds_50w_in_nanometer_regime():
+    for node_nm in (70, 50, 35):
+        assert repeater_scaling(node_nm).signaling_power_w > 50.0
+
+
+def test_power_grows_with_scaling():
+    powers = [repeater_scaling(n).signaling_power_w
+              for n in ITRS_2000.node_sizes]
+    assert all(a < b for a, b in zip(powers, powers[1:]))
+
+
+def test_cross_chip_needs_multiple_cycles_when_scaled():
+    # Global communication becomes multi-cycle in the nanometer regime
+    # -- the paper's motivation for slower global clocks.
+    assert repeater_scaling(180).cross_chip_cycles < 1.0
+    assert repeater_scaling(35).cross_chip_cycles > 1.0
+
+
+def test_activity_validated():
+    with pytest.raises(ModelParameterError):
+        repeater_scaling(50, activity=0.0)

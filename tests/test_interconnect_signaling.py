@@ -1,0 +1,77 @@
+"""Low-swing / differential signaling schemes."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.interconnect.signaling import (
+    ALPHA_SWING_FRACTION,
+    compare_schemes,
+    full_swing_scheme,
+    low_swing_differential_scheme,
+)
+
+
+def test_alpha_swing_is_10pct():
+    assert ALPHA_SWING_FRACTION == 0.10
+
+
+def test_full_swing_swings_vdd():
+    scheme = full_swing_scheme(50)
+    assert scheme.swing_v == pytest.approx(scheme.vdd_v)
+    assert not scheme.differential
+
+
+def test_low_swing_swings_fraction():
+    scheme = low_swing_differential_scheme(50)
+    assert scheme.swing_v == pytest.approx(0.10 * scheme.vdd_v)
+    assert scheme.differential
+    assert scheme.wires_per_bit == 2.0
+
+
+def test_energy_scales_with_swing():
+    full = full_swing_scheme(50)
+    low = low_swing_differential_scheme(50)
+    assert low.energy_per_m_j() == pytest.approx(
+        0.10 * full.energy_per_m_j())
+
+
+def test_comparison_energy_saving_80pct():
+    comparison = compare_schemes(50)
+    # Two wires at 10 % swing vs one full-swing wire: 80 % saving.
+    assert comparison.energy_saving == pytest.approx(0.80)
+
+
+def test_transient_reduction():
+    comparison = compare_schemes(50)
+    assert comparison.transient_reduction == pytest.approx(5.0)
+
+
+def test_area_ratio_below_two():
+    # Paper: "the increase may be less than the expected factor of 2
+    # due to the use of shield wires" in the baseline.
+    comparison = compare_schemes(50)
+    assert comparison.area_ratio <= 1.5
+
+
+def test_noise_immunity_improvement():
+    comparison = compare_schemes(50)
+    assert comparison.noise_improvement > 1.0
+
+
+def test_smaller_swing_saves_more():
+    aggressive = compare_schemes(50, swing_fraction=0.05)
+    mild = compare_schemes(50, swing_fraction=0.3)
+    assert aggressive.energy_saving > mild.energy_saving
+
+
+def test_foreign_full_swing_aggressor_noise():
+    scheme = low_swing_differential_scheme(50)
+    same_bus = scheme.received_noise_v()
+    foreign = scheme.received_noise_v(aggressor_swing_v=scheme.vdd_v)
+    assert foreign > same_bus
+
+
+@pytest.mark.parametrize("swing", [0.0, 1.5])
+def test_swing_validated(swing):
+    with pytest.raises(ModelParameterError):
+        low_swing_differential_scheme(50, swing_fraction=swing)

@@ -1,0 +1,71 @@
+"""Wire tier models."""
+
+import pytest
+
+from repro.errors import ModelParameterError, UnknownNodeError
+from repro.interconnect.wire import (
+    WireSpec,
+    global_wire,
+    semiglobal_wire,
+)
+from repro.itrs import ITRS_2000
+
+
+def test_global_tier_unscaled():
+    # Ref [9]: top-level geometry is the same at every node.
+    specs = [global_wire(n) for n in ITRS_2000.node_sizes]
+    assert len({(s.width_um, s.thickness_um) for s in specs}) == 1
+
+
+def test_semiglobal_scales_with_node():
+    resistances = [semiglobal_wire(n).r_per_m
+                   for n in ITRS_2000.node_sizes]
+    assert all(a < b for a, b in zip(resistances, resistances[1:]))
+
+
+def test_semiglobal_more_resistive_than_global():
+    # At 180 nm the semi-global tier still matches the fat top level;
+    # below that it scales away from it.
+    assert semiglobal_wire(180).r_per_m \
+        >= global_wire(180).r_per_m * 0.99
+    for node_nm in (130, 100, 70, 50, 35):
+        assert semiglobal_wire(node_nm).r_per_m \
+            > global_wire(node_nm).r_per_m
+
+
+def test_resistance_formula():
+    spec = WireSpec("w", width_um=1.0, thickness_um=2.0,
+                    cap_per_m=2.5e-10)
+    assert spec.r_per_m == pytest.approx(2.2e-8 / 2e-12)
+
+
+def test_unrepeated_delay_quadratic():
+    spec = global_wire(50)
+    one = spec.unrepeated_delay_s(1e-3)
+    two = spec.unrepeated_delay_s(2e-3)
+    assert two == pytest.approx(4.0 * one)
+
+
+def test_global_cap_per_um_realistic():
+    # ~0.25 fF/um, the standard global-wire figure.
+    assert global_wire(100).c_per_m == pytest.approx(2.5e-10)
+
+
+def test_coupling_fraction_half():
+    spec = global_wire(100)
+    assert spec.coupling_cap_per_m() == pytest.approx(0.5 * spec.c_per_m)
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ModelParameterError):
+        global_wire(50).unrepeated_delay_s(-1.0)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ModelParameterError):
+        WireSpec("bad", width_um=0.0, thickness_um=1.0, cap_per_m=1e-10)
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(UnknownNodeError):
+        global_wire(90)

@@ -1,0 +1,35 @@
+"""Roadmap interpolation at off-roadmap feature sizes."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.itrs import ITRS_2000
+
+
+def test_exact_at_defined_nodes():
+    for record in ITRS_2000:
+        assert ITRS_2000.interpolate("vdd_v", record.node_nm) \
+            == pytest.approx(record.vdd_v)
+
+
+def test_90nm_between_100_and_70():
+    vdd = ITRS_2000.interpolate("vdd_v", 90.0)
+    assert 0.9 < vdd < 1.2
+
+
+def test_65nm_clock_between_neighbours():
+    clock = ITRS_2000.interpolate("clock_ghz", 65.0)
+    assert 6.0 < clock < 10.0
+
+
+def test_monotone_attribute_interpolates_monotonically():
+    samples = [ITRS_2000.interpolate("clock_ghz", size)
+               for size in (160, 120, 90, 60, 40)]
+    assert all(a < b for a, b in zip(samples, samples[1:]))
+
+
+def test_out_of_span_rejected():
+    with pytest.raises(UnknownNodeError):
+        ITRS_2000.interpolate("vdd_v", 250.0)
+    with pytest.raises(UnknownNodeError):
+        ITRS_2000.interpolate("vdd_v", 20.0)

@@ -1,0 +1,63 @@
+"""Packaging projections (theta_ja requirements vs capability)."""
+
+import pytest
+
+from repro.errors import ModelParameterError, UnknownNodeError
+from repro.itrs import PACKAGING_BY_NODE
+from repro.itrs.packaging import (
+    AMBIENT_C,
+    PackagingProjection,
+    packaging_for_node,
+)
+
+
+def test_every_roadmap_node_has_projection():
+    assert sorted(PACKAGING_BY_NODE) == [35, 50, 70, 100, 130, 180]
+
+
+def test_2001_era_theta_in_paper_band():
+    # Paper: "theta_ja values range from 0.6 to 1 C/W" circa 2001.
+    for node_nm in (180, 130):
+        projection = PACKAGING_BY_NODE[node_nm]
+        assert 0.4 <= projection.theta_ja_required <= 1.0
+        assert 0.6 <= projection.theta_ja_conventional <= 1.0
+
+
+def test_itrs_target_quarter_c_per_w():
+    # Paper: "ITRS projections call for a theta_ja of 0.25 C/W in 3
+    # years" -- the 100 nm node.
+    assert PACKAGING_BY_NODE[100].theta_ja_required == pytest.approx(0.25)
+
+
+def test_requirement_tightens_monotonically():
+    thetas = [PACKAGING_BY_NODE[n].theta_ja_required
+              for n in (180, 130, 100, 70, 50, 35)]
+    assert all(a >= b for a, b in zip(thetas, thetas[1:]))
+
+
+def test_nanometer_nodes_require_advanced_cooling():
+    for node_nm in (100, 70, 50, 35):
+        assert PACKAGING_BY_NODE[node_nm].requires_advanced_cooling
+
+
+def test_headroom_and_power():
+    projection = PACKAGING_BY_NODE[100]
+    assert projection.headroom_c == pytest.approx(85.0 - AMBIENT_C)
+    assert projection.max_power_required_w == pytest.approx(
+        projection.headroom_c / 0.25)
+    assert (projection.max_power_required_w
+            > projection.max_power_conventional_w)
+
+
+def test_unknown_node_raises():
+    with pytest.raises(UnknownNodeError):
+        packaging_for_node(65)
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ModelParameterError):
+        PackagingProjection(100, theta_ja_conventional=-1.0,
+                            theta_ja_required=0.3, tj_max_c=85.0)
+    with pytest.raises(ModelParameterError):
+        PackagingProjection(100, theta_ja_conventional=0.5,
+                            theta_ja_required=0.3, tj_max_c=40.0)

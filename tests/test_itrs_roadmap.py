@@ -1,0 +1,179 @@
+"""Roadmap data: values the paper quotes, derived quantities, lookups."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ModelParameterError, UnknownNodeError
+from repro.itrs import ITRS_2000, NODES_NM, Roadmap, TechnologyNode
+
+
+class TestQuotedValues:
+    """Values transcribed from the paper must stay verbatim."""
+
+    def test_six_nodes(self):
+        assert ITRS_2000.node_sizes == (180, 130, 100, 70, 50, 35)
+
+    @pytest.mark.parametrize("node_nm,vdd", [(100, 1.2), (70, 0.9),
+                                             (50, 0.6), (35, 0.6)])
+    def test_supply_voltages(self, node_nm, vdd):
+        assert ITRS_2000.node(node_nm).vdd_v == pytest.approx(vdd)
+
+    def test_ion_target_is_750_everywhere(self):
+        for record in ITRS_2000:
+            assert record.ion_target_ua_um == 750.0
+
+    @pytest.mark.parametrize("node_nm,ioff", [(180, 7), (130, 10),
+                                              (100, 16), (70, 40),
+                                              (50, 80), (35, 160)])
+    def test_itrs_ioff_row(self, node_nm, ioff):
+        assert ITRS_2000.node(node_nm).ioff_itrs_na_um == ioff
+
+    def test_35nm_pad_count(self):
+        assert ITRS_2000.node(35).itrs_total_pads == 4416
+
+    def test_35nm_effective_pitch(self):
+        assert ITRS_2000.node(35).itrs_bump_pitch_um == 356.0
+
+    def test_35nm_min_pitch(self):
+        assert ITRS_2000.node(35).min_bump_pitch_um == 80.0
+
+    def test_supply_current_reaches_300a(self):
+        # Paper: "an MPU can draw ... worst-case current draw of 300A".
+        assert ITRS_2000.node(35).supply_current_a == pytest.approx(
+            305.0, abs=10.0)
+
+    def test_junction_temperature_requirement_drops(self):
+        assert ITRS_2000.node(180).tj_max_c == 100.0
+        assert ITRS_2000.node(100).tj_max_c == 85.0
+
+    def test_tox_ranges_match_table1(self):
+        # Table 1 quotes 12-15 / 8-12 / 6-8 Angstrom physical ranges.
+        assert 12.0 <= ITRS_2000.node(100).tox_physical_a <= 15.0
+        assert 8.0 <= ITRS_2000.node(70).tox_physical_a <= 12.0
+        assert 6.0 <= ITRS_2000.node(50).tox_physical_a <= 8.0
+
+
+class TestScalingTrends:
+    def test_vdd_non_increasing(self):
+        vdds = [record.vdd_v for record in ITRS_2000]
+        assert all(a >= b for a, b in zip(vdds, vdds[1:]))
+
+    def test_clock_increases(self):
+        clocks = [record.clock_ghz for record in ITRS_2000]
+        assert all(a < b for a, b in zip(clocks, clocks[1:]))
+
+    def test_tox_shrinks(self):
+        tox = [record.tox_physical_a for record in ITRS_2000]
+        assert all(a > b for a, b in zip(tox, tox[1:]))
+
+    def test_min_bump_pitch_shrinks(self):
+        pitches = [record.min_bump_pitch_um for record in ITRS_2000]
+        assert all(a > b for a, b in zip(pitches, pitches[1:]))
+
+    def test_itrs_pitch_roughly_constant(self):
+        # Paper: "a roughly constant bump pitch of around 350 um".
+        for record in ITRS_2000:
+            assert 330.0 <= record.itrs_bump_pitch_um <= 360.0
+
+    def test_power_density_peaks_at_50nm(self):
+        # Paper footnote 9: density falls from 50 to 35 nm.
+        density = {record.node_nm: record.power_density_w_cm2
+                   for record in ITRS_2000}
+        assert density[50] > density[35]
+        assert density[50] >= density[70]
+
+    def test_wiring_levels_grow(self):
+        levels = [record.wiring_levels for record in ITRS_2000]
+        assert all(a <= b for a, b in zip(levels, levels[1:]))
+
+
+class TestDerivedQuantities:
+    def test_clock_period(self):
+        assert ITRS_2000.node(50).clock_period_ps == pytest.approx(100.0)
+
+    def test_die_area_si(self):
+        assert ITRS_2000.node(180).die_area_m2 == pytest.approx(3.4e-4)
+
+    def test_power_density(self):
+        record = ITRS_2000.node(180)
+        assert record.power_density_w_cm2 == pytest.approx(
+            90.0 / 3.4, rel=1e-6)
+
+    def test_sheet_resistance_positive_and_rising(self):
+        sheets = [record.top_metal_sheet_resistance
+                  for record in ITRS_2000]
+        assert all(s > 0 for s in sheets)
+        assert all(a < b for a, b in zip(sheets, sheets[1:]))
+
+    def test_as_dict_round_trip(self):
+        record = ITRS_2000.node(70)
+        data = record.as_dict()
+        assert data["node_nm"] == 70
+        assert TechnologyNode(**data) == record
+
+
+class TestLookups:
+    def test_getitem(self):
+        assert ITRS_2000[50].node_nm == 50
+
+    def test_contains(self):
+        assert 35 in ITRS_2000
+        assert 65 not in ITRS_2000
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(UnknownNodeError):
+            ITRS_2000.node(90)
+
+    def test_len_and_iter(self):
+        assert len(ITRS_2000) == 6
+        assert [r.node_nm for r in ITRS_2000] == list(NODES_NM)
+
+    def test_successor(self):
+        assert ITRS_2000.successor(180).node_nm == 130
+
+    def test_successor_of_last_raises(self):
+        with pytest.raises(UnknownNodeError):
+            ITRS_2000.successor(35)
+
+    def test_nanometer_nodes(self):
+        assert [r.node_nm for r in ITRS_2000.nanometer_nodes()] \
+            == [70, 50, 35]
+
+    def test_scaling_ratio(self):
+        assert ITRS_2000.scaling_ratio("vdd_v") == pytest.approx(
+            0.6 / 1.8)
+
+
+class TestValidation:
+    def _record_kwargs(self, **overrides):
+        base = ITRS_2000.node(100).as_dict()
+        base.update(overrides)
+        return base
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ModelParameterError):
+            TechnologyNode(**self._record_kwargs(vdd_v=-1.0))
+
+    def test_leff_exceeding_node_rejected(self):
+        with pytest.raises(ModelParameterError):
+            TechnologyNode(**self._record_kwargs(leff_nm=150.0))
+
+    def test_min_pitch_above_itrs_pitch_rejected(self):
+        with pytest.raises(ModelParameterError):
+            TechnologyNode(**self._record_kwargs(
+                min_bump_pitch_um=400.0))
+
+    def test_roadmap_requires_descending_order(self):
+        nodes = (ITRS_2000.node(100), ITRS_2000.node(180))
+        with pytest.raises(ValueError):
+            Roadmap(nodes=nodes)
+
+    def test_roadmap_rejects_duplicates(self):
+        nodes = (ITRS_2000.node(180), ITRS_2000.node(180))
+        with pytest.raises(ValueError):
+            Roadmap(nodes=nodes)
+
+    def test_records_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ITRS_2000.node(50).vdd_v = 0.7

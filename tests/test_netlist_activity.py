@@ -1,0 +1,105 @@
+"""Probabilistic activity estimation vs simulation."""
+
+import pytest
+
+from repro.circuits.gate import GateKind
+from repro.circuits.library import build_library
+from repro.errors import NetlistError
+from repro.netlist.activity import (
+    estimated_activity_map,
+    signal_probabilities,
+    transition_densities,
+)
+from repro.netlist.graph import Netlist
+from repro.netlist.generate import random_netlist
+from repro.netlist.logic import measured_activity
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_library(100)
+
+
+def _single_gate(library, kind):
+    netlist = Netlist(100, clock_period_s=1e-9)
+    netlist.add_input("a")
+    netlist.add_input("b")
+    if kind is GateKind.INVERTER:
+        cell = library.cells_of_kind(kind)[4]
+        netlist.add_instance("g", cell, ("a",))
+    else:
+        cell = library.cells_of_kind(kind)[4]
+        netlist.add_instance("g", cell, ("a", "b"))
+    netlist.finalize()
+    return netlist
+
+
+class TestSignalProbabilities:
+    def test_inverter(self, library):
+        netlist = _single_gate(library, GateKind.INVERTER)
+        probs = signal_probabilities(netlist, input_probability=0.3)
+        assert probs["g"] == pytest.approx(0.7)
+
+    def test_nand(self, library):
+        netlist = _single_gate(library, GateKind.NAND)
+        probs = signal_probabilities(netlist, input_probability=0.5)
+        assert probs["g"] == pytest.approx(0.75)
+
+    def test_nor(self, library):
+        netlist = _single_gate(library, GateKind.NOR)
+        probs = signal_probabilities(netlist, input_probability=0.5)
+        assert probs["g"] == pytest.approx(0.25)
+
+    def test_probabilities_in_unit_interval(self):
+        netlist = random_netlist(100, n_gates=200, seed=11)
+        for value in signal_probabilities(netlist).values():
+            assert 0.0 <= value <= 1.0
+
+    def test_validation(self):
+        netlist = random_netlist(100, n_gates=40, seed=0)
+        with pytest.raises(NetlistError):
+            signal_probabilities(netlist, input_probability=1.5)
+
+
+class TestTransitionDensities:
+    def test_inverter_passes_density(self, library):
+        netlist = _single_gate(library, GateKind.INVERTER)
+        densities = transition_densities(netlist, input_density=0.4)
+        assert densities["g"] == pytest.approx(0.4)
+
+    def test_nand_sensitisation(self, library):
+        # D(out) = p_b D_a + p_a D_b = 0.5*0.4 + 0.5*0.4 = 0.4 at
+        # p = 0.5, D = 0.4.
+        netlist = _single_gate(library, GateKind.NAND)
+        densities = transition_densities(netlist, input_density=0.4)
+        assert densities["g"] == pytest.approx(0.4)
+
+    def test_density_scales_with_input_density(self):
+        netlist = random_netlist(100, n_gates=150, seed=13)
+        low = transition_densities(netlist, input_density=0.1)
+        high = transition_densities(netlist, input_density=0.5)
+        assert sum(high.values()) == pytest.approx(
+            5.0 * sum(low.values()))
+
+    def test_negative_density_rejected(self):
+        netlist = random_netlist(100, n_gates=40, seed=0)
+        with pytest.raises(NetlistError):
+            transition_densities(netlist, input_density=-0.1)
+
+
+class TestAgainstSimulation:
+    def test_aggregate_tracks_simulation(self):
+        netlist = random_netlist(100, n_gates=200, seed=21)
+        simulated = measured_activity(netlist, n_vectors=400, seed=1)
+        estimated = estimated_activity_map(netlist, input_density=0.5)
+        total_sim = sum(simulated.activity_map().values())
+        total_est = sum(estimated.values())
+        # Independence assumptions bias the estimate; aggregate must
+        # stay within ~2.5x either way across random netlists.
+        assert 0.4 < total_est / total_sim < 2.5
+
+    def test_map_is_capped(self):
+        netlist = random_netlist(100, n_gates=150, seed=23)
+        for value in estimated_activity_map(netlist,
+                                            input_density=0.9).values():
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,89 @@
+"""Synthetic netlist generator: determinism, validity, slack profile."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+
+
+def test_deterministic_given_seed():
+    first = random_netlist(100, n_gates=80, seed=42)
+    second = random_netlist(100, n_gates=80, seed=42)
+    assert list(first.instances) == list(second.instances)
+    for name in first.instances:
+        assert first.instances[name].fanins \
+            == second.instances[name].fanins
+        assert first.instances[name].cell.name \
+            == second.instances[name].cell.name
+
+
+def test_different_seeds_differ():
+    first = random_netlist(100, n_gates=80, seed=1)
+    second = random_netlist(100, n_gates=80, seed=2)
+    fanins_a = [first.instances[n].fanins for n in first.instances]
+    fanins_b = [second.instances[n].fanins for n in second.instances]
+    assert fanins_a != fanins_b
+
+
+def test_gate_count():
+    netlist = random_netlist(100, n_gates=123, seed=0)
+    assert len(netlist) == 123
+
+
+def test_meets_timing_by_construction():
+    netlist = random_netlist(100, n_gates=150, seed=5,
+                             clock_margin=1.05)
+    report = compute_sta(netlist)
+    assert report.meets_timing()
+    # The clock is exactly margin * critical delay.
+    assert netlist.clock_period_s == pytest.approx(
+        report.critical_delay_s * 1.05)
+
+
+def test_paper_slack_profile():
+    # Paper [21, 22]: over half of all paths use less than half the
+    # clock cycle on slack-rich designs.
+    netlist = random_netlist(100, n_gates=400, seed=1, depth_skew=2.2,
+                             clock_margin=1.10)
+    report = compute_sta(netlist)
+    utilisation = report.path_utilisation()
+    shallow = sum(1 for u in utilisation.values() if u < 0.5)
+    assert shallow / len(utilisation) > 0.5
+
+
+def test_depth_skew_increases_slack():
+    def mean_util(skew):
+        netlist = random_netlist(100, n_gates=300, seed=3,
+                                 depth_skew=skew)
+        report = compute_sta(netlist)
+        values = list(report.path_utilisation().values())
+        return sum(values) / len(values)
+
+    assert mean_util(3.0) < mean_util(0.7)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_netlists_always_valid(seed):
+    netlist = random_netlist(70, n_gates=90, seed=seed, max_depth=10)
+    # Construction order is topological: every fanin precedes its user.
+    seen = set(netlist.primary_inputs)
+    for name in netlist.topo_order():
+        assert set(netlist.instances[name].fanins) <= seen
+        seen.add(name)
+    assert netlist.primary_outputs
+    # Endpoints have no fanouts or are explicitly marked.
+    for name in netlist.primary_outputs:
+        assert name in netlist.instances
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(n_gates=5, max_depth=18),
+    dict(n_gates=50, max_depth=1),
+    dict(n_gates=50, clock_margin=0.9),
+])
+def test_bad_parameters_rejected(kwargs):
+    with pytest.raises(NetlistError):
+        random_netlist(100, seed=0, **kwargs)

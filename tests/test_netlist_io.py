@@ -1,0 +1,97 @@
+"""Netlist text-format round trips and error handling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.generate import random_netlist
+from repro.netlist.io import (
+    dumps_netlist,
+    loads_netlist,
+    read_netlist,
+    save_netlist,
+)
+from repro.netlist.power import netlist_power
+from repro.netlist.sta import compute_sta
+from repro.optim.cvs import assign_cvs
+
+
+def test_structure_round_trip():
+    netlist = random_netlist(100, n_gates=80, seed=41)
+    clone = loads_netlist(dumps_netlist(netlist))
+    assert list(clone.instances) == list(netlist.instances)
+    assert clone.primary_inputs == netlist.primary_inputs
+    assert clone.primary_outputs == netlist.primary_outputs
+    for name in netlist.instances:
+        assert clone.instances[name].fanins \
+            == netlist.instances[name].fanins
+        assert clone.instances[name].cell.name \
+            == netlist.instances[name].cell.name
+
+
+def test_timing_round_trip():
+    netlist = random_netlist(70, n_gates=60, seed=42)
+    clone = loads_netlist(dumps_netlist(netlist))
+    assert compute_sta(clone).critical_delay_s == pytest.approx(
+        compute_sta(netlist).critical_delay_s, rel=1e-12)
+    assert clone.clock_period_s == netlist.clock_period_s
+
+
+def test_assignment_state_round_trip():
+    netlist = random_netlist(100, n_gates=150, seed=43, depth_skew=2.2,
+                             clock_margin=1.1)
+    assign_cvs(netlist)
+    netlist.instances["g5"].vth_v = 0.3
+    netlist.instances["g6"].size_factor = 0.7
+    clone = loads_netlist(dumps_netlist(netlist))
+    for name in netlist.instances:
+        original = netlist.instances[name]
+        restored = clone.instances[name]
+        assert restored.vdd_v == original.vdd_v
+        assert restored.vth_v == original.vth_v
+        assert restored.size_factor == original.size_factor
+        assert restored.level_converter == original.level_converter
+    assert netlist_power(clone).total_w == pytest.approx(
+        netlist_power(netlist).total_w, rel=1e-12)
+
+
+def test_file_round_trip(tmp_path):
+    netlist = random_netlist(50, n_gates=50, seed=44)
+    path = tmp_path / "design.rnl"
+    save_netlist(netlist, str(path))
+    clone = read_netlist(str(path))
+    assert len(clone) == len(netlist)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=300))
+def test_round_trip_property(seed):
+    netlist = random_netlist(100, n_gates=60, seed=seed, max_depth=8)
+    clone = loads_netlist(dumps_netlist(netlist))
+    assert dumps_netlist(clone) == dumps_netlist(netlist)
+
+
+@pytest.mark.parametrize("text", [
+    "",
+    "node 100\n",
+    "clock 1e-9\ninput a\n",
+    "node 100\nclock 1e-9\ngate g0 no_such_cell a\n",
+    "node 100\nclock 1e-9\ninput a\ngate g0\n",
+    "node 100\nclock 1e-9\ninput a\nbogus line here\n",
+    "node 100\nclock 1e-9\ninput a\ngate g0 inv_x1 a\n"
+    "attr ghost vdd 0.5\n",
+    "node 100\nclock 1e-9\ninput a\ngate g0 inv_x1 a\n"
+    "attr g0 colour 3\n",
+])
+def test_malformed_files_rejected(text):
+    with pytest.raises(NetlistError):
+        loads_netlist(text)
+
+
+def test_comments_and_blank_lines_ignored():
+    netlist = random_netlist(100, n_gates=30, seed=45)
+    text = dumps_netlist(netlist)
+    noisy = "\n# a comment\n\n" + text.replace("input", "\n# x\ninput",
+                                               1)
+    clone = loads_netlist(noisy)
+    assert len(clone) == len(netlist)

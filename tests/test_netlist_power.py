@@ -1,0 +1,70 @@
+"""Netlist power accounting."""
+
+import pytest
+
+from repro.netlist.generate import random_netlist
+from repro.netlist.power import (
+    netlist_power,
+    total_gate_width_um,
+)
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return random_netlist(100, n_gates=150, seed=9)
+
+
+def test_power_positive(netlist):
+    power = netlist_power(netlist)
+    assert power.dynamic_w > 0
+    assert power.static_w > 0
+    assert power.level_converter_w == 0.0
+    assert power.total_w == pytest.approx(power.total_dynamic_w
+                                          + power.static_w)
+
+
+def test_dynamic_linear_in_activity(netlist):
+    low = netlist_power(netlist, activity=0.05)
+    high = netlist_power(netlist, activity=0.10)
+    assert high.dynamic_w == pytest.approx(2.0 * low.dynamic_w)
+    assert high.static_w == pytest.approx(low.static_w)
+
+
+def test_static_grows_with_temperature(netlist):
+    cold = netlist_power(netlist, temperature_k=300.0)
+    hot = netlist_power(netlist, temperature_k=358.15)
+    assert hot.static_w > cold.static_w
+    assert hot.dynamic_w == pytest.approx(cold.dynamic_w)
+
+
+def test_lowering_one_gate_reduces_dynamic():
+    netlist = random_netlist(100, n_gates=150, seed=9)
+    before = netlist_power(netlist)
+    # Lower an endpoint gate (no internal converter needed).
+    endpoint = netlist.primary_outputs[0]
+    netlist.instances[endpoint].vdd_v = 0.65 * netlist.nominal_vdd_v
+    after = netlist_power(netlist)
+    assert after.dynamic_w < before.dynamic_w
+
+
+def test_lc_power_tracked_separately():
+    netlist = random_netlist(100, n_gates=150, seed=9)
+    endpoint = netlist.primary_outputs[0]
+    netlist.instances[endpoint].vdd_v = 0.65 * netlist.nominal_vdd_v
+    netlist.refresh_level_converters()
+    power = netlist_power(netlist)
+    assert power.level_converter_w > 0
+    assert 0.0 < power.lc_fraction < 1.0
+
+
+def test_zero_activity_lc_fraction_defined():
+    netlist = random_netlist(100, n_gates=60, seed=2)
+    power = netlist_power(netlist, activity=0.0)
+    assert power.lc_fraction == 0.0
+
+
+def test_total_width(netlist):
+    width = total_gate_width_um(netlist)
+    assert width > 0
+    netlist.instances[next(iter(netlist.instances))].size_factor = 0.5
+    assert total_gate_width_um(netlist) < width

@@ -1,0 +1,58 @@
+"""The combined Conclusion-3 flow and the ordering study."""
+
+import pytest
+
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+from repro.optim.combined import combined_flow, ordering_study
+
+
+def _factory(seed=4):
+    def make():
+        return random_netlist(100, n_gates=250, seed=seed,
+                              depth_skew=2.2, clock_margin=1.10)
+    return make
+
+
+@pytest.fixture(scope="module")
+def flow_and_netlist():
+    netlist = _factory()()
+    return combined_flow(netlist), netlist
+
+
+def test_timing_met_at_the_end(flow_and_netlist):
+    _, netlist = flow_and_netlist
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+
+
+def test_stage_results_present(flow_and_netlist):
+    result, _ = flow_and_netlist
+    assert result.cvs.n_low_vdd > 0
+    assert result.sizing.n_resized > 0
+    assert result.dual_vth.n_high_vth > 0
+
+
+def test_total_savings_positive(flow_and_netlist):
+    result, _ = flow_and_netlist
+    assert result.total_saving > 0.3
+    assert result.total_dynamic_saving > 0.3
+    assert result.total_static_saving > 0.3
+
+
+def test_flow_compounds_beyond_cvs(flow_and_netlist):
+    result, _ = flow_and_netlist
+    assert result.total_dynamic_saving > result.cvs.dynamic_saving
+
+
+def test_final_power_consistent(flow_and_netlist):
+    result, netlist = flow_and_netlist
+    from repro.netlist.power import netlist_power
+    measured = netlist_power(netlist)
+    assert measured.total_w == pytest.approx(result.power_final.total_w)
+
+
+def test_ordering_study_shows_cvs_first_wins():
+    study = ordering_study(_factory(seed=8))
+    assert study.cvs_first.low_vdd_fraction \
+        > study.cvs_after_sizing.low_vdd_fraction
+    assert study.low_vdd_fraction_drop > 0.05

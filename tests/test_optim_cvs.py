@@ -1,0 +1,95 @@
+"""Clustered voltage scaling."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+from repro.optim.cvs import assign_cvs
+
+
+def _netlist(seed=1, margin=1.10):
+    return random_netlist(100, n_gates=300, seed=seed, depth_skew=2.2,
+                          clock_margin=margin)
+
+
+@pytest.fixture(scope="module")
+def result_and_netlist():
+    netlist = _netlist()
+    return assign_cvs(netlist), netlist
+
+
+def test_timing_still_met(result_and_netlist):
+    _, netlist = result_and_netlist
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+
+
+def test_structural_rule_no_low_drives_high(result_and_netlist):
+    # CVS invariant: a Vdd,l gate never drives a Vdd,h gate internally.
+    _, netlist = result_and_netlist
+    low = netlist.nominal_vdd_v * 0.65
+    for name, instance in netlist.instances.items():
+        if instance.vdd_v is not None:
+            for sink in netlist.fanouts(name):
+                assert netlist.instances[sink].vdd_v is not None, \
+                    f"{name} (low) drives {sink} (high)"
+
+
+def test_converters_only_at_endpoints(result_and_netlist):
+    _, netlist = result_and_netlist
+    endpoints = set(netlist.primary_outputs)
+    for name, instance in netlist.instances.items():
+        if instance.level_converter:
+            assert name in endpoints
+
+
+def test_substantial_population_lowered(result_and_netlist):
+    result, _ = result_and_netlist
+    assert result.low_vdd_fraction > 0.5
+    assert result.n_low_vdd == round(result.low_vdd_fraction
+                                     * result.n_gates)
+
+
+def test_dynamic_power_reduced(result_and_netlist):
+    result, _ = result_and_netlist
+    assert result.dynamic_saving > 0.2
+    assert result.power_after.total_dynamic_w \
+        < result.power_before.total_dynamic_w
+
+
+def test_leakage_also_reduced(result_and_netlist):
+    # Vdd,l shrinks Ioff through DIBL and the Vdd factor.
+    result, _ = result_and_netlist
+    assert result.static_saving > 0.0
+
+
+def test_lc_overhead_in_paper_band(result_and_netlist):
+    result, _ = result_and_netlist
+    assert 0.05 < result.power_after.lc_fraction < 0.13
+
+
+def test_no_slack_no_lowering():
+    netlist = _netlist(margin=1.0)
+    # Force the clock to exactly the critical delay with zero margin:
+    # only gates off the critical path can be lowered, and timing holds.
+    result = assign_cvs(netlist)
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+    assert result.low_vdd_fraction < 1.0
+
+
+def test_vdd_ratio_validated():
+    with pytest.raises(ModelParameterError):
+        assign_cvs(_netlist(), vdd_ratio=1.5)
+
+
+def test_infeasible_baseline_rejected():
+    netlist = _netlist()
+    netlist.clock_period_s *= 0.5  # now failing before CVS
+    with pytest.raises(ModelParameterError):
+        assign_cvs(netlist)
+
+
+def test_lower_ratio_lowers_fewer_gates():
+    gentle = assign_cvs(_netlist(seed=7), vdd_ratio=0.8)
+    harsh = assign_cvs(_netlist(seed=7), vdd_ratio=0.5)
+    assert harsh.low_vdd_fraction <= gentle.low_vdd_fraction

@@ -1,0 +1,86 @@
+"""Dual-Vth assignment flow."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+from repro.optim.dual_vth import assign_dual_vth
+
+
+def _netlist(seed=2, node=100):
+    return random_netlist(node, n_gates=250, seed=seed,
+                          clock_margin=1.05)
+
+
+@pytest.fixture(scope="module")
+def result_and_netlist():
+    netlist = _netlist()
+    return assign_dual_vth(netlist), netlist
+
+
+def test_timing_met_after_assignment(result_and_netlist):
+    _, netlist = result_and_netlist
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+
+
+def test_every_gate_has_one_of_two_thresholds(result_and_netlist):
+    result, netlist = result_and_netlist
+    thresholds = {instance.vth_v
+                  for instance in netlist.instances.values()}
+    assert thresholds <= {result.vth_high_v, result.vth_low_v}
+
+
+def test_offset_is_100mv(result_and_netlist):
+    result, _ = result_and_netlist
+    assert result.vth_high_v - result.vth_low_v == pytest.approx(0.100)
+
+
+def test_leakage_reduced(result_and_netlist):
+    result, _ = result_and_netlist
+    assert result.leakage_saving > 0.3
+    assert result.leakage_after_w < result.leakage_before_w
+
+
+def test_delay_penalty_minimal(result_and_netlist):
+    # Paper: "minimal penalty in critical path delay".
+    result, _ = result_and_netlist
+    assert result.delay_penalty < 0.03
+
+
+def test_counts_consistent(result_and_netlist):
+    result, netlist = result_and_netlist
+    high = sum(1 for instance in netlist.instances.values()
+               if instance.vth_v == result.vth_high_v)
+    assert high == result.n_high_vth
+    assert result.high_vth_fraction == pytest.approx(
+        high / result.n_gates)
+
+
+def test_rebase_tightens_clock():
+    netlist = _netlist(seed=5)
+    original_period = netlist.clock_period_s
+    assign_dual_vth(netlist, clock_margin=1.02)
+    # All-LVT is faster than the mixed baseline, so the rebased clock
+    # is tighter.
+    assert netlist.clock_period_s < original_period
+
+
+def test_no_rebase_keeps_clock():
+    netlist = _netlist(seed=5)
+    period = netlist.clock_period_s
+    assign_dual_vth(netlist, rebase_clock=False)
+    assert netlist.clock_period_s == period
+
+
+def test_tighter_margin_fewer_hvt():
+    loose = assign_dual_vth(_netlist(seed=6), clock_margin=1.10)
+    tight = assign_dual_vth(_netlist(seed=6), clock_margin=1.0)
+    assert tight.n_high_vth <= loose.n_high_vth
+
+
+@pytest.mark.parametrize("kwargs", [dict(vth_offset_v=0.0),
+                                    dict(clock_margin=0.9)])
+def test_validation(kwargs):
+    with pytest.raises(ModelParameterError):
+        assign_dual_vth(_netlist(), **kwargs)

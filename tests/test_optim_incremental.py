@@ -1,0 +1,100 @@
+"""Incremental timing engine: equivalence with full STA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+from repro.optim.incremental import IncrementalTimer
+
+
+@pytest.fixture
+def netlist():
+    return random_netlist(100, n_gates=150, seed=11, clock_margin=1.2)
+
+
+def test_initial_state_matches_full_sta(netlist):
+    timer = IncrementalTimer(netlist)
+    report = compute_sta(netlist)
+    assert timer.critical_delay_s == pytest.approx(
+        report.critical_delay_s)
+    for name in netlist.topo_order():
+        assert timer.arrival_s[name] == pytest.approx(
+            report.arrival_s[name])
+
+
+def test_accepted_change_matches_full_sta(netlist):
+    timer = IncrementalTimer(netlist)
+    name = list(netlist.topo_order())[50]
+    instance = netlist.instances[name]
+    instance.vth_v = instance.cell.device.vth_v + 0.05
+    assert timer.try_change([name])
+    report = compute_sta(netlist)
+    for other in netlist.topo_order():
+        assert timer.arrival_s[other] == pytest.approx(
+            report.arrival_s[other]), other
+
+
+def test_rejected_change_preserves_state(netlist):
+    timer = IncrementalTimer(netlist)
+    before = dict(timer.arrival_s)
+    # Make a gate catastrophically slow so endpoints miss timing.
+    name = list(netlist.topo_order())[0]
+    instance = netlist.instances[name]
+    instance.size_factor = 0.01
+    accepted = timer.try_change([name])
+    if accepted:
+        pytest.skip("gate was not on any near-critical path")
+    instance.size_factor = 1.0  # caller must revert
+    assert timer.arrival_s == before
+
+
+def test_meets_timing_flag(netlist):
+    timer = IncrementalTimer(netlist)
+    assert timer.meets_timing()
+    assert not timer.meets_timing(period_s=timer.critical_delay_s * 0.5)
+
+
+def test_unknown_name_rejected(netlist):
+    timer = IncrementalTimer(netlist)
+    with pytest.raises(NetlistError):
+        timer.try_change(["ghost"])
+
+
+def test_resize_changes_fanin_delays_too(netlist):
+    # Shrinking a gate unloads its fanins; passing the fanins in
+    # `changed` must leave the timer equivalent to a full STA.
+    timer = IncrementalTimer(netlist)
+    name = list(netlist.topo_order())[80]
+    instance = netlist.instances[name]
+    instance.size_factor = 0.5
+    changed = [name] + [f for f in instance.fanins
+                        if f in netlist.instances]
+    if timer.try_change(changed):
+        report = compute_sta(netlist)
+        for other in netlist.topo_order():
+            assert timer.arrival_s[other] == pytest.approx(
+                report.arrival_s[other])
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500),
+       picks=st.lists(st.integers(min_value=0, max_value=119),
+                      min_size=3, max_size=8))
+def test_random_mutation_sequence_stays_consistent(seed, picks):
+    netlist = random_netlist(100, n_gates=120, seed=seed,
+                             clock_margin=1.15)
+    timer = IncrementalTimer(netlist)
+    names = list(netlist.topo_order())
+    for pick in picks:
+        name = names[pick]
+        instance = netlist.instances[name]
+        previous = instance.vth_v
+        instance.vth_v = instance.cell.device.vth_v + 0.08
+        if not timer.try_change([name]):
+            instance.vth_v = previous
+    report = compute_sta(netlist)
+    assert timer.critical_delay_s == pytest.approx(
+        report.critical_delay_s)
+    assert report.meets_timing()

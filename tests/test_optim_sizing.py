@@ -1,0 +1,83 @@
+"""Post-synthesis down-sizing and the re-sizing-vs-Vdd comparison."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+from repro.optim.sizing import (
+    downsize_netlist,
+    resizing_vs_vdd_comparison,
+)
+
+
+def _factory(seed=3):
+    def make():
+        return random_netlist(100, n_gates=250, seed=seed,
+                              depth_skew=2.2, clock_margin=1.10)
+    return make
+
+
+@pytest.fixture(scope="module")
+def sized():
+    netlist = _factory()()
+    return downsize_netlist(netlist), netlist
+
+
+def test_timing_met_after_sizing(sized):
+    _, netlist = sized
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+
+
+def test_sizes_respect_floor(sized):
+    _, netlist = sized
+    for instance in netlist.instances.values():
+        assert instance.size_factor >= 0.35 - 1e-12
+
+
+def test_power_and_width_reduced(sized):
+    result, _ = sized
+    assert result.dynamic_saving > 0.1
+    assert result.width_saving > result.dynamic_saving
+    assert result.static_saving > 0.0
+
+
+def test_sublinearity_below_one(sized):
+    # Paper: sizing "provides a sublinear reduction in power with
+    # respect to the size reduction" because of the wire-cap floor.
+    result, _ = sized
+    assert 0.0 < result.sublinearity < 1.0
+
+
+def test_counts(sized):
+    result, netlist = sized
+    resized = sum(1 for instance in netlist.instances.values()
+                  if instance.size_factor < 1.0)
+    assert resized == result.n_resized
+
+
+@pytest.mark.parametrize("kwargs", [dict(step=1.0), dict(step=0.0),
+                                    dict(min_factor=0.0),
+                                    dict(min_factor=1.0)])
+def test_validation(kwargs):
+    with pytest.raises(ModelParameterError):
+        downsize_netlist(_factory()(), **kwargs)
+
+
+def test_failing_baseline_rejected():
+    netlist = _factory()()
+    netlist.clock_period_s *= 0.5
+    with pytest.raises(ModelParameterError):
+        downsize_netlist(netlist)
+
+
+def test_vdd_beats_resizing_on_average():
+    # The paper's Section 3.3 argument: a lower supply (quadratic) saves
+    # more dynamic power than down-sizing (sublinear).  Individual
+    # netlists can tie (our down-sizer is allowed to shrink to a 0.35x
+    # floor, far beyond typical area recovery), so assert the average
+    # over several designs.
+    advantages = [resizing_vs_vdd_comparison(_factory(seed)).vdd_advantage
+                  for seed in (1, 2, 4)]
+    assert sum(advantages) / len(advantages) > 0.0
+    assert max(advantages) > 0.04

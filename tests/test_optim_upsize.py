@@ -1,0 +1,63 @@
+"""Timing repair by up-sizing."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.netlist.generate import random_netlist
+from repro.netlist.sta import compute_sta
+from repro.optim.upsize import fix_timing
+
+
+def _violating_netlist(seed=32, squeeze=0.93):
+    netlist = random_netlist(100, n_gates=150, seed=seed)
+    netlist.clock_period_s *= squeeze
+    netlist.frequency_hz = 1.0 / netlist.clock_period_s
+    return netlist
+
+
+def test_repairs_mild_violation():
+    netlist = _violating_netlist()
+    assert not compute_sta(netlist).meets_timing()
+    result = fix_timing(netlist)
+    assert result.met_timing
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+    assert result.n_upsized > 0
+    assert result.speedup > 0.0
+
+
+def test_no_op_on_clean_netlist():
+    netlist = random_netlist(100, n_gates=100, seed=33)
+    result = fix_timing(netlist)
+    assert result.met_timing
+    assert result.n_upsized == 0
+    assert result.width_growth == pytest.approx(0.0)
+
+
+def test_width_grows_when_repairing():
+    netlist = _violating_netlist(seed=34)
+    result = fix_timing(netlist)
+    if result.n_upsized:
+        assert result.width_growth > 0.0
+
+
+def test_impossible_violation_reported_honestly():
+    netlist = _violating_netlist(seed=35, squeeze=0.3)
+    result = fix_timing(netlist)
+    # A 3.3x squeeze cannot be fixed by sizing alone; the result must
+    # say so while still having improved the critical path.
+    assert not result.met_timing
+    assert result.critical_after_s <= result.critical_before_s
+
+
+def test_respects_max_factor():
+    netlist = _violating_netlist(seed=36)
+    fix_timing(netlist, max_factor=2.0)
+    for instance in netlist.instances.values():
+        assert instance.size_factor <= 2.0 + 1e-9
+
+
+@pytest.mark.parametrize("kwargs", [dict(step=1.0),
+                                    dict(max_factor=1.0)])
+def test_validation(kwargs):
+    with pytest.raises(ModelParameterError):
+        fix_timing(_violating_netlist(), **kwargs)

@@ -1,0 +1,95 @@
+"""Analytic IR-drop model (Fig. 5)."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.itrs import ITRS_2000
+from repro.pdn.bacpac import (
+    HOTSPOT_FACTOR,
+    IR_DROP_BUDGET,
+    LANDING_PAD_FRACTION,
+    PitchScenario,
+    fig5_point,
+    fig5_sweep,
+    hotspot_current_density_a_m2,
+    required_rail_width_m,
+    routing_resource_fraction,
+)
+
+
+def test_hotspot_factor_is_four():
+    # Paper footnote 7.
+    assert HOTSPOT_FACTOR == 4.0
+
+
+def test_budget_is_10pct():
+    assert IR_DROP_BUDGET == 0.10
+
+
+def test_hotspot_density():
+    record = ITRS_2000.node(35)
+    uniform = record.chip_power_w / (record.die_area_m2 * record.vdd_v)
+    assert hotspot_current_density_a_m2(record) \
+        == pytest.approx(4.0 * uniform)
+
+
+def test_width_cubic_in_pitch():
+    # W ~ J * p * Rsq * p^2: cubic in the pitch for fixed density.
+    min_pitch = required_rail_width_m(35, PitchScenario.MIN_PITCH)
+    itrs = required_rail_width_m(35, PitchScenario.ITRS_PADS)
+    record = ITRS_2000.node(35)
+    ratio = (record.itrs_bump_pitch_um / record.min_bump_pitch_um) ** 3
+    assert itrs / min_pitch == pytest.approx(ratio)
+
+
+def test_tighter_budget_wider_rails():
+    relaxed = required_rail_width_m(50, PitchScenario.MIN_PITCH,
+                                    ir_budget=0.10)
+    strict = required_rail_width_m(50, PitchScenario.MIN_PITCH,
+                                   ir_budget=0.05)
+    assert strict == pytest.approx(2.0 * relaxed)
+
+
+def test_budget_validated():
+    with pytest.raises(ModelParameterError):
+        required_rail_width_m(50, PitchScenario.MIN_PITCH, ir_budget=0.0)
+
+
+def test_routing_fraction_includes_landing_pads():
+    fraction = routing_resource_fraction(180, PitchScenario.MIN_PITCH)
+    assert fraction > LANDING_PAD_FRACTION
+    assert LANDING_PAD_FRACTION == 0.16
+
+
+def test_min_pitch_35nm_near_paper():
+    point = fig5_point(35, PitchScenario.MIN_PITCH)
+    assert 8.0 < point.width_over_min < 25.0     # paper: ~16x
+    assert 0.16 < point.routing_fraction < 0.25  # paper: 17-20 %
+
+
+def test_itrs_35nm_explodes():
+    point = fig5_point(35, PitchScenario.ITRS_PADS)
+    assert point.width_over_min > 500.0          # paper: >2000x band
+    assert point.routing_fraction > 0.5
+
+
+def test_50nm_more_restricted_than_35nm():
+    # Paper: "35 nm is less restricted than 50 nm due to a reduction in
+    # power density".
+    at_50 = fig5_point(50, PitchScenario.MIN_PITCH)
+    at_35 = fig5_point(35, PitchScenario.MIN_PITCH)
+    assert at_50.width_over_min > at_35.width_over_min
+
+
+def test_sweep_covers_roadmap():
+    sweep = fig5_sweep(PitchScenario.MIN_PITCH)
+    assert [point.node_nm for point in sweep] \
+        == list(ITRS_2000.node_sizes)
+
+
+def test_growth_roughly_quadratic_until_50nm():
+    sweep = {point.node_nm: point.width_over_min
+             for point in fig5_sweep(PitchScenario.MIN_PITCH)}
+    widths = [sweep[n] for n in (180, 130, 100, 70, 50)]
+    assert all(a < b for a, b in zip(widths, widths[1:]))
+    assert widths[-1] / widths[0] > 10.0

@@ -1,0 +1,55 @@
+"""Bump budgets vs ITRS pad projections."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pdn.bumps import (
+    bump_budget,
+    min_pitch_bump_count,
+    vdd_bumps_required,
+)
+
+
+def test_35nm_budget_matches_paper():
+    budget = bump_budget(35)
+    assert budget.total_pads == 4416
+    assert budget.vdd_pads == pytest.approx(1500, abs=10)
+    assert budget.supply_current_a == pytest.approx(305.0)
+    assert budget.current_per_vdd_bump_a == pytest.approx(0.203,
+                                                          abs=0.01)
+
+
+def test_35nm_budget_infeasible():
+    # Paper: "ITRS bump current capability projections are incompatible
+    # with the worst-case current draw of 300A".
+    budget = bump_budget(35)
+    assert not budget.feasible
+    assert budget.vdd_bump_shortfall > 500
+
+
+def test_older_nodes_feasible():
+    assert bump_budget(180).feasible
+    assert bump_budget(180).vdd_bump_shortfall == 0
+
+
+def test_pitch_headroom_grows():
+    headrooms = [bump_budget(n).pitch_headroom
+                 for n in (180, 130, 100, 70, 50, 35)]
+    assert all(a < b for a, b in zip(headrooms, headrooms[1:]))
+    assert headrooms[-1] > 4.0   # 356 um achievable vs 80 um used
+
+
+def test_min_pitch_count_far_exceeds_itrs():
+    assert min_pitch_bump_count(35) > 10 * bump_budget(35).total_pads
+
+
+def test_vdd_bumps_required_ceil():
+    assert vdd_bumps_required(300.0, 0.12) == 2500
+    assert vdd_bumps_required(0.0, 0.12) == 0
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        vdd_bumps_required(-1.0, 0.1)
+    with pytest.raises(ModelParameterError):
+        vdd_bumps_required(10.0, 0.0)

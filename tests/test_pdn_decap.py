@@ -1,0 +1,66 @@
+"""On-die decap sizing."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pdn.decap import (
+    decap_area_m2,
+    decap_budget,
+    required_decap_f,
+)
+
+
+def test_required_decap_formula():
+    # C = L (dI/dV)^2 keeps Z0 = dV/dI.
+    cap = required_decap_f(100.0, 0.06, 1e-13)
+    assert math.sqrt(1e-13 / cap) == pytest.approx(0.06 / 100.0)
+
+
+def test_required_decap_quadratic_in_step():
+    one = required_decap_f(100.0, 0.06, 1e-13)
+    two = required_decap_f(200.0, 0.06, 1e-13)
+    assert two == pytest.approx(4.0 * one)
+
+
+def test_area_conversion():
+    assert decap_area_m2(1e-2 * 1e-4) == pytest.approx(1e-4)
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        required_decap_f(-1.0, 0.06, 1e-13)
+    with pytest.raises(ModelParameterError):
+        required_decap_f(1.0, 0.0, 1e-13)
+    with pytest.raises(ModelParameterError):
+        required_decap_f(1.0, 0.06, 0.0)
+    with pytest.raises(ModelParameterError):
+        decap_area_m2(-1.0)
+    with pytest.raises(ModelParameterError):
+        decap_budget(35, True, droop_fraction=0.0)
+
+
+def test_min_pitch_shrinks_decap_requirement():
+    # More bumps -> less loop inductance -> quadratically less decap.
+    itrs = decap_budget(35, use_min_pitch=False)
+    min_pitch = decap_budget(35, use_min_pitch=True)
+    assert min_pitch.required_f < 0.3 * itrs.required_f
+    assert min_pitch.area_fraction < itrs.area_fraction
+
+
+def test_itrs_scenario_infeasible_min_pitch_feasible():
+    assert not decap_budget(35, use_min_pitch=False).feasible
+    assert decap_budget(35, use_min_pitch=True).feasible
+
+
+def test_achieved_impedance_matches_budget():
+    budget = decap_budget(35, use_min_pitch=True)
+    assert budget.achieved_impedance_ohm == pytest.approx(
+        budget.droop_budget_v / budget.current_step_a)
+
+
+def test_older_node_easier():
+    old = decap_budget(180, use_min_pitch=False)
+    new = decap_budget(35, use_min_pitch=False)
+    assert old.area_fraction < new.area_fraction

@@ -1,0 +1,95 @@
+"""Sparse grid solvers and the analytic-model validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.pdn.bacpac import PitchScenario
+from repro.pdn.grid import (
+    solve_power_grid_2d,
+    solve_rail_strip,
+    validate_analytic_model,
+)
+
+
+class TestRailStrip:
+    def test_matches_distributed_formula(self):
+        # Mid-span drop of a uniformly loaded rail: j Rsq L^2 / (8 W).
+        j, rsq, width, span = 300.0, 0.1, 1e-6, 100e-6
+        analytic = j * rsq * span ** 2 / (8.0 * width)
+        solved = solve_rail_strip(j, rsq, width, span, n_segments=400)
+        assert solved == pytest.approx(analytic, rel=1e-3)
+
+    def test_exact_at_any_even_discretisation(self):
+        # Uniform loading makes the discrete mid-span drop coincide
+        # with the continuous p^2/8 result at every even segment count.
+        j, rsq, width, span = 300.0, 0.1, 1e-6, 100e-6
+        analytic = j * rsq * span ** 2 / (8.0 * width)
+        for n_segments in (4, 10, 50, 200):
+            solved = solve_rail_strip(j, rsq, width, span,
+                                      n_segments=n_segments)
+            assert solved == pytest.approx(analytic, rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(width_factor=st.floats(min_value=0.5, max_value=4.0))
+    def test_drop_inverse_in_width(self, width_factor):
+        j, rsq, span = 200.0, 0.1, 80e-6
+        base = solve_rail_strip(j, rsq, 1e-6, span)
+        scaled = solve_rail_strip(j, rsq, width_factor * 1e-6, span)
+        assert scaled == pytest.approx(base / width_factor, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            solve_rail_strip(-1.0, 0.1, 1e-6, 1e-4)
+        with pytest.raises(ModelParameterError):
+            solve_rail_strip(1.0, 0.1, 1e-6, 1e-4, n_segments=1)
+
+
+class TestGrid2d:
+    def test_solution_shape(self):
+        result = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6,
+                                     rails_per_pitch=4, cells=2)
+        assert result.worst_drop_v > result.mean_drop_v > 0
+        assert result.n_nodes > 0
+
+    def test_more_metal_less_drop(self):
+        thin = solve_power_grid_2d(1e6, 0.1, 0.5e-6, 80e-6)
+        thick = solve_power_grid_2d(1e6, 0.1, 2e-6, 80e-6)
+        assert thick.worst_drop_v < thin.worst_drop_v
+
+    def test_drop_linear_in_current(self):
+        one = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6)
+        two = solve_power_grid_2d(2e6, 0.1, 1e-6, 80e-6)
+        assert two.worst_drop_v == pytest.approx(2.0 * one.worst_drop_v)
+
+    def test_denser_bumps_less_drop(self):
+        sparse = solve_power_grid_2d(1e6, 0.1, 1e-6, 160e-6,
+                                     rails_per_pitch=8, cells=1)
+        dense = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6,
+                                    rails_per_pitch=4, cells=2)
+        assert dense.worst_drop_v < sparse.worst_drop_v
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6,
+                                rails_per_pitch=0)
+
+
+class TestValidateModel:
+    def test_strip_agrees_exactly(self):
+        result = validate_analytic_model(35)
+        assert result.strip_error < 0.02
+
+    def test_mesh_within_crowding_neighbourhood(self):
+        result = validate_analytic_model(35)
+        assert 1.0 < result.grid_margin < 3.0
+
+    @pytest.mark.parametrize("node_nm", [180, 70, 35])
+    def test_all_nodes_validate(self, node_nm):
+        result = validate_analytic_model(node_nm)
+        assert result.strip_error < 0.02
+        assert result.grid_drop_v > 0
+
+    def test_itrs_scenario_also_validates(self):
+        result = validate_analytic_model(50, PitchScenario.ITRS_PADS)
+        assert result.strip_error < 0.02

@@ -1,0 +1,92 @@
+"""Multi-layer power-grid stack."""
+
+import pytest
+
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+from repro.itrs import ITRS_2000
+from repro.pdn.bacpac import PitchScenario
+from repro.pdn.stack import (
+    GridLayer,
+    GridStack,
+    default_grid_stack,
+)
+
+
+def _layer(**overrides):
+    base = dict(name="l", sheet_resistance=0.05, rail_width_m=1e-6,
+                rail_pitch_m=50e-6, feed_pitch_m=100e-6)
+    base.update(overrides)
+    return GridLayer(**base)
+
+
+class TestGridLayer:
+    def test_drop_formula(self):
+        layer = _layer()
+        density = 1e6
+        expected = (density * 50e-6 * 0.05 * (100e-6) ** 2
+                    / (8.0 * 1e-6))
+        assert layer.worst_drop_v(density) == pytest.approx(expected)
+
+    def test_drop_inverse_in_width(self):
+        density = 1e6
+        assert _layer(rail_width_m=2e-6).worst_drop_v(density) \
+            == pytest.approx(0.5 * _layer().worst_drop_v(density))
+
+    def test_via_drop_scales_with_cell_area(self):
+        density = 1e6
+        small = _layer(feed_pitch_m=50e-6)
+        large = _layer(feed_pitch_m=100e-6)
+        assert large.via_drop_v(density) \
+            == pytest.approx(4.0 * small.via_drop_v(density))
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            _layer(rail_width_m=0.0)
+        with pytest.raises(ModelParameterError):
+            _layer(feed_pitch_m=10e-6)  # denser than the rails
+        with pytest.raises(ModelParameterError):
+            _layer().worst_drop_v(-1.0)
+
+
+class TestGridStack:
+    def test_layers_must_be_coarse_to_fine(self):
+        coarse = _layer(rail_pitch_m=100e-6, feed_pitch_m=100e-6)
+        fine = _layer(rail_pitch_m=10e-6, feed_pitch_m=100e-6)
+        GridStack(50, [coarse, fine])  # valid
+        with pytest.raises(ModelParameterError):
+            GridStack(50, [fine, coarse])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ModelParameterError):
+            GridStack(50, [])
+
+    def test_total_is_sum_of_breakdown(self):
+        stack = default_grid_stack(50)
+        breakdown = stack.layer_breakdown()
+        total = sum(rail + via for _, rail, via in breakdown)
+        assert stack.total_drop_v() == pytest.approx(total)
+
+
+class TestDefaultStack:
+    @pytest.mark.parametrize("node_nm", ITRS_2000.node_sizes)
+    def test_meets_budget_at_min_pitch(self, node_nm):
+        stack = default_grid_stack(node_nm)
+        assert stack.meets_budget()
+        assert 0.0 < stack.drop_fraction() <= 0.10
+
+    def test_itrs_pads_break_the_stack_at_35nm(self):
+        # The footnote-8 completion of Fig. 5's message: under ITRS pad
+        # counts even the designer-controlled lower grid cannot close
+        # the budget.
+        with pytest.raises(InfeasibleConstraintError):
+            default_grid_stack(35, PitchScenario.ITRS_PADS)
+
+    def test_three_layers(self):
+        stack = default_grid_stack(100)
+        assert [layer.name for layer in stack.layers] \
+            == ["top", "intermediate", "m2"]
+
+    def test_drop_fraction_grows_toward_nanometer_nodes(self):
+        fractions = [default_grid_stack(n).drop_fraction()
+                     for n in (180, 100, 50)]
+        assert fractions[0] < fractions[-1]

@@ -1,0 +1,77 @@
+"""Wake-up transients and MCML di/dt comparison."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pdn.transients import (
+    mcml_transient_advantage,
+    supply_impedance_ohm,
+    supply_inductance_h,
+    wakeup_transient,
+)
+
+
+def test_inductance_parallel_combination():
+    assert supply_inductance_h(100) == pytest.approx(
+        supply_inductance_h(1) / 100.0)
+
+
+def test_inductance_validation():
+    with pytest.raises(ModelParameterError):
+        supply_inductance_h(0)
+
+
+def test_impedance_positive_and_scales():
+    small = supply_impedance_ohm(1000, 3e-4)
+    large = supply_impedance_ohm(4000, 3e-4)
+    assert small > large > 0
+    with pytest.raises(ModelParameterError):
+        supply_impedance_ohm(100, 0.0)
+
+
+def test_min_pitch_reduces_droop():
+    # Paper: "Using the minimum bump pitch will help here as well,
+    # providing a low inductance path".
+    itrs = wakeup_transient(35, use_min_pitch=False)
+    min_pitch = wakeup_transient(35, use_min_pitch=True)
+    assert min_pitch.droop_v < itrs.droop_v
+    assert min_pitch.n_power_bumps > 5 * itrs.n_power_bumps
+
+
+def test_droop_scales_with_wake_speed():
+    slow = wakeup_transient(35, use_min_pitch=False, wake_time_s=1e-7)
+    fast = wakeup_transient(35, use_min_pitch=False, wake_time_s=1e-8)
+    assert fast.droop_v == pytest.approx(10.0 * slow.droop_v)
+
+
+def test_deeper_standby_bigger_step():
+    deep = wakeup_transient(35, use_min_pitch=False,
+                            standby_fraction=0.01)
+    shallow = wakeup_transient(35, use_min_pitch=False,
+                               standby_fraction=0.5)
+    assert deep.current_step_a > shallow.current_step_a
+
+
+def test_step_is_current_swing():
+    transient = wakeup_transient(35, use_min_pitch=False,
+                                 standby_fraction=0.05)
+    assert transient.current_step_a == pytest.approx(0.95 * 305.0,
+                                                     rel=0.01)
+
+
+def test_acceptable_flag():
+    transient = wakeup_transient(35, use_min_pitch=True)
+    assert transient.acceptable == (transient.droop_fraction <= 0.10)
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        wakeup_transient(35, True, standby_fraction=1.0)
+    with pytest.raises(ModelParameterError):
+        wakeup_transient(35, True, wake_time_s=0.0)
+
+
+def test_mcml_advantage_severalfold():
+    # Paper: MCML "yields much smaller current transients".
+    assert mcml_transient_advantage(50) > 2.0
+    assert mcml_transient_advantage(35) > 2.0

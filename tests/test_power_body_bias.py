@@ -1,0 +1,55 @@
+"""Substrate biasing and its scaling (Section 3.2.1)."""
+
+import pytest
+
+from repro.errors import ModelParameterError, UnknownNodeError
+from repro.power.body_bias import (
+    body_factor,
+    effectiveness_trend,
+    standby_leakage_reduction,
+    vth_shift_v,
+)
+
+
+def test_body_factor_shrinks_with_scaling():
+    factors = [body_factor(n) for n in (180, 130, 100, 70, 50, 35)]
+    assert all(a > b for a, b in zip(factors, factors[1:]))
+
+
+def test_zero_bias_zero_shift():
+    assert vth_shift_v(100, 0.0) == pytest.approx(0.0)
+
+
+def test_shift_grows_sublinearly():
+    one = vth_shift_v(100, 1.0)
+    two = vth_shift_v(100, 2.0)
+    assert one < two < 2.0 * one
+
+
+def test_negative_bias_rejected():
+    with pytest.raises(ModelParameterError):
+        vth_shift_v(100, -0.5)
+
+
+def test_unknown_node_rejected():
+    with pytest.raises(UnknownNodeError):
+        body_factor(90)
+
+
+def test_reduction_exponential_in_shift():
+    result = standby_leakage_reduction(100, reverse_bias_v=1.0)
+    expected = 10.0 ** (result.vth_shift_v / 0.085)
+    assert result.leakage_reduction_factor == pytest.approx(expected,
+                                                            rel=0.01)
+
+
+def test_paper_scaling_caveat():
+    # "body bias is less effective at controlling Vth in scaled devices"
+    trend = effectiveness_trend()
+    factors = [point.leakage_reduction_factor for point in trend]
+    assert all(a > b for a, b in zip(factors, factors[1:]))
+    assert factors[0] > 20 * factors[-1]
+
+
+def test_reduction_still_useful_at_35nm():
+    assert standby_leakage_reduction(35).leakage_reduction_factor > 2.0

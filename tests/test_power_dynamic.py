@@ -1,0 +1,58 @@
+"""Dynamic power calculators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.power.dynamic import (
+    dynamic_power_scaling,
+    dynamic_power_w,
+    switching_energy_j,
+)
+
+
+def test_switching_energy():
+    assert switching_energy_j(1e-15, 1.0) == pytest.approx(1e-15)
+
+
+def test_dynamic_power_formula():
+    assert dynamic_power_w(10e-15, 1.2, 1e9, 0.1) == pytest.approx(
+        0.1 * 1e9 * 10e-15 * 1.44)
+
+
+def test_paper_78pct_penalty():
+    assert dynamic_power_scaling(0.9, 1.2) == pytest.approx(7.0 / 9.0)
+
+
+def test_paper_36pct_penalty():
+    assert dynamic_power_scaling(0.6, 0.7) == pytest.approx(0.361,
+                                                            abs=1e-3)
+
+
+def test_scaling_down_is_negative():
+    assert dynamic_power_scaling(1.0, 0.65) == pytest.approx(
+        0.65 ** 2 - 1.0)
+
+
+@given(st.floats(min_value=0.1, max_value=5.0))
+def test_scaling_identity(vdd):
+    assert dynamic_power_scaling(vdd, vdd) == pytest.approx(0.0)
+
+
+@given(cap=st.floats(min_value=1e-16, max_value=1e-12),
+       vdd=st.floats(min_value=0.1, max_value=2.0))
+def test_energy_quadratic_in_vdd(cap, vdd):
+    assert switching_energy_j(cap, 2.0 * vdd) == pytest.approx(
+        4.0 * switching_energy_j(cap, vdd))
+
+
+@pytest.mark.parametrize("call", [
+    lambda: switching_energy_j(-1e-15, 1.0),
+    lambda: switching_energy_j(1e-15, -1.0),
+    lambda: dynamic_power_w(1e-15, 1.0, 1e9, 1.1),
+    lambda: dynamic_power_w(1e-15, 1.0, -1e9, 0.5),
+    lambda: dynamic_power_scaling(0.0, 1.0),
+])
+def test_validation(call):
+    with pytest.raises(ModelParameterError):
+        call()

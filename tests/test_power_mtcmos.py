@@ -1,0 +1,93 @@
+"""MTCMOS sleep-transistor analysis (Section 3.2.1)."""
+
+import pytest
+
+from repro.devices.params import device_for_node
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+from repro.power.mtcmos import (
+    MtcmosDesign,
+    penalty_area_tradeoff,
+    size_sleep_transistor,
+)
+
+
+@pytest.fixture(scope="module")
+def devices():
+    standard = device_for_node(70)
+    low = standard.with_vth(standard.vth_v - 0.1)
+    high = standard.with_vth(standard.vth_v + 0.1)
+    return low, high
+
+
+def _design(devices, sleep_width=500.0):
+    low, high = devices
+    return MtcmosDesign(logic_device=low, sleep_device=high,
+                        logic_width_um=1000.0,
+                        sleep_width_um=sleep_width)
+
+
+def test_standby_reduction_large(devices):
+    # "virtually eliminate leakage current in idle states": with a
+    # 200 mV Vth gap the reduction runs into the hundreds.
+    design = _design(devices)
+    assert design.standby_reduction() > 50.0
+
+
+def test_no_active_leakage_reduction(devices):
+    # The paper lists this among MTCMOS's disadvantages.
+    design = _design(devices)
+    assert design.active_leakage_a() > 10.0 * design.standby_leakage_a()
+
+
+def test_bigger_sleep_device_less_penalty(devices):
+    small = _design(devices, sleep_width=200.0)
+    large = _design(devices, sleep_width=800.0)
+    assert large.delay_penalty < small.delay_penalty
+    assert large.area_overhead > small.area_overhead
+
+
+def test_bigger_sleep_device_more_standby_leakage(devices):
+    small = _design(devices, sleep_width=200.0)
+    large = _design(devices, sleep_width=800.0)
+    assert large.standby_leakage_a() > small.standby_leakage_a()
+
+
+def test_sizing_meets_budget_exactly(devices):
+    low, high = devices
+    design = size_sleep_transistor(low, high, 1000.0,
+                                   max_delay_penalty=0.05)
+    assert design.delay_penalty == pytest.approx(0.05, rel=1e-6)
+
+
+def test_tighter_budget_bigger_area(devices):
+    low, high = devices
+    tight = size_sleep_transistor(low, high, 1000.0, 0.02)
+    loose = size_sleep_transistor(low, high, 1000.0, 0.10)
+    assert tight.area_overhead > loose.area_overhead
+
+
+def test_tradeoff_sweep_monotone(devices):
+    low, high = devices
+    designs = penalty_area_tradeoff(low, high, 1000.0)
+    areas = [design.area_overhead for design in designs]
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+
+
+def test_sleep_must_be_high_vth(devices):
+    low, high = devices
+    with pytest.raises(ModelParameterError):
+        MtcmosDesign(logic_device=high, sleep_device=low,
+                     logic_width_um=100.0, sleep_width_um=10.0)
+
+
+def test_nonpositive_budget_rejected(devices):
+    low, high = devices
+    with pytest.raises(InfeasibleConstraintError):
+        size_sleep_transistor(low, high, 100.0, 0.0)
+
+
+def test_width_validation(devices):
+    low, high = devices
+    with pytest.raises(ModelParameterError):
+        MtcmosDesign(logic_device=low, sleep_device=high,
+                     logic_width_um=0.0, sleep_width_um=1.0)

@@ -1,0 +1,64 @@
+"""Fig. 1 machinery: static/dynamic ratio sweeps."""
+
+import pytest
+
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.power.ratio import (
+    FIG1_TEMPERATURE_K,
+    FIG1_VARIANTS,
+    device_at_vdd,
+    static_dynamic_ratio_sweep,
+)
+
+
+def test_fig1_is_85c():
+    assert FIG1_TEMPERATURE_K == pytest.approx(358.15)
+
+
+def test_variants_match_paper():
+    assert FIG1_VARIANTS == ((70, 0.9), (50, 0.7), (50, 0.6))
+
+
+def test_device_at_nominal_vdd_unchanged():
+    device = device_at_vdd(50, 0.6)
+    assert device is device_for_node(50)
+
+
+def test_device_at_raised_vdd_resolves_higher_vth():
+    device = device_at_vdd(50, 0.7)
+    assert device.vdd_v == 0.7
+    assert device.vth_v > device_for_node(50).vth_v
+
+
+def test_bad_vdd_rejected():
+    with pytest.raises(ModelParameterError):
+        device_at_vdd(50, -0.1)
+
+
+def test_sweep_shape():
+    points = static_dynamic_ratio_sweep(activities=(0.01, 0.1))
+    assert len(points) == len(FIG1_VARIANTS) * 2
+    assert all(point.ratio > 0 for point in points)
+
+
+def test_50nm_low_vdd_leakiest():
+    points = static_dynamic_ratio_sweep(activities=(0.05,))
+    by_variant = {(p.node_nm, p.vdd_v): p.ratio for p in points}
+    assert by_variant[(50, 0.6)] > by_variant[(50, 0.7)]
+    assert by_variant[(50, 0.6)] > by_variant[(70, 0.9)]
+
+
+def test_paper_headline_band():
+    # "for switching activities on the order of 0.01 to 0.1, static
+    # power can approach and exceed 10% of dynamic power".
+    points = static_dynamic_ratio_sweep(activities=(0.01, 0.05, 0.1))
+    leaky = [p.ratio for p in points
+             if p.node_nm == 50 and p.vdd_v == 0.6]
+    assert all(ratio > 0.10 for ratio in leaky)
+
+
+def test_custom_variant():
+    points = static_dynamic_ratio_sweep(variants=((35, 0.6),),
+                                        activities=(0.1,))
+    assert points[0].node_nm == 35

@@ -1,0 +1,98 @@
+"""Stack effect, state-dependent leakage, mixed-Vth cells (Section 3.3)."""
+
+import pytest
+
+from repro.devices.params import device_for_node
+from repro.errors import ModelParameterError
+from repro.power.stacks import (
+    STACK_FACTOR,
+    StackedDevice,
+    TransistorStack,
+    mixed_vth_stack_study,
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return device_for_node(35)
+
+
+def _stack(device, height=2, width=1.0):
+    return TransistorStack([StackedDevice(device, width)
+                            for _ in range(height)])
+
+
+class TestStateDependence:
+    def test_all_on_no_leak(self, device):
+        stack = _stack(device)
+        assert stack.leakage_a((False, False)) == 0.0
+
+    def test_one_off_leaks_device_ioff(self, device):
+        stack = _stack(device)
+        single = StackedDevice(device, 1.0).ioff_a()
+        assert stack.leakage_a((True, False)) == pytest.approx(single)
+
+    def test_two_off_stack_suppressed(self, device):
+        stack = _stack(device)
+        one_off = stack.leakage_a((True, False))
+        both_off = stack.leakage_a((True, True))
+        assert both_off == pytest.approx(STACK_FACTOR * one_off)
+
+    def test_average_over_states(self, device):
+        stack = _stack(device)
+        single = stack.leakage_a((True, False))
+        expected = (0.0 + single + single + STACK_FACTOR * single) / 4.0
+        assert stack.average_leakage_a() == pytest.approx(expected)
+
+    def test_best_standby_state_is_all_off(self, device):
+        # With equal devices, turning everything off engages the stack
+        # effect -- ref [38]'s state-parking insight.
+        stack = _stack(device, height=3)
+        best = stack.best_standby_state()
+        assert sum(best) >= 2
+        assert stack.leakage_a(best) <= stack.worst_state_leakage_a()
+
+    def test_mask_length_checked(self, device):
+        with pytest.raises(ModelParameterError):
+            _stack(device).leakage_a((True,))
+
+
+class TestMixedVth:
+    def test_substantial_saving_minimal_penalty(self, device):
+        # Paper: "fairly substantial leakage savings with minimal delay
+        # penalties".
+        study = mixed_vth_stack_study(device)
+        assert study.leakage_saving > 0.3
+        assert study.delay_penalty < 0.25
+
+    def test_high_vth_foot_improves_standby_state(self, device):
+        # The worst input state (a low-Vth device off alone) is common
+        # to both stacks; the win is in the parked/standby state, where
+        # the off high-Vth foot dominates the series path.
+        study = mixed_vth_stack_study(device)
+        mixed_best = study.mixed.leakage_a(
+            study.mixed.best_standby_state())
+        all_low_best = study.all_low.leakage_a(
+            study.all_low.best_standby_state())
+        assert mixed_best < all_low_best
+
+    def test_larger_offset_saves_more(self, device):
+        mild = mixed_vth_stack_study(device, vth_offset_v=0.05)
+        strong = mixed_vth_stack_study(device, vth_offset_v=0.15)
+        assert strong.leakage_saving > mild.leakage_saving
+
+    def test_taller_stack_study(self, device):
+        study = mixed_vth_stack_study(device, height=3)
+        assert len(study.mixed) == 3
+        assert study.leakage_saving > 0.0
+
+    def test_height_validated(self, device):
+        with pytest.raises(ModelParameterError):
+            mixed_vth_stack_study(device, height=1)
+
+
+def test_stack_validation(device):
+    with pytest.raises(ModelParameterError):
+        TransistorStack([])
+    with pytest.raises(ModelParameterError):
+        StackedDevice(device, 0.0)

@@ -1,0 +1,81 @@
+"""Chip-level static power (Section 3.1 claims)."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.power.static import (
+    OPERATING_TEMPERATURE_K,
+    chip_static_power_w,
+    itrs_standby_current_budget_a,
+    itrs_static_budget_w,
+    standby_current_a,
+    static_power_reduction_required,
+    total_device_width_m,
+    unchecked_static_projection_w,
+)
+
+
+def test_itrs_budget_is_10pct():
+    assert itrs_static_budget_w(35) == pytest.approx(18.3)
+
+
+def test_30a_standby_at_35nm():
+    # Paper: "at 35 nm, an MPU can draw 30A of current in standby".
+    assert itrs_standby_current_budget_a(35) == pytest.approx(30.5,
+                                                              abs=1.0)
+
+
+def test_width_grows_with_scaling():
+    widths = [total_device_width_m(n) for n in (180, 130, 100, 70, 50,
+                                                35)]
+    assert all(a < b for a, b in zip(widths, widths[1:]))
+
+
+def test_standby_current_scales_with_width():
+    half = standby_current_a(50, off_fraction=0.25)
+    full = standby_current_a(50, off_fraction=0.5)
+    assert full == pytest.approx(2.0 * half)
+
+
+def test_bad_off_fraction_rejected():
+    with pytest.raises(ModelParameterError):
+        standby_current_a(50, off_fraction=0.0)
+
+
+def test_static_power_hot_exceeds_cold():
+    assert chip_static_power_w(50, temperature_k=OPERATING_TEMPERATURE_K) \
+        > chip_static_power_w(50, temperature_k=300.0)
+
+
+def test_reduction_required_substantial_at_nanometer_nodes():
+    # Paper: the burden on circuit techniques "reaches 98 %" at the end
+    # of the roadmap; our calibration lands at 70-90 % (EXPERIMENTS.md).
+    assert static_power_reduction_required(50) > 0.6
+    assert static_power_reduction_required(35) > 0.5
+
+
+def test_reduction_zero_when_within_budget():
+    assert static_power_reduction_required(180,
+                                           temperature_k=300.0) == 0.0
+
+
+def test_unchecked_projection_reaches_kilowatts():
+    # Paper: "Unchecked, static power would reach kilowatt levels".
+    assert unchecked_static_projection_w(35) > 1000.0
+
+
+def test_projection_grows_along_roadmap():
+    values = [unchecked_static_projection_w(n)
+              for n in (180, 130, 100, 70, 50, 35)]
+    assert all(a < b for a, b in zip(values, values[1:]))
+
+
+def test_projection_growth_parameter():
+    mild = unchecked_static_projection_w(35, growth_per_generation=2.0)
+    steep = unchecked_static_projection_w(35, growth_per_generation=5.0)
+    assert steep / mild == pytest.approx((5.0 / 2.0) ** 5)
+
+
+def test_bad_growth_rejected():
+    with pytest.raises(ModelParameterError):
+        unchecked_static_projection_w(35, growth_per_generation=0.0)

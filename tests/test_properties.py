@@ -1,0 +1,175 @@
+"""Cross-cutting property-based tests and failure injection.
+
+These deliberately stress invariants across module boundaries with
+randomised inputs, beyond the per-module suites.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.circuits.gate import GateDesign, GateKind, GateModel
+from repro.devices.mosfet import MosfetModel
+from repro.devices.params import device_for_node
+from repro.devices.solver import solve_vth_for_ion
+from repro.errors import ReproError
+from repro.itrs import ITRS_2000
+from repro.netlist.generate import random_netlist
+from repro.netlist.power import netlist_power
+from repro.netlist.sta import compute_sta
+from repro.optim.cvs import assign_cvs
+from repro.optim.dual_vth import assign_dual_vth
+from repro.optim.sizing import downsize_netlist
+from repro.thermal.rc_network import default_thermal_network
+
+NODES = st.sampled_from(ITRS_2000.node_sizes)
+
+
+class TestDeviceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(node_nm=NODES,
+           target=st.floats(min_value=200.0, max_value=900.0))
+    def test_vth_solution_always_consistent(self, node_nm, target):
+        device = device_for_node(node_nm)
+        try:
+            vth = solve_vth_for_ion(device, target)
+        except ReproError:
+            return  # unreachable target: acceptable, typed failure
+        assert MosfetModel(device).ion_ua_um(vth_v=vth) \
+            == pytest.approx(target, rel=1e-3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(node_nm=NODES,
+           vth=st.floats(min_value=0.0, max_value=0.4),
+           temp=st.floats(min_value=250.0, max_value=400.0))
+    def test_on_off_ratio_positive_everywhere(self, node_nm, vth, temp):
+        model = MosfetModel(device_for_node(node_nm))
+        if model.params.vdd_v - vth < 0.05:
+            return
+        assert model.on_off_ratio(vth_v=vth, temperature_k=temp) > 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(node_nm=NODES, size=st.floats(min_value=0.25, max_value=16.0),
+           load_ff=st.floats(min_value=0.5, max_value=200.0))
+    def test_gate_energy_delay_positive(self, node_nm, size, load_ff):
+        device = device_for_node(node_nm)
+        gate = GateModel(device, GateDesign(size=size))
+        load = units.fF(load_ff)
+        assert gate.delay_s(load) > 0
+        assert gate.dynamic_energy_j(load) > 0
+        assert gate.static_power_w() > 0
+
+
+class TestNetlistFlowProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_cvs_never_breaks_timing_or_structure(self, seed):
+        netlist = random_netlist(100, n_gates=120, seed=seed,
+                                 depth_skew=2.0, clock_margin=1.08)
+        fanins = {name: netlist.instances[name].fanins
+                  for name in netlist.instances}
+        assign_cvs(netlist)
+        assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+        assert {name: netlist.instances[name].fanins
+                for name in netlist.instances} == fanins
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_dual_vth_never_breaks_timing(self, seed):
+        netlist = random_netlist(70, n_gates=120, seed=seed,
+                                 clock_margin=1.05)
+        result = assign_dual_vth(netlist)
+        assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+        assert 0.0 <= result.high_vth_fraction <= 1.0
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_downsizing_never_increases_power(self, seed):
+        netlist = random_netlist(100, n_gates=120, seed=seed,
+                                 clock_margin=1.10)
+        before = netlist_power(netlist).total_dynamic_w
+        downsize_netlist(netlist)
+        after = netlist_power(netlist).total_dynamic_w
+        assert after <= before + 1e-18
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           activity=st.floats(min_value=0.01, max_value=1.0))
+    def test_power_components_nonnegative(self, seed, activity):
+        netlist = random_netlist(50, n_gates=80, seed=seed)
+        power = netlist_power(netlist, activity=activity)
+        assert power.dynamic_w >= 0
+        assert power.static_w >= 0
+        assert power.level_converter_w >= 0
+
+
+class TestThermalProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(theta=st.floats(min_value=0.1, max_value=2.0),
+           power=st.floats(min_value=0.0, max_value=300.0),
+           dt=st.floats(min_value=1e-3, max_value=5.0))
+    def test_step_never_overshoots_steady_state(self, theta, power, dt):
+        network = default_thermal_network(theta)
+        steady = network.steady_state_c(power)[0]
+        for _ in range(20):
+            junction = network.step(power, dt)
+            assert junction <= steady + 1e-6
+            assert junction >= network.t_ambient_c - 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(theta=st.floats(min_value=0.1, max_value=2.0),
+           power=st.floats(min_value=1.0, max_value=300.0))
+    def test_settle_matches_eq1(self, theta, power):
+        network = default_thermal_network(theta)
+        network.settle(power)
+        assert network.junction_c == pytest.approx(
+            network.t_ambient_c + theta * power)
+
+
+class TestFailureInjection:
+    def test_frozen_device_card_is_immutable(self):
+        device = device_for_node(50)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            device.vth_v = 0.0
+
+    def test_all_library_failures_are_typed(self):
+        """Every failure surfaced to a caller derives from ReproError
+        (or a stdlib type it intentionally subclasses)."""
+        from repro.errors import (CalibrationError,
+                                  InfeasibleConstraintError,
+                                  NetlistError, UnknownNodeError)
+        failing_calls = [
+            lambda: device_for_node(91),
+            lambda: ITRS_2000.node(91),
+            lambda: solve_vth_for_ion(device_for_node(35), 1e9),
+            lambda: random_netlist(100, n_gates=2, seed=0),
+        ]
+        for call in failing_calls:
+            with pytest.raises(ReproError):
+                call()
+        assert issubclass(UnknownNodeError, ReproError)
+        assert issubclass(CalibrationError, ReproError)
+        assert issubclass(InfeasibleConstraintError, ReproError)
+        assert issubclass(NetlistError, ReproError)
+
+    def test_corrupted_netlist_state_detected_by_power(self):
+        netlist = random_netlist(100, n_gates=60, seed=3)
+        instance = next(iter(netlist.instances.values()))
+        instance.size_factor = -1.0  # corrupt
+        with pytest.raises(ReproError):
+            netlist_power(netlist)
+
+    def test_sensor_extreme_noise_still_bounded(self):
+        from repro.thermal.sensor import ThermalSensor
+        sensor = ThermalSensor(trip_c=80.0, noise_sigma_c=20.0, seed=9)
+        # With huge noise the comparator chatters, but sampling never
+        # crashes and the state remains boolean.
+        for temperature in (60.0, 75.0, 85.0, 95.0):
+            assert sensor.sample(temperature) in (True, False)
+
+    def test_experiment_registry_rejects_unknown(self):
+        from repro.analysis import run_experiment
+        with pytest.raises(ReproError):
+            run_experiment("E-F9")

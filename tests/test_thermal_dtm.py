@@ -1,0 +1,100 @@
+"""Dynamic thermal management closed loop."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.dtm import DtmController, simulate_dtm
+from repro.thermal.package import theta_ja
+from repro.thermal.rc_network import default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import (
+    bursty_trace,
+    power_virus_trace,
+    realistic_app_trace,
+)
+
+TJ_LIMIT = 85.0
+VIRUS_W = 100.0
+
+
+def _effective_package():
+    # Sized for the effective worst case (75 % of the virus).
+    return default_thermal_network(theta_ja(TJ_LIMIT, 45.0,
+                                            0.75 * VIRUS_W))
+
+
+def _controller(trip=TJ_LIMIT - 2.0):
+    return DtmController(ThermalSensor(trip_c=trip))
+
+
+def test_dtm_holds_junction_under_virus():
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 60.0),
+                          _effective_package(), _controller())
+    assert result.max_junction_c <= TJ_LIMIT + 0.5
+    assert result.throttled_fraction > 0.1
+
+
+def test_unmanaged_chip_violates():
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 60.0),
+                          _effective_package(), None)
+    assert result.max_junction_c > TJ_LIMIT + 1.0
+    assert result.throttled_fraction == 0.0
+    assert result.throughput_fraction == 1.0
+
+
+def test_realistic_app_unthrottled():
+    result = simulate_dtm(realistic_app_trace(VIRUS_W, 60.0, seed=3),
+                          _effective_package(), _controller())
+    assert result.throughput_fraction > 0.97
+    assert result.max_junction_c <= TJ_LIMIT + 0.5
+
+
+def test_throughput_cost_bounded():
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 60.0),
+                          _effective_package(), _controller())
+    assert 0.5 <= result.throughput_fraction < 1.0
+
+
+def test_throttle_factor_halves_power():
+    controller = _controller()
+    sensor = controller.sensor
+    sensor.sample(200.0)  # force tripped
+    delivered, flagged = controller.modulate(80.0, 200.0)
+    assert flagged
+    assert delivered == pytest.approx(40.0)
+
+
+def test_bursty_workload_recovers_between_bursts():
+    result = simulate_dtm(bursty_trace(VIRUS_W, 60.0, duty=0.4,
+                                       burst_s=5.0, seed=4),
+                          _effective_package(), _controller())
+    assert result.max_junction_c <= TJ_LIMIT + 0.5
+    assert result.throughput_fraction > 0.8
+
+
+def test_generously_sized_package_never_throttles():
+    roomy = default_thermal_network(theta_ja(TJ_LIMIT, 45.0,
+                                             1.5 * VIRUS_W))
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 30.0), roomy,
+                          _controller())
+    assert result.throttled_fraction == 0.0
+
+
+def test_preheat_override():
+    network = _effective_package()
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 1.0), network,
+                          None, preheat_power_w=0.0)
+    # Starting cold, a 1 s virus cannot reach the steady state.
+    assert result.junction_c[0] < 60.0
+
+
+def test_result_arrays_aligned():
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 2.0),
+                          _effective_package(), _controller())
+    assert len(result.junction_c) == len(result.delivered_w) \
+        == len(result.throttled)
+
+
+def test_throttle_factor_validated():
+    with pytest.raises(ModelParameterError):
+        DtmController(ThermalSensor(trip_c=80.0), throttle_factor=0.0)

@@ -1,0 +1,106 @@
+"""Dynamic voltage scaling thermal management."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.dtm import DtmController, simulate_dtm
+from repro.thermal.dvs import (
+    DEFAULT_LADDER,
+    DvsController,
+    OperatingPoint,
+    dvs_vs_throttling_throughput,
+    simulate_dvs,
+)
+from repro.thermal.package import theta_ja
+from repro.thermal.rc_network import default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import power_virus_trace
+
+TJ_LIMIT = 85.0
+VIRUS_W = 100.0
+
+
+def _network():
+    return default_thermal_network(theta_ja(TJ_LIMIT, 45.0,
+                                            0.75 * VIRUS_W))
+
+
+def _dvs():
+    return DvsController(ThermalSensor(trip_c=TJ_LIMIT - 2.0))
+
+
+class TestOperatingPoint:
+    def test_cubic_power_relation(self):
+        point = OperatingPoint(vdd_ratio=0.8, freq_ratio=0.73)
+        assert point.power_ratio == pytest.approx(0.73 * 0.64)
+        assert point.throughput_ratio == 0.73
+
+    def test_ladder_monotone(self):
+        powers = [point.power_ratio for point in DEFAULT_LADDER]
+        assert all(a > b for a, b in zip(powers, powers[1:]))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(vdd_ratio=0.0, freq_ratio=0.5),
+        dict(vdd_ratio=1.2, freq_ratio=0.5),
+        dict(vdd_ratio=0.8, freq_ratio=0.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ModelParameterError):
+            OperatingPoint(**kwargs)
+
+
+class TestController:
+    def test_steps_down_when_tripped(self):
+        controller = _dvs()
+        controller.modulate(100.0, 200.0)  # way over: trips
+        assert controller.level == 1
+        controller.modulate(100.0, 200.0)
+        assert controller.level == 2
+
+    def test_steps_back_up_when_cool(self):
+        controller = _dvs()
+        controller.modulate(100.0, 200.0)
+        controller.modulate(100.0, 20.0)
+        assert controller.level == 0
+
+    def test_saturates_at_ladder_end(self):
+        controller = _dvs()
+        for _ in range(10):
+            controller.modulate(100.0, 200.0)
+        assert controller.level == len(DEFAULT_LADDER) - 1
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ModelParameterError):
+            DvsController(ThermalSensor(trip_c=80.0), ladder=())
+
+    def test_unordered_ladder_rejected(self):
+        bad = (OperatingPoint(0.7, 0.58), OperatingPoint(1.0, 1.0))
+        with pytest.raises(ModelParameterError):
+            DvsController(ThermalSensor(trip_c=80.0), ladder=bad)
+
+
+class TestSimulation:
+    def test_dvs_holds_junction(self):
+        result = simulate_dvs(power_virus_trace(VIRUS_W, 60.0),
+                              _network(), _dvs())
+        assert result.max_junction_c <= TJ_LIMIT + 0.5
+        assert result.scaled_fraction > 0.0
+
+    def test_dvs_throughput_advantage(self):
+        # The Transmeta argument: shedding watts by lowering V and f
+        # together (cubic) costs less throughput than gating the clock
+        # (linear), at the same thermal envelope.
+        trace = power_virus_trace(VIRUS_W, 60.0)
+        dvs = simulate_dvs(trace, _network(), _dvs())
+        throttled = simulate_dtm(
+            power_virus_trace(VIRUS_W, 60.0), _network(),
+            DtmController(ThermalSensor(trip_c=TJ_LIMIT - 2.0)))
+        assert dvs.max_junction_c <= TJ_LIMIT + 0.5
+        assert throttled.max_junction_c <= TJ_LIMIT + 0.5
+        assert dvs_vs_throttling_throughput(dvs, throttled) > 0.02
+
+    def test_result_arrays_aligned(self):
+        result = simulate_dvs(power_virus_trace(VIRUS_W, 2.0),
+                              _network(), _dvs())
+        assert len(result.junction_c) == len(result.delivered_w) \
+            == len(result.throughput_ratio)

@@ -1,0 +1,80 @@
+"""Electrothermal feedback: fixed points, amplification, runaway."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InfeasibleConstraintError, ModelParameterError
+from repro.thermal.electrothermal import (
+    chip_leakage_at_c,
+    leakage_amplification,
+    runaway_theta,
+    solve_operating_point,
+)
+
+
+def test_leakage_grows_with_temperature():
+    assert chip_leakage_at_c(70, 100.0) > chip_leakage_at_c(70, 50.0)
+
+
+def test_operating_point_is_a_fixed_point():
+    point = solve_operating_point(70, 0.25, 160.0)
+    expected_tj = 45.0 + 0.25 * point.total_power_w
+    assert point.junction_c == pytest.approx(expected_tj, abs=1e-3)
+    assert point.leakage_w == pytest.approx(
+        chip_leakage_at_c(70, point.junction_c), rel=1e-6)
+
+
+def test_feedback_raises_tj_above_naive():
+    point = solve_operating_point(70, 0.25, 160.0)
+    naive_tj = 45.0 + 0.25 * (160.0 + chip_leakage_at_c(70, 45.0))
+    assert point.junction_c > naive_tj
+
+
+def test_leakage_amplification_above_one():
+    # Self-heating makes the settled leakage several times the 300 K
+    # estimate the Section 3.1 numbers quote.
+    assert leakage_amplification(70, 0.25, 160.0) > 2.0
+
+
+def test_50nm_node_is_electrothermally_marginal():
+    # The Vth = 0.04 V point of Table 2: on the ITRS-target 0.25 C/W
+    # package, leakage dominates the settled power and the runaway
+    # threshold sits barely above the package requirement.
+    point = solve_operating_point(50, 0.25, 160.0)
+    assert point.leakage_fraction > 0.5
+    assert runaway_theta(50, 160.0) < 0.5
+
+
+def test_70nm_node_has_margin():
+    point = solve_operating_point(70, 0.25, 160.0)
+    assert point.leakage_fraction < 0.2
+    assert runaway_theta(70, 160.0) > 2.0 * 0.25
+
+
+def test_runaway_raises_cleanly():
+    with pytest.raises(InfeasibleConstraintError):
+        solve_operating_point(50, 1.0, 160.0)
+
+
+def test_runaway_theta_is_the_boundary():
+    theta_crit = runaway_theta(50, 160.0)
+    solve_operating_point(50, 0.95 * theta_crit, 160.0)  # stable
+    with pytest.raises(InfeasibleConstraintError):
+        solve_operating_point(50, 1.10 * theta_crit, 160.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(dynamic=st.floats(min_value=10.0, max_value=200.0))
+def test_runaway_theta_decreases_with_power(dynamic):
+    low = runaway_theta(70, dynamic)
+    high = runaway_theta(70, dynamic + 50.0)
+    assert high <= low + 1e-6
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        solve_operating_point(70, 0.0, 100.0)
+    with pytest.raises(ModelParameterError):
+        solve_operating_point(70, 0.5, -1.0)
+    with pytest.raises(ModelParameterError):
+        chip_leakage_at_c(70, -100.0)

@@ -1,0 +1,111 @@
+"""Eq. (1), cooling catalog, and DTM packaging economics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.thermal.package import (
+    COOLING_CATALOG,
+    CoolingSolution,
+    EFFECTIVE_WORST_CASE_FRACTION,
+    cheapest_cooling,
+    cooling_cost_usd,
+    dtm_packaging_benefit,
+    junction_temperature_c,
+    max_power_w,
+    theta_ja,
+)
+
+
+class TestEq1:
+    def test_theta_ja_formula(self):
+        # Eq. (1): theta = (Tchip - Tambient) / P.
+        assert theta_ja(100.0, 45.0, 90.0) == pytest.approx(55.0 / 90.0)
+
+    def test_junction_temperature_inverse(self):
+        theta = theta_ja(85.0, 45.0, 75.0)
+        assert junction_temperature_c(theta, 75.0) == pytest.approx(85.0)
+
+    def test_max_power_inverse(self):
+        assert max_power_w(0.25, 85.0) == pytest.approx(160.0)
+
+    @given(theta=st.floats(min_value=0.1, max_value=2.0),
+           power=st.floats(min_value=1.0, max_value=300.0))
+    def test_round_trip_property(self, theta, power):
+        tj = junction_temperature_c(theta, power)
+        assert theta_ja(tj, 45.0, power) == pytest.approx(theta)
+
+    @pytest.mark.parametrize("call", [
+        lambda: theta_ja(85.0, 45.0, 0.0),
+        lambda: theta_ja(40.0, 45.0, 50.0),
+        lambda: junction_temperature_c(-0.1, 50.0),
+        lambda: junction_temperature_c(0.5, -1.0),
+        lambda: max_power_w(0.5, 40.0),
+    ])
+    def test_validation(self, call):
+        with pytest.raises(ModelParameterError):
+            call()
+
+
+class TestCoolingCatalog:
+    def test_catalog_sorted_by_capability_and_cost(self):
+        thetas = [s.theta_ja_c_per_w for s in COOLING_CATALOG]
+        costs = [s.cost_usd for s in COOLING_CATALOG]
+        assert all(a > b for a, b in zip(thetas, thetas[1:]))
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_paper_cost_cliff(self):
+        # Paper: 65 -> 75 W triples cooling cost.
+        assert cooling_cost_usd(75.0, 85.0) \
+            == pytest.approx(3.0 * cooling_cost_usd(65.0, 85.0))
+
+    def test_cheapest_meets_spec(self):
+        solution = cheapest_cooling(100.0, 85.0)
+        assert solution.can_cool(100.0, 85.0)
+
+    def test_refrigeration_fallback_dollar_per_watt(self):
+        # Beyond the catalog: compressor base cost plus the paper's
+        # ~$1 per watt cooled.
+        solution = cheapest_cooling(300.0, 85.0)
+        assert solution.name == "vapor-compression refrigeration"
+        assert solution.cost_usd == pytest.approx(300.0 + 300.0)
+        bigger = cheapest_cooling(400.0, 85.0)
+        assert bigger.cost_usd - solution.cost_usd \
+            == pytest.approx(100.0)
+
+    def test_cost_monotone_in_power(self):
+        costs = [cooling_cost_usd(p, 85.0) for p in (30, 60, 80, 110,
+                                                     150, 250)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_cooler_ambient_helps(self):
+        # Sub-ambient operation relaxes the required theta (ref [5]).
+        assert cooling_cost_usd(100.0, 85.0, t_ambient_c=20.0) \
+            <= cooling_cost_usd(100.0, 85.0, t_ambient_c=45.0)
+
+
+class TestDtmBenefit:
+    def test_effective_fraction_is_75pct(self):
+        assert EFFECTIVE_WORST_CASE_FRACTION == 0.75
+
+    def test_theta_relief_33pct(self):
+        benefit = dtm_packaging_benefit(100.0, 85.0)
+        assert benefit.theta_relief == pytest.approx(1.0 / 3.0)
+
+    def test_cost_saving_positive_near_cliff(self):
+        benefit = dtm_packaging_benefit(100.0, 85.0)
+        assert benefit.cost_saving_usd > 0.0
+
+    def test_effective_power(self):
+        benefit = dtm_packaging_benefit(120.0, 85.0)
+        assert benefit.effective_worst_w == pytest.approx(90.0)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ModelParameterError):
+            dtm_packaging_benefit(100.0, 85.0, effective_fraction=0.0)
+
+
+def test_solution_can_cool_logic():
+    solution = CoolingSolution("x", theta_ja_c_per_w=0.5, cost_usd=10.0)
+    assert solution.can_cool(80.0, 85.0)       # 45 + 40 = 85
+    assert not solution.can_cool(81.0, 85.0)

@@ -1,0 +1,106 @@
+"""Lumped thermal RC network."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.rc_network import (
+    ThermalNetwork,
+    ThermalStage,
+    default_thermal_network,
+)
+
+
+@pytest.fixture
+def network():
+    return default_thermal_network(0.5)
+
+
+def test_theta_ja_is_sum_of_stages(network):
+    assert network.theta_ja == pytest.approx(0.5)
+
+
+def test_starts_at_ambient(network):
+    assert network.junction_c == pytest.approx(45.0)
+
+
+def test_steady_state_matches_eq1(network):
+    temps = network.steady_state_c(80.0)
+    assert temps[0] == pytest.approx(45.0 + 0.5 * 80.0)
+    # Temperatures fall monotonically toward ambient.
+    assert all(a > b for a, b in zip(temps, temps[1:]))
+
+
+def test_settle(network):
+    network.settle(60.0)
+    assert network.junction_c == pytest.approx(45.0 + 30.0)
+
+
+def test_step_converges_to_steady_state(network):
+    network.settle(0.0)
+    for _ in range(400):
+        network.step(50.0, 1.0)
+    assert network.junction_c == pytest.approx(
+        network.steady_state_c(50.0)[0], abs=0.5)
+
+
+def test_zero_power_cools_to_ambient(network):
+    network.settle(80.0)
+    for _ in range(600):
+        network.step(0.0, 1.0)
+    assert network.junction_c == pytest.approx(45.0, abs=0.5)
+
+
+def test_die_responds_fast_sink_slow(network):
+    network.settle(40.0)
+    before = list(network.temperatures_c)
+    network.step(120.0, 0.05)  # 50 ms
+    after = network.temperatures_c
+    die_rise = after[0] - before[0]
+    sink_rise = after[-1] - before[-1]
+    assert die_rise > 10.0 * max(sink_rise, 1e-9)
+
+
+def test_monotone_heating(network):
+    network.settle(20.0)
+    temps = []
+    for _ in range(50):
+        temps.append(network.step(100.0, 0.2))
+    assert all(a <= b + 1e-9 for a, b in zip(temps, temps[1:]))
+
+
+def test_reset(network):
+    network.settle(100.0)
+    network.reset()
+    assert network.temperatures_c == [45.0] * 3
+    network.reset(60.0)
+    assert network.temperatures_c == [60.0] * 3
+
+
+def test_energy_balance_steady_state(network):
+    # In steady state the flow through each stage equals the input power.
+    power = 70.0
+    temps = network.steady_state_c(power)
+    for index, stage in enumerate(network.stages):
+        downstream = (temps[index + 1] if index + 1 < len(temps)
+                      else network.t_ambient_c)
+        flow = (temps[index] - downstream) / stage.resistance_c_per_w
+        assert flow == pytest.approx(power)
+
+
+@pytest.mark.parametrize("call", [
+    lambda n: n.step(-1.0, 0.1),
+    lambda n: n.step(10.0, 0.0),
+    lambda n: n.steady_state_c(-5.0),
+])
+def test_validation(network, call):
+    with pytest.raises(ModelParameterError):
+        call(network)
+
+
+def test_stage_validation():
+    with pytest.raises(ModelParameterError):
+        ThermalStage("bad", capacity_j_per_k=0.0, resistance_c_per_w=0.1)
+    with pytest.raises(ModelParameterError):
+        ThermalNetwork([])
+    with pytest.raises(ModelParameterError):
+        default_thermal_network(0.0)

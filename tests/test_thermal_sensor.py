@@ -1,0 +1,70 @@
+"""Diode thermal sensor with comparator hysteresis."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.sensor import (
+    ThermalSensor,
+    diode_temperature_c,
+    diode_voltage_v,
+)
+
+
+def test_diode_transfer_inverse():
+    for temp in (25.0, 60.0, 100.0):
+        assert diode_temperature_c(diode_voltage_v(temp)) \
+            == pytest.approx(temp)
+
+
+def test_diode_voltage_falls_2mv_per_c():
+    assert diode_voltage_v(26.0) - diode_voltage_v(25.0) \
+        == pytest.approx(-2e-3)
+
+
+def test_trip_and_release_with_hysteresis():
+    sensor = ThermalSensor(trip_c=80.0, hysteresis_c=3.0,
+                           noise_sigma_c=0.0)
+    assert not sensor.sample(70.0)
+    assert sensor.sample(81.0)          # trips
+    assert sensor.sample(78.5)          # inside the band: stays tripped
+    assert not sensor.sample(76.5)      # below trip - hysteresis
+
+
+def test_noiseless_measurement_exact():
+    sensor = ThermalSensor(trip_c=80.0, noise_sigma_c=0.0)
+    assert sensor.measure_c(73.2) == pytest.approx(73.2)
+
+
+def test_noise_is_deterministic_per_seed():
+    a = ThermalSensor(trip_c=80.0, noise_sigma_c=1.0, seed=5)
+    b = ThermalSensor(trip_c=80.0, noise_sigma_c=1.0, seed=5)
+    readings_a = [a.measure_c(70.0) for _ in range(10)]
+    readings_b = [b.measure_c(70.0) for _ in range(10)]
+    assert readings_a == readings_b
+
+
+def test_noise_has_expected_magnitude():
+    sensor = ThermalSensor(trip_c=80.0, noise_sigma_c=0.5, seed=1)
+    readings = [sensor.measure_c(70.0) for _ in range(500)]
+    spread = max(readings) - min(readings)
+    assert 0.5 < spread < 5.0
+    mean = sum(readings) / len(readings)
+    assert mean == pytest.approx(70.0, abs=0.2)
+
+
+def test_reset_clears_state_and_noise():
+    sensor = ThermalSensor(trip_c=80.0, noise_sigma_c=0.5, seed=2)
+    sensor.sample(90.0)
+    first = [sensor.measure_c(70.0) for _ in range(3)]
+    sensor.reset()
+    assert not sensor.tripped
+    sensor.sample(90.0)
+    second = [sensor.measure_c(70.0) for _ in range(3)]
+    assert first == second
+
+
+def test_validation():
+    with pytest.raises(ModelParameterError):
+        ThermalSensor(trip_c=80.0, hysteresis_c=-1.0)
+    with pytest.raises(ModelParameterError):
+        ThermalSensor(trip_c=80.0, noise_sigma_c=-0.1)

@@ -1,0 +1,68 @@
+"""Synthetic power traces."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.workloads import (
+    PowerTrace,
+    bursty_trace,
+    power_virus_trace,
+    realistic_app_trace,
+)
+
+
+def test_virus_is_flat_maximum():
+    trace = power_virus_trace(100.0, 5.0)
+    assert trace.peak_w == 100.0
+    assert trace.mean_w == 100.0
+    assert trace.duration_s == pytest.approx(5.0)
+
+
+def test_realistic_sustains_75pct():
+    trace = realistic_app_trace(100.0, 120.0, seed=0)
+    assert trace.mean_w == pytest.approx(75.0, abs=6.0)
+    assert trace.peak_w <= 100.0
+
+
+def test_realistic_touches_peak_occasionally():
+    trace = realistic_app_trace(100.0, 120.0, seed=0)
+    assert trace.peak_w > 95.0
+
+
+def test_realistic_deterministic_per_seed():
+    a = realistic_app_trace(100.0, 10.0, seed=7)
+    b = realistic_app_trace(100.0, 10.0, seed=7)
+    assert a.samples_w == b.samples_w
+    c = realistic_app_trace(100.0, 10.0, seed=8)
+    assert a.samples_w != c.samples_w
+
+
+def test_bursty_duty_controls_mean():
+    busy = bursty_trace(100.0, 60.0, duty=0.8, seed=1)
+    idle = bursty_trace(100.0, 60.0, duty=0.2, seed=1)
+    assert busy.mean_w > idle.mean_w
+
+
+def test_bursty_has_two_levels():
+    trace = bursty_trace(100.0, 20.0, seed=2)
+    assert set(trace.samples_w) == {100.0, 15.0}
+
+
+def test_trace_validation():
+    with pytest.raises(ModelParameterError):
+        PowerTrace(dt_s=0.0, samples_w=(1.0,))
+    with pytest.raises(ModelParameterError):
+        PowerTrace(dt_s=0.01, samples_w=())
+    with pytest.raises(ModelParameterError):
+        PowerTrace(dt_s=0.01, samples_w=(1.0, -2.0))
+
+
+@pytest.mark.parametrize("call", [
+    lambda: power_virus_trace(0.0, 1.0),
+    lambda: realistic_app_trace(10.0, 1.0, sustained_fraction=0.0),
+    lambda: bursty_trace(10.0, 1.0, duty=0.0),
+    lambda: bursty_trace(10.0, 1.0, burst_s=0.0),
+])
+def test_generator_validation(call):
+    with pytest.raises(ModelParameterError):
+        call()

@@ -1,0 +1,135 @@
+"""Unit-conversion helpers: exact factors, round trips, domain errors."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestLengthConversions:
+    def test_nm(self):
+        assert units.nm(1.0) == 1e-9
+
+    def test_um(self):
+        assert units.um(1.0) == 1e-6
+
+    def test_mm(self):
+        assert units.mm(1.0) == 1e-3
+
+    def test_cm(self):
+        assert units.cm(1.0) == 1e-2
+
+    def test_angstrom_is_tenth_of_nm(self):
+        assert units.angstrom(10.0) == pytest.approx(units.nm(1.0))
+
+    @given(st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_nm_round_trip(self, value):
+        assert units.to_nm(units.nm(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_um_round_trip(self, value):
+        assert units.to_um(units.um(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_angstrom_round_trip(self, value):
+        assert units.to_angstrom(units.angstrom(value)) \
+            == pytest.approx(value)
+
+
+class TestCurrentDensity:
+    def test_ua_per_um_is_a_per_m(self):
+        # 1 uA/um == 1 A/m, the identity the module documents.
+        assert units.ua_per_um(750.0) == 750.0
+
+    def test_na_per_um(self):
+        assert units.na_per_um(1000.0) == pytest.approx(1.0)
+
+    def test_to_na_per_um_round_trip(self):
+        assert units.to_na_per_um(units.na_per_um(456.0)) \
+            == pytest.approx(456.0)
+
+
+class TestCapacitanceTimeFrequency:
+    def test_fF(self):
+        assert units.fF(1.5) == pytest.approx(1.5e-15, rel=1e-12)
+
+    def test_pF(self):
+        assert units.pF(2.0) == 2e-12
+
+    def test_to_fF_round_trip(self):
+        assert units.to_fF(units.fF(6.6)) == pytest.approx(6.6)
+
+    def test_ps(self):
+        assert units.ps(65.0) == 6.5e-11
+
+    def test_ns(self):
+        assert units.ns(1.0) == 1e-9
+
+    def test_to_ps_round_trip(self):
+        assert units.to_ps(units.ps(13.0)) == pytest.approx(13.0)
+
+    def test_ghz(self):
+        assert units.ghz(10.0) == 1e10
+
+    def test_mhz(self):
+        assert units.mhz(150.0) == 1.5e8
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin(self):
+        assert units.celsius_to_kelvin(85.0) == pytest.approx(358.15)
+
+    def test_kelvin_to_celsius_round_trip(self):
+        assert units.kelvin_to_celsius(
+            units.celsius_to_kelvin(45.0)) == pytest.approx(45.0)
+
+    def test_thermal_voltage_at_300k(self):
+        # kT/q ~ 25.85 mV at 300 K.
+        assert units.thermal_voltage(300.0) == pytest.approx(0.02585,
+                                                             abs=1e-4)
+
+    def test_thermal_voltage_scales_linearly(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2.0 * units.thermal_voltage(300.0))
+
+    @pytest.mark.parametrize("bad", [0.0, -10.0])
+    def test_thermal_voltage_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(bad)
+
+
+class TestPowerDensityMobilityMisc:
+    def test_w_per_cm2(self):
+        assert units.w_per_cm2(100.0) == 1e6
+
+    def test_w_per_cm2_round_trip(self):
+        assert units.to_w_per_cm2(units.w_per_cm2(54.8)) \
+            == pytest.approx(54.8)
+
+    def test_mobility_conversion(self):
+        assert units.cm2_per_vs(300.0) == pytest.approx(0.03)
+
+    def test_mobility_round_trip(self):
+        assert units.to_cm2_per_vs(units.cm2_per_vs(214.0)) \
+            == pytest.approx(214.0)
+
+    def test_db_of_ten_is_ten(self):
+        assert units.db(10.0) == pytest.approx(10.0)
+
+    def test_decades(self):
+        assert units.decades(1000.0) == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("func", [units.db, units.decades])
+    def test_log_helpers_reject_nonpositive(self, func):
+        with pytest.raises(ValueError):
+            func(0.0)
+
+    def test_constants_physical(self):
+        assert math.isclose(units.EPSILON_OX,
+                            3.9 * 8.8541878128e-12, rel_tol=1e-9)
+        assert units.COPPER_RESISTIVITY == pytest.approx(2.2e-8)
