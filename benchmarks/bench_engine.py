@@ -1,0 +1,59 @@
+"""Engine benchmarks: cold vs warm sweeps, serial vs parallel.
+
+Measures the execution engine itself over the full 19-experiment
+registry:
+
+* cold full sweep (empty cache: fingerprint + run + store every entry)
+  vs warm sweep (every entry a cache hit, no runner re-execution);
+* serial (``jobs=1``) vs parallel (``jobs=4``) process-pool sweeps
+  with the cache disabled.
+
+Run with ``pytest benchmarks/bench_engine.py --benchmark-only``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import EXPERIMENTS
+from repro.engine import EngineConfig, run_experiments
+
+_fresh_dir = itertools.count()
+
+
+def _sweep(config):
+    sweep = run_experiments(config=config)
+    assert sweep.metrics.ok == len(EXPERIMENTS)
+    return sweep
+
+
+def test_cold_sweep(benchmark, tmp_path):
+    """Empty-cache sweep: fingerprint, execute, and store everything."""
+    def cold():
+        cache_dir = tmp_path / f"cold-{next(_fresh_dir)}"
+        return _sweep(EngineConfig(jobs=4, cache_dir=cache_dir))
+
+    sweep = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert sweep.metrics.cache_hits == 0
+
+
+def test_warm_sweep(benchmark, tmp_path):
+    """All-hit sweep: no runner executes, results come from disk."""
+    cache_dir = tmp_path / "warm"
+    _sweep(EngineConfig(jobs=4, cache_dir=cache_dir))  # populate
+
+    def warm():
+        return _sweep(EngineConfig(jobs=4, cache_dir=cache_dir))
+
+    sweep = benchmark.pedantic(warm, rounds=5, iterations=1)
+    assert sweep.metrics.cache_hits == len(EXPERIMENTS)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_uncached_sweep_scaling(benchmark, jobs):
+    """Process-pool wall time, cache off: serial vs ``--jobs 4``."""
+    def sweep():
+        return _sweep(EngineConfig(jobs=jobs, cache_enabled=False))
+
+    result = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert result.metrics.cache_misses == len(EXPERIMENTS)

@@ -4,6 +4,11 @@ Every benchmark regenerates one paper artifact (table, figure or claim)
 via the experiment registry and asserts its headline *shape* against the
 paper, so ``pytest benchmarks/ --benchmark-only`` doubles as the
 reproduction harness.  Timings measure the full experiment pipeline.
+
+Single-experiment runs go through ``repro.engine`` (inline executor,
+cache disabled) so every benchmarked execution produces a checked
+``RunRecord``; ``bench_engine.py`` exercises the process-pool and
+cache paths explicitly.
 """
 
 import pytest
@@ -11,6 +16,16 @@ import pytest
 
 @pytest.fixture
 def run():
-    """Run an experiment by id through the registry."""
-    from repro.analysis import run_experiment
-    return run_experiment
+    """Run an experiment by id through the execution engine."""
+    from repro.engine import EngineConfig, run_experiments
+
+    config = EngineConfig(executor="inline", cache_enabled=False)
+
+    def _run(experiment_id):
+        sweep = run_experiments([experiment_id], config=config)
+        record = sweep.records[0]
+        assert record.ok, (
+            f"{experiment_id} failed: {record.error}")
+        return sweep.results[experiment_id]
+
+    return _run

@@ -6,6 +6,10 @@ Commands
     Show every experiment id with its paper artifact and description.
 ``run <id>``
     Run one experiment and pretty-print its result.
+``run-all [--jobs N] [--no-cache] [--cache-dir D] [--json] [ids...]``
+    Run many (default: all) experiments through the execution engine:
+    process pool, content-addressed result cache, per-experiment
+    timeout/retries, JSONL run journal, metrics summary.
 ``roadmap``
     Print the ITRS roadmap table the models are built on.
 """
@@ -13,11 +17,20 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.analysis import EXPERIMENTS, run_experiment
 from repro.analysis.report import render_dict_rows, render_table
+from repro.engine import (
+    DEFAULT_CACHE_DIR,
+    EngineConfig,
+    SweepResult,
+    default_jobs,
+    run_experiments,
+)
 from repro.errors import ReproError
 from repro.itrs import ITRS_2000
 
@@ -37,7 +50,7 @@ def _print_result(result: Any) -> None:
         summary = result.get("summary")
         scalars = summary if isinstance(summary, dict) else (
             result if not (rows or curves) else None)
-        if isinstance(scalars, dict):
+        if isinstance(scalars, dict) and scalars:
             width = max(len(key) for key in scalars)
             for key, value in scalars.items():
                 print(f"  {key.ljust(width)}  {value}")
@@ -59,11 +72,59 @@ def _cmd_run(experiment_id: str) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        print(f"error: {exc!r}", file=sys.stderr)
+        return 3
     experiment = EXPERIMENTS[experiment_id]
     print(f"{experiment.id} -- {experiment.description} "
           f"({experiment.paper_artifact})\n")
     _print_result(result)
     return 0
+
+
+def _sweep_rows(sweep: SweepResult) -> list[list[Any]]:
+    rows = []
+    for record in sweep.records:
+        error = record.error or ""
+        if len(error) > 48:
+            error = error[:45] + "..."
+        rows.append([record.experiment_id, record.status,
+                     "hit" if record.cache_hit else "miss",
+                     f"{record.wall_time_s:.3f}", record.attempts,
+                     error])
+    return rows
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    ids = args.experiment_ids or None
+    try:
+        config = EngineConfig(
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache_enabled=not args.no_cache,
+            cache_dir=Path(args.cache_dir),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        sweep = run_experiments(ids, config=config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "records": [r.to_json_dict() for r in sweep.records],
+            "metrics": sweep.metrics.to_json_dict(),
+        }, indent=2, sort_keys=True))
+    else:
+        print(render_table(
+            ["id", "status", "cache", "time [s]", "attempts", "error"],
+            _sweep_rows(sweep)))
+        print()
+        print(sweep.metrics.render())
+    return 0 if sweep.all_ok else 1
 
 
 def _cmd_roadmap() -> int:
@@ -86,6 +147,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("list", help="list experiments")
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    run_all = subparsers.add_parser(
+        "run-all", help="run many experiments through the engine")
+    run_all.add_argument("experiment_ids", nargs="*", metavar="id",
+                         help="experiment ids (default: all)")
+    run_all.add_argument("--jobs", type=int, default=default_jobs(),
+                         help="worker processes (default: min(4, CPUs))")
+    run_all.add_argument("--no-cache", action="store_true",
+                         help="bypass the result cache")
+    run_all.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                         help=f"cache directory "
+                              f"(default: {DEFAULT_CACHE_DIR})")
+    run_all.add_argument("--timeout", type=float, default=120.0,
+                         help="per-experiment timeout in seconds")
+    run_all.add_argument("--retries", type=int, default=0,
+                         help="retries per failing experiment")
+    run_all.add_argument("--json", action="store_true",
+                         help="emit records + metrics as JSON")
     subparsers.add_parser("roadmap", help="print the ITRS roadmap")
 
     args = parser.parse_args(argv)
@@ -93,4 +171,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.experiment_id)
+    if args.command == "run-all":
+        return _cmd_run_all(args)
     return _cmd_roadmap()

@@ -1,0 +1,62 @@
+"""Parallel, cached, observable experiment execution.
+
+``repro.engine`` turns the experiment registry
+(:mod:`repro.analysis.experiments`) into a schedulable workload:
+
+* :class:`ExecutionEngine` / :func:`run_experiments` -- process-pool
+  scheduler with per-experiment timeouts, bounded retries, and failure
+  isolation (one crashing runner never aborts the sweep);
+* :class:`~repro.engine.cache.ResultCache` -- content-addressed
+  on-disk cache keyed by experiment id + a source fingerprint of the
+  modules the runner transitively imports;
+* :class:`~repro.engine.records.RunRecord` /
+  :class:`~repro.engine.records.RunJournal` -- per-execution records
+  appended to a JSONL journal;
+* :class:`~repro.engine.metrics.EngineMetrics` -- aggregate sweep
+  summary (outcomes, cache hit rate, parallel speedup).
+
+``python -m repro run-all``, ``scripts/generate_experiments_md.py``
+and the benchmark suite all execute through this engine;
+:func:`repro.analysis.run_experiment` remains the thin single-shot
+path.
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    ResultCache,
+    runner_fingerprint,
+)
+from repro.engine.metrics import EngineMetrics
+from repro.engine.records import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunJournal,
+    RunRecord,
+)
+from repro.engine.scheduler import (
+    DEFAULT_CACHE_DIR,
+    EngineConfig,
+    ExecutionEngine,
+    SweepResult,
+    default_jobs,
+    run_experiments,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "EngineConfig",
+    "EngineMetrics",
+    "ExecutionEngine",
+    "ResultCache",
+    "RunJournal",
+    "RunRecord",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "SweepResult",
+    "default_jobs",
+    "run_experiments",
+    "runner_fingerprint",
+]

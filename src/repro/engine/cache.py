@@ -1,0 +1,256 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is keyed by the experiment id plus a *source
+fingerprint*: the SHA-256 over the source text of every ``repro.*``
+module the experiment's runner transitively imports (discovered
+statically from the import statements in each module, so function-local
+imports count too).  Editing any module in that closure -- and only in
+that closure -- changes the fingerprint and invalidates the entry, so
+unchanged experiments return instantly while touched ones re-run.
+
+Layout under the cache root::
+
+    <cache_dir>/objects/<experiment_id>--<fingerprint[:24]>.pkl
+    <cache_dir>/journal.jsonl        (written by the scheduler)
+
+Entries are pickled so results round-trip exactly (numpy scalars,
+tuples).  A corrupt or unreadable entry is treated as a miss and
+removed; an unpicklable result is simply not cached.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import inspect
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+CACHE_SCHEMA_VERSION = "1"
+
+_PACKAGE_PREFIX = "repro"
+
+
+def _is_repro_module(name: str) -> bool:
+    return name == _PACKAGE_PREFIX or name.startswith(_PACKAGE_PREFIX + ".")
+
+
+def _imported_names(source: str, package: str | None) -> set[str]:
+    """Module names imported anywhere in ``source`` (repro.* only).
+
+    ``from repro.pdn import grid`` may name either an attribute or a
+    submodule, so both ``repro.pdn`` and ``repro.pdn.grid`` are
+    returned; non-module candidates are dropped during resolution.
+    """
+    names: set[str] = set()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level and package:
+                parts = package.split(".")
+                if node.level - 1 <= len(parts):
+                    base = parts[:len(parts) - (node.level - 1)]
+                    module = ".".join(
+                        base + ([node.module] if node.module else []))
+                else:
+                    continue
+            elif node.level:
+                continue
+            else:
+                module = node.module or ""
+            if module:
+                names.add(module)
+                for alias in node.names:
+                    names.add(f"{module}.{alias.name}")
+    return {name for name in names if _is_repro_module(name)}
+
+
+def _find_source(module_name: str) -> Path | None:
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except (ImportError, AttributeError, ValueError):
+        return None
+    if spec is None or spec.origin is None:
+        return None
+    path = Path(spec.origin)
+    return path if path.suffix == ".py" and path.exists() else None
+
+
+# (path, mtime_ns, size) -> (digest, frozenset of imported repro names)
+_FILE_STATE_CACHE: dict[tuple[str, int, int], tuple[str, frozenset]] = {}
+
+
+def _file_state(path: Path, package: str | None) -> tuple[str, frozenset]:
+    stat = path.stat()
+    key = (str(path), stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_STATE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    source = path.read_text(encoding="utf-8")
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    try:
+        imports = frozenset(_imported_names(source, package))
+    except SyntaxError:
+        imports = frozenset()
+    state = (digest, imports)
+    _FILE_STATE_CACHE[key] = state
+    return state
+
+
+def _package_of(module_name: str | None, path: Path | None) -> str | None:
+    if module_name is None:
+        return None
+    if path is not None and path.name == "__init__.py":
+        return module_name
+    return module_name.rpartition(".")[0] or None
+
+
+def runner_fingerprint(experiment_id: str,
+                       runner: Callable[[], Any]) -> str:
+    """Fingerprint of ``runner``'s transitive repro source closure.
+
+    Starts from the file defining the runner (which may live outside
+    the package, e.g. a test module), walks ``repro.*`` imports
+    breadth-first, and hashes every reachable module's source together
+    with the experiment id.  Runners with no retrievable source (C
+    builtins, REPL lambdas) fall back to hashing whatever identity
+    ``inspect`` can provide, which disables sharing but stays safe.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"schema:{CACHE_SCHEMA_VERSION}\n".encode())
+    hasher.update(f"experiment:{experiment_id}\n".encode())
+
+    module_name = getattr(runner, "__module__", None)
+    try:
+        start_path = Path(inspect.getsourcefile(runner) or "")
+    except TypeError:
+        start_path = Path("")
+
+    if not (start_path.name and start_path.exists()):
+        code = getattr(runner, "__code__", None)
+        token = code.co_code if code is not None else repr(runner).encode()
+        hasher.update(b"opaque-runner:")
+        hasher.update(token if isinstance(token, bytes) else token.encode())
+        return hasher.hexdigest()
+
+    seen_paths: set[Path] = set()
+    entries: list[str] = []
+    queue: list[tuple[Path, str | None]] = [
+        (start_path.resolve(), _package_of(module_name, start_path))]
+    while queue:
+        path, package = queue.pop()
+        if path in seen_paths:
+            continue
+        seen_paths.add(path)
+        digest, imports = _file_state(path, package)
+        entries.append(f"{path.name}:{digest}")
+        for name in sorted(imports):
+            target = _find_source(name)
+            if target is None:
+                continue
+            target = target.resolve()
+            if target not in seen_paths:
+                queue.append((target, _package_of(name, target)))
+    for entry in sorted(entries):
+        hasher.update(entry.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Pickle-backed result store addressed by (experiment id, fingerprint)."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, experiment_id: str, fingerprint: str) -> Path:
+        return self.objects_dir / f"{experiment_id}--{fingerprint[:24]}.pkl"
+
+    def get(self, experiment_id: str,
+            fingerprint: str) -> tuple[bool, Any]:
+        """Return ``(hit, result)``; a corrupt entry is evicted as a miss."""
+        path = self.path_for(experiment_id, fingerprint)
+        try:
+            with path.open("rb") as stream:
+                entry = pickle.load(stream)
+            if entry["fingerprint"] != fingerprint:
+                raise ValueError("fingerprint mismatch")
+        except FileNotFoundError:
+            self._misses += 1
+            return False, None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._misses += 1
+            return False, None
+        self._hits += 1
+        return True, entry["result"]
+
+    def put(self, experiment_id: str, fingerprint: str,
+            result: Any) -> bool:
+        """Store atomically; returns False if the result is unpicklable."""
+        path = self.path_for(experiment_id, fingerprint)
+        entry = {
+            "experiment_id": experiment_id,
+            "fingerprint": fingerprint,
+            "created_at": time.time(),
+            "result": result,
+        }
+        try:
+            payload = pickle.dumps(entry)
+        except Exception:
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+        self._stores += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every cache object; returns the number removed."""
+        removed = 0
+        if self.objects_dir.is_dir():
+            for path in self.objects_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.objects_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.objects_dir.glob("*.pkl"))
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          stores=self._stores)

@@ -1,0 +1,86 @@
+"""Aggregate sweep metrics.
+
+:class:`EngineMetrics` folds a sweep's :class:`~repro.engine.records.RunRecord`
+list into the counters an operator actually reads after a run: outcome
+counts, cache effectiveness, retry pressure, and the parallel speedup
+(total runner seconds vs sweep wall seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from repro.engine.records import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+)
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """Summary of one engine sweep."""
+
+    total: int
+    ok: int
+    failed: int
+    timed_out: int
+    cache_hits: int
+    cache_misses: int
+    attempts: int
+    sweep_wall_s: float
+    runner_wall_s: float
+    slowest_id: str | None
+    slowest_wall_s: float
+
+    @classmethod
+    def from_records(cls, records: Sequence[RunRecord],
+                     sweep_wall_s: float) -> "EngineMetrics":
+        slowest = max(records, key=lambda r: r.wall_time_s, default=None)
+        return cls(
+            total=len(records),
+            ok=sum(r.status == STATUS_OK for r in records),
+            failed=sum(r.status == STATUS_FAILED for r in records),
+            timed_out=sum(r.status == STATUS_TIMEOUT for r in records),
+            cache_hits=sum(r.cache_hit for r in records),
+            cache_misses=sum(not r.cache_hit for r in records),
+            attempts=sum(r.attempts for r in records),
+            sweep_wall_s=sweep_wall_s,
+            runner_wall_s=sum(r.wall_time_s for r in records),
+            slowest_id=slowest.experiment_id if slowest else None,
+            slowest_wall_s=slowest.wall_time_s if slowest else 0.0,
+        )
+
+    @property
+    def all_ok(self) -> bool:
+        return self.failed == 0 and self.timed_out == 0
+
+    @property
+    def speedup(self) -> float:
+        """Runner seconds per sweep wall second (1.0 = serial)."""
+        if self.sweep_wall_s <= 0:
+            return 1.0
+        return self.runner_wall_s / self.sweep_wall_s
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        """Multi-line plain-text summary for the CLI."""
+        lines = [
+            f"experiments  {self.total} total: {self.ok} ok, "
+            f"{self.failed} failed, {self.timed_out} timed out",
+            f"cache        {self.cache_hits} hits, "
+            f"{self.cache_misses} misses",
+            f"attempts     {self.attempts} "
+            f"({max(0, self.attempts - self.cache_misses)} retries)",
+            f"wall time    {self.sweep_wall_s:.3f} s sweep, "
+            f"{self.runner_wall_s:.3f} s in runners "
+            f"({self.speedup:.2f}x parallel speedup)",
+        ]
+        if self.slowest_id is not None:
+            lines.append(f"slowest      {self.slowest_id} "
+                         f"({self.slowest_wall_s:.3f} s)")
+        return "\n".join(lines)

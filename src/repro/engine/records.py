@@ -1,0 +1,102 @@
+"""Run records and the JSONL run journal.
+
+Every experiment execution -- cached or live, successful or not --
+produces exactly one :class:`RunRecord`.  The record is the engine's
+unit of observability: the scheduler appends each one to a JSONL
+journal as it completes, and :mod:`repro.engine.metrics` aggregates a
+sweep's records into an :class:`~repro.engine.metrics.EngineMetrics`
+summary.
+
+Journal schema (one JSON object per line)::
+
+    {"experiment_id": "E-T2", "status": "ok", "wall_time_s": 0.012,
+     "cache_hit": false, "attempts": 1, "error": null,
+     "started_at": 1754380800.123}
+
+``status`` is one of ``ok`` / ``failed`` / ``timeout``; ``error`` is
+the ``repr`` of the exception for failed runs (or a worker-exit /
+timeout description) and ``null`` otherwise; ``started_at`` is a unix
+timestamp of the first attempt.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The immutable outcome of one experiment execution."""
+
+    experiment_id: str
+    status: str
+    wall_time_s: float
+    cache_hit: bool
+    attempts: int
+    error: str | None = None
+    started_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"status must be one of {STATUSES}, got {self.status!r}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_json_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RunRecord":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            status=payload["status"],
+            wall_time_s=float(payload["wall_time_s"]),
+            cache_hit=bool(payload["cache_hit"]),
+            attempts=int(payload["attempts"]),
+            error=payload.get("error"),
+            started_at=float(payload.get("started_at", 0.0)),
+        )
+
+
+class RunJournal:
+    """Append-only JSONL journal of :class:`RunRecord` entries.
+
+    The journal survives across sweeps: each engine run appends its
+    records, so the file is a complete execution history of the cache
+    directory it lives in.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def append(self, record: RunRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record.to_json_dict(),
+                                    sort_keys=True) + "\n")
+
+    def append_many(self, records: Iterable[RunRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    @classmethod
+    def read(cls, path: Path | str) -> list[RunRecord]:
+        """Parse a journal file back into records (skipping blanks)."""
+        records = []
+        text = Path(path).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            if line.strip():
+                records.append(RunRecord.from_json_dict(json.loads(line)))
+        return records

@@ -1,0 +1,386 @@
+"""The experiment execution engine: scheduling, isolation, retries.
+
+The scheduler executes any subset of the experiment registry with
+
+* a **process pool** (``jobs`` worker processes, forked on platforms
+  that support it so monkeypatched registries propagate), a
+  per-experiment **timeout** that actually kills the worker, and
+  **bounded retries**;
+* **failure isolation**: a crashing, raising, or hanging runner yields
+  a failed/timeout :class:`~repro.engine.records.RunRecord` while the
+  rest of the sweep completes;
+* the **content-addressed cache** of :mod:`repro.engine.cache`, so
+  experiments whose transitive source is unchanged return instantly
+  without spawning a worker;
+* a JSONL **run journal** plus an aggregate
+  :class:`~repro.engine.metrics.EngineMetrics` summary.
+
+Two executors are provided: ``"process"`` (the default, full
+isolation) and ``"inline"`` (same caching and record-keeping but
+running in the calling process -- no timeout enforcement; used by the
+benchmark fixtures and wherever fork overhead would dominate).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.engine.cache import ResultCache, runner_fingerprint
+from repro.engine.metrics import EngineMetrics
+from repro.engine.records import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunJournal,
+    RunRecord,
+)
+from repro.errors import ReproError
+
+DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+EXECUTOR_PROCESS = "process"
+EXECUTOR_INLINE = "inline"
+
+
+def default_jobs() -> int:
+    """Default worker count: min(4, CPUs)."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables for one :class:`ExecutionEngine`."""
+
+    jobs: int = 1
+    timeout_s: float | None = 120.0
+    retries: int = 0
+    cache_enabled: bool = True
+    cache_dir: Path = field(default_factory=lambda: DEFAULT_CACHE_DIR)
+    journal_path: Path | None = None
+    executor: str = EXECUTOR_PROCESS
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.executor not in (EXECUTOR_PROCESS, EXECUTOR_INLINE):
+            raise ValueError(f"unknown executor {self.executor!r}")
+
+    @property
+    def effective_journal_path(self) -> Path | None:
+        """Explicit journal path, else the cache's journal, else none."""
+        if self.journal_path is not None:
+            return Path(self.journal_path)
+        if self.cache_enabled:
+            return Path(self.cache_dir) / "journal.jsonl"
+        return None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one engine run produced."""
+
+    records: list[RunRecord]
+    results: dict[str, Any]
+    metrics: EngineMetrics
+
+    @property
+    def all_ok(self) -> bool:
+        return self.metrics.all_ok
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    # fork (where available) lets workers inherit the parent's
+    # already-imported -- possibly monkeypatched -- registry.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _worker_entry(experiment_id: str, conn) -> None:
+    """Child-process body: run one experiment, ship back the outcome."""
+    try:
+        from repro.analysis.experiments import EXPERIMENTS
+        result = EXPERIMENTS[experiment_id].runner()
+        conn.send(("ok", result))
+    except BaseException as exc:  # must cross the process boundary
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Task:
+    experiment_id: str
+    fingerprint: str | None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    started_at: float = 0.0
+    last_error: str | None = None
+
+
+@dataclass
+class _Slot:
+    task: _Task
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    deadline: float | None
+    launched: float
+
+
+class ExecutionEngine:
+    """Runs experiment subsets according to an :class:`EngineConfig`."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.cache = (ResultCache(self.config.cache_dir)
+                      if self.config.cache_enabled else None)
+        journal_path = self.config.effective_journal_path
+        self.journal = (RunJournal(journal_path)
+                        if journal_path is not None else None)
+
+    # -- public API ---------------------------------------------------
+
+    def run(self, experiment_ids: Sequence[str] | None = None
+            ) -> SweepResult:
+        """Execute the given ids (default: the whole registry)."""
+        from repro.analysis.experiments import EXPERIMENTS
+
+        if experiment_ids is None:
+            ids = list(EXPERIMENTS)
+        else:
+            ids = list(dict.fromkeys(experiment_ids))
+            unknown = [i for i in ids if i not in EXPERIMENTS]
+            if unknown:
+                raise ReproError(
+                    f"unknown experiment(s) {unknown}; known ids: "
+                    f"{sorted(EXPERIMENTS)}")
+
+        sweep_start = time.monotonic()
+        records: dict[str, RunRecord] = {}
+        results: dict[str, Any] = {}
+
+        pending: deque[_Task] = deque()
+        for experiment_id in ids:
+            record, result, task = self._try_cache(
+                EXPERIMENTS, experiment_id)
+            if record is not None:
+                records[experiment_id] = record
+                results[experiment_id] = result
+            else:
+                pending.append(task)
+
+        if pending:
+            if self.config.executor == EXECUTOR_INLINE:
+                self._run_inline(EXPERIMENTS, pending, records, results)
+            else:
+                self._run_processes(pending, records, results)
+
+        ordered = [records[experiment_id] for experiment_id in ids]
+        metrics = EngineMetrics.from_records(
+            ordered, time.monotonic() - sweep_start)
+        if self.journal is not None:
+            self.journal.append_many(ordered)
+        return SweepResult(records=ordered, results=results,
+                           metrics=metrics)
+
+    # -- cache front-end ----------------------------------------------
+
+    def _try_cache(self, registry, experiment_id: str
+                   ) -> tuple[RunRecord | None, Any, _Task]:
+        started = time.time()
+        lookup_start = time.monotonic()
+        fingerprint: str | None = None
+        if self.cache is not None:
+            fingerprint = runner_fingerprint(
+                experiment_id, registry[experiment_id].runner)
+            hit, result = self.cache.get(experiment_id, fingerprint)
+            if hit:
+                record = RunRecord(
+                    experiment_id=experiment_id,
+                    status=STATUS_OK,
+                    wall_time_s=time.monotonic() - lookup_start,
+                    cache_hit=True,
+                    attempts=0,
+                    started_at=started,
+                )
+                return record, result, _Task(experiment_id, fingerprint)
+        return None, None, _Task(experiment_id, fingerprint)
+
+    def _store(self, task: _Task, result: Any) -> None:
+        if self.cache is not None and task.fingerprint is not None:
+            self.cache.put(task.experiment_id, task.fingerprint, result)
+
+    # -- inline executor ----------------------------------------------
+
+    def _run_inline(self, registry, pending: deque[_Task],
+                    records: dict[str, RunRecord],
+                    results: dict[str, Any]) -> None:
+        max_attempts = 1 + self.config.retries
+        for task in pending:
+            task.started_at = time.time()
+            start = time.monotonic()
+            while True:
+                task.attempts += 1
+                try:
+                    result = registry[task.experiment_id].runner()
+                except Exception as exc:
+                    task.last_error = repr(exc)
+                    if task.attempts < max_attempts:
+                        continue
+                    records[task.experiment_id] = self._final_record(
+                        task, STATUS_FAILED,
+                        time.monotonic() - start)
+                    break
+                self._store(task, result)
+                results[task.experiment_id] = result
+                records[task.experiment_id] = self._final_record(
+                    task, STATUS_OK, time.monotonic() - start)
+                break
+
+    # -- process-pool executor ----------------------------------------
+
+    def _run_processes(self, pending: deque[_Task],
+                       records: dict[str, RunRecord],
+                       results: dict[str, Any]) -> None:
+        ctx = _mp_context()
+        max_attempts = 1 + self.config.retries
+        running: list[_Slot] = []
+
+        while pending or running:
+            while pending and len(running) < self.config.jobs:
+                running.append(self._launch(ctx, pending.popleft()))
+
+            timeout = self._poll_timeout(running)
+            ready = set(_connection_wait(
+                [slot.process.sentinel for slot in running],
+                timeout=timeout))
+            now = time.monotonic()
+
+            still_running: list[_Slot] = []
+            for slot in running:
+                if (slot.process.sentinel in ready
+                        or not slot.process.is_alive()):
+                    self._collect(slot, pending, records, results,
+                                  max_attempts, timed_out=False)
+                elif slot.deadline is not None and now >= slot.deadline:
+                    self._kill(slot)
+                    self._collect(slot, pending, records, results,
+                                  max_attempts, timed_out=True)
+                else:
+                    still_running.append(slot)
+            running = still_running
+
+    def _launch(self, ctx, task: _Task) -> _Slot:
+        if task.attempts == 0:
+            task.started_at = time.time()
+        task.attempts += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_entry,
+            args=(task.experiment_id, child_conn),
+            name=f"repro-engine-{task.experiment_id}",
+            daemon=True,
+        )
+        launched = time.monotonic()
+        process.start()
+        child_conn.close()
+        deadline = (launched + self.config.timeout_s
+                    if self.config.timeout_s is not None else None)
+        return _Slot(task=task, process=process, conn=parent_conn,
+                     deadline=deadline, launched=launched)
+
+    @staticmethod
+    def _poll_timeout(running: list[_Slot]) -> float | None:
+        deadlines = [slot.deadline for slot in running
+                     if slot.deadline is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic()) + 0.01
+
+    @staticmethod
+    def _kill(slot: _Slot) -> None:
+        slot.process.terminate()
+        slot.process.join(timeout=5.0)
+        if slot.process.is_alive():
+            slot.process.kill()
+            slot.process.join(timeout=5.0)
+
+    def _collect(self, slot: _Slot, pending: deque[_Task],
+                 records: dict[str, RunRecord],
+                 results: dict[str, Any],
+                 max_attempts: int, timed_out: bool) -> None:
+        task = slot.task
+        task.elapsed_s += time.monotonic() - slot.launched
+
+        outcome: tuple[str, Any] | None = None
+        if not timed_out:
+            try:
+                if slot.conn.poll(0):
+                    outcome = slot.conn.recv()
+            except (EOFError, OSError):
+                outcome = None
+        slot.process.join(timeout=5.0)
+        slot.conn.close()
+
+        if timed_out:
+            task.last_error = (
+                f"timeout: exceeded {self.config.timeout_s:.1f} s")
+        elif outcome is not None and outcome[0] == "ok":
+            self._store(task, outcome[1])
+            results[task.experiment_id] = outcome[1]
+            records[task.experiment_id] = self._final_record(
+                task, STATUS_OK, task.elapsed_s)
+            return
+        elif outcome is not None:
+            task.last_error = outcome[1]
+        else:
+            task.last_error = (
+                f"worker died without a result "
+                f"(exit code {slot.process.exitcode})")
+
+        if task.attempts < max_attempts:
+            pending.append(task)
+            return
+        status = STATUS_TIMEOUT if timed_out else STATUS_FAILED
+        records[task.experiment_id] = self._final_record(
+            task, status, task.elapsed_s)
+
+    @staticmethod
+    def _final_record(task: _Task, status: str,
+                      wall_time_s: float) -> RunRecord:
+        return RunRecord(
+            experiment_id=task.experiment_id,
+            status=status,
+            wall_time_s=wall_time_s,
+            cache_hit=False,
+            attempts=task.attempts,
+            error=None if status == STATUS_OK else task.last_error,
+            started_at=task.started_at,
+        )
+
+
+def run_experiments(experiment_ids: Sequence[str] | None = None,
+                    *, config: EngineConfig | None = None,
+                    **overrides: Any) -> SweepResult:
+    """One-call sweep: ``run_experiments(["E-T1"], jobs=4)``.
+
+    Keyword overrides are applied on top of ``config`` (or the
+    defaults), so callers rarely need to build an
+    :class:`EngineConfig` by hand.
+    """
+    base = config or EngineConfig()
+    if overrides:
+        base = replace(base, **overrides)
+    return ExecutionEngine(base).run(experiment_ids)

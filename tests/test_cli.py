@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.analysis.experiments import EXPERIMENTS, Experiment
+from repro.cli import _print_result, main
 
 
 def test_list_command(capsys):
@@ -33,11 +36,98 @@ def test_run_figure(capsys):
     assert "curve:" in out
 
 
-def test_unknown_experiment_rejected_by_argparse():
-    with pytest.raises(SystemExit):
+def test_unknown_experiment_rejected_by_argparse(capsys):
+    with pytest.raises(SystemExit) as excinfo:
         main(["run", "E-X9"])
+    assert excinfo.value.code == 2
+    # argparse's message lists the known ids
+    assert "E-T1" in capsys.readouterr().err
 
 
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_unexpected_exception_exits_3(capsys, monkeypatch):
+    def exploding_runner():
+        raise RuntimeError("model blew up")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    assert main(["run", "E-T1"]) == 3
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "model blew up" in err
+
+
+def test_print_result_empty_scalars(capsys):
+    _print_result({})
+    _print_result({"summary": {}})
+    assert capsys.readouterr().out == ""
+
+
+def test_run_all_subset(capsys, tmp_path):
+    code = main(["run-all", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1", "E-T2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "E-T1" in out and "E-T2" in out
+    assert "cache" in out
+    assert "2 total: 2 ok" in out
+
+
+def test_run_all_warm_run_hits_cache(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run-all", "--jobs", "2", "--cache-dir", cache_dir,
+                 "E-T1", "E-T2"]) == 0
+    capsys.readouterr()
+    assert main(["run-all", "--jobs", "2", "--cache-dir", cache_dir,
+                 "E-T1", "E-T2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 hits, 0 misses" in out
+
+
+def test_run_all_no_cache(capsys, tmp_path):
+    code = main(["run-all", "--no-cache",
+                 "--cache-dir", str(tmp_path / "unused"),
+                 "E-T1"])
+    assert code == 0
+    assert not (tmp_path / "unused").exists()
+    assert "0 hits, 1 misses" in capsys.readouterr().out
+
+
+def test_run_all_json_output(capsys, tmp_path):
+    code = main(["run-all", "--jobs", "2", "--json",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1", "E-F1"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {record["experiment_id"]
+            for record in payload["records"]} == {"E-T1", "E-F1"}
+    assert payload["metrics"]["ok"] == 2
+
+
+def test_run_all_unknown_id_exits_2(capsys, tmp_path):
+    code = main(["run-all", "--cache-dir", str(tmp_path / "cache"),
+                 "E-BOGUS"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "E-BOGUS" in err and "known ids" in err
+
+
+def test_run_all_failure_exits_1(capsys, tmp_path, monkeypatch):
+    def exploding_runner():
+        raise RuntimeError("sweep failure")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    code = main(["run-all", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1", "E-T2"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "failed" in out and "sweep failure" in out

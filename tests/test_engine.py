@@ -1,0 +1,318 @@
+"""The execution engine: scheduler, cache, records, metrics."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, Experiment
+from repro.engine import (
+    EngineConfig,
+    EngineMetrics,
+    ExecutionEngine,
+    ResultCache,
+    RunJournal,
+    RunRecord,
+    run_experiments,
+    runner_fingerprint,
+)
+from repro.errors import ReproError
+
+
+def _inject(monkeypatch, experiment_id, runner):
+    monkeypatch.setitem(
+        EXPERIMENTS, experiment_id,
+        Experiment(experiment_id, "injected test experiment",
+                   "(test)", runner))
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(jobs=2, cache_dir=tmp_path / "cache",
+                    timeout_s=30.0)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+# -- records ----------------------------------------------------------
+
+
+def test_run_record_rejects_unknown_status():
+    with pytest.raises(ValueError):
+        RunRecord("E-T1", "exploded", 0.1, False, 1)
+
+
+def test_journal_round_trip(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    records = [
+        RunRecord("E-T1", "ok", 0.25, True, 0, started_at=123.0),
+        RunRecord("E-T2", "failed", 1.5, False, 2,
+                  error="ValueError('boom')"),
+    ]
+    journal.append_many(records)
+    assert RunJournal.read(journal.path) == records
+    # every line is standalone JSON
+    lines = journal.path.read_text().splitlines()
+    assert all(json.loads(line)["experiment_id"] for line in lines)
+
+
+# -- cache ------------------------------------------------------------
+
+
+def test_fingerprint_distinct_per_experiment():
+    fp1 = runner_fingerprint("E-T1", EXPERIMENTS["E-T1"].runner)
+    fp2 = runner_fingerprint("E-T2", EXPERIMENTS["E-T2"].runner)
+    assert fp1 != fp2
+    assert fp1 == runner_fingerprint("E-T1", EXPERIMENTS["E-T1"].runner)
+
+
+def test_fingerprint_tracks_source_changes(tmp_path):
+    module_path = tmp_path / "scratch_runner_mod.py"
+    module_path.write_text("def runner():\n    return 1\n")
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "scratch_runner_mod", module_path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    before = runner_fingerprint("E-ZZ", module.runner)
+    module_path.write_text("def runner():\n    return 2  # changed\n")
+    after = runner_fingerprint("E-ZZ", module.runner)
+    assert before != after
+
+
+def test_fingerprint_covers_transitive_imports():
+    # reproduce_table1 lives in repro.analysis.table1, which pulls in
+    # repro.devices.*; the fingerprint must not be just the one file.
+    fp = runner_fingerprint("E-T1", EXPERIMENTS["E-T1"].runner)
+    assert len(fp) == 64
+    from repro.engine.cache import _imported_names
+    import inspect
+    source = inspect.getsource(
+        inspect.getmodule(EXPERIMENTS["E-T1"].runner))
+    assert any(name.startswith("repro.devices")
+               for name in _imported_names(source, "repro.analysis"))
+
+
+def test_cache_put_get_and_eviction(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("E-T1", "f" * 64) == (False, None)
+    payload = {"summary": {"x": 1.5}, "pair": (1, 2)}
+    assert cache.put("E-T1", "f" * 64, payload)
+    hit, result = cache.get("E-T1", "f" * 64)
+    assert hit and result == payload
+    assert result["pair"] == (1, 2)  # exact round-trip, tuples intact
+    assert len(cache) == 1
+
+    # corrupt entries are evicted as misses
+    cache.path_for("E-T1", "f" * 64).write_bytes(b"not a pickle")
+    assert cache.get("E-T1", "f" * 64) == (False, None)
+    assert len(cache) == 0
+
+
+def test_cache_unpicklable_result_is_skipped(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert not cache.put("E-T1", "a" * 64, lambda: None)
+    assert len(cache) == 0
+
+
+# -- metrics ----------------------------------------------------------
+
+
+def test_metrics_aggregation():
+    records = [
+        RunRecord("E-T1", "ok", 0.5, True, 0),
+        RunRecord("E-T2", "ok", 1.0, False, 1),
+        RunRecord("E-F1", "failed", 2.0, False, 3,
+                  error="RuntimeError('x')"),
+        RunRecord("E-F2", "timeout", 4.0, False, 1, error="timeout"),
+    ]
+    metrics = EngineMetrics.from_records(records, sweep_wall_s=3.75)
+    assert (metrics.total, metrics.ok, metrics.failed,
+            metrics.timed_out) == (4, 2, 1, 1)
+    assert (metrics.cache_hits, metrics.cache_misses) == (1, 3)
+    assert metrics.attempts == 5
+    assert metrics.runner_wall_s == pytest.approx(7.5)
+    assert metrics.speedup == pytest.approx(2.0)
+    assert metrics.slowest_id == "E-F2"
+    assert not metrics.all_ok
+    text = metrics.render()
+    assert "1 failed" in text and "1 hits" in text
+
+
+# -- scheduler: caching -----------------------------------------------
+
+
+def test_warm_sweep_hits_cache_without_rerunning(tmp_path, monkeypatch):
+    """Second sweep: all cache hits, sentinel runner never re-executes."""
+    sentinel = tmp_path / "executions.log"
+
+    def counting_runner():
+        with sentinel.open("a") as stream:
+            stream.write("ran\n")
+        return {"summary": {"value": 42.0}}
+
+    _inject(monkeypatch, "E-SENTINEL", counting_runner)
+    ids = list(EXPERIMENTS)
+    config = _config(tmp_path)
+
+    cold = run_experiments(ids, config=config)
+    assert cold.metrics.ok == len(ids)
+    assert cold.metrics.cache_hits == 0
+    assert sentinel.read_text().count("ran") == 1
+
+    warm = run_experiments(ids, config=config)
+    assert warm.metrics.ok == len(ids)
+    assert warm.metrics.cache_hits == len(ids)
+    assert warm.metrics.attempts == 0
+    # the sentinel runner was not executed again
+    assert sentinel.read_text().count("ran") == 1
+    assert warm.results["E-SENTINEL"] == {"summary": {"value": 42.0}}
+    assert all(record.cache_hit for record in warm.records)
+
+
+def test_no_cache_always_executes(tmp_path, monkeypatch):
+    sentinel = tmp_path / "executions.log"
+
+    def counting_runner():
+        with sentinel.open("a") as stream:
+            stream.write("ran\n")
+        return {"value": 1}
+
+    _inject(monkeypatch, "E-SENTINEL", counting_runner)
+    config = _config(tmp_path, cache_enabled=False)
+    for _ in range(2):
+        sweep = run_experiments(["E-SENTINEL"], config=config)
+        assert sweep.metrics.ok == 1
+    assert sentinel.read_text().count("ran") == 2
+
+
+# -- scheduler: failure isolation -------------------------------------
+
+
+def test_failing_experiment_is_isolated(tmp_path, monkeypatch):
+    def bad_runner():
+        raise ValueError("deliberate failure")
+
+    _inject(monkeypatch, "E-BAD", bad_runner)
+    ids = ["E-T1", "E-BAD", "E-T2", "E-F1"]
+    sweep = run_experiments(ids, config=_config(tmp_path))
+
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-BAD"].status == "failed"
+    assert "deliberate failure" in by_id["E-BAD"].error
+    assert "E-BAD" not in sweep.results
+    for ok_id in ("E-T1", "E-T2", "E-F1"):
+        assert by_id[ok_id].status == "ok"
+        assert ok_id in sweep.results
+    assert not sweep.all_ok
+    assert sweep.metrics.failed == 1 and sweep.metrics.ok == 3
+
+
+def test_dead_worker_is_isolated(tmp_path, monkeypatch):
+    def dying_runner():
+        os._exit(7)
+
+    _inject(monkeypatch, "E-DEAD", dying_runner)
+    sweep = run_experiments(["E-DEAD", "E-T1"],
+                            config=_config(tmp_path))
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-DEAD"].status == "failed"
+    assert "exit code" in by_id["E-DEAD"].error
+    assert by_id["E-T1"].status == "ok"
+
+
+def test_timeout_kills_runner(tmp_path, monkeypatch):
+    def sleepy_runner():
+        time.sleep(60)
+
+    _inject(monkeypatch, "E-SLOW", sleepy_runner)
+    start = time.monotonic()
+    sweep = run_experiments(
+        ["E-SLOW", "E-T1"],
+        config=_config(tmp_path, timeout_s=0.5))
+    assert time.monotonic() - start < 30
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-SLOW"].status == "timeout"
+    assert "timeout" in by_id["E-SLOW"].error
+    assert by_id["E-T1"].status == "ok"
+    assert sweep.metrics.timed_out == 1
+
+
+def test_bounded_retries_recover_flaky_runner(tmp_path, monkeypatch):
+    flag = tmp_path / "attempts.log"
+
+    def flaky_runner():
+        with flag.open("a") as stream:
+            stream.write("x")
+        if len(flag.read_text()) < 2:
+            raise RuntimeError("first attempt fails")
+        return {"value": "recovered"}
+
+    _inject(monkeypatch, "E-FLAKY", flaky_runner)
+    sweep = run_experiments(["E-FLAKY"],
+                            config=_config(tmp_path, retries=1))
+    record = sweep.records[0]
+    assert record.status == "ok"
+    assert record.attempts == 2
+    assert sweep.results["E-FLAKY"] == {"value": "recovered"}
+
+
+# -- scheduler: API surface -------------------------------------------
+
+
+def test_unknown_ids_rejected(tmp_path):
+    with pytest.raises(ReproError, match="E-NOPE"):
+        run_experiments(["E-T1", "E-NOPE"], config=_config(tmp_path))
+
+
+def test_duplicate_ids_deduplicated(tmp_path):
+    sweep = run_experiments(["E-T1", "E-T1"], config=_config(tmp_path))
+    assert [record.experiment_id for record in sweep.records] == ["E-T1"]
+
+
+def test_inline_executor_matches_process_results(tmp_path):
+    inline = run_experiments(
+        ["E-T2"], config=_config(tmp_path, executor="inline",
+                                 cache_enabled=False))
+    process = run_experiments(
+        ["E-T2"], config=_config(tmp_path, cache_enabled=False))
+    assert inline.results["E-T2"]["summary"] \
+        == process.results["E-T2"]["summary"]
+
+
+def test_engine_writes_journal(tmp_path, monkeypatch):
+    def bad_runner():
+        raise RuntimeError("journalled failure")
+
+    _inject(monkeypatch, "E-BAD", bad_runner)
+    config = _config(tmp_path)
+    run_experiments(["E-T1", "E-BAD"], config=config)
+    records = RunJournal.read(config.effective_journal_path)
+    by_id = {record.experiment_id: record for record in records}
+    assert by_id["E-T1"].status == "ok"
+    assert "journalled failure" in by_id["E-BAD"].error
+
+
+def test_run_experiments_kwarg_overrides(tmp_path):
+    sweep = run_experiments(["E-T1"], cache_enabled=False,
+                            executor="inline")
+    assert sweep.metrics.cache_misses == 1
+    assert (tmp_path / "cache").exists() is False
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EngineConfig(jobs=0)
+    with pytest.raises(ValueError):
+        EngineConfig(retries=-1)
+    with pytest.raises(ValueError):
+        EngineConfig(executor="threads")
+
+
+def test_engine_full_registry_inline(tmp_path):
+    engine = ExecutionEngine(_config(tmp_path, executor="inline"))
+    sweep = engine.run()
+    assert sweep.metrics.total == len(EXPERIMENTS)
+    assert sweep.all_ok
+    assert set(sweep.results) == set(EXPERIMENTS)
