@@ -10,8 +10,20 @@ Commands
     Run many (default: all) experiments through the execution engine:
     process pool, content-addressed result cache, per-experiment
     timeout/retries, JSONL run journal, metrics summary.
+``chaos --plan P [--jobs N] [--json] [ids...]``
+    Run a sweep under a named fault plan (crash/hang/transient/
+    corrupt-cache/slow-start faults) and report which faults the
+    engine absorbed vs surfaced; ``--list-plans`` shows the builtins.
 ``roadmap``
     Print the ITRS roadmap table the models are built on.
+
+Exit codes
+----------
+``run-all``: 0 all experiments ok; 1 partial success (some ran, some
+failed); 2 usage/configuration error; 3 total failure (nothing ok).
+``chaos``: 0 every recoverable fault absorbed; 1 an unrecoverable
+fault surfaced (by design); 2 usage error; 3 a recoverable fault
+surfaced or results were lost -- a reliability bug.
 """
 
 from __future__ import annotations
@@ -33,6 +45,12 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 from repro.itrs import ITRS_2000
+from repro.reliability import BUILTIN_PLANS, load_plan, run_chaos
+
+#: run-all exit codes (2 is argparse/config usage errors).
+EXIT_ALL_OK = 0
+EXIT_PARTIAL_FAILURE = 1
+EXIT_TOTAL_FAILURE = 3
 
 
 def _print_result(result: Any) -> None:
@@ -82,17 +100,34 @@ def _cmd_run(experiment_id: str) -> int:
     return 0
 
 
+def _error_tail(error: str | None, width: int = 60) -> str:
+    """The *tail* of a captured exception -- the raise site and message
+    land at the end of a traceback repr, so that is the useful part."""
+    if not error:
+        return ""
+    flat = " ".join(error.split())
+    if len(flat) <= width:
+        return flat
+    return "..." + flat[-(width - 3):]
+
+
 def _sweep_rows(sweep: SweepResult) -> list[list[Any]]:
     rows = []
     for record in sweep.records:
-        error = record.error or ""
-        if len(error) > 48:
-            error = error[:45] + "..."
         rows.append([record.experiment_id, record.status,
                      "hit" if record.cache_hit else "miss",
                      f"{record.wall_time_s:.3f}", record.attempts,
-                     error])
+                     _error_tail(record.error)])
     return rows
+
+
+def _sweep_exit_code(sweep: SweepResult) -> int:
+    """0 all ok; 1 partial success; 3 total failure."""
+    if sweep.metrics.all_ok:
+        return EXIT_ALL_OK
+    if sweep.metrics.ok > 0:
+        return EXIT_PARTIAL_FAILURE
+    return EXIT_TOTAL_FAILURE
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
@@ -124,7 +159,43 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             _sweep_rows(sweep)))
         print()
         print(sweep.metrics.render())
-    return 0 if sweep.all_ok else 1
+    return _sweep_exit_code(sweep)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.list_plans:
+        rows = [[plan.name, len(plan.faults),
+                 ", ".join(sorted({s.kind for s in plan.faults}))]
+                for plan in BUILTIN_PLANS.values()]
+        print(render_table(["plan", "faults", "kinds"], rows))
+        return 0
+    if args.plan is None:
+        print("error: --plan is required (or use --list-plans)",
+              file=sys.stderr)
+        return 2
+    try:
+        plan = load_plan(args.plan)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_chaos(
+            plan,
+            args.experiment_ids or None,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache_dir=args.cache_dir,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2,
+                         sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def _cmd_roadmap() -> int:
@@ -164,6 +235,27 @@ def main(argv: Sequence[str] | None = None) -> int:
                          help="retries per failing experiment")
     run_all.add_argument("--json", action="store_true",
                          help="emit records + metrics as JSON")
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a sweep under an injected fault plan")
+    chaos.add_argument("experiment_ids", nargs="*", metavar="id",
+                       help="experiment ids (default: all)")
+    chaos.add_argument("--plan", default=None,
+                       help="builtin plan name or a .json plan file")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list the builtin fault plans and exit")
+    chaos.add_argument("--jobs", type=int, default=default_jobs(),
+                       help="worker processes (default: min(4, CPUs))")
+    chaos.add_argument("--timeout", type=float, default=20.0,
+                       help="per-experiment timeout in seconds "
+                            "(also what kills hang faults)")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="retries per failing experiment")
+    chaos.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: a fresh "
+                            "temporary dir, removed afterwards)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the chaos report as JSON")
     subparsers.add_parser("roadmap", help="print the ITRS roadmap")
 
     args = parser.parse_args(argv)
@@ -173,4 +265,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args.experiment_id)
     if args.command == "run-all":
         return _cmd_run_all(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return _cmd_roadmap()

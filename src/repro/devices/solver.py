@@ -13,10 +13,9 @@ Two inversions are needed to reproduce Table 2:
 
 from __future__ import annotations
 
-from scipy.optimize import brentq
-
 from repro.devices.mosfet import DeviceParams, MosfetModel
 from repro.errors import CalibrationError
+from repro.reliability.guard import guarded_solve
 
 #: Lowest threshold voltage the solver will consider [V].  Slightly
 #: negative thresholds are physical for aggressive low-Vth devices.
@@ -24,11 +23,15 @@ VTH_SEARCH_MIN_V = -0.3
 
 
 def solve_vth_for_ion(params: DeviceParams, ion_target_ua_um: float,
-                      vdd_v: float | None = None) -> float:
+                      vdd_v: float | None = None, *,
+                      xtol: float = 1e-6,
+                      max_iter: int = 100) -> float:
     """Return the Vth at which Ion(Vth) equals ``ion_target_ua_um``.
 
     Raises :class:`CalibrationError` if the target is unreachable even at
-    the lowest admissible threshold (i.e. the device is too weak).
+    the lowest admissible threshold (i.e. the device is too weak), or --
+    with full iteration diagnostics -- if the guarded root find fails to
+    converge within ``max_iter`` iterations at tolerance ``xtol``.
     """
     if ion_target_ua_um <= 0:
         raise CalibrationError("Ion target must be positive")
@@ -51,13 +54,18 @@ def solve_vth_for_ion(params: DeviceParams, ion_target_ua_um: float,
             f"Ion target {ion_target_ua_um} uA/um met even with zero "
             f"overdrive at node {params.node_nm} nm; target is too low"
         )
-    return float(brentq(residual, VTH_SEARCH_MIN_V, vth_max, xtol=1e-6))
+    return guarded_solve(
+        residual, VTH_SEARCH_MIN_V, vth_max,
+        name=f"vth-for-ion@{params.node_nm}nm",
+        xtol=xtol, max_iter=max_iter).root
 
 
 def fit_mobility_for_vth(params: DeviceParams, vth_target_v: float,
                          ion_target_ua_um: float,
                          mu_min_cm2: float = 30.0,
-                         mu_max_cm2: float = 1500.0) -> float:
+                         mu_max_cm2: float = 1500.0, *,
+                         xtol: float = 1e-3,
+                         max_iter: int = 100) -> float:
     """Return the mobility at which Ion(vth_target) equals the target.
 
     Used offline to build the model cards in :mod:`repro.devices.params`.
@@ -82,4 +90,7 @@ def fit_mobility_for_vth(params: DeviceParams, vth_target_v: float,
             f"node {params.node_nm} nm (residual {high:+.0f} uA/um); "
             f"Rs or vsat is too restrictive"
         )
-    return float(brentq(residual, mu_min_cm2, mu_max_cm2, xtol=1e-3))
+    return guarded_solve(
+        residual, mu_min_cm2, mu_max_cm2,
+        name=f"mobility-for-vth@{params.node_nm}nm",
+        xtol=xtol, max_iter=max_iter).root

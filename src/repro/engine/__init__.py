@@ -4,16 +4,22 @@
 (:mod:`repro.analysis.experiments`) into a schedulable workload:
 
 * :class:`ExecutionEngine` / :func:`run_experiments` -- process-pool
-  scheduler with per-experiment timeouts, bounded retries, and failure
-  isolation (one crashing runner never aborts the sweep);
+  scheduler with per-experiment timeouts, failure isolation (one
+  crashing runner never aborts the sweep), and bounded retries spaced
+  by exponential backoff with deterministic jitter;
 * :class:`~repro.engine.cache.ResultCache` -- content-addressed
   on-disk cache keyed by experiment id + a source fingerprint of the
-  modules the runner transitively imports;
+  modules the runner transitively imports; entries are checksummed and
+  written atomically, and corrupt entries are quarantined as misses;
 * :class:`~repro.engine.records.RunRecord` /
   :class:`~repro.engine.records.RunJournal` -- per-execution records
-  appended to a JSONL journal;
+  appended (flushed + fsynced) to a JSONL journal whose recovery
+  skips torn lines;
 * :class:`~repro.engine.metrics.EngineMetrics` -- aggregate sweep
-  summary (outcomes, cache hit rate, parallel speedup).
+  summary (outcomes, cache hit rate, parallel speedup);
+* fault injection -- :attr:`EngineConfig.fault_plan` accepts a
+  :class:`~repro.reliability.faults.FaultPlan` so the chaos harness
+  (:mod:`repro.reliability.chaos`) can prove every recovery path.
 
 ``python -m repro run-all``, ``scripts/generate_experiments_md.py``
 and the benchmark suite all execute through this engine;

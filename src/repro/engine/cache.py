@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed, crash-safe on-disk result cache.
 
 A cache entry is keyed by the experiment id plus a *source
 fingerprint*: the SHA-256 over the source text of every ``repro.*``
@@ -10,12 +10,26 @@ unchanged experiments return instantly while touched ones re-run.
 
 Layout under the cache root::
 
-    <cache_dir>/objects/<experiment_id>--<fingerprint[:24]>.pkl
-    <cache_dir>/journal.jsonl        (written by the scheduler)
+    <cache_dir>/objects/<experiment_id>--<fingerprint[:24]>.rpc
+    <cache_dir>/quarantine/                (corrupt entries, kept for autopsy)
+    <cache_dir>/journal.jsonl              (written by the scheduler)
 
-Entries are pickled so results round-trip exactly (numpy scalars,
-tuples).  A corrupt or unreadable entry is treated as a miss and
-removed; an unpicklable result is simply not cached.
+Crash safety:
+
+* every entry is written **atomically** (unique temp file in the same
+  directory, then ``os.replace``), so readers never observe a torn
+  entry under normal operation;
+* every entry is **checksummed**: the ``.rpc`` container is a magic
+  header + SHA-256 digest + pickled payload.  A torn write, bit rot,
+  or a foreign file is detected on read and the entry is
+  **quarantined** (moved to ``quarantine/``) -- a corrupt entry becomes
+  a cache miss, never a wrong result;
+* directory creation is race-safe (concurrent ``--jobs`` sweeps on a
+  cold cache), and unreadable or foreign files in the cache dir are
+  ignored rather than fatal.
+
+Results are pickled so they round-trip exactly (numpy scalars,
+tuples); an unpicklable result is simply not cached.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ import ast
 import hashlib
 import importlib.util
 import inspect
+import itertools
 import os
 import pickle
 import time
@@ -31,9 +46,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
-CACHE_SCHEMA_VERSION = "1"
+from repro.errors import ReproError
+
+CACHE_SCHEMA_VERSION = "2"
+
+#: Leading bytes of every valid cache entry file.
+ENTRY_MAGIC = b"RPROC2\n"
+
+_DIGEST_BYTES = 32
 
 _PACKAGE_PREFIX = "repro"
+
+_tmp_counter = itertools.count()
 
 
 def _is_repro_module(name: str) -> bool:
@@ -165,48 +189,124 @@ def runner_fingerprint(experiment_id: str,
     return hasher.hexdigest()
 
 
+def ensure_dir(path: Path) -> Path:
+    """Race-safe ``mkdir -p``: concurrent creators all succeed.
+
+    ``Path.mkdir(parents=True, exist_ok=True)`` already tolerates the
+    create/create race; what it does not tolerate is a non-directory
+    squatting on the path, which we surface as a :class:`ReproError`
+    instead of a bare ``OSError`` from deep inside a sweep.
+    """
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except FileExistsError as exc:
+        raise ReproError(
+            f"cache path {path} exists but is not a directory") from exc
+    except NotADirectoryError as exc:
+        raise ReproError(
+            f"a parent of cache path {path} is a regular file") from exc
+    return path
+
+
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+    """Hit/miss/store/quarantine counters for one :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
 
 
 class ResultCache:
-    """Pickle-backed result store addressed by (experiment id, fingerprint)."""
+    """Checksummed result store addressed by (experiment id, fingerprint)."""
 
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
         self._hits = 0
         self._misses = 0
         self._stores = 0
+        self._quarantined = 0
 
     @property
     def objects_dir(self) -> Path:
         return self.root / "objects"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
     def path_for(self, experiment_id: str, fingerprint: str) -> Path:
-        return self.objects_dir / f"{experiment_id}--{fingerprint[:24]}.pkl"
+        return self.objects_dir / f"{experiment_id}--{fingerprint[:24]}.rpc"
+
+    # -- entry encoding -----------------------------------------------
+
+    @staticmethod
+    def encode_entry(entry: dict) -> bytes:
+        """Serialise an entry dict into the checksummed container."""
+        payload = pickle.dumps(entry)
+        digest = hashlib.sha256(payload).digest()
+        return ENTRY_MAGIC + digest + payload
+
+    @staticmethod
+    def decode_entry(blob: bytes) -> dict:
+        """Verify and deserialise a container; raises ``ValueError``."""
+        if not blob.startswith(ENTRY_MAGIC):
+            raise ValueError("bad magic: not a cache entry")
+        body = blob[len(ENTRY_MAGIC):]
+        if len(body) < _DIGEST_BYTES:
+            raise ValueError("truncated entry header")
+        digest, payload = body[:_DIGEST_BYTES], body[_DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError("checksum mismatch (torn or corrupt write)")
+        entry = pickle.loads(payload)
+        if not isinstance(entry, dict):
+            raise ValueError("entry payload is not a dict")
+        return entry
+
+    # -- quarantine ---------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside; never raises."""
+        target = (self.quarantine_dir
+                  / f"{path.name}.{os.getpid()}.{next(_tmp_counter)}")
+        try:
+            ensure_dir(self.quarantine_dir)
+            os.replace(path, target)
+        except (OSError, ReproError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return
+        self._quarantined += 1
+
+    # -- public API ---------------------------------------------------
 
     def get(self, experiment_id: str,
             fingerprint: str) -> tuple[bool, Any]:
-        """Return ``(hit, result)``; a corrupt entry is evicted as a miss."""
+        """Return ``(hit, result)``.
+
+        A missing entry is a miss; an unreadable entry is a miss; a
+        corrupt (torn, bit-rotted, foreign, or wrong-fingerprint) entry
+        is quarantined and reported as a miss.  No code path returns a
+        result that failed its checksum.
+        """
         path = self.path_for(experiment_id, fingerprint)
         try:
-            with path.open("rb") as stream:
-                entry = pickle.load(stream)
-            if entry["fingerprint"] != fingerprint:
-                raise ValueError("fingerprint mismatch")
+            blob = path.read_bytes()
         except FileNotFoundError:
             self._misses += 1
             return False, None
+        except OSError:
+            # unreadable (permissions, I/O error): ignore, don't crash
+            self._misses += 1
+            return False, None
+        try:
+            entry = self.decode_entry(blob)
+            if entry.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
         except Exception:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             self._misses += 1
             return False, None
         self._hits += 1
@@ -214,7 +314,7 @@ class ResultCache:
 
     def put(self, experiment_id: str, fingerprint: str,
             result: Any) -> bool:
-        """Store atomically; returns False if the result is unpicklable."""
+        """Store atomically (write-then-rename); False if not storable."""
         path = self.path_for(experiment_id, fingerprint)
         entry = {
             "experiment_id": experiment_id,
@@ -223,21 +323,31 @@ class ResultCache:
             "result": result,
         }
         try:
-            payload = pickle.dumps(entry)
+            blob = self.encode_entry(entry)
         except Exception:
             return False
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(payload)
-        os.replace(tmp, path)
+        tmp = path.parent / (f".tmp-{experiment_id}-{os.getpid()}"
+                             f"-{next(_tmp_counter)}")
+        try:
+            ensure_dir(path.parent)
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
         self._stores += 1
         return True
 
     def clear(self) -> int:
         """Delete every cache object; returns the number removed."""
         removed = 0
-        if self.objects_dir.is_dir():
-            for path in self.objects_dir.glob("*.pkl"):
+        for directory in (self.objects_dir, self.quarantine_dir):
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.rpc*"):
                 try:
                     path.unlink()
                     removed += 1
@@ -248,9 +358,13 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.objects_dir.is_dir():
             return 0
-        return sum(1 for _ in self.objects_dir.glob("*.pkl"))
+        try:
+            return sum(1 for _ in self.objects_dir.glob("*.rpc"))
+        except OSError:
+            return 0
 
     @property
     def stats(self) -> CacheStats:
         return CacheStats(hits=self._hits, misses=self._misses,
-                          stores=self._stores)
+                          stores=self._stores,
+                          quarantined=self._quarantined)

@@ -1,4 +1,4 @@
-"""Run records and the JSONL run journal.
+"""Run records and the crash-safe JSONL run journal.
 
 Every experiment execution -- cached or live, successful or not --
 produces exactly one :class:`RunRecord`.  The record is the engine's
@@ -17,11 +17,18 @@ Journal schema (one JSON object per line)::
 the ``repr`` of the exception for failed runs (or a worker-exit /
 timeout description) and ``null`` otherwise; ``started_at`` is a unix
 timestamp of the first attempt.
+
+Crash safety: appends are flushed and fsynced (each line lands as one
+``write`` on an ``O_APPEND`` descriptor), and recovery tolerates a
+torn journal -- :meth:`RunJournal.recover` parses what it can and
+skips truncated trailing lines or any line mangled by an interrupted
+or interleaved writer, instead of losing the whole history.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable
@@ -75,25 +82,61 @@ class RunJournal:
 
     The journal survives across sweeps: each engine run appends its
     records, so the file is a complete execution history of the cache
-    directory it lives in.
+    directory it lives in.  Appends are durable (flush + fsync) and
+    recovery is tolerant: a truncated trailing line from a crashed
+    writer costs that one line, never the journal.
     """
 
     def __init__(self, path: Path | str) -> None:
         self.path = Path(path)
 
-    def append(self, record: RunRecord) -> None:
+    def _write_lines(self, lines: list[str]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(record.to_json_dict(),
-                                    sort_keys=True) + "\n")
+            stream.writelines(lines)
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    def append(self, record: RunRecord) -> None:
+        self._write_lines(
+            [json.dumps(record.to_json_dict(), sort_keys=True) + "\n"])
 
     def append_many(self, records: Iterable[RunRecord]) -> None:
-        for record in records:
-            self.append(record)
+        lines = [json.dumps(record.to_json_dict(), sort_keys=True) + "\n"
+                 for record in records]
+        if lines:
+            self._write_lines(lines)
 
     @classmethod
-    def read(cls, path: Path | str) -> list[RunRecord]:
-        """Parse a journal file back into records (skipping blanks)."""
+    def recover(cls, path: Path | str) -> tuple[list["RunRecord"], int]:
+        """Parse a journal, skipping unparseable lines.
+
+        Returns ``(records, skipped)`` where ``skipped`` counts lines
+        lost to truncation (a writer died mid-append) or interleaving.
+        """
+        records: list[RunRecord] = []
+        skipped = 0
+        text = Path(path).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(RunRecord.from_json_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                skipped += 1
+        return records, skipped
+
+    @classmethod
+    def read(cls, path: Path | str, *,
+             strict: bool = False) -> list["RunRecord"]:
+        """Parse a journal file back into records.
+
+        With ``strict=False`` (the default) malformed lines are
+        skipped -- the recovery behaviour sweeps rely on; with
+        ``strict=True`` any malformed line raises.
+        """
+        if not strict:
+            return cls.recover(path)[0]
         records = []
         text = Path(path).read_text(encoding="utf-8")
         for line in text.splitlines():

@@ -5,7 +5,8 @@ The scheduler executes any subset of the experiment registry with
 * a **process pool** (``jobs`` worker processes, forked on platforms
   that support it so monkeypatched registries propagate), a
   per-experiment **timeout** that actually kills the worker, and
-  **bounded retries**;
+  **bounded retries** spaced by exponential backoff with deterministic
+  jitter (:class:`~repro.reliability.backoff.BackoffPolicy`);
 * **failure isolation**: a crashing, raising, or hanging runner yields
   a failed/timeout :class:`~repro.engine.records.RunRecord` while the
   rest of the sweep completes;
@@ -13,7 +14,14 @@ The scheduler executes any subset of the experiment registry with
   experiments whose transitive source is unchanged return instantly
   without spawning a worker;
 * a JSONL **run journal** plus an aggregate
-  :class:`~repro.engine.metrics.EngineMetrics` summary.
+  :class:`~repro.engine.metrics.EngineMetrics` summary;
+* an optional **fault-injection hook**: when
+  :attr:`EngineConfig.fault_plan` is set, the scheduler consults the
+  :class:`~repro.reliability.faults.FaultPlan` before every attempt
+  (crash/hang/transient/slow faults run inside the worker) and after
+  every store (corrupt-cache faults tear the on-disk entry), recording
+  each applied fault on :attr:`SweepResult.fired_faults` so the chaos
+  harness can prove absorption.
 
 Two executors are provided: ``"process"`` (the default, full
 isolation) and ``"inline"`` (same caching and record-keeping but
@@ -42,6 +50,14 @@ from repro.engine.records import (
     RunRecord,
 )
 from repro.errors import ReproError
+from repro.reliability.backoff import BackoffPolicy
+from repro.reliability.faults import (
+    FaultPlan,
+    FaultSpec,
+    FiredFault,
+    apply_runner_fault,
+    tear_cache_entry,
+)
 
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
@@ -65,6 +81,8 @@ class EngineConfig:
     cache_dir: Path = field(default_factory=lambda: DEFAULT_CACHE_DIR)
     journal_path: Path | None = None
     executor: str = EXECUTOR_PROCESS
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -91,6 +109,7 @@ class SweepResult:
     records: list[RunRecord]
     results: dict[str, Any]
     metrics: EngineMetrics
+    fired_faults: tuple[FiredFault, ...] = ()
 
     @property
     def all_ok(self) -> bool:
@@ -105,9 +124,11 @@ def _mp_context() -> multiprocessing.context.BaseContext:
         "fork" if "fork" in methods else "spawn")
 
 
-def _worker_entry(experiment_id: str, conn) -> None:
+def _worker_entry(experiment_id: str, conn,
+                  fault: FaultSpec | None = None) -> None:
     """Child-process body: run one experiment, ship back the outcome."""
     try:
+        apply_runner_fault(fault, allow_exit=True)
         from repro.analysis.experiments import EXPERIMENTS
         result = EXPERIMENTS[experiment_id].runner()
         conn.send(("ok", result))
@@ -128,6 +149,7 @@ class _Task:
     elapsed_s: float = 0.0
     started_at: float = 0.0
     last_error: str | None = None
+    not_before: float = 0.0  # monotonic time gating the next attempt
 
 
 @dataclass
@@ -149,6 +171,7 @@ class ExecutionEngine:
         journal_path = self.config.effective_journal_path
         self.journal = (RunJournal(journal_path)
                         if journal_path is not None else None)
+        self._fired: list[FiredFault] = []
 
     # -- public API ---------------------------------------------------
 
@@ -168,6 +191,7 @@ class ExecutionEngine:
                     f"{sorted(EXPERIMENTS)}")
 
         sweep_start = time.monotonic()
+        self._fired = []
         records: dict[str, RunRecord] = {}
         results: dict[str, Any] = {}
 
@@ -193,7 +217,8 @@ class ExecutionEngine:
         if self.journal is not None:
             self.journal.append_many(ordered)
         return SweepResult(records=ordered, results=results,
-                           metrics=metrics)
+                           metrics=metrics,
+                           fired_faults=tuple(self._fired))
 
     # -- cache front-end ----------------------------------------------
 
@@ -219,8 +244,45 @@ class ExecutionEngine:
         return None, None, _Task(experiment_id, fingerprint)
 
     def _store(self, task: _Task, result: Any) -> None:
-        if self.cache is not None and task.fingerprint is not None:
-            self.cache.put(task.experiment_id, task.fingerprint, result)
+        if self.cache is None or task.fingerprint is None:
+            return
+        self.cache.put(task.experiment_id, task.fingerprint, result)
+        self._apply_cache_fault(task)
+
+    # -- fault-injection hooks ----------------------------------------
+
+    def _runner_fault(self, task: _Task) -> FaultSpec | None:
+        """The fault (if any) to inject into this attempt's runner."""
+        plan = self.config.fault_plan
+        if plan is None:
+            return None
+        fault = plan.runner_fault(task.experiment_id, task.attempts)
+        if fault is not None:
+            self._fired.append(FiredFault(
+                task.experiment_id, task.attempts, fault.kind))
+        return fault
+
+    def _apply_cache_fault(self, task: _Task) -> None:
+        """Tear this experiment's stored entry if the plan says so."""
+        plan = self.config.fault_plan
+        if plan is None or self.cache is None \
+                or task.fingerprint is None:
+            return
+        fault = plan.cache_fault(task.experiment_id)
+        if fault is None:
+            return
+        path = self.cache.path_for(task.experiment_id, task.fingerprint)
+        if tear_cache_entry(path):
+            self._fired.append(FiredFault(
+                task.experiment_id, task.attempts, fault.kind))
+
+    def _schedule_retry(self, task: _Task,
+                        pending: deque[_Task]) -> None:
+        """Requeue with exponential backoff and deterministic jitter."""
+        delay = self.config.backoff.delay_s(
+            task.experiment_id, task.attempts)
+        task.not_before = time.monotonic() + delay
+        pending.append(task)
 
     # -- inline executor ----------------------------------------------
 
@@ -234,10 +296,16 @@ class ExecutionEngine:
             while True:
                 task.attempts += 1
                 try:
+                    apply_runner_fault(self._runner_fault(task),
+                                       allow_exit=False)
                     result = registry[task.experiment_id].runner()
                 except Exception as exc:
                     task.last_error = repr(exc)
                     if task.attempts < max_attempts:
+                        delay = self.config.backoff.delay_s(
+                            task.experiment_id, task.attempts)
+                        if delay > 0:
+                            time.sleep(delay)
                         continue
                     records[task.experiment_id] = self._final_record(
                         task, STATUS_FAILED,
@@ -259,10 +327,25 @@ class ExecutionEngine:
         running: list[_Slot] = []
 
         while pending or running:
+            now = time.monotonic()
+            deferred: list[_Task] = []
             while pending and len(running) < self.config.jobs:
-                running.append(self._launch(ctx, pending.popleft()))
+                task = pending.popleft()
+                if task.not_before > now:
+                    deferred.append(task)  # backoff window still open
+                    continue
+                running.append(self._launch(ctx, task))
+            pending.extendleft(reversed(deferred))
 
-            timeout = self._poll_timeout(running)
+            if not running:
+                # every runnable task is waiting out its backoff
+                wake = min(task.not_before for task in pending)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            timeout = self._poll_timeout(running, pending
+                                         if len(running)
+                                         < self.config.jobs else ())
             ready = set(_connection_wait(
                 [slot.process.sentinel for slot in running],
                 timeout=timeout))
@@ -286,10 +369,11 @@ class ExecutionEngine:
         if task.attempts == 0:
             task.started_at = time.time()
         task.attempts += 1
+        fault = self._runner_fault(task)
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_entry,
-            args=(task.experiment_id, child_conn),
+            args=(task.experiment_id, child_conn, fault),
             name=f"repro-engine-{task.experiment_id}",
             daemon=True,
         )
@@ -302,12 +386,14 @@ class ExecutionEngine:
                      deadline=deadline, launched=launched)
 
     @staticmethod
-    def _poll_timeout(running: list[_Slot]) -> float | None:
-        deadlines = [slot.deadline for slot in running
-                     if slot.deadline is not None]
-        if not deadlines:
+    def _poll_timeout(running: list[_Slot],
+                      waiting: Sequence[_Task] = ()) -> float | None:
+        wakes = [slot.deadline for slot in running
+                 if slot.deadline is not None]
+        wakes += [task.not_before for task in waiting]
+        if not wakes:
             return None
-        return max(0.0, min(deadlines) - time.monotonic()) + 0.01
+        return max(0.0, min(wakes) - time.monotonic()) + 0.01
 
     @staticmethod
     def _kill(slot: _Slot) -> None:
@@ -351,7 +437,7 @@ class ExecutionEngine:
                 f"(exit code {slot.process.exitcode})")
 
         if task.attempts < max_attempts:
-            pending.append(task)
+            self._schedule_retry(task, pending)
             return
         status = STATUS_TIMEOUT if timed_out else STATUS_FAILED
         records[task.experiment_id] = self._final_record(

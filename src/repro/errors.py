@@ -2,11 +2,25 @@
 
 All library-specific failures derive from :class:`ReproError` so callers can
 catch one base class.  The subclasses distinguish the common failure domains:
-bad model parameters, unknown roadmap nodes, infeasible optimization
-constraints, and timing violations detected by the STA engine.
+bad model parameters, unknown roadmap nodes, failed numerical calibration,
+infeasible optimization constraints, timing violations detected by the STA
+engine, malformed netlists, and faults injected by the chaos harness.
+
+The full hierarchy::
+
+    ReproError
+      ModelParameterError (ValueError)       out-of-domain model input
+      UnknownNodeError (KeyError)            node absent from the roadmap
+      CalibrationError (RuntimeError)        solver failed; carries diagnostics
+      InfeasibleConstraintError (ValueError) unsatisfiable optimization
+      TimingViolationError (RuntimeError)    negative slack
+      NetlistError (ValueError)              malformed netlist
+      InjectedFaultError (RuntimeError)      deliberate fault from a FaultPlan
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 
 class ReproError(Exception):
@@ -22,7 +36,38 @@ class UnknownNodeError(ReproError, KeyError):
 
 
 class CalibrationError(ReproError, RuntimeError):
-    """A calibration / root-finding routine failed to converge."""
+    """A calibration / root-finding routine failed.
+
+    Beyond the message, instances raised by
+    :func:`repro.reliability.guard.guarded_solve` (and the solvers built
+    on it) carry structured diagnostics so callers and logs can see *how*
+    the solve failed instead of parsing prose:
+
+    ``iterations``
+        Total iterations spent across the primary method and any
+        fallback (``None`` when the failure predates iterating, e.g. a
+        bad bracket).
+    ``residual``
+        The best residual magnitude observed, ``None`` if never
+        evaluated successfully.
+    ``fallback``
+        Name of the fallback strategy that was attempted (``"bisect"``,
+        ``"relaxation"``, ``"dense"``), or ``None`` if the failure was
+        raised before/without one.
+    ``diagnostics``
+        The full :class:`repro.reliability.guard.SolveDiagnostics`
+        record when available, else ``None``.
+    """
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None,
+                 fallback: str | None = None,
+                 diagnostics: Any = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+        self.fallback = fallback
+        self.diagnostics = diagnostics
 
 
 class InfeasibleConstraintError(ReproError, ValueError):
@@ -35,3 +80,7 @@ class TimingViolationError(ReproError, RuntimeError):
 
 class NetlistError(ReproError, ValueError):
     """A netlist is malformed (cycles, dangling references, bad fanout)."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A deliberate failure injected by a reliability fault plan."""

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy.sparse import lil_matrix
-from scipy.sparse.linalg import spsolve
 
 from repro import units
 from repro.errors import ModelParameterError
@@ -34,6 +33,7 @@ from repro.pdn.bacpac import (
     hotspot_current_density_a_m2,
     required_rail_width_m,
 )
+from repro.reliability.guard import guarded_linear_solve
 
 
 def solve_rail_strip(current_per_m: float, sheet_resistance: float,
@@ -61,7 +61,8 @@ def solve_rail_strip(current_per_m: float, sheet_resistance: float,
             matrix[i, i - 1] = -conductance
         if i + 1 < n_interior:
             matrix[i, i + 1] = -conductance
-    drops = spsolve(matrix.tocsr(), rhs)
+    drops = guarded_linear_solve(matrix.tocsr(), rhs,
+                                 name="pdn-rail-strip").x
     return float(np.max(drops))
 
 
@@ -120,7 +121,8 @@ def solve_power_grid_2d(current_density_a_m2: float,
                 matrix[row, index[(jx, jy)]] -= conductance
             # else neighbour is a bump at drop 0: contributes nothing
             # to the RHS beyond the diagonal term.
-    drops = spsolve(matrix.tocsr(), rhs)
+    drops = guarded_linear_solve(matrix.tocsr(), rhs,
+                                 name="pdn-grid-2d").x
     return GridSolution(
         worst_drop_v=float(np.max(drops)),
         mean_drop_v=float(np.mean(drops)),

@@ -1,0 +1,59 @@
+"""Exponential retry backoff with deterministic jitter.
+
+The scheduler used to requeue a failed attempt immediately; under a
+correlated failure (a hot cache filesystem, a briefly-unavailable
+resource) that turns retries into a synchronized stampede.
+:class:`BackoffPolicy` spaces attempt *k* by ``base * factor**(k-1)``
+seconds, capped at ``max_s``, then scales by a jitter factor derived
+from a SHA-256 of ``(seed, key, attempt)`` -- so two workers retrying
+the same moment spread out, yet every run of the same sweep waits the
+exact same amount (reproducible schedules, testable timings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Delay schedule for retry attempt ``k`` (first retry is ``k = 1``).
+
+    ``jitter`` is the half-width of the multiplicative jitter band: the
+    nominal delay is scaled by a deterministic factor in
+    ``[1 - jitter, 1 + jitter]``.
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.max_s < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def jitter_fraction(self, key: str, attempt: int) -> float:
+        """Deterministic uniform-ish fraction in [0, 1) for this retry."""
+        token = f"{self.seed}|{key}|{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` of task ``key``."""
+        if attempt < 1:
+            return 0.0
+        nominal = min(self.max_s, self.base_s * self.factor ** (attempt - 1))
+        spread = (2.0 * self.jitter_fraction(key, attempt) - 1.0)
+        return nominal * (1.0 + self.jitter * spread)
+
+
+#: Zero-delay policy -- restores the pre-backoff "retry immediately"
+#: behaviour for tests that count attempts, not seconds.
+NO_BACKOFF = BackoffPolicy(base_s=0.0, max_s=0.0, jitter=0.0)

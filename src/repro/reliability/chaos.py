@@ -1,0 +1,233 @@
+"""The chaos harness: run a sweep under a fault plan, prove absorption.
+
+``run_chaos`` executes the experiment registry twice against one cache
+directory:
+
+1. a **cold sweep with faults injected** (the scheduler consults the
+   plan before each attempt and after each store), then
+2. a **warm verification sweep without faults**, which proves that
+   every torn cache entry was quarantined and recomputed and that the
+   sweep's results survive the chaos -- the warm pass must report every
+   experiment ``ok``.
+
+The :class:`ChaosReport` classifies each fault as *absorbed* (the
+engine recovered: retries, timeout kill, cache quarantine) or
+*surfaced* (the experiment's final record is failed/timeout).  A
+surfaced fault is only acceptable when its spec is marked
+``recoverable=False``; anything else is a reliability regression and
+drives a distinct exit code.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.reliability.faults import (
+    FAULT_CORRUPT_CACHE,
+    FaultPlan,
+    FaultSpec,
+)
+
+#: Chaos exit codes (also returned by ``repro chaos``).
+EXIT_OK = 0                 # every recoverable fault absorbed
+EXIT_UNRECOVERABLE = 1      # a fault marked unrecoverable surfaced (by design)
+EXIT_RELIABILITY_BUG = 3    # a recoverable fault surfaced / wrong results
+
+OUTCOME_ABSORBED = "absorbed"
+OUTCOME_SURFACED = "surfaced"
+OUTCOME_NOT_FIRED = "not-fired"
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What happened to one planned fault."""
+
+    spec: FaultSpec
+    fired: bool
+    outcome: str
+    detail: str
+
+    @property
+    def absorbed(self) -> bool:
+        return self.outcome == OUTCOME_ABSORBED
+
+    def to_json_dict(self) -> dict:
+        return {"fault": self.spec.to_json_dict(), "fired": self.fired,
+                "outcome": self.outcome, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Everything one chaos run established."""
+
+    plan: FaultPlan
+    cold: Any   # SweepResult (typed loosely to avoid an import cycle)
+    warm: Any   # SweepResult
+    outcomes: tuple[FaultOutcome, ...]
+
+    @property
+    def absorbed(self) -> tuple[FaultOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.absorbed)
+
+    @property
+    def surfaced(self) -> tuple[FaultOutcome, ...]:
+        return tuple(o for o in self.outcomes
+                     if o.outcome == OUTCOME_SURFACED)
+
+    @property
+    def surfaced_unrecoverable(self) -> tuple[FaultOutcome, ...]:
+        return tuple(o for o in self.surfaced if not o.spec.recoverable)
+
+    @property
+    def surfaced_recoverable(self) -> tuple[FaultOutcome, ...]:
+        return tuple(o for o in self.surfaced if o.spec.recoverable)
+
+    @property
+    def correct_results(self) -> int:
+        """Experiments whose fault-free warm verification run is ok."""
+        return self.warm.metrics.ok
+
+    @property
+    def total(self) -> int:
+        return self.warm.metrics.total
+
+    @property
+    def exit_code(self) -> int:
+        if self.surfaced_recoverable or self.correct_results < self.total:
+            return EXIT_RELIABILITY_BUG
+        if self.surfaced_unrecoverable:
+            return EXIT_UNRECOVERABLE
+        return EXIT_OK
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == EXIT_OK
+
+    def to_json_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_json_dict(),
+            "outcomes": [o.to_json_dict() for o in self.outcomes],
+            "cold_metrics": self.cold.metrics.to_json_dict(),
+            "warm_metrics": self.warm.metrics.to_json_dict(),
+            "correct_results": self.correct_results,
+            "total": self.total,
+            "exit_code": self.exit_code,
+        }
+
+    def render(self) -> str:
+        """Plain-text chaos report for the CLI."""
+        header = ["fault", "experiment", "attempt", "fired", "outcome"]
+        rows = [[o.spec.kind, o.spec.experiment_id,
+                 "all" if o.spec.attempt == 0 else str(o.spec.attempt),
+                 "yes" if o.fired else "no", o.outcome]
+                for o in self.outcomes]
+        widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+                  if rows else len(header[i]) for i in range(len(header))]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        for row in rows:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        lines.append("")
+        lines.append(
+            f"plan         {self.plan.name}: {len(self.outcomes)} faults, "
+            f"{len(self.absorbed)} absorbed, {len(self.surfaced)} surfaced "
+            f"({len(self.surfaced_unrecoverable)} by design)")
+        lines.append(
+            f"cold sweep   {self.cold.metrics.ok}/{self.cold.metrics.total}"
+            f" ok under faults "
+            f"({self.cold.metrics.attempts} attempts)")
+        lines.append(
+            f"verification {self.correct_results}/{self.total} correct "
+            f"results after recovery")
+        verdict = {EXIT_OK: "all recoverable faults absorbed",
+                   EXIT_UNRECOVERABLE:
+                       "unrecoverable fault(s) surfaced as designed",
+                   EXIT_RELIABILITY_BUG:
+                       "RELIABILITY BUG: recoverable fault surfaced "
+                       "or results lost"}[self.exit_code]
+        lines.append(f"verdict      {verdict} (exit {self.exit_code})")
+        return "\n".join(lines)
+
+
+def _classify(plan: FaultPlan, cold: Any, warm: Any
+              ) -> tuple[FaultOutcome, ...]:
+    cold_by_id = {r.experiment_id: r for r in cold.records}
+    warm_by_id = {r.experiment_id: r for r in warm.records}
+    fired_keys = {(f.experiment_id, f.kind) for f in cold.fired_faults}
+
+    outcomes = []
+    for spec in plan.faults:
+        fired = (spec.experiment_id, spec.kind) in fired_keys
+        cold_rec = cold_by_id.get(spec.experiment_id)
+        warm_rec = warm_by_id.get(spec.experiment_id)
+        if not fired or cold_rec is None:
+            outcomes.append(FaultOutcome(
+                spec, False, OUTCOME_NOT_FIRED,
+                "fault never applied (id not swept or cache hit)"))
+            continue
+        if spec.kind == FAULT_CORRUPT_CACHE:
+            # torn after a successful store: absorbed iff the warm pass
+            # recomputed (quarantine turned the tear into a miss).
+            recomputed = (warm_rec is not None and warm_rec.ok
+                          and not warm_rec.cache_hit)
+            outcomes.append(FaultOutcome(
+                spec, True,
+                OUTCOME_ABSORBED if recomputed else OUTCOME_SURFACED,
+                "torn entry quarantined; result recomputed on warm sweep"
+                if recomputed else
+                "torn entry was not recovered by the warm sweep"))
+            continue
+        if cold_rec.ok:
+            outcomes.append(FaultOutcome(
+                spec, True, OUTCOME_ABSORBED,
+                f"recovered after {cold_rec.attempts} attempt(s)"))
+        else:
+            outcomes.append(FaultOutcome(
+                spec, True, OUTCOME_SURFACED,
+                f"final status {cold_rec.status}: {cold_rec.error}"))
+    return tuple(outcomes)
+
+
+def run_chaos(plan: FaultPlan,
+              experiment_ids: Sequence[str] | None = None, *,
+              jobs: int | None = None, timeout_s: float = 30.0,
+              retries: int = 2, cache_dir: Path | str | None = None,
+              executor: str | None = None) -> ChaosReport:
+    """Run a sweep under ``plan`` and verify every recovery path.
+
+    A fresh temporary cache directory is used (and removed) unless
+    ``cache_dir`` is given, so planned faults always fire against a
+    cold cache.
+    """
+    from repro.engine.scheduler import (
+        EngineConfig,
+        default_jobs,
+        run_experiments,
+    )
+
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        cache_dir = tmp.name
+    try:
+        base = dict(
+            jobs=jobs if jobs is not None else default_jobs(),
+            timeout_s=timeout_s,
+            retries=retries,
+            cache_dir=Path(cache_dir),
+        )
+        if executor is not None:
+            base["executor"] = executor
+        cold = run_experiments(
+            experiment_ids,
+            config=EngineConfig(fault_plan=plan, **base))
+        warm = run_experiments(
+            experiment_ids, config=EngineConfig(**base))
+        return ChaosReport(plan=plan, cold=cold, warm=warm,
+                           outcomes=_classify(plan, cold, warm))
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

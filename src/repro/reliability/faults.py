@@ -1,0 +1,319 @@
+"""Deterministic, seedable fault injection for the execution engine.
+
+A :class:`FaultPlan` is a declarative set of :class:`FaultSpec` entries,
+each targeting one experiment id at one attempt number (or every
+attempt).  The scheduler consults the plan through a single hook pair --
+:meth:`FaultPlan.runner_fault` before launching an attempt and
+:meth:`FaultPlan.cache_fault` after storing a result -- so every
+failure-isolation and retry path becomes testable without touching the
+experiments themselves.
+
+Fault taxonomy (``KINDS``):
+
+``crash``
+    The worker process dies without reporting a result (``os._exit`` in
+    a process worker; an :class:`~repro.errors.InjectedFaultError` under
+    the inline executor, which cannot survive a real exit).
+``hang``
+    The worker sleeps past any reasonable deadline so the scheduler's
+    timeout enforcement must kill it (inline executor: degraded to a
+    transient exception, since inline runs cannot be killed).
+``transient``
+    The attempt raises :class:`~repro.errors.InjectedFaultError`;
+    bounded retries should absorb it.
+``corrupt-cache``
+    After a successful run is stored, the on-disk cache entry is torn
+    (truncated mid-payload).  The checksum layer must quarantine it and
+    recompute on the next sweep -- a torn write becomes a cache miss,
+    never a wrong result.
+``slow-start``
+    The attempt sleeps ``delay_s`` before running normally; exercises
+    timeout headroom without failing.
+
+Every plan is deterministic: the same plan yields the same faults on
+the same sweep, and :meth:`FaultPlan.random` derives its assignments
+from an explicit seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import InjectedFaultError, ReproError
+
+FAULT_CRASH = "crash"
+FAULT_HANG = "hang"
+FAULT_TRANSIENT = "transient"
+FAULT_CORRUPT_CACHE = "corrupt-cache"
+FAULT_SLOW_START = "slow-start"
+
+KINDS = (FAULT_CRASH, FAULT_HANG, FAULT_TRANSIENT, FAULT_CORRUPT_CACHE,
+         FAULT_SLOW_START)
+
+#: Kinds applied before/while the runner executes (vs. post-store).
+RUNNER_KINDS = (FAULT_CRASH, FAULT_HANG, FAULT_TRANSIENT, FAULT_SLOW_START)
+
+#: Exit code used by an injected crash, distinctive in worker-death errors.
+CRASH_EXIT_CODE = 83
+
+#: Sleep used by ``hang`` faults when no ``delay_s`` is given [s].
+DEFAULT_HANG_S = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, addressed by experiment id and attempt.
+
+    ``attempt`` is 1-based; ``attempt = 0`` means *every* attempt, which
+    (for crash/hang/transient kinds) makes the fault unrecoverable by
+    retries -- such specs should also set ``recoverable=False`` so the
+    chaos report expects them to surface.
+    """
+
+    kind: str
+    experiment_id: str
+    attempt: int = 1
+    delay_s: float = 0.0
+    recoverable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"one of {KINDS}")
+        if self.attempt < 0:
+            raise ValueError("attempt must be >= 0 (0 = every attempt)")
+        if self.delay_s < 0:
+            raise ValueError("delay_s cannot be negative")
+
+    def fires_on(self, attempt: int) -> bool:
+        return self.attempt == 0 or self.attempt == attempt
+
+    def to_json_dict(self) -> dict:
+        return {"kind": self.kind, "experiment_id": self.experiment_id,
+                "attempt": self.attempt, "delay_s": self.delay_s,
+                "recoverable": self.recoverable}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            experiment_id=payload["experiment_id"],
+            attempt=int(payload.get("attempt", 1)),
+            delay_s=float(payload.get("delay_s", 0.0)),
+            recoverable=bool(payload.get("recoverable", True)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, deterministic collection of faults for one sweep."""
+
+    name: str
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- scheduler hooks ----------------------------------------------
+
+    def runner_fault(self, experiment_id: str,
+                     attempt: int) -> FaultSpec | None:
+        """The fault (if any) to apply to this attempt's runner."""
+        for spec in self.faults:
+            if (spec.kind in RUNNER_KINDS
+                    and spec.experiment_id == experiment_id
+                    and spec.fires_on(attempt)):
+                return spec
+        return None
+
+    def cache_fault(self, experiment_id: str) -> FaultSpec | None:
+        """The corrupt-cache fault (if any) for this experiment."""
+        for spec in self.faults:
+            if (spec.kind == FAULT_CORRUPT_CACHE
+                    and spec.experiment_id == experiment_id):
+                return spec
+        return None
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def experiment_ids(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(s.experiment_id for s in self.faults))
+
+    @property
+    def unrecoverable(self) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.faults if not s.recoverable)
+
+    # -- construction / serialisation ---------------------------------
+
+    @classmethod
+    def random(cls, name: str, experiment_ids: Sequence[str], *,
+               seed: int, rate: float = 0.3,
+               kinds: Iterable[str] = RUNNER_KINDS) -> "FaultPlan":
+        """Seed-deterministic plan: each id draws one fault w.p. ``rate``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        kinds = tuple(kinds)
+        rng = random.Random(seed)
+        faults = []
+        for experiment_id in experiment_ids:
+            if rng.random() >= rate:
+                continue
+            kind = rng.choice(kinds)
+            faults.append(FaultSpec(
+                kind=kind,
+                experiment_id=experiment_id,
+                attempt=1,
+                delay_s=0.25 if kind in (FAULT_SLOW_START,
+                                         FAULT_HANG) else 0.0,
+            ))
+        return cls(name=name, faults=tuple(faults), seed=seed)
+
+    def to_json_dict(self) -> dict:
+        return {"name": self.name, "seed": self.seed,
+                "faults": [spec.to_json_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            name=payload["name"],
+            faults=tuple(FaultSpec.from_json_dict(entry)
+                         for entry in payload.get("faults", ())),
+            seed=int(payload.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault the scheduler actually applied during a sweep."""
+
+    experiment_id: str
+    attempt: int
+    kind: str
+
+    def to_json_dict(self) -> dict:
+        return {"experiment_id": self.experiment_id,
+                "attempt": self.attempt, "kind": self.kind}
+
+
+# -- fault application (called by the scheduler / worker) -------------
+
+
+def apply_runner_fault(spec: FaultSpec | None, *,
+                       allow_exit: bool) -> None:
+    """Make ``spec`` happen in the current attempt, if it is set.
+
+    ``allow_exit`` is True only in a sacrificial worker process; the
+    inline executor degrades crash/hang to transient exceptions because
+    killing or blocking the calling process would take the sweep down
+    with it.
+    """
+    if spec is None:
+        return
+    if spec.kind == FAULT_SLOW_START:
+        time.sleep(spec.delay_s)
+        return
+    if spec.kind == FAULT_CRASH and allow_exit:
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == FAULT_HANG and allow_exit:
+        time.sleep(spec.delay_s or DEFAULT_HANG_S)
+        # unreachable under a sane timeout; fall through as transient
+    raise InjectedFaultError(
+        f"injected {spec.kind} fault on {spec.experiment_id} "
+        f"(attempt spec {spec.attempt})")
+
+
+def tear_cache_entry(path: Path | str) -> bool:
+    """Simulate a torn write: truncate a cache object mid-payload.
+
+    Returns False when the entry does not exist (nothing to corrupt).
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with path.open("r+b") as stream:
+            stream.truncate(max(1, size // 2))
+    except OSError:
+        return False
+    return True
+
+
+# -- builtin plans ----------------------------------------------------
+
+BUILTIN_PLANS: dict[str, FaultPlan] = {
+    # CI plan: crash + transient faults on three experiments; every one
+    # recoverable, so a healthy engine reports a full-correct sweep.
+    "crash-transient": FaultPlan(
+        name="crash-transient",
+        faults=(
+            FaultSpec(FAULT_CRASH, "E-T1"),
+            FaultSpec(FAULT_TRANSIENT, "E-F3"),
+            FaultSpec(FAULT_CRASH, "E-C5"),
+        ),
+    ),
+    # Quick local smoke: one of each cheap fault kind.
+    "smoke": FaultPlan(
+        name="smoke",
+        faults=(
+            FaultSpec(FAULT_TRANSIENT, "E-T2"),
+            FaultSpec(FAULT_SLOW_START, "E-F1", delay_s=0.2),
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-V1"),
+        ),
+    ),
+    # Cache torture: every stored entry for these ids is torn on disk.
+    "cache-torture": FaultPlan(
+        name="cache-torture",
+        faults=(
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-T1"),
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-F2"),
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-C3"),
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-X4"),
+        ),
+    ),
+    # The acceptance plan: crash, hang, transient, slow and torn-cache
+    # faults in one sweep; all recoverable with retries + timeout.
+    "full-chaos": FaultPlan(
+        name="full-chaos",
+        faults=(
+            FaultSpec(FAULT_CRASH, "E-T1"),
+            FaultSpec(FAULT_HANG, "E-C1"),
+            FaultSpec(FAULT_TRANSIENT, "E-F3"),
+            FaultSpec(FAULT_TRANSIENT, "E-C4"),
+            FaultSpec(FAULT_SLOW_START, "E-F5", delay_s=0.25),
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-T2"),
+            FaultSpec(FAULT_CORRUPT_CACHE, "E-X4"),
+        ),
+    ),
+    # Negative control: a crash on every attempt cannot be absorbed;
+    # chaos runs under this plan must exit non-zero.
+    "unrecoverable": FaultPlan(
+        name="unrecoverable",
+        faults=(
+            FaultSpec(FAULT_CRASH, "E-T1", attempt=0, recoverable=False),
+        ),
+    ),
+}
+
+
+def load_plan(name_or_path: str) -> FaultPlan:
+    """Resolve a builtin plan name or a JSON plan file."""
+    if name_or_path in BUILTIN_PLANS:
+        return BUILTIN_PLANS[name_or_path]
+    path = Path(name_or_path)
+    if path.suffix == ".json" and path.exists():
+        try:
+            return FaultPlan.from_json_dict(
+                json.loads(path.read_text(encoding="utf-8")))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ReproError(
+                f"invalid fault plan file {path}: {exc}") from exc
+    raise ReproError(
+        f"unknown fault plan {name_or_path!r}; builtins: "
+        f"{sorted(BUILTIN_PLANS)} (or a .json plan file)")

@@ -1,0 +1,287 @@
+"""Guarded numerical solves: validated, observable, fallback-equipped.
+
+Every headline result in the paper flows through an iterative numerical
+routine -- the Ioff calibration root finds (Eqs. 2-4), the
+electrothermal fixed point of Section 2, the resistive power-grid solve
+behind Fig. 5.  Left unguarded, these are exactly the routines that
+return silent NaN/garbage when a parameter leaves its domain or an
+iteration stalls.  This module wraps them with one contract:
+
+* **domain/bracket validation up front** -- non-finite endpoints,
+  inverted brackets, and sign-change violations are rejected before any
+  iteration runs;
+* **non-convergence and NaN/Inf detection** -- a solve either returns a
+  finite, converged answer or raises; nothing non-finite escapes;
+* **one fallback strategy** -- bisection after a Brent failure,
+  damped-relaxation restart for fixed points, a dense solve after a
+  sparse factorization failure;
+* **structured errors** -- failures raise
+  :class:`~repro.errors.CalibrationError` carrying iteration counts,
+  best residuals, and the fallback attempted
+  (:class:`SolveDiagnostics`), never a bare message.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.errors import CalibrationError
+
+FALLBACK_BISECT = "bisect"
+FALLBACK_RELAXATION = "relaxation"
+FALLBACK_DENSE = "dense"
+
+
+@dataclass(frozen=True)
+class SolveDiagnostics:
+    """How a guarded solve went (attached to results and errors)."""
+
+    name: str
+    method: str
+    iterations: int
+    residual: float | None
+    fallback: str | None = None
+    bracket: tuple[float, float] | None = None
+    converged: bool = True
+
+
+@dataclass(frozen=True)
+class GuardedRoot:
+    """A validated scalar root plus its solve diagnostics."""
+
+    root: float
+    diagnostics: SolveDiagnostics
+
+
+@dataclass(frozen=True)
+class GuardedSolution:
+    """A validated linear-system solution plus its solve diagnostics."""
+
+    x: np.ndarray
+    diagnostics: SolveDiagnostics
+
+
+class _NonFiniteResidual(Exception):
+    """Internal: the residual escaped to NaN/Inf during iteration."""
+
+    def __init__(self, at: float) -> None:
+        super().__init__(f"non-finite residual at {at!r}")
+        self.at = at
+
+
+def _checked(residual: Callable[[float], float]
+             ) -> Callable[[float], float]:
+    def wrapped(x: float) -> float:
+        value = float(residual(x))
+        if not math.isfinite(value):
+            raise _NonFiniteResidual(x)
+        return value
+    return wrapped
+
+
+def _fail(name: str, message: str, *, iterations: int = 0,
+          residual: float | None = None, fallback: str | None = None,
+          bracket: tuple[float, float] | None = None) -> CalibrationError:
+    diagnostics = SolveDiagnostics(
+        name=name, method="failed", iterations=iterations,
+        residual=residual, fallback=fallback, bracket=bracket,
+        converged=False)
+    return CalibrationError(
+        f"{name}: {message} "
+        f"[iterations={iterations}, residual={residual!r}, "
+        f"fallback={fallback!r}]",
+        iterations=iterations, residual=residual, fallback=fallback,
+        diagnostics=diagnostics)
+
+
+def _bisect(residual: Callable[[float], float], lo: float, hi: float,
+            f_lo: float, *, xtol: float, max_iter: int
+            ) -> tuple[float, int, float, bool]:
+    """Plain bisection; assumes a validated sign change on [lo, hi]."""
+    low, high, f_low = lo, hi, f_lo
+    iterations = 0
+    while iterations < max_iter and (high - low) > xtol:
+        iterations += 1
+        mid = 0.5 * (low + high)
+        f_mid = residual(mid)
+        if f_mid == 0.0:
+            return mid, iterations, 0.0, True
+        if (f_mid > 0.0) == (f_low > 0.0):
+            low, f_low = mid, f_mid
+        else:
+            high = mid
+    mid = 0.5 * (low + high)
+    return mid, iterations, residual(mid), (high - low) <= xtol
+
+
+def _relaxation(residual: Callable[[float], float], lo: float,
+                hi: float, *, xtol: float, max_iter: int
+                ) -> tuple[float, int, float, bool]:
+    """Damped fixed-point iteration on ``x <- x + w f(x)``, restarting
+    from the bracket midpoint with a halved damping factor whenever the
+    residual diverges (the classic relaxation restart for the
+    electrothermal loop, where ``f`` is ``g(T) - T``)."""
+    iterations = 0
+    x = 0.5 * (lo + hi)
+    for weight in (0.5, 0.25, 0.125, 0.0625):
+        x = 0.5 * (lo + hi)
+        best = abs(residual(x))
+        for _ in range(max_iter):
+            iterations += 1
+            step = weight * residual(x)
+            x = min(hi, max(lo, x + step))
+            abs_f = abs(residual(x))
+            if abs(step) <= xtol:
+                return x, iterations, residual(x), True
+            if abs_f > 10.0 * best:
+                break  # diverging: restart with stronger damping
+            best = min(best, abs_f)
+    return x, iterations, residual(x), False
+
+
+def guarded_solve(residual: Callable[[float], float], lo: float,
+                  hi: float, *, name: str, xtol: float = 1e-9,
+                  max_iter: int = 100,
+                  fallback: str = FALLBACK_BISECT) -> GuardedRoot:
+    """Find a root of ``residual`` on ``[lo, hi]`` or raise structurally.
+
+    Brent's method is the primary strategy; on non-convergence or a
+    NaN/Inf escape the named ``fallback`` (:data:`FALLBACK_BISECT` or
+    :data:`FALLBACK_RELAXATION`) gets one shot.  Both the returned
+    :class:`GuardedRoot` and any raised
+    :class:`~repro.errors.CalibrationError` carry full
+    :class:`SolveDiagnostics`.
+    """
+    if fallback not in (FALLBACK_BISECT, FALLBACK_RELAXATION):
+        raise ValueError(f"unknown fallback {fallback!r}")
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise _fail(name, f"non-finite bracket [{lo!r}, {hi!r}]",
+                    bracket=(lo, hi))
+    if lo >= hi:
+        raise _fail(name, f"empty bracket [{lo}, {hi}]", bracket=(lo, hi))
+
+    checked = _checked(residual)
+    try:
+        f_lo, f_hi = checked(lo), checked(hi)
+    except _NonFiniteResidual as exc:
+        raise _fail(name, f"residual non-finite at bracket point "
+                          f"{exc.at!r}", bracket=(lo, hi)) from exc
+    if f_lo == 0.0 or f_hi == 0.0:
+        root = lo if f_lo == 0.0 else hi
+        return GuardedRoot(root, SolveDiagnostics(
+            name=name, method="bracket-endpoint", iterations=0,
+            residual=0.0, bracket=(lo, hi)))
+    if (f_lo > 0.0) == (f_hi > 0.0):
+        raise _fail(name, f"no sign change on [{lo}, {hi}] "
+                          f"(f(lo)={f_lo:.6g}, f(hi)={f_hi:.6g})",
+                    residual=min(abs(f_lo), abs(f_hi)),
+                    bracket=(lo, hi))
+
+    primary_iterations = 0
+    try:
+        root, report = brentq(checked, lo, hi, xtol=xtol,
+                              maxiter=max_iter, full_output=True,
+                              disp=False)
+        primary_iterations = report.iterations
+        final = checked(float(root))
+        if report.converged and math.isfinite(float(root)):
+            return GuardedRoot(float(root), SolveDiagnostics(
+                name=name, method="brentq",
+                iterations=primary_iterations, residual=final,
+                bracket=(lo, hi)))
+    except (_NonFiniteResidual, ValueError, RuntimeError):
+        pass
+
+    # one fallback attempt
+    try:
+        if fallback == FALLBACK_BISECT:
+            root, extra, final, converged = _bisect(
+                checked, lo, hi, f_lo, xtol=xtol, max_iter=2 * max_iter)
+        else:
+            root, extra, final, converged = _relaxation(
+                checked, lo, hi, xtol=xtol, max_iter=max_iter)
+    except _NonFiniteResidual as exc:
+        raise _fail(name, f"residual escaped to NaN/Inf at {exc.at!r} "
+                          f"during {fallback} fallback",
+                    iterations=primary_iterations, fallback=fallback,
+                    bracket=(lo, hi)) from exc
+    iterations = primary_iterations + extra
+    if converged and math.isfinite(root) and math.isfinite(final):
+        return GuardedRoot(float(root), SolveDiagnostics(
+            name=name, method=f"{fallback}-fallback",
+            iterations=iterations, residual=final, fallback=fallback,
+            bracket=(lo, hi)))
+    raise _fail(name, "failed to converge (primary and fallback "
+                      "exhausted)", iterations=iterations,
+                residual=final if math.isfinite(final) else None,
+                fallback=fallback, bracket=(lo, hi))
+
+
+def guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
+                         rtol: float = 1e-8,
+                         dense_fallback_max: int = 20000
+                         ) -> GuardedSolution:
+    """Solve a sparse linear system with validation and a dense fallback.
+
+    The sparse factorization (``scipy.sparse.linalg.spsolve``) is
+    primary; if it raises, or the solution carries NaN/Inf, or the
+    relative residual exceeds ``rtol``, one dense
+    (``numpy.linalg.solve``) attempt is made for systems up to
+    ``dense_fallback_max`` unknowns.  Failures raise
+    :class:`~repro.errors.CalibrationError` with the residual achieved.
+    """
+    from scipy.sparse.linalg import spsolve
+
+    rhs = np.asarray(rhs, dtype=float)
+    if rhs.size == 0:
+        raise _fail(name, "empty linear system")
+    if not np.all(np.isfinite(rhs)):
+        raise _fail(name, "right-hand side contains NaN/Inf")
+    data = matrix.data if hasattr(matrix, "data") else np.asarray(matrix)
+    if not np.all(np.isfinite(data)):
+        raise _fail(name, "matrix contains NaN/Inf entries")
+
+    scale = float(np.max(np.abs(rhs)))
+
+    def rel_residual(x: np.ndarray) -> float:
+        return float(np.max(np.abs(matrix @ x - rhs))) / max(scale, 1e-300)
+
+    fallback_used = None
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            x = spsolve(matrix.tocsr() if hasattr(matrix, "tocsr")
+                        else matrix, rhs)
+        x = np.asarray(x, dtype=float)
+        if np.all(np.isfinite(x)) and rel_residual(x) <= rtol:
+            return GuardedSolution(x, SolveDiagnostics(
+                name=name, method="spsolve", iterations=1,
+                residual=rel_residual(x)))
+    except Exception:
+        x = None
+
+    # one dense fallback attempt
+    residual = None
+    if rhs.size <= dense_fallback_max:
+        fallback_used = FALLBACK_DENSE
+        try:
+            dense = (matrix.toarray() if hasattr(matrix, "toarray")
+                     else np.asarray(matrix, dtype=float))
+            x = np.linalg.solve(dense, rhs)
+            if np.all(np.isfinite(x)):
+                residual = rel_residual(x)
+                if residual <= rtol:
+                    return GuardedSolution(x, SolveDiagnostics(
+                        name=name, method="spsolve", iterations=2,
+                        residual=residual, fallback=FALLBACK_DENSE))
+        except np.linalg.LinAlgError:
+            pass
+    raise _fail(name, "linear solve failed (singular or ill-conditioned "
+                      "system)", iterations=2 if fallback_used else 1,
+                residual=residual, fallback=fallback_used)

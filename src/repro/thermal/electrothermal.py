@@ -23,11 +23,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from scipy.optimize import brentq
-
-from repro.errors import InfeasibleConstraintError, ModelParameterError
+from repro.errors import (
+    CalibrationError,
+    InfeasibleConstraintError,
+    ModelParameterError,
+)
 from repro.itrs.packaging import AMBIENT_C
 from repro.power.static import chip_static_power_w
+from repro.reliability.guard import FALLBACK_RELAXATION, guarded_solve
 
 #: Highest junction temperature considered physical / searchable [C].
 T_SEARCH_MAX_C = 400.0
@@ -64,14 +67,18 @@ class OperatingPoint:
 
 def solve_operating_point(node_nm: int, theta_ja: float,
                           dynamic_power_w: float,
-                          t_ambient_c: float = AMBIENT_C
-                          ) -> OperatingPoint:
+                          t_ambient_c: float = AMBIENT_C, *,
+                          xtol: float = 1e-6,
+                          max_iter: int = 100) -> OperatingPoint:
     """Find the stable junction temperature with leakage feedback.
 
     The residual ``f(T) = Ta + theta (Pdyn + Pleak(T)) - T`` is strictly
     decreasing in ``-T`` ... concretely: f(Ta) > 0 always, and a stable
     point exists iff f crosses zero below :data:`T_SEARCH_MAX_C`.
-    Raises :class:`InfeasibleConstraintError` on thermal runaway.
+    Raises :class:`InfeasibleConstraintError` on thermal runaway, and a
+    diagnostics-carrying :class:`~repro.errors.CalibrationError` when
+    the guarded solve (Brent primary, damped-relaxation restart
+    fallback) cannot converge within ``max_iter`` at ``xtol``.
     """
     if theta_ja <= 0:
         raise ModelParameterError("theta_ja must be positive")
@@ -88,8 +95,11 @@ def solve_operating_point(node_nm: int, theta_ja: float,
             f"{T_SEARCH_MAX_C} C at theta_ja = {theta_ja} C/W with "
             f"{dynamic_power_w} W dynamic at {node_nm} nm"
         )
-    junction = float(brentq(residual, t_ambient_c, T_SEARCH_MAX_C,
-                            xtol=1e-6))
+    junction = guarded_solve(
+        residual, t_ambient_c, T_SEARCH_MAX_C,
+        name=f"electrothermal@{node_nm}nm",
+        xtol=xtol, max_iter=max_iter,
+        fallback=FALLBACK_RELAXATION).root
     return OperatingPoint(
         node_nm=node_nm,
         theta_ja=theta_ja,
@@ -131,7 +141,9 @@ def runaway_theta(node_nm: int, dynamic_power_w: float,
             solve_operating_point(node_nm, theta, dynamic_power_w,
                                   t_ambient_c)
             return True
-        except InfeasibleConstraintError:
+        except (InfeasibleConstraintError, CalibrationError):
+            # near the tangent bifurcation the fixed point is marginal;
+            # a non-converging solve is conservatively "unstable"
             return False
 
     if not stable(1e-3):

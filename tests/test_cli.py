@@ -131,3 +131,90 @@ def test_run_all_failure_exits_1(capsys, tmp_path, monkeypatch):
     assert code == 1
     out = capsys.readouterr().out
     assert "failed" in out and "sweep failure" in out
+
+
+def test_run_all_total_failure_exits_3(capsys, tmp_path, monkeypatch):
+    def exploding_runner():
+        raise RuntimeError("total failure")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    code = main(["run-all", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1"])
+    assert code == 3
+    assert "total failure" in capsys.readouterr().out
+
+
+def test_run_all_prints_error_tail_not_head(capsys, tmp_path,
+                                            monkeypatch):
+    # the raise site lands at the END of an error repr; the status
+    # table must show that end, elided from the front.
+    def exploding_runner():
+        raise RuntimeError("x" * 200 + " the-actual-cause")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    code = main(["run-all", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"), "E-T1"])
+    assert code == 3
+    out = capsys.readouterr().out
+    assert "the-actual-cause" in out
+    assert "..." in out
+
+
+def test_error_tail_helper():
+    from repro.cli import _error_tail
+    assert _error_tail(None) == ""
+    assert _error_tail("short") == "short"
+    long = "A" * 100 + "END"
+    tail = _error_tail(long, width=20)
+    assert len(tail) == 20
+    assert tail.startswith("...") and tail.endswith("END")
+    assert _error_tail("spread  over\nlines", width=60) \
+        == "spread over lines"
+
+
+# -- chaos ------------------------------------------------------------
+
+
+def test_chaos_list_plans(capsys):
+    assert main(["chaos", "--list-plans"]) == 0
+    out = capsys.readouterr().out
+    assert "crash-transient" in out
+    assert "full-chaos" in out
+
+
+def test_chaos_requires_a_plan(capsys):
+    assert main(["chaos"]) == 2
+    assert "--plan is required" in capsys.readouterr().err
+
+
+def test_chaos_unknown_plan_exits_2(capsys):
+    assert main(["chaos", "--plan", "nope"]) == 2
+    assert "unknown fault plan" in capsys.readouterr().err
+
+
+def test_chaos_subset_absorbs_and_exits_0(capsys, tmp_path):
+    code = main(["chaos", "--plan", "crash-transient", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "chaos"),
+                 "E-T1", "E-F3", "E-C5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "3 absorbed" in out
+    assert "3/3 correct" in out
+    assert "exit 0" in out
+
+
+def test_chaos_json_output(capsys, tmp_path):
+    code = main(["chaos", "--plan", "crash-transient", "--jobs", "2",
+                 "--json", "--cache-dir", str(tmp_path / "chaos"),
+                 "E-T1", "E-F3", "E-C5"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 0
+    assert payload["correct_results"] == payload["total"] == 3
+    assert all(entry["outcome"] == "absorbed"
+               for entry in payload["outcomes"])

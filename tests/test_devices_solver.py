@@ -68,3 +68,24 @@ class TestFitMobility:
         with pytest.raises(CalibrationError):
             fit_mobility_for_vth(device, 0.45, 750.0,
                                  mu_max_cm2=1500.0)
+
+
+class TestGuardedFailureModes:
+    def test_forced_nonconvergence_carries_diagnostics(self):
+        # An iteration budget too small for the tolerance must raise a
+        # structured CalibrationError, never return a half-solved Vth.
+        device = device_for_node(100)
+        target = ITRS_2000.node(100).ion_target_ua_um
+        with pytest.raises(CalibrationError) as excinfo:
+            solve_vth_for_ion(device, target, xtol=1e-14, max_iter=1)
+        error = excinfo.value
+        assert error.iterations is not None and error.iterations >= 1
+        assert error.fallback == "bisect"
+        assert "vth-for-ion@100nm" in str(error)
+
+    def test_converged_solution_is_always_finite(self):
+        import math
+        for node_nm in ITRS_2000.node_sizes:
+            device = device_for_node(node_nm)
+            target = ITRS_2000.node(node_nm).ion_target_ua_um
+            assert math.isfinite(solve_vth_for_ion(device, target))

@@ -17,7 +17,14 @@ from repro.engine import (
     run_experiments,
     runner_fingerprint,
 )
+from repro.engine.cache import ensure_dir
 from repro.errors import ReproError
+from repro.reliability import (
+    BackoffPolicy,
+    FaultPlan,
+    FaultSpec,
+    tear_cache_entry,
+)
 
 
 def _inject(monkeypatch, experiment_id, runner):
@@ -54,6 +61,47 @@ def test_journal_round_trip(tmp_path):
     # every line is standalone JSON
     lines = journal.path.read_text().splitlines()
     assert all(json.loads(line)["experiment_id"] for line in lines)
+
+
+def test_journal_recovery_skips_truncated_tail(tmp_path):
+    """A writer that died mid-append costs one line, not the journal."""
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    good = [RunRecord("E-T1", "ok", 0.1, False, 1),
+            RunRecord("E-T2", "ok", 0.2, True, 0)]
+    journal.append_many(good)
+    with journal.path.open("a") as stream:
+        stream.write('{"experiment_id": "E-F1", "status": "ok", "wal')
+    records, skipped = RunJournal.recover(journal.path)
+    assert records == good
+    assert skipped == 1
+    assert RunJournal.read(journal.path) == good  # tolerant by default
+    with pytest.raises(json.JSONDecodeError):
+        RunJournal.read(journal.path, strict=True)
+
+
+def test_journal_recovery_skips_interleaved_writers(tmp_path):
+    """Two writers whose bytes interleaved mangle only their own lines."""
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append(RunRecord("E-T1", "ok", 0.1, False, 1))
+    with journal.path.open("a") as stream:
+        # bytes of two concurrent appends shuffled together
+        stream.write('{"experiment_id": "E-T2", "st{"experiment_id":'
+                     ' "E-F1", "status": "ok"}\n')
+    journal.append(RunRecord("E-C1", "ok", 0.3, False, 1))
+    records, skipped = RunJournal.recover(journal.path)
+    assert [r.experiment_id for r in records] == ["E-T1", "E-C1"]
+    assert skipped == 1
+
+
+def test_journal_appends_survive_further_sweeps(tmp_path):
+    """New appends after a torn line still parse (append, not rewrite)."""
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.path.parent.mkdir(parents=True, exist_ok=True)
+    journal.path.write_text('not json at all\n')
+    journal.append(RunRecord("E-T1", "ok", 0.1, False, 1))
+    records, skipped = RunJournal.recover(journal.path)
+    assert [r.experiment_id for r in records] == ["E-T1"]
+    assert skipped == 1
 
 
 # -- cache ------------------------------------------------------------
@@ -114,6 +162,50 @@ def test_cache_unpicklable_result_is_skipped(tmp_path):
     cache = ResultCache(tmp_path)
     assert not cache.put("E-T1", "a" * 64, lambda: None)
     assert len(cache) == 0
+
+
+def test_cache_torn_write_is_quarantined_not_wrong(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("E-T1", "b" * 64, {"value": 1})
+    path = cache.path_for("E-T1", "b" * 64)
+    assert tear_cache_entry(path)  # truncate mid-payload
+    assert cache.get("E-T1", "b" * 64) == (False, None)
+    assert not path.exists()
+    assert list(cache.quarantine_dir.iterdir())  # kept for autopsy
+    assert cache.stats.quarantined == 1
+    # a fresh store over the quarantined key works normally
+    cache.put("E-T1", "b" * 64, {"value": 2})
+    assert cache.get("E-T1", "b" * 64) == (True, {"value": 2})
+
+
+def test_cache_checksum_catches_bit_rot(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("E-T1", "c" * 64, {"value": 1})
+    path = cache.path_for("E-T1", "c" * 64)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF  # flip one payload bit
+    path.write_bytes(bytes(blob))
+    assert cache.get("E-T1", "c" * 64) == (False, None)
+    assert cache.stats.quarantined == 1
+
+
+def test_cache_ignores_foreign_and_unreadable_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("E-T1", "d" * 64, {"value": 1})
+    ensure_dir(cache.objects_dir)
+    (cache.objects_dir / "README.txt").write_text("not a cache entry")
+    (cache.objects_dir / ".tmp-stale-123-456").write_bytes(b"abandoned")
+    assert len(cache) == 1  # only .rpc entries counted
+    assert cache.get("E-T1", "d" * 64) == (True, {"value": 1})
+
+
+def test_ensure_dir_rejects_file_squatting_on_path(tmp_path):
+    squatter = tmp_path / "cache"
+    squatter.write_text("surprise, a file")
+    with pytest.raises(ReproError, match="not a directory"):
+        ensure_dir(squatter)
+    with pytest.raises(ReproError, match="regular file"):
+        ensure_dir(squatter / "objects")
 
 
 # -- metrics ----------------------------------------------------------
@@ -316,3 +408,63 @@ def test_engine_full_registry_inline(tmp_path):
     assert sweep.metrics.total == len(EXPERIMENTS)
     assert sweep.all_ok
     assert set(sweep.results) == set(EXPERIMENTS)
+
+
+# -- scheduler: fault injection and backoff ---------------------------
+
+
+def test_injected_transient_fault_absorbed_by_retry(tmp_path):
+    plan = FaultPlan("t", (FaultSpec("transient", "E-T1"),))
+    sweep = run_experiments(
+        ["E-T1", "E-T2"],
+        config=_config(tmp_path, retries=1, fault_plan=plan,
+                       executor="inline"))
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-T1"].status == "ok"
+    assert by_id["E-T1"].attempts == 2
+    assert by_id["E-T2"].attempts == 1
+    assert [(f.experiment_id, f.kind) for f in sweep.fired_faults] \
+        == [("E-T1", "transient")]
+
+
+def test_injected_crash_fault_absorbed_in_process_pool(tmp_path):
+    plan = FaultPlan("c", (FaultSpec("crash", "E-T2"),))
+    sweep = run_experiments(
+        ["E-T2"], config=_config(tmp_path, retries=1, fault_plan=plan))
+    record = sweep.records[0]
+    assert record.status == "ok" and record.attempts == 2
+    assert sweep.fired_faults[0].kind == "crash"
+
+
+def test_torn_cache_entry_recomputed_on_warm_sweep(tmp_path):
+    """corrupt-cache fault: the warm sweep must recompute, never trust
+    (or crash on) the torn entry."""
+    plan = FaultPlan("cc", (FaultSpec("corrupt-cache", "E-T2"),))
+    config = _config(tmp_path, executor="inline")
+    cold = run_experiments(
+        ["E-T2"], config=_config(tmp_path, executor="inline",
+                                 fault_plan=plan))
+    assert cold.all_ok
+    assert cold.fired_faults[0].kind == "corrupt-cache"
+    warm = run_experiments(["E-T2"], config=config)
+    assert warm.all_ok
+    assert not warm.records[0].cache_hit  # quarantined -> recomputed
+    again = run_experiments(["E-T2"], config=config)
+    assert again.records[0].cache_hit  # repaired entry now reused
+    assert warm.results["E-T2"]["summary"] \
+        == again.results["E-T2"]["summary"]
+
+
+def test_retry_backoff_spaces_attempts(tmp_path):
+    plan = FaultPlan("t", (FaultSpec("transient", "E-T2"),))
+    policy = BackoffPolicy(base_s=0.2, factor=1.0, max_s=0.2,
+                           jitter=0.0)
+    start = time.monotonic()
+    sweep = run_experiments(
+        ["E-T2"],
+        config=_config(tmp_path, retries=1, fault_plan=plan,
+                       backoff=policy, executor="inline",
+                       cache_enabled=False))
+    elapsed = time.monotonic() - start
+    assert sweep.records[0].attempts == 2
+    assert elapsed >= 0.2  # the retry waited out the backoff delay

@@ -93,3 +93,22 @@ class TestValidateModel:
     def test_itrs_scenario_also_validates(self):
         result = validate_analytic_model(50, PitchScenario.ITRS_PADS)
         assert result.strip_error < 0.02
+
+
+class TestGuardedSolve:
+    def test_grid_drops_are_always_finite(self):
+        import numpy as np
+        solution = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6)
+        assert np.isfinite(solution.worst_drop_v)
+        assert np.isfinite(solution.mean_drop_v)
+
+    def test_singular_system_raises_structured(self):
+        # Zero conductance everywhere (degenerate discretisation) must
+        # surface as a CalibrationError, not a NaN drop.
+        from scipy.sparse import csr_matrix
+        import numpy as np
+        from repro.errors import CalibrationError
+        from repro.reliability import guarded_linear_solve
+        singular = csr_matrix(np.zeros((3, 3)))
+        with pytest.raises(CalibrationError, match="pdn"):
+            guarded_linear_solve(singular, np.ones(3), name="pdn-test")

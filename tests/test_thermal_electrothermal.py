@@ -78,3 +78,23 @@ def test_validation():
         solve_operating_point(70, 0.5, -1.0)
     with pytest.raises(ModelParameterError):
         chip_leakage_at_c(70, -100.0)
+
+
+def test_forced_nonconvergence_raises_with_diagnostics():
+    # Starving the guarded solve of iterations at an impossible
+    # tolerance must surface a structured CalibrationError -- with the
+    # relaxation fallback recorded -- rather than a wrong or NaN Tj.
+    from repro.errors import CalibrationError
+    with pytest.raises(CalibrationError) as excinfo:
+        solve_operating_point(70, 0.25, 160.0, xtol=1e-13, max_iter=1)
+    error = excinfo.value
+    assert error.iterations is not None and error.iterations >= 1
+    assert error.fallback == "relaxation"
+    assert "electrothermal@70nm" in str(error)
+
+
+def test_operating_point_is_always_finite():
+    import math
+    point = solve_operating_point(70, 0.25, 160.0)
+    assert math.isfinite(point.junction_c)
+    assert math.isfinite(point.leakage_w)
