@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event file produced by ``repro trace``.
+
+CI gate: after ``python -m repro trace --format chrome --out trace.json``
+this script confirms the artifact is well-formed before it is uploaded.
+Exit 0 when the trace loads and clears the minimum span count; exit 1
+with the validator's problem list otherwise.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace.py trace.json
+    PYTHONPATH=src python scripts/check_trace.py trace.json --min-spans 5
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs import load_chrome_trace
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Validate a repro Chrome trace-event file.")
+    parser.add_argument("trace", type=Path,
+                        help="path to the trace JSON artifact")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="minimum number of complete (ph=X) events "
+                             "required (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if not args.trace.is_file():
+        print(f"error: no trace file at {args.trace}", file=sys.stderr)
+        return 1
+
+    try:
+        events = load_chrome_trace(args.trace)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    complete = [event for event in events if event.get("ph") == "X"]
+    if len(complete) < args.min_spans:
+        print(f"error: {args.trace}: {len(complete)} complete events, "
+              f"need at least {args.min_spans}", file=sys.stderr)
+        return 1
+
+    names = sorted({event["name"] for event in complete})
+    lanes = {event["pid"] for event in complete}
+    total_us = sum(event["dur"] for event in complete)
+    print(f"{args.trace}: {len(complete)} spans across {len(lanes)} "
+          f"process lane(s), {total_us / 1e6:.3f}s recorded")
+    print(f"  span names: {', '.join(names[:10])}"
+          + (" ..." if len(names) > 10 else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

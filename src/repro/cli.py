@@ -14,13 +14,18 @@ Commands
     Run a sweep under a named fault plan (crash/hang/transient/
     corrupt-cache/slow-start faults) and report which faults the
     engine absorbed vs surfaced; ``--list-plans`` shows the builtins.
+``trace [ids...] --out trace.json [--format chrome|json] [--top N]``
+    Run a sweep with the tracing layer active and export the result:
+    a Chrome/Perfetto trace (or a plain-JSON summary), plus a
+    per-phase breakdown table and counter dump on stdout.
 ``roadmap``
     Print the ITRS roadmap table the models are built on.
 
 Exit codes
 ----------
-``run-all``: 0 all experiments ok; 1 partial success (some ran, some
-failed); 2 usage/configuration error; 3 total failure (nothing ok).
+``run-all`` and ``trace``: 0 all experiments ok; 1 partial success
+(some ran, some failed); 2 usage/configuration error; 3 total failure
+(nothing ok).
 ``chaos``: 0 every recoverable fault absorbed; 1 an unrecoverable
 fault surfaced (by design); 2 usage error; 3 a recoverable fault
 surfaced or results were lost -- a reliability bug.
@@ -45,6 +50,14 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 from repro.itrs import ITRS_2000
+from repro.obs import (
+    EXPORT_FORMATS,
+    FORMAT_CHROME,
+    Trace,
+    phase_breakdown,
+    tracing,
+    write_trace,
+)
 from repro.reliability import BUILTIN_PLANS, load_plan, run_chaos
 
 #: run-all exit codes (2 is argparse/config usage errors).
@@ -198,6 +211,48 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    ids = args.experiment_ids or None
+    try:
+        config = EngineConfig(
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache_enabled=not args.no_cache,
+            cache_dir=Path(args.cache_dir),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = Trace("repro-sweep")
+    try:
+        with tracing(trace):
+            sweep = run_experiments(ids, config=config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_path = write_trace(trace, args.out, format=args.format)
+
+    rows = [[row["name"], row["count"], f"{row['total_s']:.4f}",
+             f"{row['mean_s']:.4f}", f"{row['max_s']:.4f}",
+             f"{100.0 * row['share']:.1f}%"]
+            for row in phase_breakdown(trace, top=args.top)]
+    print(render_table(
+        ["phase", "count", "total [s]", "mean [s]", "max [s]", "share"],
+        rows))
+    counters = trace.counters.as_dict()
+    if counters:
+        print()
+        print(render_table(
+            ["counter", "value"],
+            [[name, f"{value:g}"] for name, value in counters.items()]))
+    print()
+    print(sweep.metrics.render())
+    print(f"\ntrace ({args.format}, {len(trace)} spans) "
+          f"written to {out_path}")
+    return _sweep_exit_code(sweep)
+
+
 def _cmd_roadmap() -> int:
     headers = ["node [nm]", "year", "Vdd [V]", "Leff [nm]", "Tox [A]",
                "clock [GHz]", "power [W]", "area [mm2]", "Tj [C]"]
@@ -256,6 +311,34 @@ def main(argv: Sequence[str] | None = None) -> int:
                             "temporary dir, removed afterwards)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the chaos report as JSON")
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run a traced sweep and export the profile")
+    trace_parser.add_argument("experiment_ids", nargs="*", metavar="id",
+                              help="experiment ids (default: all)")
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="trace output path "
+                                   "(default: trace.json)")
+    trace_parser.add_argument("--format", choices=EXPORT_FORMATS,
+                              default=FORMAT_CHROME,
+                              help="chrome (Perfetto-loadable trace "
+                                   "events) or json (summary + spans)")
+    trace_parser.add_argument("--top", type=int, default=None,
+                              metavar="N",
+                              help="show only the N slowest phases")
+    trace_parser.add_argument("--jobs", type=int, default=default_jobs(),
+                              help="worker processes "
+                                   "(default: min(4, CPUs))")
+    trace_parser.add_argument("--no-cache", action="store_true",
+                              help="bypass the result cache")
+    trace_parser.add_argument("--cache-dir",
+                              default=str(DEFAULT_CACHE_DIR),
+                              help=f"cache directory "
+                                   f"(default: {DEFAULT_CACHE_DIR})")
+    trace_parser.add_argument("--timeout", type=float, default=120.0,
+                              help="per-experiment timeout in seconds")
+    trace_parser.add_argument("--retries", type=int, default=0,
+                              help="retries per failing experiment")
     subparsers.add_parser("roadmap", help="print the ITRS roadmap")
 
     args = parser.parse_args(argv)
@@ -267,4 +350,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run_all(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_roadmap()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.devices.mosfet import DeviceParams, MosfetModel
 from repro.errors import CalibrationError
+from repro.obs import span
 from repro.reliability.guard import guarded_solve
 
 #: Lowest threshold voltage the solver will consider [V].  Slightly
@@ -54,10 +55,11 @@ def solve_vth_for_ion(params: DeviceParams, ion_target_ua_um: float,
             f"Ion target {ion_target_ua_um} uA/um met even with zero "
             f"overdrive at node {params.node_nm} nm; target is too low"
         )
-    return guarded_solve(
-        residual, VTH_SEARCH_MIN_V, vth_max,
-        name=f"vth-for-ion@{params.node_nm}nm",
-        xtol=xtol, max_iter=max_iter).root
+    with span("device.vth_for_ion", node_nm=params.node_nm):
+        return guarded_solve(
+            residual, VTH_SEARCH_MIN_V, vth_max,
+            name=f"vth-for-ion@{params.node_nm}nm",
+            xtol=xtol, max_iter=max_iter).root
 
 
 def fit_mobility_for_vth(params: DeviceParams, vth_target_v: float,
@@ -90,7 +92,8 @@ def fit_mobility_for_vth(params: DeviceParams, vth_target_v: float,
             f"node {params.node_nm} nm (residual {high:+.0f} uA/um); "
             f"Rs or vsat is too restrictive"
         )
-    return guarded_solve(
-        residual, mu_min_cm2, mu_max_cm2,
-        name=f"mobility-for-vth@{params.node_nm}nm",
-        xtol=xtol, max_iter=max_iter).root
+    with span("device.fit_mobility", node_nm=params.node_nm):
+        return guarded_solve(
+            residual, mu_min_cm2, mu_max_cm2,
+            name=f"mobility-for-vth@{params.node_nm}nm",
+            xtol=xtol, max_iter=max_iter).root

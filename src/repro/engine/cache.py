@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import ReproError
+from repro.obs import add_counter, span
 
 CACHE_SCHEMA_VERSION = "2"
 
@@ -148,6 +149,12 @@ def runner_fingerprint(experiment_id: str,
     builtins, REPL lambdas) fall back to hashing whatever identity
     ``inspect`` can provide, which disables sharing but stays safe.
     """
+    with span("cache.fingerprint", experiment=experiment_id):
+        return _runner_fingerprint(experiment_id, runner)
+
+
+def _runner_fingerprint(experiment_id: str,
+                        runner: Callable[[], Any]) -> str:
     hasher = hashlib.sha256()
     hasher.update(f"schema:{CACHE_SCHEMA_VERSION}\n".encode())
     hasher.update(f"experiment:{experiment_id}\n".encode())
@@ -270,15 +277,17 @@ class ResultCache:
         """Move a corrupt entry aside; never raises."""
         target = (self.quarantine_dir
                   / f"{path.name}.{os.getpid()}.{next(_tmp_counter)}")
-        try:
-            ensure_dir(self.quarantine_dir)
-            os.replace(path, target)
-        except (OSError, ReproError):
+        with span("cache.quarantine", entry=path.name):
             try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                return
+                ensure_dir(self.quarantine_dir)
+                os.replace(path, target)
+            except (OSError, ReproError):
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    return
         self._quarantined += 1
+        add_counter("cache.quarantined")
 
     # -- public API ---------------------------------------------------
 
@@ -292,24 +301,30 @@ class ResultCache:
         result that failed its checksum.
         """
         path = self.path_for(experiment_id, fingerprint)
-        try:
-            blob = path.read_bytes()
-        except FileNotFoundError:
-            self._misses += 1
-            return False, None
-        except OSError:
-            # unreadable (permissions, I/O error): ignore, don't crash
-            self._misses += 1
-            return False, None
-        try:
-            entry = self.decode_entry(blob)
-            if entry.get("fingerprint") != fingerprint:
-                raise ValueError("fingerprint mismatch")
-        except Exception:
-            self._quarantine(path)
-            self._misses += 1
-            return False, None
+        with span("cache.read", experiment=experiment_id) as read_span:
+            try:
+                blob = path.read_bytes()
+            except FileNotFoundError:
+                self._misses += 1
+                add_counter("cache.misses")
+                return False, None
+            except OSError:
+                # unreadable (permissions, I/O error): ignore, don't crash
+                self._misses += 1
+                add_counter("cache.misses")
+                return False, None
+            try:
+                entry = self.decode_entry(blob)
+                if entry.get("fingerprint") != fingerprint:
+                    raise ValueError("fingerprint mismatch")
+            except Exception:
+                self._quarantine(path)
+                self._misses += 1
+                add_counter("cache.misses")
+                return False, None
+            read_span.set(hit=True, bytes=len(blob))
         self._hits += 1
+        add_counter("cache.hits")
         return True, entry["result"]
 
     def put(self, experiment_id: str, fingerprint: str,
@@ -322,23 +337,26 @@ class ResultCache:
             "created_at": time.time(),
             "result": result,
         }
-        try:
-            blob = self.encode_entry(entry)
-        except Exception:
-            return False
-        tmp = path.parent / (f".tmp-{experiment_id}-{os.getpid()}"
-                             f"-{next(_tmp_counter)}")
-        try:
-            ensure_dir(path.parent)
-            tmp.write_bytes(blob)
-            os.replace(tmp, path)
-        except OSError:
+        with span("cache.write", experiment=experiment_id) as write_span:
             try:
-                tmp.unlink(missing_ok=True)
+                blob = self.encode_entry(entry)
+            except Exception:
+                return False
+            tmp = path.parent / (f".tmp-{experiment_id}-{os.getpid()}"
+                                 f"-{next(_tmp_counter)}")
+            try:
+                ensure_dir(path.parent)
+                tmp.write_bytes(blob)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            return False
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                return False
+            write_span.set(bytes=len(blob))
         self._stores += 1
+        add_counter("cache.stores")
         return True
 
     def clear(self) -> int:

@@ -2,13 +2,25 @@
 
 :class:`EngineMetrics` folds a sweep's :class:`~repro.engine.records.RunRecord`
 list into the counters an operator actually reads after a run: outcome
-counts, cache effectiveness, retry pressure, and the parallel speedup
-(total runner seconds vs sweep wall seconds).
+counts, cache effectiveness, retry pressure, per-phase time totals, and
+the parallel speedup (total runner seconds vs sweep wall seconds).
+
+Two aggregation rules worth calling out:
+
+* **retries** are the sum of per-record ``max(0, attempts - 1)``.  The
+  tempting shortcut ``attempts - cache_misses`` miscounts as soon as a
+  record is both retried *and* a cache hit -- which the engine's
+  retry-time cache recheck produces legitimately (a concurrent sweep
+  stored the entry between attempts).
+* **speedup** is ``None`` (rendered ``n/a``) when the denominator is
+  meaningless: a ~zero sweep wall time, a ~zero runner wall time, or a
+  fully cached sweep.  Printing ``1.00x`` or a huge ratio there
+  reports noise as if it were a measurement.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Sequence
 
 from repro.engine.records import (
@@ -30,15 +42,25 @@ class EngineMetrics:
     cache_hits: int
     cache_misses: int
     attempts: int
+    retries: int
     sweep_wall_s: float
     runner_wall_s: float
     slowest_id: str | None
     slowest_wall_s: float
+    phase_totals: dict[str, float] = field(default_factory=dict)
+
+    #: Runner wall times at or below this are treated as "nothing
+    #: actually ran" for the speedup ratio.
+    MIN_MEASURABLE_S = 1e-6
 
     @classmethod
     def from_records(cls, records: Sequence[RunRecord],
                      sweep_wall_s: float) -> "EngineMetrics":
         slowest = max(records, key=lambda r: r.wall_time_s, default=None)
+        phase_totals: dict[str, float] = {}
+        for record in records:
+            for name, value in record.phases.items():
+                phase_totals[name] = phase_totals.get(name, 0.0) + value
         return cls(
             total=len(records),
             ok=sum(r.status == STATUS_OK for r in records),
@@ -47,10 +69,13 @@ class EngineMetrics:
             cache_hits=sum(r.cache_hit for r in records),
             cache_misses=sum(not r.cache_hit for r in records),
             attempts=sum(r.attempts for r in records),
+            retries=sum(max(0, r.attempts - 1) for r in records),
             sweep_wall_s=sweep_wall_s,
             runner_wall_s=sum(r.wall_time_s for r in records),
             slowest_id=slowest.experiment_id if slowest else None,
             slowest_wall_s=slowest.wall_time_s if slowest else 0.0,
+            phase_totals={name: phase_totals[name]
+                          for name in sorted(phase_totals)},
         )
 
     @property
@@ -58,10 +83,20 @@ class EngineMetrics:
         return self.failed == 0 and self.timed_out == 0
 
     @property
-    def speedup(self) -> float:
-        """Runner seconds per sweep wall second (1.0 = serial)."""
-        if self.sweep_wall_s <= 0:
-            return 1.0
+    def fully_cached(self) -> bool:
+        return self.total > 0 and self.cache_hits == self.total
+
+    @property
+    def speedup(self) -> float | None:
+        """Runner seconds per sweep wall second (1.0 = serial).
+
+        ``None`` when the ratio would be meaningless: nothing ran long
+        enough to measure, or every record came from the cache.
+        """
+        if (self.sweep_wall_s <= 0
+                or self.runner_wall_s <= self.MIN_MEASURABLE_S
+                or self.fully_cached):
+            return None
         return self.runner_wall_s / self.sweep_wall_s
 
     def to_json_dict(self) -> dict:
@@ -69,17 +104,24 @@ class EngineMetrics:
 
     def render(self) -> str:
         """Multi-line plain-text summary for the CLI."""
+        speedup = self.speedup
+        speedup_text = ("n/a" if speedup is None
+                        else f"{speedup:.2f}x")
         lines = [
             f"experiments  {self.total} total: {self.ok} ok, "
             f"{self.failed} failed, {self.timed_out} timed out",
             f"cache        {self.cache_hits} hits, "
             f"{self.cache_misses} misses",
-            f"attempts     {self.attempts} "
-            f"({max(0, self.attempts - self.cache_misses)} retries)",
+            f"attempts     {self.attempts} ({self.retries} retries)",
             f"wall time    {self.sweep_wall_s:.3f} s sweep, "
             f"{self.runner_wall_s:.3f} s in runners "
-            f"({self.speedup:.2f}x parallel speedup)",
+            f"({speedup_text} parallel speedup)",
         ]
+        if self.phase_totals:
+            phase_text = ", ".join(
+                f"{name} {value:.3f} s"
+                for name, value in self.phase_totals.items())
+            lines.append(f"phases       {phase_text}")
         if self.slowest_id is not None:
             lines.append(f"slowest      {self.slowest_id} "
                          f"({self.slowest_wall_s:.3f} s)")

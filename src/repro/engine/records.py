@@ -11,12 +11,18 @@ Journal schema (one JSON object per line)::
 
     {"experiment_id": "E-T2", "status": "ok", "wall_time_s": 0.012,
      "cache_hit": false, "attempts": 1, "error": null,
-     "started_at": 1754380800.123}
+     "started_at": 1754380800.123,
+     "phases": {"lookup": 0.001, "run": 0.011}}
 
 ``status`` is one of ``ok`` / ``failed`` / ``timeout``; ``error`` is
 the ``repr`` of the exception for failed runs (or a worker-exit /
 timeout description) and ``null`` otherwise; ``started_at`` is a unix
-timestamp of the first attempt.
+timestamp of the first attempt (monotonic-anchored, see
+:func:`repro.obs.wall_now`).  ``phases`` maps phase name to seconds
+spent in it across all attempts: ``lookup`` / ``run`` / ``store`` are
+active work and sum to ``wall_time_s``; ``queue`` / ``retry`` measure
+waiting (slot contention and backoff) and are excluded from
+``wall_time_s``.
 
 Crash safety: appends are flushed and fsynced (each line lands as one
 ``write`` on an ``O_APPEND`` descriptor), and recovery tolerates a
@@ -29,7 +35,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable
 
@@ -51,6 +57,7 @@ class RunRecord:
     attempts: int
     error: str | None = None
     started_at: float = 0.0
+    phases: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -74,6 +81,8 @@ class RunRecord:
             attempts=int(payload["attempts"]),
             error=payload.get("error"),
             started_at=float(payload.get("started_at", 0.0)),
+            phases={str(name): float(value) for name, value
+                    in (payload.get("phases") or {}).items()},
         )
 
 

@@ -27,6 +27,23 @@ Two executors are provided: ``"process"`` (the default, full
 isolation) and ``"inline"`` (same caching and record-keeping but
 running in the calling process -- no timeout enforcement; used by the
 benchmark fixtures and wherever fork overhead would dominate).
+
+Timing discipline: **every duration in this module is a difference of
+``time.monotonic()`` readings** -- the adjustable wall clock is never
+subtracted, so ``wall_time_s`` and the per-task phase timings cannot
+go negative under an NTP step or manual clock change.
+Wall-clock ``started_at`` timestamps come from
+:func:`repro.obs.wall_now`, which derives unix-scale stamps from the
+monotonic clock against an anchor captured at import.
+
+Observability: when a :class:`repro.obs.Trace` is active (the
+``repro trace`` CLI installs one), the scheduler emits spans for each
+task's lookup / run / store phase and accumulates the same phases on
+every :class:`RunRecord` (``phases`` maps phase name to seconds; the
+``queue`` and ``retry`` entries measure *waiting*, everything else is
+active work summing to ``wall_time_s``).  Worker processes build their
+own trace and ship it back over the result pipe, so solver spans from
+inside an experiment land in the sweep trace with the worker's pid.
 """
 
 from __future__ import annotations
@@ -50,6 +67,17 @@ from repro.engine.records import (
     RunRecord,
 )
 from repro.errors import ReproError
+from repro.obs import (
+    Trace,
+    activate,
+    add_counter,
+    current_trace,
+    record_span,
+    reset_tracing,
+    span,
+    tracing_enabled,
+    wall_now,
+)
 from repro.reliability.backoff import BackoffPolicy
 from repro.reliability.faults import (
     FaultPlan,
@@ -63,6 +91,11 @@ DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
 EXECUTOR_PROCESS = "process"
 EXECUTOR_INLINE = "inline"
+
+#: Phase names that measure waiting rather than work; every other
+#: phase on a record is active time, and the active phases sum to the
+#: record's ``wall_time_s``.
+WAIT_PHASES = ("queue", "retry")
 
 
 def default_jobs() -> int:
@@ -125,16 +158,32 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 
 
 def _worker_entry(experiment_id: str, conn,
-                  fault: FaultSpec | None = None) -> None:
-    """Child-process body: run one experiment, ship back the outcome."""
+                  fault: FaultSpec | None = None,
+                  traced: bool = False) -> None:
+    """Child-process body: run one experiment, ship back the outcome.
+
+    With ``traced`` set, the worker records its own trace (a forked
+    parent trace would be a dead copy) and ships the span/counter
+    payload alongside the result so the parent can merge it.
+    """
+    reset_tracing()  # a trace inherited over fork would swallow spans
+    child_trace = Trace(f"worker-{experiment_id}") if traced else None
+    if child_trace is not None:
+        activate(child_trace)
+    payload = None
     try:
         apply_runner_fault(fault, allow_exit=True)
         from repro.analysis.experiments import EXPERIMENTS
-        result = EXPERIMENTS[experiment_id].runner()
-        conn.send(("ok", result))
+        with span("worker.run", experiment=experiment_id):
+            result = EXPERIMENTS[experiment_id].runner()
+        if child_trace is not None:
+            payload = child_trace.to_payload()
+        conn.send(("ok", result, payload))
     except BaseException as exc:  # must cross the process boundary
         try:
-            conn.send(("error", repr(exc)))
+            if child_trace is not None:
+                payload = child_trace.to_payload()
+            conn.send(("error", repr(exc), payload))
         except Exception:
             pass
     finally:
@@ -146,10 +195,21 @@ class _Task:
     experiment_id: str
     fingerprint: str | None
     attempts: int = 0
-    elapsed_s: float = 0.0
     started_at: float = 0.0
     last_error: str | None = None
+    ready_at: float = 0.0    # monotonic time the task became runnable
     not_before: float = 0.0  # monotonic time gating the next attempt
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add_phase(self, name: str, duration_s: float) -> None:
+        if duration_s > 0.0:
+            self.phases[name] = self.phases.get(name, 0.0) + duration_s
+
+    @property
+    def active_s(self) -> float:
+        """Seconds of actual work (lookup/run/store; waits excluded)."""
+        return sum(value for name, value in self.phases.items()
+                   if name not in WAIT_PHASES)
 
 
 @dataclass
@@ -195,21 +255,26 @@ class ExecutionEngine:
         records: dict[str, RunRecord] = {}
         results: dict[str, Any] = {}
 
-        pending: deque[_Task] = deque()
-        for experiment_id in ids:
-            record, result, task = self._try_cache(
-                EXPERIMENTS, experiment_id)
-            if record is not None:
-                records[experiment_id] = record
-                results[experiment_id] = result
-            else:
-                pending.append(task)
+        with span("engine.sweep", experiments=len(ids),
+                  jobs=self.config.jobs,
+                  executor=self.config.executor):
+            pending: deque[_Task] = deque()
+            for experiment_id in ids:
+                record, result, task = self._try_cache(
+                    EXPERIMENTS, experiment_id)
+                if record is not None:
+                    records[experiment_id] = record
+                    results[experiment_id] = result
+                else:
+                    task.ready_at = time.monotonic()
+                    pending.append(task)
 
-        if pending:
-            if self.config.executor == EXECUTOR_INLINE:
-                self._run_inline(EXPERIMENTS, pending, records, results)
-            else:
-                self._run_processes(pending, records, results)
+            if pending:
+                if self.config.executor == EXECUTOR_INLINE:
+                    self._run_inline(EXPERIMENTS, pending, records,
+                                     results)
+                else:
+                    self._run_processes(pending, records, results)
 
         ordered = [records[experiment_id] for experiment_id in ids]
         metrics = EngineMetrics.from_records(
@@ -224,29 +289,73 @@ class ExecutionEngine:
 
     def _try_cache(self, registry, experiment_id: str
                    ) -> tuple[RunRecord | None, Any, _Task]:
-        started = time.time()
+        started = wall_now()
         lookup_start = time.monotonic()
         fingerprint: str | None = None
+        hit, result = False, None
         if self.cache is not None:
-            fingerprint = runner_fingerprint(
-                experiment_id, registry[experiment_id].runner)
-            hit, result = self.cache.get(experiment_id, fingerprint)
-            if hit:
-                record = RunRecord(
-                    experiment_id=experiment_id,
-                    status=STATUS_OK,
-                    wall_time_s=time.monotonic() - lookup_start,
-                    cache_hit=True,
-                    attempts=0,
-                    started_at=started,
-                )
-                return record, result, _Task(experiment_id, fingerprint)
-        return None, None, _Task(experiment_id, fingerprint)
+            with span("engine.lookup", experiment=experiment_id):
+                fingerprint = runner_fingerprint(
+                    experiment_id, registry[experiment_id].runner)
+                hit, result = self.cache.get(experiment_id, fingerprint)
+        lookup_s = time.monotonic() - lookup_start
+        if hit:
+            record = RunRecord(
+                experiment_id=experiment_id,
+                status=STATUS_OK,
+                wall_time_s=lookup_s,
+                cache_hit=True,
+                attempts=0,
+                started_at=started,
+                phases={"lookup": lookup_s},
+            )
+            return record, result, _Task(experiment_id, fingerprint)
+        task = _Task(experiment_id, fingerprint)
+        if self.cache is not None:
+            task.add_phase("lookup", lookup_s)
+        return None, None, task
+
+    def _retry_cache_hit(self, task: _Task,
+                         records: dict[str, RunRecord],
+                         results: dict[str, Any]) -> bool:
+        """Re-consult the cache before relaunching a failed task.
+
+        Between a failed attempt and its retry, a concurrent sweep over
+        the same cache may have stored this entry; honouring it saves
+        the relaunch.  The resulting record is a *cache hit with
+        attempts > 0* -- which is why retry counts must come from
+        per-record ``attempts - 1`` sums, never ``attempts -
+        cache_misses`` arithmetic.
+        """
+        if self.cache is None or task.fingerprint is None:
+            return False
+        lookup_start = time.monotonic()
+        with span("engine.lookup", experiment=task.experiment_id,
+                  retry=True):
+            hit, result = self.cache.get(task.experiment_id,
+                                         task.fingerprint)
+        task.add_phase("lookup", time.monotonic() - lookup_start)
+        if not hit:
+            return False
+        results[task.experiment_id] = result
+        records[task.experiment_id] = RunRecord(
+            experiment_id=task.experiment_id,
+            status=STATUS_OK,
+            wall_time_s=task.active_s,
+            cache_hit=True,
+            attempts=task.attempts,
+            started_at=task.started_at,
+            phases=dict(task.phases),
+        )
+        return True
 
     def _store(self, task: _Task, result: Any) -> None:
         if self.cache is None or task.fingerprint is None:
             return
-        self.cache.put(task.experiment_id, task.fingerprint, result)
+        store_start = time.monotonic()
+        with span("engine.store", experiment=task.experiment_id):
+            self.cache.put(task.experiment_id, task.fingerprint, result)
+        task.add_phase("store", time.monotonic() - store_start)
         self._apply_cache_fault(task)
 
     # -- fault-injection hooks ----------------------------------------
@@ -281,7 +390,9 @@ class ExecutionEngine:
         """Requeue with exponential backoff and deterministic jitter."""
         delay = self.config.backoff.delay_s(
             task.experiment_id, task.attempts)
-        task.not_before = time.monotonic() + delay
+        task.ready_at = time.monotonic()
+        task.not_before = task.ready_at + delay
+        add_counter("engine.retries")
         pending.append(task)
 
     # -- inline executor ----------------------------------------------
@@ -291,30 +402,40 @@ class ExecutionEngine:
                     results: dict[str, Any]) -> None:
         max_attempts = 1 + self.config.retries
         for task in pending:
-            task.started_at = time.time()
-            start = time.monotonic()
+            task.started_at = wall_now()
             while True:
                 task.attempts += 1
+                run_start = time.monotonic()
                 try:
-                    apply_runner_fault(self._runner_fault(task),
-                                       allow_exit=False)
-                    result = registry[task.experiment_id].runner()
+                    with span("engine.run",
+                              experiment=task.experiment_id,
+                              attempt=task.attempts):
+                        apply_runner_fault(self._runner_fault(task),
+                                           allow_exit=False)
+                        result = registry[task.experiment_id].runner()
                 except Exception as exc:
+                    task.add_phase("run",
+                                   time.monotonic() - run_start)
                     task.last_error = repr(exc)
                     if task.attempts < max_attempts:
                         delay = self.config.backoff.delay_s(
                             task.experiment_id, task.attempts)
                         if delay > 0:
                             time.sleep(delay)
+                            task.add_phase("retry", delay)
+                        add_counter("engine.retries")
+                        if self._retry_cache_hit(task, records,
+                                                 results):
+                            break
                         continue
                     records[task.experiment_id] = self._final_record(
-                        task, STATUS_FAILED,
-                        time.monotonic() - start)
+                        task, STATUS_FAILED)
                     break
+                task.add_phase("run", time.monotonic() - run_start)
                 self._store(task, result)
                 results[task.experiment_id] = result
                 records[task.experiment_id] = self._final_record(
-                    task, STATUS_OK, time.monotonic() - start)
+                    task, STATUS_OK)
                 break
 
     # -- process-pool executor ----------------------------------------
@@ -333,6 +454,9 @@ class ExecutionEngine:
                 task = pending.popleft()
                 if task.not_before > now:
                     deferred.append(task)  # backoff window still open
+                    continue
+                if task.attempts > 0 and self._retry_cache_hit(
+                        task, records, results):
                     continue
                 running.append(self._launch(ctx, task))
             pending.extendleft(reversed(deferred))
@@ -366,18 +490,29 @@ class ExecutionEngine:
             running = still_running
 
     def _launch(self, ctx, task: _Task) -> _Slot:
+        launched = time.monotonic()
         if task.attempts == 0:
-            task.started_at = time.time()
+            task.started_at = wall_now()
+        if task.ready_at:
+            # Split the wait since the task became runnable into the
+            # deliberate backoff window (retry) and slot contention
+            # (queue).
+            waited = max(0.0, launched - task.ready_at)
+            backoff_s = (min(waited,
+                             max(0.0, task.not_before - task.ready_at))
+                         if task.attempts > 0 else 0.0)
+            task.add_phase("retry", backoff_s)
+            task.add_phase("queue", waited - backoff_s)
         task.attempts += 1
         fault = self._runner_fault(task)
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_entry,
-            args=(task.experiment_id, child_conn, fault),
+            args=(task.experiment_id, child_conn, fault,
+                  tracing_enabled()),
             name=f"repro-engine-{task.experiment_id}",
             daemon=True,
         )
-        launched = time.monotonic()
         process.start()
         child_conn.close()
         deadline = (launched + self.config.timeout_s
@@ -408,9 +543,14 @@ class ExecutionEngine:
                  results: dict[str, Any],
                  max_attempts: int, timed_out: bool) -> None:
         task = slot.task
-        task.elapsed_s += time.monotonic() - slot.launched
+        run_s = time.monotonic() - slot.launched
+        task.add_phase("run", run_s)
+        record_span("engine.run", slot.launched, run_s,
+                    experiment=task.experiment_id,
+                    attempt=task.attempts, worker_pid=slot.process.pid,
+                    timed_out=timed_out)
 
-        outcome: tuple[str, Any] | None = None
+        outcome: tuple | None = None
         if not timed_out:
             try:
                 if slot.conn.poll(0):
@@ -420,14 +560,20 @@ class ExecutionEngine:
         slot.process.join(timeout=5.0)
         slot.conn.close()
 
+        if outcome is not None and len(outcome) > 2 and outcome[2]:
+            trace = current_trace()
+            if trace is not None:
+                trace.merge_payload(outcome[2])
+
         if timed_out:
+            add_counter("engine.timeouts")
             task.last_error = (
                 f"timeout: exceeded {self.config.timeout_s:.1f} s")
         elif outcome is not None and outcome[0] == "ok":
             self._store(task, outcome[1])
             results[task.experiment_id] = outcome[1]
             records[task.experiment_id] = self._final_record(
-                task, STATUS_OK, task.elapsed_s)
+                task, STATUS_OK)
             return
         elif outcome is not None:
             task.last_error = outcome[1]
@@ -440,20 +586,19 @@ class ExecutionEngine:
             self._schedule_retry(task, pending)
             return
         status = STATUS_TIMEOUT if timed_out else STATUS_FAILED
-        records[task.experiment_id] = self._final_record(
-            task, status, task.elapsed_s)
+        records[task.experiment_id] = self._final_record(task, status)
 
     @staticmethod
-    def _final_record(task: _Task, status: str,
-                      wall_time_s: float) -> RunRecord:
+    def _final_record(task: _Task, status: str) -> RunRecord:
         return RunRecord(
             experiment_id=task.experiment_id,
             status=status,
-            wall_time_s=wall_time_s,
+            wall_time_s=task.active_s,
             cache_hit=False,
             attempts=task.attempts,
             error=None if status == STATUS_OK else task.last_error,
             started_at=task.started_at,
+            phases=dict(task.phases),
         )
 
 

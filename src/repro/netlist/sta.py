@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.errors import NetlistError
 from repro.netlist.graph import Netlist
+from repro.obs import add_counter, span
 
 _INFINITY = float("inf")
 
@@ -61,7 +62,13 @@ def compute_sta(netlist: Netlist,
               else clock_period_s)
     if period <= 0:
         raise NetlistError("clock period must be positive")
+    with span("sta.compute", instances=len(netlist.instances)):
+        add_counter("sta.passes")
+        add_counter("sta.instances", len(netlist.instances))
+        return _compute_sta(netlist, period)
 
+
+def _compute_sta(netlist: Netlist, period: float) -> TimingReport:
     order = netlist.topo_order()
     delays = {name: netlist.gate_delay_s(name) for name in order}
 

@@ -1,0 +1,88 @@
+"""Lightweight hierarchical tracing, counters, and profiling export.
+
+``repro.obs`` is the observability layer under every performance claim
+this repository makes: the engine scheduler, the result cache, the
+guarded numerical solvers, and STA all emit spans and counters through
+it, and the ``repro trace`` CLI turns a sweep into a Chrome/Perfetto
+trace plus a per-phase breakdown table.
+
+Design points:
+
+* **near-zero overhead when disabled** -- no trace is active by
+  default; :func:`span` then returns a shared no-op context manager
+  after a single global check, and :func:`add_counter` /
+  :func:`record_span` return immediately;
+* **monotonic durations only** -- spans measure ``time.monotonic()``
+  differences; wall-clock placement comes from the
+  :func:`~repro.obs.clock.wall_now` anchor, so traces and run records
+  survive system clock adjustments (:mod:`repro.obs.clock`);
+* **thread and process safe** -- threads share the active trace with
+  per-thread span stacks; worker processes build their own trace and
+  ship it back as a picklable payload the parent merges
+  (:meth:`Trace.to_payload` / :meth:`Trace.merge_payload`);
+* **two export formats** -- Chrome trace-event JSON (loads in
+  ``chrome://tracing`` and Perfetto) and a plain-JSON summary with the
+  per-phase breakdown (:mod:`repro.obs.export`).
+
+Typical use::
+
+    from repro.obs import Trace, tracing, span, add_counter
+
+    with tracing(Trace("my-sweep")) as trace:
+        with span("phase.work", item=3):
+            ...
+        add_counter("work.items")
+    write_trace(trace, "trace.json")  # open in Perfetto
+"""
+
+from repro.obs.clock import wall_now
+from repro.obs.counters import Counters
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    FORMAT_CHROME,
+    FORMAT_JSON,
+    load_chrome_trace,
+    phase_breakdown,
+    to_chrome_events,
+    trace_summary,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Trace,
+    activate,
+    add_counter,
+    current_trace,
+    deactivate,
+    record_span,
+    reset_tracing,
+    span,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counters",
+    "EXPORT_FORMATS",
+    "FORMAT_CHROME",
+    "FORMAT_JSON",
+    "SpanRecord",
+    "Trace",
+    "activate",
+    "add_counter",
+    "current_trace",
+    "deactivate",
+    "load_chrome_trace",
+    "phase_breakdown",
+    "record_span",
+    "reset_tracing",
+    "span",
+    "to_chrome_events",
+    "trace_summary",
+    "tracing",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "wall_now",
+    "write_trace",
+]

@@ -1,0 +1,41 @@
+"""Monotonic-anchored wall clock.
+
+``time.time()`` is adjustable: NTP slews, manual changes, and leap
+smearing can step it backwards mid-sweep, which is exactly how the
+scheduler's original duration measurements could go negative.  The rule
+this package enforces across ``src/repro`` is therefore:
+
+* every **duration** is a difference of ``time.monotonic()`` readings;
+* every **timestamp** (journal ``started_at``, cache ``created_at``)
+  is either a plain ``time.time()`` snapshot taken once at write time,
+  or -- where a timestamp must stay consistent with monotonic
+  durations taken around it -- :func:`wall_now`.
+
+:func:`wall_now` captures one ``(epoch, monotonic)`` anchor pair at
+import and thereafter derives wall-clock timestamps purely from the
+monotonic clock.  The result is a unix-epoch-scale value that is
+strictly non-decreasing and immune to clock steps for the life of the
+process, at the cost of slowly drifting from "true" wall time by
+however much the system clock is adjusted after import (irrelevant for
+run journals, whose consumers only need ordering and rough absolute
+placement).
+"""
+
+from __future__ import annotations
+
+import time
+
+# The single permitted time.time() call in this package: an anchor,
+# not a duration endpoint.
+_ANCHOR_EPOCH_S = time.time()
+_ANCHOR_MONOTONIC_S = time.monotonic()
+
+
+def wall_now() -> float:
+    """A unix-scale timestamp derived from the monotonic clock.
+
+    Non-decreasing within a process even across system clock
+    adjustments; comparable across processes on the same machine to
+    within the (sub-millisecond) anchor skew of each process.
+    """
+    return _ANCHOR_EPOCH_S + (time.monotonic() - _ANCHOR_MONOTONIC_S)

@@ -1,0 +1,60 @@
+"""Thread-safe event counters.
+
+A :class:`Counters` instance is a flat ``name -> number`` map guarded
+by one lock: cheap enough to sit on hot paths (one dict update per
+event), mergeable across threads and -- via
+:meth:`Counters.as_dict` / :meth:`Counters.merge` -- across the
+process boundary the engine's worker pool introduces.
+
+Counter names are dotted, lowest-level subsystem first, e.g.
+``cache.hits``, ``solver.iterations``, ``engine.retries``.  Values are
+numbers (``int`` increments are the norm; floats are accepted so
+counters can also accumulate quantities like seconds slept).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+
+class Counters:
+    """A mergeable map of named monotonic event counters."""
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment ``name`` by ``value`` (negative increments are
+        rejected: counters only ever grow)."""
+        if value < 0:
+            raise ValueError(f"counter increment must be >= 0, "
+                             f"got {value!r} for {name!r}")
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + value
+
+    def get(self, name: str) -> float:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot, sorted by name for stable output."""
+        with self._lock:
+            return {name: self._values[name]
+                    for name in sorted(self._values)}
+
+    def merge(self, values: Mapping[str, float]) -> None:
+        """Fold another snapshot in (e.g. one shipped from a worker)."""
+        with self._lock:
+            for name, value in values.items():
+                self._values[name] = self._values.get(name, 0) + value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,204 @@
+"""Trace export: Chrome trace-event JSON, plain-JSON summary, breakdown.
+
+Two on-disk formats:
+
+* ``chrome`` -- the Trace Event Format consumed by ``chrome://tracing``
+  and `Perfetto <https://ui.perfetto.dev>`_: a ``{"traceEvents": [...]}``
+  object of complete (``"ph": "X"``) events with microsecond ``ts`` /
+  ``dur``, one lane per pid/tid, plus ``"M"`` metadata events naming
+  the processes.  Span attributes land in each event's ``args``.
+* ``json`` -- a self-describing summary (counters, per-phase breakdown,
+  and the raw span list) for scripted consumption without a trace
+  viewer.
+
+:func:`phase_breakdown` is the aggregation behind the ``repro trace``
+table: spans grouped by name with count / total / mean / max and the
+share of the traced wall interval, sorted by total time descending.
+:func:`validate_chrome_trace` is the malformed-trace gate used by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import SpanRecord, Trace
+
+FORMAT_CHROME = "chrome"
+FORMAT_JSON = "json"
+
+EXPORT_FORMATS = (FORMAT_CHROME, FORMAT_JSON)
+
+
+def to_chrome_events(trace: Trace) -> list[dict]:
+    """Complete + metadata trace events, ``ts`` relative to the trace.
+
+    Timestamps are microseconds from the trace's creation instant so
+    the viewer's time axis starts near zero regardless of uptime.
+    """
+    base_s = trace.start_monotonic_s
+    events: list[dict] = []
+    for pid in sorted({span.pid for span in trace.spans}):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": trace.name if pid == os.getpid()
+                     else f"{trace.name} worker {pid}"},
+        })
+    for span in trace.spans:
+        args: dict[str, Any] = dict(span.attributes)
+        if span.parent is not None:
+            args["parent"] = span.parent
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": max(0.0, (span.start_s - base_s) * 1e6),
+            "dur": span.duration_s * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": args,
+        })
+    return events
+
+
+def phase_breakdown(trace: Trace,
+                    top: int | None = None) -> list[dict]:
+    """Aggregate spans by name into per-phase timing rows.
+
+    Each row: ``{"name", "count", "total_s", "mean_s", "max_s",
+    "share"}`` where ``share`` is the phase's total over the traced
+    wall interval (concurrent spans can push the column sum past 1.0;
+    that is parallelism, not an accounting error).
+    """
+    duration_s = trace.duration_s
+    grouped: dict[str, dict] = {}
+    for span in trace.spans:
+        row = grouped.setdefault(span.name, {
+            "name": span.name, "count": 0, "total_s": 0.0,
+            "max_s": 0.0})
+        row["count"] += 1
+        row["total_s"] += span.duration_s
+        row["max_s"] = max(row["max_s"], span.duration_s)
+    rows = sorted(grouped.values(),
+                  key=lambda row: (-row["total_s"], row["name"]))
+    if top is not None and top >= 0:
+        rows = rows[:top]
+    for row in rows:
+        row["mean_s"] = row["total_s"] / row["count"]
+        row["share"] = (row["total_s"] / duration_s
+                        if duration_s > 0 else 0.0)
+    return rows
+
+
+def trace_summary(trace: Trace) -> dict:
+    """Machine-readable digest: phases, counters, span statistics."""
+    return {
+        "name": trace.name,
+        "epoch_s": trace.epoch_s,
+        "duration_s": trace.duration_s,
+        "span_count": len(trace),
+        "processes": sorted({span.pid for span in trace.spans}),
+        "phases": phase_breakdown(trace),
+        "counters": trace.counters.as_dict(),
+    }
+
+
+def write_trace(trace: Trace, path: Path | str,
+                format: str = FORMAT_CHROME) -> Path:
+    """Serialise ``trace`` to ``path`` in the requested format."""
+    if format not in EXPORT_FORMATS:
+        raise ValueError(f"unknown trace format {format!r}; "
+                         f"expected one of {EXPORT_FORMATS}")
+    path = Path(path)
+    if format == FORMAT_CHROME:
+        payload: dict = {
+            "displayTimeUnit": "ms",
+            "otherData": {"trace": trace.name,
+                          "epoch_s": trace.epoch_s},
+            "traceEvents": to_chrome_events(trace),
+        }
+    else:
+        payload = trace_summary(trace)
+        payload["spans"] = [span.to_json_dict()
+                            for span in trace.spans]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, sort_keys=True), "utf-8")
+    return path
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Problems with a Chrome trace-event payload (empty list = valid).
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or the
+    bare event-array form; requires at least one complete (``X``)
+    event, and checks every ``X`` event for the fields Perfetto needs
+    (string ``name``, numeric non-negative ``ts``/``dur``, integer
+    ``pid``/``tid``).
+    """
+    errors: list[str] = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return ["payload has no traceEvents list"]
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return [f"payload is {type(payload).__name__}, "
+                f"expected object or array"]
+    complete = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            errors.append(f"event {index} has unsupported ph={phase!r}")
+            continue
+        complete += 1
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"event {index} has no name")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(
+                    f"event {index} has bad {key}={value!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(
+                    f"event {index} has bad {key}={event.get(key)!r}")
+    if complete == 0:
+        errors.append("trace contains no complete (ph=X) events")
+    return errors
+
+
+def load_chrome_trace(path: Path | str) -> list[dict]:
+    """Load and validate a Chrome trace file; returns its events.
+
+    Raises ``ValueError`` listing every problem when the file is empty
+    or malformed -- the CI gate behind ``scripts/check_trace.py``.
+    """
+    payload = json.loads(Path(path).read_text("utf-8"))
+    errors = validate_chrome_trace(payload)
+    if errors:
+        raise ValueError(
+            f"{path}: invalid Chrome trace: " + "; ".join(errors))
+    return (payload["traceEvents"] if isinstance(payload, dict)
+            else payload)
+
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "FORMAT_CHROME",
+    "FORMAT_JSON",
+    "SpanRecord",
+    "load_chrome_trace",
+    "phase_breakdown",
+    "to_chrome_events",
+    "trace_summary",
+    "validate_chrome_trace",
+    "write_trace",
+]

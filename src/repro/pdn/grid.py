@@ -28,6 +28,7 @@ from scipy.sparse import lil_matrix
 from repro import units
 from repro.errors import ModelParameterError
 from repro.itrs import ITRS_2000
+from repro.obs import add_counter, span
 from repro.pdn.bacpac import (
     PitchScenario,
     hotspot_current_density_a_m2,
@@ -53,14 +54,16 @@ def solve_rail_strip(current_per_m: float, sheet_resistance: float,
     # Interior nodes 1..n-1; ends grounded (at the supply).
     n_interior = n_segments - 1
     conductance = 1.0 / seg_res
-    matrix = lil_matrix((n_interior, n_interior))
-    rhs = np.full(n_interior, current_per_m * seg_len)
-    for i in range(n_interior):
-        matrix[i, i] = 2.0 * conductance
-        if i > 0:
-            matrix[i, i - 1] = -conductance
-        if i + 1 < n_interior:
-            matrix[i, i + 1] = -conductance
+    with span("pdn.assemble", solver="rail-strip", nodes=n_interior):
+        matrix = lil_matrix((n_interior, n_interior))
+        rhs = np.full(n_interior, current_per_m * seg_len)
+        for i in range(n_interior):
+            matrix[i, i] = 2.0 * conductance
+            if i > 0:
+                matrix[i, i - 1] = -conductance
+            if i + 1 < n_interior:
+                matrix[i, i + 1] = -conductance
+    add_counter("pdn.unknowns", n_interior)
     drops = guarded_linear_solve(matrix.tocsr(), rhs,
                                  name="pdn-rail-strip").x
     return float(np.max(drops))
@@ -108,19 +111,21 @@ def solve_power_grid_2d(current_density_a_m2: float,
             if not is_bump(ix, iy):
                 index[(ix, iy)] = len(index)
     n_unknown = len(index)
-    matrix = lil_matrix((n_unknown, n_unknown))
-    rhs = np.zeros(n_unknown)
-    for (ix, iy), row in index.items():
-        rhs[row] = sink_per_node
-        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-            jx, jy = ix + dx, iy + dy
-            if not (0 <= jx < n_side and 0 <= jy < n_side):
-                continue  # patch boundary: symmetry (no current flow)
-            matrix[row, row] += conductance
-            if (jx, jy) in index:
-                matrix[row, index[(jx, jy)]] -= conductance
-            # else neighbour is a bump at drop 0: contributes nothing
-            # to the RHS beyond the diagonal term.
+    with span("pdn.assemble", solver="grid-2d", nodes=n_unknown):
+        matrix = lil_matrix((n_unknown, n_unknown))
+        rhs = np.zeros(n_unknown)
+        for (ix, iy), row in index.items():
+            rhs[row] = sink_per_node
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                jx, jy = ix + dx, iy + dy
+                if not (0 <= jx < n_side and 0 <= jy < n_side):
+                    continue  # patch boundary: symmetry (no current flow)
+                matrix[row, row] += conductance
+                if (jx, jy) in index:
+                    matrix[row, index[(jx, jy)]] -= conductance
+                # else neighbour is a bump at drop 0: contributes nothing
+                # to the RHS beyond the diagonal term.
+    add_counter("pdn.unknowns", n_unknown)
     drops = guarded_linear_solve(matrix.tocsr(), rhs,
                                  name="pdn-grid-2d").x
     return GridSolution(

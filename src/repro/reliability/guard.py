@@ -32,6 +32,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 from repro.errors import CalibrationError
+from repro.obs import add_counter, span
 
 FALLBACK_BISECT = "bisect"
 FALLBACK_RELAXATION = "relaxation"
@@ -158,6 +159,28 @@ def guarded_solve(residual: Callable[[float], float], lo: float,
     :class:`~repro.errors.CalibrationError` carry full
     :class:`SolveDiagnostics`.
     """
+    with span(f"solve.{name}", kind="root") as solve_span:
+        add_counter("solver.solves")
+        try:
+            result = _guarded_solve(residual, lo, hi, name=name,
+                                    xtol=xtol, max_iter=max_iter,
+                                    fallback=fallback)
+        except CalibrationError as exc:
+            add_counter("solver.failures")
+            add_counter("solver.iterations", exc.iterations or 0)
+            raise
+        diagnostics = result.diagnostics
+        add_counter("solver.iterations", diagnostics.iterations)
+        if diagnostics.fallback is not None:
+            add_counter("solver.fallbacks")
+        solve_span.set(method=diagnostics.method,
+                       iterations=diagnostics.iterations)
+    return result
+
+
+def _guarded_solve(residual: Callable[[float], float], lo: float,
+                   hi: float, *, name: str, xtol: float,
+                   max_iter: int, fallback: str) -> GuardedRoot:
     if fallback not in (FALLBACK_BISECT, FALLBACK_RELAXATION):
         raise ValueError(f"unknown fallback {fallback!r}")
     if not (math.isfinite(lo) and math.isfinite(hi)):
@@ -236,6 +259,28 @@ def guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
     ``dense_fallback_max`` unknowns.  Failures raise
     :class:`~repro.errors.CalibrationError` with the residual achieved.
     """
+    with span(f"solve.{name}", kind="linear") as solve_span:
+        add_counter("solver.solves")
+        try:
+            result = _guarded_linear_solve(
+                matrix, rhs, name=name, rtol=rtol,
+                dense_fallback_max=dense_fallback_max)
+        except CalibrationError as exc:
+            add_counter("solver.failures")
+            add_counter("solver.iterations", exc.iterations or 0)
+            raise
+        diagnostics = result.diagnostics
+        add_counter("solver.iterations", diagnostics.iterations)
+        if diagnostics.fallback is not None:
+            add_counter("solver.fallbacks")
+        solve_span.set(method=diagnostics.method,
+                       unknowns=int(result.x.size))
+    return result
+
+
+def _guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
+                          rtol: float, dense_fallback_max: int
+                          ) -> GuardedSolution:
     from scipy.sparse.linalg import spsolve
 
     rhs = np.asarray(rhs, dtype=float)

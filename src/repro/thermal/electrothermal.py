@@ -29,6 +29,7 @@ from repro.errors import (
     ModelParameterError,
 )
 from repro.itrs.packaging import AMBIENT_C
+from repro.obs import add_counter, span
 from repro.power.static import chip_static_power_w
 from repro.reliability.guard import FALLBACK_RELAXATION, guarded_solve
 
@@ -95,11 +96,12 @@ def solve_operating_point(node_nm: int, theta_ja: float,
             f"{T_SEARCH_MAX_C} C at theta_ja = {theta_ja} C/W with "
             f"{dynamic_power_w} W dynamic at {node_nm} nm"
         )
-    junction = guarded_solve(
-        residual, t_ambient_c, T_SEARCH_MAX_C,
-        name=f"electrothermal@{node_nm}nm",
-        xtol=xtol, max_iter=max_iter,
-        fallback=FALLBACK_RELAXATION).root
+    with span("thermal.operating_point", node_nm=node_nm):
+        junction = guarded_solve(
+            residual, t_ambient_c, T_SEARCH_MAX_C,
+            name=f"electrothermal@{node_nm}nm",
+            xtol=xtol, max_iter=max_iter,
+            fallback=FALLBACK_RELAXATION).root
     return OperatingPoint(
         node_nm=node_nm,
         theta_ja=theta_ja,
@@ -137,6 +139,7 @@ def runaway_theta(node_nm: int, dynamic_power_w: float,
         raise ModelParameterError("dynamic power cannot be negative")
 
     def stable(theta: float) -> bool:
+        add_counter("thermal.stability_probes")
         try:
             solve_operating_point(node_nm, theta, dynamic_power_w,
                                   t_ambient_c)

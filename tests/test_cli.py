@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.experiments import EXPERIMENTS, Experiment
 from repro.cli import _print_result, main
+from repro.obs import load_chrome_trace
 
 
 def test_list_command(capsys):
@@ -218,3 +219,75 @@ def test_chaos_json_output(capsys, tmp_path):
     assert payload["correct_results"] == payload["total"] == 3
     assert all(entry["outcome"] == "absorbed"
                for entry in payload["outcomes"])
+
+
+# -- trace ------------------------------------------------------------
+
+
+def test_trace_command_writes_chrome_trace(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(out_path),
+                 "E-T1", "E-T2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "engine.run" in out       # breakdown table
+    assert "cache.misses" in out     # counter table
+    assert "2 total: 2 ok" in out    # metrics summary
+    assert str(out_path) in out
+    events = load_chrome_trace(out_path)  # validates on load
+    names = {event["name"] for event in events
+             if event.get("ph") == "X"}
+    assert "engine.sweep" in names and "engine.run" in names
+
+
+def test_trace_command_json_format(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "--format", "json", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(out_path), "E-T1"])
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["span_count"] == len(payload["spans"]) > 0
+    assert any(row["name"] == "engine.run"
+               for row in payload["phases"])
+
+
+def test_trace_command_top_limits_breakdown_rows(capsys, tmp_path):
+    code = main(["trace", "--jobs", "2", "--top", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(tmp_path / "trace.json"), "E-T1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    table = out.split("\n\n")[0].splitlines()
+    assert len(table) == 3  # header + rule + exactly one phase row
+
+
+def test_trace_command_cached_sweep_reports_na_speedup(capsys,
+                                                       tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    args = ["trace", "--jobs", "2", "--cache-dir", cache_dir,
+            "--out", str(tmp_path / "trace.json"), "E-T1"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0  # warm: fully cached
+    out = capsys.readouterr().out
+    assert "n/a parallel speedup" in out
+    assert "1 hits, 0 misses" in out
+
+
+def test_trace_command_failure_exit_code(capsys, tmp_path,
+                                         monkeypatch):
+    def exploding_runner():
+        raise RuntimeError("traced failure")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    code = main(["trace", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(tmp_path / "trace.json"),
+                 "E-T1", "E-T2"])
+    assert code == 1  # partial failure, same contract as run-all
+    assert (tmp_path / "trace.json").exists()  # still exported

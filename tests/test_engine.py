@@ -1,8 +1,10 @@
 """The execution engine: scheduler, cache, records, metrics."""
 
+import itertools
 import json
 import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -18,7 +20,9 @@ from repro.engine import (
     runner_fingerprint,
 )
 from repro.engine.cache import ensure_dir
+from repro.engine.scheduler import WAIT_PHASES
 from repro.errors import ReproError
+from repro.obs import Trace, current_trace, tracing
 from repro.reliability import (
     BackoffPolicy,
     FaultPlan,
@@ -468,3 +472,180 @@ def test_retry_backoff_spaces_attempts(tmp_path):
     elapsed = time.monotonic() - start
     assert sweep.records[0].attempts == 2
     assert elapsed >= 0.2  # the retry waited out the backoff delay
+
+
+# -- monotonic timing discipline --------------------------------------
+
+
+def test_wall_time_immune_to_backwards_clock(tmp_path, monkeypatch):
+    """An NTP step (time.time() jumping backwards mid-run) must not
+    produce negative durations: every measured interval is a
+    difference of monotonic readings."""
+    steps = itertools.count()
+
+    def backwards_clock():
+        return 1.0e9 - 60.0 * next(steps)  # a minute back per reading
+
+    monkeypatch.setattr(time, "time", backwards_clock)
+    sweep = run_experiments(
+        ["E-T1"], config=_config(tmp_path, executor="inline"))
+    record = sweep.records[0]
+    assert record.status == "ok"
+    assert record.wall_time_s >= 0.0
+    assert all(value >= 0.0 for value in record.phases.values())
+    assert sweep.metrics.sweep_wall_s >= 0.0
+
+
+def test_no_wall_clock_deltas_in_repro_sources():
+    """time.time() may appear only where a unix *timestamp* is wanted:
+    the cache's created_at field and the obs clock anchor."""
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    allowed = {src / "engine" / "cache.py", src / "obs" / "clock.py"}
+    offenders = sorted(
+        str(path.relative_to(src)) for path in src.rglob("*.py")
+        if path not in allowed
+        and "time.time()" in path.read_text(encoding="utf-8"))
+    assert offenders == []
+
+
+# -- metrics: speedup n/a and retry derivation ------------------------
+
+
+def test_speedup_na_when_runner_time_unmeasurable():
+    records = [RunRecord("E-T1", "ok", 0.0, False, 1)]
+    metrics = EngineMetrics.from_records(records, sweep_wall_s=0.5)
+    assert metrics.speedup is None
+    assert "n/a parallel speedup" in metrics.render()
+
+
+def test_speedup_na_when_sweep_fully_cached():
+    records = [RunRecord("E-T1", "ok", 0.2, True, 0),
+               RunRecord("E-T2", "ok", 0.3, True, 0)]
+    metrics = EngineMetrics.from_records(records, sweep_wall_s=0.4)
+    assert metrics.fully_cached
+    assert metrics.speedup is None
+    assert "n/a parallel speedup" in metrics.render()
+    # a mixed sweep with real runner time still reports the ratio
+    mixed = records + [RunRecord("E-T3", "ok", 0.8, False, 1)]
+    assert EngineMetrics.from_records(mixed, 0.65).speedup is not None
+
+
+def test_retries_derived_from_per_record_attempts():
+    records = [
+        RunRecord("E-T1", "ok", 0.1, True, 0),   # plain cache hit
+        RunRecord("E-T2", "ok", 0.2, False, 3),  # two retries
+        RunRecord("E-T3", "ok", 0.1, True, 2),   # retried, then served
+    ]                                            # by the retry recheck
+    metrics = EngineMetrics.from_records(records, 1.0)
+    assert metrics.retries == 3
+    # the superseded attempts-minus-misses arithmetic miscounts here
+    assert max(0, metrics.attempts - metrics.cache_misses) \
+        != metrics.retries
+    assert f"({metrics.retries} retries)" in metrics.render()
+
+
+def test_retry_recheck_serves_entry_stored_by_concurrent_sweep(
+        tmp_path, monkeypatch):
+    """Between a failed attempt and its retry another sweep may have
+    cached the result; the engine must serve it instead of relaunching,
+    yielding the cache_hit-with-attempts record the retry arithmetic
+    has to survive."""
+    def always_failing():
+        raise RuntimeError("flaky dependency")
+
+    _inject(monkeypatch, "E-RACE", always_failing)
+    policy = BackoffPolicy(base_s=0.01, factor=1.0, max_s=0.01,
+                           jitter=0.0)
+    engine = ExecutionEngine(_config(
+        tmp_path, executor="inline", retries=1, backoff=policy))
+    calls = {"n": 0}
+
+    def racing_get(experiment_id, fingerprint):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            return False, None  # cold at first lookup
+        return True, {"value": "from-other-sweep"}
+
+    monkeypatch.setattr(engine.cache, "get", racing_get)
+    sweep = engine.run(["E-RACE"])
+    record = sweep.records[0]
+    assert record.status == "ok"
+    assert record.cache_hit and record.attempts == 1
+    assert sweep.results["E-RACE"] == {"value": "from-other-sweep"}
+    assert sweep.metrics.retries == 0
+    assert sweep.metrics.cache_hits == 1
+
+
+# -- phases -----------------------------------------------------------
+
+
+def test_record_phases_round_trip_through_journal(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    records = [
+        RunRecord("E-T1", "ok", 0.012, False, 1, started_at=123.0,
+                  phases={"lookup": 0.002, "run": 0.009,
+                          "store": 0.001, "queue": 0.5}),
+        RunRecord("E-T2", "ok", 0.001, True, 0,
+                  phases={"lookup": 0.001}),
+    ]
+    journal.append_many(records)
+    assert RunJournal.read(journal.path) == records
+
+
+def test_process_sweep_phases_sum_to_wall_time(tmp_path):
+    sweep = run_experiments(
+        ["E-T1", "E-T2"],
+        config=_config(tmp_path, cache_enabled=False))
+    assert sweep.all_ok
+    for record in sweep.records:
+        assert "run" in record.phases
+        active = sum(value for name, value in record.phases.items()
+                     if name not in WAIT_PHASES)
+        assert active == pytest.approx(record.wall_time_s, rel=0.05)
+    for name in sweep.metrics.phase_totals:
+        assert sweep.metrics.phase_totals[name] >= 0.0
+
+
+def test_cache_hit_record_carries_lookup_phase(tmp_path):
+    config = _config(tmp_path, executor="inline")
+    run_experiments(["E-T1"], config=config)
+    warm = run_experiments(["E-T1"], config=config)
+    record = warm.records[0]
+    assert record.cache_hit
+    assert set(record.phases) == {"lookup"}
+    assert record.phases["lookup"] == pytest.approx(record.wall_time_s)
+
+
+# -- tracing integration ----------------------------------------------
+
+
+def test_traced_sweep_records_engine_spans_and_counters(tmp_path):
+    with tracing(Trace("test-sweep")) as trace:
+        sweep = run_experiments(
+            ["E-T1"], config=_config(tmp_path, executor="inline"))
+    assert sweep.all_ok
+    names = {record.name for record in trace.spans}
+    assert {"engine.sweep", "engine.run", "engine.lookup",
+            "engine.store"} <= names
+    assert trace.counters.get("cache.misses") == 1
+    assert trace.counters.get("cache.stores") == 1
+
+
+def test_traced_process_sweep_collects_worker_spans(tmp_path):
+    with tracing(Trace("test-sweep")) as trace:
+        sweep = run_experiments(
+            ["E-T2"], config=_config(tmp_path, cache_enabled=False))
+    assert sweep.all_ok
+    names = {record.name for record in trace.spans}
+    assert "worker.run" in names  # shipped back from the child
+    worker = next(record for record in trace.spans
+                  if record.name == "worker.run")
+    assert worker.pid != os.getpid()
+    assert worker.attributes["experiment"] == "E-T2"
+
+
+def test_untraced_sweep_leaves_no_trace_state(tmp_path):
+    sweep = run_experiments(
+        ["E-T1"], config=_config(tmp_path, executor="inline"))
+    assert sweep.all_ok
+    assert current_trace() is None
