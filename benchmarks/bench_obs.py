@@ -6,6 +6,9 @@ single ``is None`` check returning a shared singleton.  These
 benchmarks put numbers on that claim:
 
 * the raw per-``span()`` cost with no trace installed (nanoseconds);
+* the raw per-``observe()`` cost with metrics disabled vs recording
+  into a live histogram (the ``repro.obs.metrics`` no-op budget is
+  sub-microsecond, same as ``span()``);
 * an inline uncached sweep with tracing off vs on, so the relative
   overhead of full span collection is visible side by side.
 
@@ -13,7 +16,7 @@ Run with ``pytest benchmarks/bench_obs.py --benchmark-only``.
 """
 
 from repro.engine import EngineConfig, run_experiments
-from repro.obs import Trace, span, tracing
+from repro.obs import DURATION_BUCKETS, Trace, observe, span, tracing
 
 _SUBSET = ["E-T1", "E-T2", "E-F3"]
 _CONFIG = EngineConfig(executor="inline", cache_enabled=False)
@@ -41,6 +44,33 @@ def test_active_span_cost(benchmark):
 
     trace = benchmark.pedantic(traced_loop, rounds=5, iterations=1)
     assert len(trace.spans) == _HOT_ITERATIONS
+
+
+def _observe_loop():
+    for i in range(_HOT_ITERATIONS):
+        observe("bench.lat", float(i), DURATION_BUCKETS, kind="hot")
+
+
+def test_noop_observe_cost(benchmark):
+    """Per-call cost of ``observe()`` with metrics disabled.
+
+    This is the budget every instrumented hot path (guarded solves,
+    cache IO, STA) pays in a plain untraced run; it must stay in
+    ``span()``-no-op territory (a single ``is None`` check).
+    """
+    benchmark.pedantic(_observe_loop, rounds=20, iterations=1)
+
+
+def test_active_observe_cost(benchmark):
+    """Per-call cost of ``observe()`` recording into a live histogram."""
+    def recording_loop():
+        with tracing(Trace("bench-metrics")) as trace:
+            _observe_loop()
+        return trace
+
+    trace = benchmark.pedantic(recording_loop, rounds=5, iterations=1)
+    histogram = trace.metrics.histogram("bench.lat", kind="hot")
+    assert histogram.count == _HOT_ITERATIONS
 
 
 def test_sweep_tracing_disabled(benchmark):

@@ -9,9 +9,24 @@ Single-experiment runs go through ``repro.engine`` (inline executor,
 cache disabled) so every benchmarked execution produces a checked
 ``RunRecord``; ``bench_engine.py`` exercises the process-pool and
 cache paths explicitly.
+
+Each benchmarked execution also runs under a fresh
+:class:`repro.obs.Trace`, so the metrics registry captures the solver
+iteration/residual histograms and a :class:`~repro.obs.ResourceSampler`
+brackets it for RSS/CPU/GC telemetry.  Everything is max-/add-merged
+into one session registry and summarised at the end of the run
+(``benchmark telemetry:`` line), putting a resource figure next to the
+timing figures.
 """
 
 import pytest
+
+from repro.obs import MetricsRegistry, ResourceSampler, Trace, tracing
+
+#: Telemetry folded across every benchmarked execution of the session:
+#: the ``resource.rss_peak_kb`` gauge max-merges to the session peak,
+#: solver-iteration histograms accumulate exactly.
+_SESSION_METRICS = MetricsRegistry()
 
 
 @pytest.fixture
@@ -22,10 +37,33 @@ def run():
     config = EngineConfig(executor="inline", cache_enabled=False)
 
     def _run(experiment_id):
-        sweep = run_experiments([experiment_id], config=config)
+        trace = Trace(f"bench-{experiment_id}")
+        sampler = ResourceSampler(trace.metrics)
+        with tracing(trace), sampler.measure("benchmark"):
+            sweep = run_experiments([experiment_id], config=config)
         record = sweep.records[0]
         assert record.ok, (
             f"{experiment_id} failed: {record.error}")
+        _SESSION_METRICS.merge_payload(trace.metrics.to_payload())
         return sweep.results[experiment_id]
 
     return _run
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print the session's resource/solver telemetry after the timings."""
+    rss_peak_kb = _SESSION_METRICS.gauge("resource.rss_peak_kb")
+    if rss_peak_kb is None:
+        return  # no benchmarked execution went through the fixture
+    solver_iterations = sum(
+        histogram.sum
+        for name, _labels, histogram in _SESSION_METRICS.histograms()
+        if name == "solver.iterations_per_solve")
+    runs = sum(
+        histogram.count
+        for name, _labels, histogram in _SESSION_METRICS.histograms()
+        if name == "resource.wall_s")
+    terminalreporter.write_line(
+        f"benchmark telemetry: {runs} engine run(s), peak RSS "
+        f"{rss_peak_kb / 1024.0:.1f} MB, "
+        f"{solver_iterations:g} solver iteration(s)")

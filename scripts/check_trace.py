@@ -1,10 +1,20 @@
 #!/usr/bin/env python
-"""Validate a Chrome trace-event file produced by ``repro trace``.
+"""Validate a trace artifact produced by ``repro trace``.
 
 CI gate: after ``python -m repro trace --format chrome --out trace.json``
 this script confirms the artifact is well-formed before it is uploaded.
-Exit 0 when the trace loads and clears the minimum span count; exit 1
-with the validator's problem list otherwise.
+Both export formats are accepted and auto-detected:
+
+* **chrome** -- the event list is validated
+  (:func:`repro.obs.validate_chrome_trace`) and the complete-event
+  count is checked against ``--min-spans``;
+* **json** (summary) -- the span list is checked against
+  ``--min-spans`` and the ``metrics`` section (counters, gauges,
+  histogram bounds/counts invariants) is validated with
+  :func:`repro.obs.validate_metrics_payload`.
+
+Exit 0 when the artifact loads and clears every check; exit 1 with the
+problem list otherwise.
 
 Usage::
 
@@ -13,20 +23,81 @@ Usage::
 """
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.obs import load_chrome_trace
+from repro.obs import validate_chrome_trace, validate_metrics_payload
+
+
+def _check_chrome(path, payload, min_spans):
+    errors = validate_chrome_trace(payload)
+    if errors:
+        print(f"error: {path}: invalid Chrome trace: "
+              + "; ".join(errors), file=sys.stderr)
+        return 1
+    events = (payload["traceEvents"] if isinstance(payload, dict)
+              else payload)
+    complete = [event for event in events if event.get("ph") == "X"]
+    if len(complete) < min_spans:
+        print(f"error: {path}: {len(complete)} complete events, "
+              f"need at least {min_spans}", file=sys.stderr)
+        return 1
+
+    names = sorted({event["name"] for event in complete})
+    lanes = {event["pid"] for event in complete}
+    total_us = sum(event["dur"] for event in complete)
+    print(f"{path}: {len(complete)} spans across {len(lanes)} "
+          f"process lane(s), {total_us / 1e6:.3f}s recorded")
+    print(f"  span names: {', '.join(names[:10])}"
+          + (" ..." if len(names) > 10 else ""))
+    return 0
+
+
+def _check_json_summary(path, payload, min_spans):
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        print(f"error: {path}: JSON summary has no spans list",
+              file=sys.stderr)
+        return 1
+    if len(spans) < min_spans:
+        print(f"error: {path}: {len(spans)} spans, need at least "
+              f"{min_spans}", file=sys.stderr)
+        return 1
+    metrics = payload.get("metrics")
+    if metrics is None:
+        print(f"error: {path}: JSON summary has no metrics section",
+              file=sys.stderr)
+        return 1
+    errors = validate_metrics_payload(metrics)
+    if errors:
+        print(f"error: {path}: invalid metrics section:",
+              file=sys.stderr)
+        for problem in errors:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+
+    histograms = metrics.get("histograms", [])
+    print(f"{path}: {len(spans)} spans, "
+          f"{len(metrics.get('counters', {}))} counter(s), "
+          f"{len(metrics.get('gauges', {}))} gauge(s), "
+          f"{len(histograms)} histogram series")
+    names = sorted({entry["name"] for entry in histograms})
+    if names:
+        print(f"  histogram names: {', '.join(names[:10])}"
+              + (" ..." if len(names) > 10 else ""))
+    return 0
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Validate a repro Chrome trace-event file.")
+        description="Validate a repro trace artifact "
+                    "(Chrome trace-event or JSON summary).")
     parser.add_argument("trace", type=Path,
                         help="path to the trace JSON artifact")
     parser.add_argument("--min-spans", type=int, default=1,
-                        help="minimum number of complete (ph=X) events "
-                             "required (default: %(default)s)")
+                        help="minimum number of spans required "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     if not args.trace.is_file():
@@ -34,25 +105,20 @@ def main(argv=None):
         return 1
 
     try:
-        events = load_chrome_trace(args.trace)
+        payload = json.loads(args.trace.read_text("utf-8"))
     except (ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: {args.trace}: {exc}", file=sys.stderr)
         return 1
 
-    complete = [event for event in events if event.get("ph") == "X"]
-    if len(complete) < args.min_spans:
-        print(f"error: {args.trace}: {len(complete)} complete events, "
-              f"need at least {args.min_spans}", file=sys.stderr)
-        return 1
-
-    names = sorted({event["name"] for event in complete})
-    lanes = {event["pid"] for event in complete}
-    total_us = sum(event["dur"] for event in complete)
-    print(f"{args.trace}: {len(complete)} spans across {len(lanes)} "
-          f"process lane(s), {total_us / 1e6:.3f}s recorded")
-    print(f"  span names: {', '.join(names[:10])}"
-          + (" ..." if len(names) > 10 else ""))
-    return 0
+    if isinstance(payload, list) or (
+            isinstance(payload, dict) and "traceEvents" in payload):
+        return _check_chrome(args.trace, payload, args.min_spans)
+    if isinstance(payload, dict):
+        return _check_json_summary(args.trace, payload, args.min_spans)
+    print(f"error: {args.trace}: payload is "
+          f"{type(payload).__name__}, expected a trace object",
+          file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":

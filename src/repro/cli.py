@@ -18,17 +18,30 @@ Commands
     Run a sweep with the tracing layer active and export the result:
     a Chrome/Perfetto trace (or a plain-JSON summary), plus a
     per-phase breakdown table and counter dump on stdout.
+``stats [ids...] [--format table|prom|json]``
+    Run a sweep with metrics active and report the distributions: a
+    per-family run-latency table plus histogram/gauge summaries
+    (``table``), the Prometheus text exposition format (``prom``), or
+    the full registry summary as JSON (``json``).
+``bench [ids...] [--quick] [--repeats N] [--out-dir D]``
+    Run the perf-regression benchmark harness: median-of-N cold runs
+    per experiment, written as a schema-versioned ``BENCH_*.json``
+    snapshot and compared against the newest earlier snapshot in the
+    output directory with a noise-aware threshold.
 ``roadmap``
     Print the ITRS roadmap table the models are built on.
 
 Exit codes
 ----------
-``run-all`` and ``trace``: 0 all experiments ok; 1 partial success
-(some ran, some failed); 2 usage/configuration error; 3 total failure
-(nothing ok).
+``run-all``, ``trace`` and ``stats``: 0 all experiments ok; 1 partial
+success (some ran, some failed); 2 usage/configuration error; 3 total
+failure (nothing ok).
 ``chaos``: 0 every recoverable fault absorbed; 1 an unrecoverable
 fault surfaced (by design); 2 usage error; 3 a recoverable fault
 surfaced or results were lost -- a reliability bug.
+``bench``: 0 snapshot written and no regression (or nothing to compare
+against); 1 a benchmark regressed past the threshold; 2 usage error;
+3 a benchmarked experiment failed.
 """
 
 from __future__ import annotations
@@ -41,6 +54,19 @@ from typing import Any, Sequence
 
 from repro.analysis import EXPERIMENTS, run_experiment
 from repro.analysis.report import render_dict_rows, render_table
+from repro.bench import (
+    ABS_FLOOR_S,
+    DEFAULT_BASELINE_DIR,
+    DEFAULT_REPEATS,
+    QUICK_IDS,
+    REL_TOL,
+    compare_snapshots,
+    env_slowdown_s,
+    latest_baseline,
+    load_snapshot,
+    run_benchmarks,
+    write_snapshot,
+)
 from repro.engine import (
     DEFAULT_CACHE_DIR,
     EngineConfig,
@@ -55,6 +81,8 @@ from repro.obs import (
     FORMAT_CHROME,
     Trace,
     phase_breakdown,
+    registry_summary,
+    to_prometheus,
     tracing,
     write_trace,
 )
@@ -253,6 +281,154 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _sweep_exit_code(sweep)
 
 
+STATS_FORMATS = ("table", "prom", "json")
+
+
+def _format_seconds(value: Any) -> str:
+    return "-" if value is None else f"{float(value):.4f}"
+
+
+def _series_label(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}"
+                     for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _stats_tables(trace: Trace) -> str:
+    """The human-readable ``repro stats`` report body."""
+    metrics = trace.metrics
+    sections: list[str] = []
+    family_rows = []
+    histogram_rows = []
+    for name, labels, histogram in metrics.histograms():
+        summary = histogram.summary()
+        if name == "engine.run_s" and "family" in labels:
+            family_rows.append([
+                labels["family"], summary["count"],
+                _format_seconds(summary["mean"]),
+                _format_seconds(summary["p50"]),
+                _format_seconds(summary["p90"]),
+                _format_seconds(summary["p99"]),
+                _format_seconds(summary["max"]),
+            ])
+        histogram_rows.append([
+            _series_label(name, labels), summary["count"],
+            "-" if summary["mean"] is None else f"{summary['mean']:.4g}",
+            "-" if summary["p50"] is None else f"{summary['p50']:.4g}",
+            "-" if summary["p99"] is None else f"{summary['p99']:.4g}",
+            "-" if summary["max"] is None else f"{summary['max']:.4g}",
+        ])
+    if family_rows:
+        sections.append("run latency by experiment family:")
+        sections.append(render_table(
+            ["family", "runs", "mean [s]", "p50 [s]", "p90 [s]",
+             "p99 [s]", "max [s]"], sorted(family_rows)))
+    if histogram_rows:
+        sections.append("histograms:")
+        sections.append(render_table(
+            ["series", "count", "mean", "p50", "p99", "max"],
+            histogram_rows))
+    gauges = metrics.gauges()
+    if gauges:
+        sections.append("gauges:")
+        sections.append(render_table(
+            ["gauge", "value"],
+            [[name, f"{value:g}"] for name, value in gauges.items()]))
+    return "\n\n".join(sections)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    ids = args.experiment_ids or None
+    try:
+        config = EngineConfig(
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            cache_enabled=not args.no_cache,
+            cache_dir=Path(args.cache_dir),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = Trace("repro-stats")
+    try:
+        with tracing(trace):
+            sweep = run_experiments(ids, config=config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "prom":
+        print(to_prometheus(trace.metrics), end="")
+    elif args.format == "json":
+        print(json.dumps(registry_summary(trace.metrics), indent=2,
+                         sort_keys=True))
+    else:
+        print(_stats_tables(trace))
+        print()
+        print(sweep.metrics.render())
+    return _sweep_exit_code(sweep)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    ids = args.experiment_ids or (list(QUICK_IDS) if args.quick
+                                  else None)
+    try:
+        slowdown = (args.slowdown if args.slowdown is not None
+                    else env_slowdown_s())
+        if slowdown < 0:
+            raise ReproError(f"--slowdown must be >= 0, "
+                             f"got {slowdown}")
+        if args.repeats < 1:
+            raise ReproError(f"--repeats must be >= 1, "
+                             f"got {args.repeats}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = run_benchmarks(ids, repeats=args.repeats,
+                                  slowdown_s=slowdown)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    out_dir = Path(args.out_dir)
+    baseline_path = (None if args.no_compare
+                     else latest_baseline(out_dir))
+    path = write_snapshot(snapshot, out_dir)
+    comparison = None
+    if baseline_path is not None:
+        comparison = compare_snapshots(
+            load_snapshot(baseline_path), snapshot,
+            rel_tol=args.rel_tol, abs_floor_s=args.abs_floor)
+    if args.json:
+        payload = {"snapshot_path": str(path), "snapshot": snapshot}
+        if comparison is not None:
+            payload["baseline_path"] = str(baseline_path)
+            payload["comparison"] = comparison.to_json_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [[entry["id"], entry["family"],
+                 _format_seconds(entry["median_s"]),
+                 _format_seconds(entry["best_s"]),
+                 f"{entry['peak_rss_kb'] / 1024.0:.1f}",
+                 f"{entry['solver_iterations']:g}"]
+                for entry in snapshot["benchmarks"]]
+        print(render_table(
+            ["id", "family", "median [s]", "best [s]", "peak RSS [MB]",
+             "solver iters"], rows))
+        print(f"\nsnapshot ({len(snapshot['benchmarks'])} "
+              f"benchmark(s), {args.repeats} repeat(s)) "
+              f"written to {path}")
+        if comparison is None:
+            print("no earlier snapshot to compare against"
+                  if not args.no_compare else "comparison skipped")
+        else:
+            print(f"\nbaseline {baseline_path}")
+            print(comparison.render())
+    return 0 if comparison is None else comparison.exit_code
+
+
 def _cmd_roadmap() -> int:
     headers = ["node [nm]", "year", "Vdd [V]", "Leff [nm]", "Tox [A]",
                "clock [GHz]", "power [W]", "area [mm2]", "Tj [C]"]
@@ -339,6 +515,59 @@ def main(argv: Sequence[str] | None = None) -> int:
                               help="per-experiment timeout in seconds")
     trace_parser.add_argument("--retries", type=int, default=0,
                               help="retries per failing experiment")
+    stats = subparsers.add_parser(
+        "stats",
+        help="run a sweep and report metric distributions")
+    stats.add_argument("experiment_ids", nargs="*", metavar="id",
+                       help="experiment ids (default: all)")
+    stats.add_argument("--format", choices=STATS_FORMATS,
+                       default="table",
+                       help="table (per-family latency + histogram "
+                            "summaries), prom (Prometheus text "
+                            "exposition), or json (registry summary)")
+    stats.add_argument("--jobs", type=int, default=default_jobs(),
+                       help="worker processes (default: min(4, CPUs))")
+    stats.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache")
+    stats.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help=f"cache directory "
+                            f"(default: {DEFAULT_CACHE_DIR})")
+    stats.add_argument("--timeout", type=float, default=120.0,
+                       help="per-experiment timeout in seconds")
+    stats.add_argument("--retries", type=int, default=0,
+                       help="retries per failing experiment")
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the perf-regression benchmark harness")
+    bench.add_argument("experiment_ids", nargs="*", metavar="id",
+                       help="experiment ids (default: all, or the "
+                            "quick subset with --quick)")
+    bench.add_argument("--quick", action="store_true",
+                       help=f"benchmark the fast CI subset "
+                            f"({', '.join(QUICK_IDS)})")
+    bench.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                       help="cold runs per benchmark; the median is "
+                            "recorded (default: %(default)s)")
+    bench.add_argument("--out-dir", default=str(DEFAULT_BASELINE_DIR),
+                       help=f"snapshot directory; the newest earlier "
+                            f"BENCH_*.json there is the comparison "
+                            f"baseline (default: "
+                            f"{DEFAULT_BASELINE_DIR})")
+    bench.add_argument("--rel-tol", type=float, default=REL_TOL,
+                       help="relative regression gate "
+                            "(default: %(default)s)")
+    bench.add_argument("--abs-floor", type=float, default=ABS_FLOOR_S,
+                       help="absolute regression floor in seconds "
+                            "(default: %(default)s)")
+    bench.add_argument("--slowdown", type=float, default=None,
+                       metavar="S",
+                       help="synthetic per-run slowdown pad in "
+                            "seconds, for exercising the comparator "
+                            "(default: $REPRO_BENCH_SLOWDOWN_S or 0)")
+    bench.add_argument("--no-compare", action="store_true",
+                       help="write the snapshot without comparing")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the snapshot + comparison as JSON")
     subparsers.add_parser("roadmap", help="print the ITRS roadmap")
 
     args = parser.parse_args(argv)
@@ -352,4 +581,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return _cmd_roadmap()

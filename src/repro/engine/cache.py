@@ -47,7 +47,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import ReproError
-from repro.obs import add_counter, span
+from repro.obs import SIZE_BUCKETS, add_counter, observe, span
 
 CACHE_SCHEMA_VERSION = "2"
 
@@ -323,6 +323,8 @@ class ResultCache:
                 add_counter("cache.misses")
                 return False, None
             read_span.set(hit=True, bytes=len(blob))
+            observe("cache.entry_bytes", len(blob), SIZE_BUCKETS,
+                    op="read")
         self._hits += 1
         add_counter("cache.hits")
         return True, entry["result"]
@@ -355,6 +357,8 @@ class ResultCache:
                     pass
                 return False
             write_span.set(bytes=len(blob))
+            observe("cache.entry_bytes", len(blob), SIZE_BUCKETS,
+                    op="write")
         self._stores += 1
         add_counter("cache.stores")
         return True

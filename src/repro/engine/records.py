@@ -45,6 +45,25 @@ STATUS_TIMEOUT = "timeout"
 
 STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
 
+#: Experiment-id letter -> artifact family, e.g. ``E-T1`` -> table.
+#: Families label the per-family latency histograms and the
+#: ``repro stats`` / ``repro bench`` breakdowns.
+EXPERIMENT_FAMILIES = {
+    "T": "table",
+    "F": "figure",
+    "C": "claim",
+    "V": "validation",
+    "X": "extension",
+}
+
+
+def experiment_family(experiment_id: str) -> str:
+    """Artifact family of an experiment id (``other`` when unknown)."""
+    prefix, _, rest = experiment_id.partition("-")
+    if prefix == "E" and rest:
+        return EXPERIMENT_FAMILIES.get(rest[0], "other")
+    return "other"
+
 
 @dataclass(frozen=True)
 class RunRecord:

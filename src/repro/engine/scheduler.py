@@ -65,15 +65,23 @@ from repro.engine.records import (
     STATUS_TIMEOUT,
     RunJournal,
     RunRecord,
+    experiment_family,
 )
 from repro.errors import ReproError
 from repro.obs import (
+    COUNT_BUCKETS,
+    DURATION_BUCKETS,
+    MetricsRegistry,
     Trace,
     activate,
     add_counter,
+    current_metrics,
     current_trace,
+    record_resource_delta,
+    record_resource_metrics,
     record_span,
     reset_tracing,
+    sample_resources,
     span,
     tracing_enabled,
     wall_now,
@@ -96,6 +104,33 @@ EXECUTOR_INLINE = "inline"
 #: phase on a record is active time, and the active phases sum to the
 #: record's ``wall_time_s``.
 WAIT_PHASES = ("queue", "retry")
+
+#: record phase -> histogram metric it lands in when metrics are
+#: active.  The ``run`` phase additionally carries a ``family`` label
+#: so ``repro stats`` can break run latency down per artifact family.
+_PHASE_METRICS = {
+    "lookup": "engine.lookup_s",
+    "run": "engine.run_s",
+    "store": "engine.store_s",
+    "queue": "engine.queue_wait_s",
+    "retry": "engine.retry_wait_s",
+}
+
+
+def observe_record_metrics(metrics: MetricsRegistry,
+                           record: RunRecord) -> None:
+    """Land one finished record's phase timings in the sweep histograms."""
+    family = experiment_family(record.experiment_id)
+    for phase, value in record.phases.items():
+        metric = _PHASE_METRICS.get(phase)
+        if metric is None:
+            continue
+        if phase == "run":
+            metrics.observe(metric, value, DURATION_BUCKETS,
+                            family=family)
+        else:
+            metrics.observe(metric, value, DURATION_BUCKETS)
+    metrics.observe("engine.attempts", record.attempts, COUNT_BUCKETS)
 
 
 def default_jobs() -> int:
@@ -177,6 +212,10 @@ def _worker_entry(experiment_id: str, conn,
         with span("worker.run", experiment=experiment_id):
             result = EXPERIMENTS[experiment_id].runner()
         if child_trace is not None:
+            # The forked worker *is* the task, so its lifetime peaks
+            # are the task's cost; the parent max-merges the RSS gauge
+            # into the sweep-wide worker peak.
+            record_resource_metrics(child_trace.metrics, scope="task")
             payload = child_trace.to_payload()
         conn.send(("ok", result, payload))
     except BaseException as exc:  # must cross the process boundary
@@ -254,6 +293,9 @@ class ExecutionEngine:
         self._fired = []
         records: dict[str, RunRecord] = {}
         results: dict[str, Any] = {}
+        metrics = current_metrics()
+        sweep_sample = (sample_resources() if metrics is not None
+                        else None)
 
         with span("engine.sweep", experiments=len(ids),
                   jobs=self.config.jobs,
@@ -277,12 +319,22 @@ class ExecutionEngine:
                     self._run_processes(pending, records, results)
 
         ordered = [records[experiment_id] for experiment_id in ids]
-        metrics = EngineMetrics.from_records(
+        if metrics is not None:
+            for record in ordered:
+                observe_record_metrics(metrics, record)
+            if self.cache is not None:
+                stats = self.cache.stats
+                metrics.set_gauge("cache.entries", len(self.cache))
+                metrics.set_gauge("cache.hit_ratio",
+                                  stats.hits / max(1, stats.hits
+                                                   + stats.misses))
+            record_resource_delta(metrics, sweep_sample, scope="sweep")
+        sweep_metrics = EngineMetrics.from_records(
             ordered, time.monotonic() - sweep_start)
         if self.journal is not None:
             self.journal.append_many(ordered)
         return SweepResult(records=ordered, results=results,
-                           metrics=metrics,
+                           metrics=sweep_metrics,
                            fired_faults=tuple(self._fired))
 
     # -- cache front-end ----------------------------------------------
@@ -401,8 +453,11 @@ class ExecutionEngine:
                     records: dict[str, RunRecord],
                     results: dict[str, Any]) -> None:
         max_attempts = 1 + self.config.retries
+        metrics = current_metrics()
         for task in pending:
             task.started_at = wall_now()
+            task_sample = (sample_resources() if metrics is not None
+                           else None)
             while True:
                 task.attempts += 1
                 run_start = time.monotonic()
@@ -437,6 +492,9 @@ class ExecutionEngine:
                 records[task.experiment_id] = self._final_record(
                     task, STATUS_OK)
                 break
+            if metrics is not None:
+                record_resource_delta(metrics, task_sample,
+                                      scope="task")
 
     # -- process-pool executor ----------------------------------------
 

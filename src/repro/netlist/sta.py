@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.errors import NetlistError
 from repro.netlist.graph import Netlist
-from repro.obs import add_counter, span
+from repro.obs import COUNT_BUCKETS, add_counter, observe, span
 
 _INFINITY = float("inf")
 
@@ -65,6 +65,8 @@ def compute_sta(netlist: Netlist,
     with span("sta.compute", instances=len(netlist.instances)):
         add_counter("sta.passes")
         add_counter("sta.instances", len(netlist.instances))
+        observe("sta.netlist_instances", len(netlist.instances),
+                COUNT_BUCKETS)
         return _compute_sta(netlist, period)
 
 

@@ -37,6 +37,28 @@ Typical use::
 
 from repro.obs.clock import wall_now
 from repro.obs.counters import Counters
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DURATION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    RESIDUAL_BUCKETS,
+    SIZE_BUCKETS,
+    TEMPERATURE_BUCKETS,
+    exponential_buckets,
+    linear_buckets,
+    registry_summary,
+    round_metric,
+    to_prometheus,
+    validate_metrics_payload,
+)
+from repro.obs.resources import (
+    ResourceSample,
+    ResourceSampler,
+    record_resource_delta,
+    record_resource_metrics,
+    sample_resources,
+)
 from repro.obs.export import (
     EXPORT_FORMATS,
     FORMAT_CHROME,
@@ -53,36 +75,60 @@ from repro.obs.trace import (
     Trace,
     activate,
     add_counter,
+    current_metrics,
     current_trace,
     deactivate,
+    observe,
     record_span,
     reset_tracing,
+    set_gauge,
     span,
     tracing,
     tracing_enabled,
 )
 
 __all__ = [
+    "COUNT_BUCKETS",
     "Counters",
+    "DURATION_BUCKETS",
     "EXPORT_FORMATS",
     "FORMAT_CHROME",
     "FORMAT_JSON",
+    "Histogram",
+    "MetricsRegistry",
+    "RESIDUAL_BUCKETS",
+    "ResourceSample",
+    "ResourceSampler",
+    "SIZE_BUCKETS",
     "SpanRecord",
+    "TEMPERATURE_BUCKETS",
     "Trace",
     "activate",
     "add_counter",
+    "current_metrics",
     "current_trace",
     "deactivate",
+    "exponential_buckets",
+    "linear_buckets",
     "load_chrome_trace",
+    "observe",
     "phase_breakdown",
+    "record_resource_delta",
+    "record_resource_metrics",
     "record_span",
+    "registry_summary",
     "reset_tracing",
+    "round_metric",
+    "sample_resources",
+    "set_gauge",
     "span",
     "to_chrome_events",
+    "to_prometheus",
     "trace_summary",
     "tracing",
     "tracing_enabled",
     "validate_chrome_trace",
+    "validate_metrics_payload",
     "wall_now",
     "write_trace",
 ]

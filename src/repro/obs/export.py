@@ -24,6 +24,7 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.obs.metrics import registry_summary, round_metric
 from repro.obs.trace import SpanRecord, Trace
 
 FORMAT_CHROME = "chrome"
@@ -93,7 +94,14 @@ def phase_breakdown(trace: Trace,
 
 
 def trace_summary(trace: Trace) -> dict:
-    """Machine-readable digest: phases, counters, span statistics."""
+    """Machine-readable digest: phases, counters, metrics, span stats.
+
+    Counter values are rounded (:func:`~repro.obs.metrics.round_metric`)
+    so two sweeps that merged the same worker snapshots in a different
+    order serialise identically; the ``metrics`` section carries the
+    full registry state (gauges + histogram bounds/counts) plus derived
+    summaries, enough to rebuild the registry from the file.
+    """
     return {
         "name": trace.name,
         "epoch_s": trace.epoch_s,
@@ -101,7 +109,9 @@ def trace_summary(trace: Trace) -> dict:
         "span_count": len(trace),
         "processes": sorted({span.pid for span in trace.spans}),
         "phases": phase_breakdown(trace),
-        "counters": trace.counters.as_dict(),
+        "counters": {name: round_metric(value) for name, value
+                     in trace.counters.as_dict().items()},
+        "metrics": registry_summary(trace.metrics),
     }
 
 

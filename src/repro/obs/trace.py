@@ -40,6 +40,7 @@ from typing import Any, Iterator
 
 from repro.obs.clock import wall_now
 from repro.obs.counters import Counters
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -144,11 +145,18 @@ _NOOP_SPAN = _NoopSpan()
 class Trace:
     """All spans and counters observed during one traced region."""
 
-    def __init__(self, name: str = "trace") -> None:
+    def __init__(self, name: str = "trace", *,
+                 span_histograms: bool = True) -> None:
         self.name = name
         self.epoch_s = wall_now()            # wall anchor for export
         self.start_monotonic_s = time.monotonic()
-        self.counters = Counters()
+        self.metrics = MetricsRegistry()
+        self.counters = self.metrics.counters
+        #: With span_histograms on (the default), every finished span
+        #: also lands its duration in the ``span.<name>`` histogram,
+        #: so ``repro stats`` gets p50/p90/p99 per instrumented site
+        #: without a second clock read anywhere.
+        self.span_histograms = span_histograms
         self._lock = threading.Lock()
         self._spans: list[SpanRecord] = []
         self._local = threading.local()
@@ -181,9 +189,13 @@ class Trace:
             stack = self._local.stack = []
         return stack
 
-    def _append(self, record: SpanRecord) -> None:
+    def _append(self, record: SpanRecord, observe: bool = True) -> None:
         with self._lock:
             self._spans.append(record)
+        if observe and self.span_histograms:
+            self.metrics.observe(f"span.{record.name}",
+                                 record.duration_s,
+                                 buckets=DURATION_BUCKETS)
 
     # -- reading ------------------------------------------------------
 
@@ -208,19 +220,28 @@ class Trace:
     # -- cross-process shipping ---------------------------------------
 
     def to_payload(self) -> dict:
-        """Picklable snapshot for shipping across a process pipe."""
-        return {
-            "spans": [s.to_json_dict() for s in self.spans],
-            "counters": self.counters.as_dict(),
-        }
+        """Picklable snapshot for shipping across a process pipe.
+
+        Carries the spans plus the full metrics state (counters,
+        gauges, histograms) so a worker's distributions merge into the
+        parent sweep exactly.
+        """
+        payload = self.metrics.to_payload()
+        payload["spans"] = [s.to_json_dict() for s in self.spans]
+        return payload
 
     def merge_payload(self, payload: dict | None) -> None:
         """Fold a worker's :meth:`to_payload` snapshot into this trace."""
         if not payload:
             return
+        self.metrics.merge_payload(
+            {key: payload.get(key) for key in ("counters", "gauges",
+                                               "histograms")})
+        # observe=False: the worker already observed these spans into
+        # its own span histograms, shipped in the metrics payload above.
         for span_dict in payload.get("spans", ()):
-            self._append(SpanRecord.from_json_dict(span_dict))
-        self.counters.merge(payload.get("counters", {}))
+            self._append(SpanRecord.from_json_dict(span_dict),
+                         observe=False)
 
 
 # -- the active trace -------------------------------------------------
@@ -292,3 +313,26 @@ def add_counter(name: str, value: float = 1) -> None:
     trace = _ACTIVE
     if trace is not None:
         trace.counters.add(name, value)
+
+
+def observe(name: str, value: float,
+            buckets: Any = None, **labels: Any) -> None:
+    """Record ``value`` into a histogram on the active trace's metrics
+    registry (no-op when disabled)."""
+    trace = _ACTIVE
+    if trace is not None:
+        trace.metrics.observe(name, value, buckets, **labels)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active trace's metrics registry (no-op when
+    disabled)."""
+    trace = _ACTIVE
+    if trace is not None:
+        trace.metrics.set_gauge(name, value)
+
+
+def current_metrics() -> MetricsRegistry | None:
+    """The active trace's metrics registry, or ``None`` when disabled."""
+    trace = _ACTIVE
+    return None if trace is None else trace.metrics

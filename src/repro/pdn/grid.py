@@ -28,7 +28,7 @@ from scipy.sparse import lil_matrix
 from repro import units
 from repro.errors import ModelParameterError
 from repro.itrs import ITRS_2000
-from repro.obs import add_counter, span
+from repro.obs import COUNT_BUCKETS, add_counter, observe, span
 from repro.pdn.bacpac import (
     PitchScenario,
     hotspot_current_density_a_m2,
@@ -64,6 +64,8 @@ def solve_rail_strip(current_per_m: float, sheet_resistance: float,
             if i + 1 < n_interior:
                 matrix[i, i + 1] = -conductance
     add_counter("pdn.unknowns", n_interior)
+    observe("pdn.system_unknowns", n_interior, COUNT_BUCKETS,
+            solver="rail-strip")
     drops = guarded_linear_solve(matrix.tocsr(), rhs,
                                  name="pdn-rail-strip").x
     return float(np.max(drops))
@@ -126,6 +128,8 @@ def solve_power_grid_2d(current_density_a_m2: float,
                 # else neighbour is a bump at drop 0: contributes nothing
                 # to the RHS beyond the diagonal term.
     add_counter("pdn.unknowns", n_unknown)
+    observe("pdn.system_unknowns", n_unknown, COUNT_BUCKETS,
+            solver="grid-2d")
     drops = guarded_linear_solve(matrix.tocsr(), rhs,
                                  name="pdn-grid-2d").x
     return GridSolution(

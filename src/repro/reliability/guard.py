@@ -32,11 +32,36 @@ import numpy as np
 from scipy.optimize import brentq
 
 from repro.errors import CalibrationError
-from repro.obs import add_counter, span
+from repro.obs import (
+    COUNT_BUCKETS,
+    RESIDUAL_BUCKETS,
+    add_counter,
+    observe,
+    span,
+)
 
 FALLBACK_BISECT = "bisect"
 FALLBACK_RELAXATION = "relaxation"
 FALLBACK_DENSE = "dense"
+
+
+def _observe_solve(kind: str, iterations: int, residual: float | None,
+                   fallback: str | None, converged: bool) -> None:
+    """Land one solve's outcome in the distribution metrics.
+
+    Successful solves previously dropped their final residual on the
+    floor (only :class:`~repro.errors.CalibrationError` carried it);
+    recording it here is what lets ``repro stats`` judge model fidelity
+    from the residual distribution, not just failure counts.
+    """
+    observe("solver.iterations_per_solve", iterations, COUNT_BUCKETS,
+            kind=kind)
+    if residual is not None and math.isfinite(residual):
+        observe("solver.residual", abs(residual), RESIDUAL_BUCKETS,
+                kind=kind, converged=converged)
+    # 0 = primary strategy sufficed, 1 = the one fallback ran.
+    observe("solver.fallback_depth", 0 if fallback is None else 1,
+            (0.5, 1.5), kind=kind)
 
 
 @dataclass(frozen=True)
@@ -168,11 +193,16 @@ def guarded_solve(residual: Callable[[float], float], lo: float,
         except CalibrationError as exc:
             add_counter("solver.failures")
             add_counter("solver.iterations", exc.iterations or 0)
+            _observe_solve("root", exc.iterations or 0, exc.residual,
+                           exc.fallback, converged=False)
             raise
         diagnostics = result.diagnostics
         add_counter("solver.iterations", diagnostics.iterations)
         if diagnostics.fallback is not None:
             add_counter("solver.fallbacks")
+        _observe_solve("root", diagnostics.iterations,
+                       diagnostics.residual, diagnostics.fallback,
+                       converged=True)
         solve_span.set(method=diagnostics.method,
                        iterations=diagnostics.iterations)
     return result
@@ -268,11 +298,16 @@ def guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
         except CalibrationError as exc:
             add_counter("solver.failures")
             add_counter("solver.iterations", exc.iterations or 0)
+            _observe_solve("linear", exc.iterations or 0, exc.residual,
+                           exc.fallback, converged=False)
             raise
         diagnostics = result.diagnostics
         add_counter("solver.iterations", diagnostics.iterations)
         if diagnostics.fallback is not None:
             add_counter("solver.fallbacks")
+        _observe_solve("linear", diagnostics.iterations,
+                       diagnostics.residual, diagnostics.fallback,
+                       converged=True)
         solve_span.set(method=diagnostics.method,
                        unknowns=int(result.x.size))
     return result

@@ -29,7 +29,7 @@ from repro.errors import (
     ModelParameterError,
 )
 from repro.itrs.packaging import AMBIENT_C
-from repro.obs import add_counter, span
+from repro.obs import TEMPERATURE_BUCKETS, add_counter, observe, span
 from repro.power.static import chip_static_power_w
 from repro.reliability.guard import FALLBACK_RELAXATION, guarded_solve
 
@@ -102,6 +102,7 @@ def solve_operating_point(node_nm: int, theta_ja: float,
             name=f"electrothermal@{node_nm}nm",
             xtol=xtol, max_iter=max_iter,
             fallback=FALLBACK_RELAXATION).root
+        observe("thermal.junction_c", junction, TEMPERATURE_BUCKETS)
     return OperatingPoint(
         node_nm=node_nm,
         theta_ja=theta_ja,

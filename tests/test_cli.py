@@ -291,3 +291,157 @@ def test_trace_command_failure_exit_code(capsys, tmp_path,
                  "E-T1", "E-T2"])
     assert code == 1  # partial failure, same contract as run-all
     assert (tmp_path / "trace.json").exists()  # still exported
+
+
+# -- stats ------------------------------------------------------------
+
+
+def test_stats_command_table_format(capsys, tmp_path):
+    code = main(["stats", "--jobs", "1", "--no-cache",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T2", "E-F1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "run latency by experiment family" in out
+    assert "table" in out and "figure" in out
+    assert "histograms:" in out
+    assert "engine.run_s{family=table}" in out
+    assert "resource.rss_peak_kb" in out     # gauge table
+    assert "2 total: 2 ok" in out            # sweep summary rides along
+
+
+def test_stats_command_prom_format_is_parseable(capsys, tmp_path):
+    import re
+
+    code = main(["stats", "--format", "prom", "--jobs", "1",
+                 "--no-cache", "--cache-dir", str(tmp_path / "cache"),
+                 "E-T2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    line_re = re.compile(
+        r"^(?:# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+        r"(?:counter|gauge|histogram)"
+        r"|[a-zA-Z_:][a-zA-Z0-9_:]*"
+        r"(?:\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+        r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+        r" -?(?:[0-9.eE+-]+|\+Inf|NaN))$")
+    lines = out.rstrip("\n").split("\n")
+    assert lines
+    for line in lines:
+        assert line_re.match(line), f"bad exposition line: {line!r}"
+    assert any(line.startswith("repro_engine_run_s_bucket{")
+               for line in lines)
+
+
+def test_stats_command_json_format_validates(capsys, tmp_path):
+    from repro.obs import validate_metrics_payload
+
+    code = main(["stats", "--format", "json", "--jobs", "1",
+                 "--no-cache", "--cache-dir", str(tmp_path / "cache"),
+                 "E-T2"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_metrics_payload(payload) == []
+    assert any(entry["name"] == "engine.run_s"
+               for entry in payload["histograms"])
+
+
+def test_stats_command_failure_exit_code(capsys, tmp_path,
+                                         monkeypatch):
+    def exploding_runner():
+        raise RuntimeError("stats failure")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    code = main(["stats", "--jobs", "1", "--no-cache",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1", "E-T2"])
+    assert code == 1  # partial failure, same contract as run-all
+
+
+# -- bench ------------------------------------------------------------
+
+
+def test_bench_first_run_writes_snapshot_no_baseline(capsys, tmp_path):
+    out_dir = tmp_path / "baselines"
+    code = main(["bench", "--repeats", "1",
+                 "--out-dir", str(out_dir), "E-T2", "E-F1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "no earlier snapshot" in out
+    snapshots = list(out_dir.glob("BENCH_*.json"))
+    assert len(snapshots) == 1
+    from repro.bench import validate_snapshot
+    assert validate_snapshot(
+        json.loads(snapshots[0].read_text())) == []
+
+
+def test_bench_second_run_compares_clean(capsys, tmp_path):
+    out_dir = str(tmp_path / "baselines")
+    args = ["bench", "--repeats", "1", "--out-dir", out_dir,
+            "E-T2", "E-F1"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert "no regressions" in out
+
+
+def test_bench_synthetic_slowdown_trips_the_gate(capsys, tmp_path):
+    out_dir = str(tmp_path / "baselines")
+    base = ["bench", "--repeats", "1", "--out-dir", out_dir, "E-F1"]
+    assert main(base) == 0
+    capsys.readouterr()
+    code = main(base + ["--slowdown", "0.5"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "E-F1" in out
+
+
+def test_bench_env_slowdown_and_json_output(capsys, tmp_path,
+                                            monkeypatch):
+    out_dir = str(tmp_path / "baselines")
+    assert main(["bench", "--repeats", "1", "--out-dir", out_dir,
+                 "E-F1"]) == 0
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_BENCH_SLOWDOWN_S", "0.5")
+    code = main(["bench", "--repeats", "1", "--out-dir", out_dir,
+                 "--json", "E-F1"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["comparison"]["regressions"] == ["E-F1"]
+    assert payload["snapshot"]["config"]["slowdown_s"] == 0.5
+
+
+def test_bench_quick_flag_uses_quick_subset(capsys, tmp_path):
+    from repro.bench import QUICK_IDS
+    code = main(["bench", "--quick", "--repeats", "1", "--no-compare",
+                 "--out-dir", str(tmp_path / "baselines")])
+    assert code == 0
+    out = capsys.readouterr().out
+    for quick_id in QUICK_IDS:
+        assert quick_id in out
+    assert "comparison skipped" in out
+
+
+def test_bench_usage_errors_exit_2(capsys, tmp_path):
+    assert main(["bench", "--repeats", "0", "--out-dir",
+                 str(tmp_path), "E-F1"]) == 2
+    assert main(["bench", "--slowdown", "-1", "--out-dir",
+                 str(tmp_path), "E-F1"]) == 2
+
+
+def test_bench_failing_experiment_exits_3(capsys, tmp_path,
+                                          monkeypatch):
+    def exploding_runner():
+        raise RuntimeError("bench failure")
+
+    monkeypatch.setitem(
+        EXPERIMENTS, "E-T1",
+        Experiment("E-T1", "exploding", "(test)", exploding_runner))
+    code = main(["bench", "--repeats", "1",
+                 "--out-dir", str(tmp_path / "baselines"), "E-T1"])
+    assert code == 3
+    assert "bench failure" in capsys.readouterr().err

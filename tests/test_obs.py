@@ -339,3 +339,51 @@ def test_load_chrome_trace_raises_on_malformed_file(tmp_path):
     path.write_text(json.dumps({"traceEvents": []}))
     with pytest.raises(ValueError):
         load_chrome_trace(path)
+
+
+# -- exports of metric-rich traces ------------------------------------
+
+
+def _metric_rich_trace():
+    from repro.obs import observe, set_gauge
+
+    trace = Trace("rich")
+    with tracing(trace):
+        with span("engine.run", experiment="E-T1"):
+            observe("solver.residual", 1e-10, (1e-12, 1e-8, 1e-4))
+            observe("engine.run_s", 0.25, (0.1, 1.0), family="table")
+        set_gauge("resource.rss_peak_kb", 2048.0)
+        add_counter("cache.misses", 2)
+    return trace
+
+
+def test_chrome_export_with_metrics_loads_through_validator(tmp_path):
+    trace = _metric_rich_trace()
+    path = write_trace(trace, tmp_path / "rich.json", format="chrome")
+    events = load_chrome_trace(path)  # raises if the gate rejects it
+    assert any(event.get("ph") == "X" for event in events)
+
+
+def test_json_export_round_trips_histograms_and_gauges(tmp_path):
+    from repro.obs import MetricsRegistry, validate_metrics_payload
+
+    trace = _metric_rich_trace()
+    path = write_trace(trace, tmp_path / "rich.json", format="json")
+    payload = json.loads(path.read_text())
+    metrics = payload["metrics"]
+    assert validate_metrics_payload(metrics) == []
+    assert metrics["gauges"]["resource.rss_peak_kb"] == 2048
+    assert metrics["counters"]["cache.misses"] == 2
+
+    # the summary carries full histogram state: a fresh registry built
+    # from it must agree with the original distributions
+    rebuilt = MetricsRegistry()
+    rebuilt.merge_payload(metrics)
+    original = trace.metrics.histogram("engine.run_s", family="table")
+    restored = rebuilt.histogram("engine.run_s", family="table")
+    assert restored.bounds == original.bounds
+    assert restored.counts == original.counts
+    assert restored.count == original.count
+    assert rebuilt.histogram("solver.residual").count == 1
+    # span auto-histograms ride along too
+    assert rebuilt.histogram("span.engine.run").count == 1
