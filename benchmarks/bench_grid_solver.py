@@ -1,4 +1,20 @@
-"""E-V1: validate the analytic IR model against the grid solvers."""
+"""E-V1: validate the analytic IR model against the grid solvers.
+
+Also the solver-scaling sweeps: the mesh densification series and the
+large-mesh ``repro bench`` artifact (E-S1) that the perf-regression
+snapshots gate on.
+"""
+
+import pytest
+
+from repro import units
+from repro.itrs import ITRS_2000
+from repro.pdn.bacpac import (
+    PitchScenario,
+    hotspot_current_density_a_m2,
+    required_rail_width_m,
+)
+from repro.pdn.grid import solve_power_grid_2d
 
 
 def test_grid_validation(benchmark, run):
@@ -11,3 +27,24 @@ def test_grid_validation(benchmark, run):
     # bound -- the analytic model captures the scaling, the constant is
     # absorbed by the calibrated CROWDING_FACTOR (see EXPERIMENTS.md).
     assert 1.0 < result["grid_margin"] < 3.0
+
+
+@pytest.mark.parametrize("rails_per_pitch", [2, 4, 8])
+def test_mesh_scaling_sweep(benchmark, rails_per_pitch):
+    """Assembly + solve cost as the 35 nm mesh densifies (4 cells)."""
+    record = ITRS_2000.node(35)
+    pitch = units.um(record.min_bump_pitch_um)
+    width = required_rail_width_m(35, PitchScenario.MIN_PITCH)
+    density = hotspot_current_density_a_m2(record)
+    solution = benchmark(
+        solve_power_grid_2d, density,
+        record.top_metal_sheet_resistance, width / rails_per_pitch,
+        pitch, rails_per_pitch=rails_per_pitch, cells=4)
+    assert solution.worst_drop_v > solution.mean_drop_v > 0
+
+
+def test_scaling_snapshot_mesh(benchmark, run):
+    """E-S1: the large cells=8, rails=8 mesh behind ``repro bench``."""
+    result = benchmark(run, "E-S1")
+    assert result["n_nodes"] == 4144
+    assert result["worst_drop_v"] > result["mean_drop_v"] > 0

@@ -10,11 +10,18 @@ from repro.netlist import compute_sta, random_netlist
 from repro.optim import IncrementalTimer
 
 
-@pytest.mark.parametrize("n_gates", [200, 800, 2000])
+@pytest.mark.parametrize("n_gates", [200, 800, 2000, 4000])
 def test_full_sta(benchmark, n_gates):
     netlist = random_netlist(100, n_gates=n_gates, seed=7)
     report = benchmark(compute_sta, netlist)
     assert report.meets_timing()
+
+
+def test_scaling_snapshot_sta(benchmark, run):
+    """E-S2: the 4000-gate STA artifact behind ``repro bench``."""
+    result = benchmark(run, "E-S2")
+    assert result["n_gates"] == 4000
+    assert result["meets_timing"]
 
 
 def test_incremental_vs_full(benchmark):

@@ -21,6 +21,7 @@ from repro.analysis.extensions import (
     extension_x4_electrothermal,
 )
 from repro.analysis.figure1 import reproduce_figure1
+from repro.analysis.scaling import scaling_s1_grid, scaling_s2_sta
 from repro.analysis.figure2 import reproduce_figure2
 from repro.analysis.figure3 import reproduce_figure3
 from repro.analysis.figure4 import reproduce_figure4
@@ -84,6 +85,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "Section 2.3", claim_c7_library),
         Experiment("E-V1", "Analytic IR model vs sparse grid solver",
                    "(validation)", _validate_grid),
+        Experiment("E-S1", "Solver scaling: 8x8-cell power-mesh solve",
+                   "(perf)", scaling_s1_grid),
+        Experiment("E-S2", "Solver scaling: 4000-gate full STA",
+                   "(perf)", scaling_s2_sta),
         Experiment("E-X1", "Standby-leakage technique toolbox",
                    "Sections 3.2.1/3.3 (extension)",
                    extension_x1_leakage_toolbox),

@@ -1,0 +1,68 @@
+"""Solver-scaling experiments (perf artifacts, not paper figures).
+
+The validation models only earn their keep when they are fast enough to
+run at scale (cf. Rossello et al., PAPERS.md): the Fig. 5 power-grid
+cross-check and the optimization flows both sit on the sparse-solver
+and STA hot paths.  These two experiments pin the *large* end of those
+paths so ``repro bench`` snapshots capture their end-to-end cost and
+the CI delta table surfaces assembly-path regressions.
+
+* ``E-S1`` -- one large 2-D power-mesh solve: the full ``cells = 8``,
+  ``rails_per_pitch = 8`` bump patch at the 35 nm node (4144 unknowns),
+  the mesh the solver-scaling acceptance criterion is measured on.
+* ``E-S2`` -- STA over a 4000-gate synthetic netlist, the inner loop
+  the optimization flows (CVS, dual-Vth, sizing) iterate.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.itrs import ITRS_2000
+
+#: The scaling mesh: 8 bump periods per side, 8 rails per pitch.
+SCALE_CELLS = 8
+SCALE_RAILS_PER_PITCH = 8
+
+#: The scaling netlist: 4000 gates, fixed seed for reproducibility.
+SCALE_N_GATES = 4000
+SCALE_SEED = 7
+
+
+def scaling_s1_grid() -> dict[str, float]:
+    """One large-mesh power-grid solve at the 35 nm node."""
+    from repro.pdn.bacpac import (
+        PitchScenario,
+        hotspot_current_density_a_m2,
+        required_rail_width_m,
+    )
+    from repro.pdn.grid import solve_power_grid_2d
+
+    record = ITRS_2000.node(35)
+    pitch = units.um(record.min_bump_pitch_um)
+    width = required_rail_width_m(35, PitchScenario.MIN_PITCH)
+    density = hotspot_current_density_a_m2(record)
+    solution = solve_power_grid_2d(
+        density, record.top_metal_sheet_resistance,
+        width / SCALE_RAILS_PER_PITCH, pitch,
+        rails_per_pitch=SCALE_RAILS_PER_PITCH, cells=SCALE_CELLS)
+    return {
+        "n_nodes": float(solution.n_nodes),
+        "worst_drop_v": solution.worst_drop_v,
+        "mean_drop_v": solution.mean_drop_v,
+        "drop_ratio": solution.worst_drop_v / solution.mean_drop_v,
+    }
+
+
+def scaling_s2_sta() -> dict[str, float]:
+    """Full STA over a 4000-gate synthetic netlist."""
+    from repro.netlist import compute_sta, random_netlist
+
+    netlist = random_netlist(100, n_gates=SCALE_N_GATES,
+                             seed=SCALE_SEED)
+    report = compute_sta(netlist)
+    return {
+        "n_gates": float(len(netlist)),
+        "critical_delay_s": report.critical_delay_s,
+        "worst_slack_s": report.worst_slack_s,
+        "meets_timing": report.meets_timing(),
+    }

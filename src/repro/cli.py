@@ -171,17 +171,37 @@ def _sweep_exit_code(sweep: SweepResult) -> int:
     return EXIT_TOTAL_FAILURE
 
 
+def _resolve_jobs(args: argparse.Namespace) -> int:
+    """Worker count: ``--jobs``/``--workers`` wins, then the
+    ``REPRO_WORKERS``-aware default.
+
+    Resolved per command invocation (not at parser build time) so a bad
+    ``REPRO_WORKERS`` value is a clean usage error on the sweep
+    commands and cannot break unrelated ones like ``repro roadmap``.
+    """
+    if args.jobs is not None:
+        return args.jobs
+    return default_jobs()
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "--workers", dest="jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_WORKERS if set, "
+             "else min(4, CPUs))")
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     ids = args.experiment_ids or None
     try:
         config = EngineConfig(
-            jobs=args.jobs,
+            jobs=_resolve_jobs(args),
             timeout_s=args.timeout,
             retries=args.retries,
             cache_enabled=not args.no_cache,
             cache_dir=Path(args.cache_dir),
         )
-    except ValueError as exc:
+    except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
@@ -223,7 +243,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         report = run_chaos(
             plan,
             args.experiment_ids or None,
-            jobs=args.jobs,
+            jobs=_resolve_jobs(args),
             timeout_s=args.timeout,
             retries=args.retries,
             cache_dir=args.cache_dir,
@@ -243,13 +263,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     ids = args.experiment_ids or None
     try:
         config = EngineConfig(
-            jobs=args.jobs,
+            jobs=_resolve_jobs(args),
             timeout_s=args.timeout,
             retries=args.retries,
             cache_enabled=not args.no_cache,
             cache_dir=Path(args.cache_dir),
         )
-    except ValueError as exc:
+    except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     trace = Trace("repro-sweep")
@@ -343,13 +363,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     ids = args.experiment_ids or None
     try:
         config = EngineConfig(
-            jobs=args.jobs,
+            jobs=_resolve_jobs(args),
             timeout_s=args.timeout,
             retries=args.retries,
             cache_enabled=not args.no_cache,
             cache_dir=Path(args.cache_dir),
         )
-    except ValueError as exc:
+    except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     trace = Trace("repro-stats")
@@ -453,8 +473,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run-all", help="run many experiments through the engine")
     run_all.add_argument("experiment_ids", nargs="*", metavar="id",
                          help="experiment ids (default: all)")
-    run_all.add_argument("--jobs", type=int, default=default_jobs(),
-                         help="worker processes (default: min(4, CPUs))")
+    _add_jobs_argument(run_all)
     run_all.add_argument("--no-cache", action="store_true",
                          help="bypass the result cache")
     run_all.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
@@ -475,8 +494,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="builtin plan name or a .json plan file")
     chaos.add_argument("--list-plans", action="store_true",
                        help="list the builtin fault plans and exit")
-    chaos.add_argument("--jobs", type=int, default=default_jobs(),
-                       help="worker processes (default: min(4, CPUs))")
+    _add_jobs_argument(chaos)
     chaos.add_argument("--timeout", type=float, default=20.0,
                        help="per-experiment timeout in seconds "
                             "(also what kills hang faults)")
@@ -502,9 +520,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_parser.add_argument("--top", type=int, default=None,
                               metavar="N",
                               help="show only the N slowest phases")
-    trace_parser.add_argument("--jobs", type=int, default=default_jobs(),
-                              help="worker processes "
-                                   "(default: min(4, CPUs))")
+    _add_jobs_argument(trace_parser)
     trace_parser.add_argument("--no-cache", action="store_true",
                               help="bypass the result cache")
     trace_parser.add_argument("--cache-dir",
@@ -525,8 +541,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="table (per-family latency + histogram "
                             "summaries), prom (Prometheus text "
                             "exposition), or json (registry summary)")
-    stats.add_argument("--jobs", type=int, default=default_jobs(),
-                       help="worker processes (default: min(4, CPUs))")
+    _add_jobs_argument(stats)
     stats.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache")
     stats.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),

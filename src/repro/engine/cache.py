@@ -41,13 +41,12 @@ import inspect
 import itertools
 import os
 import pickle
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import ReproError
-from repro.obs import SIZE_BUCKETS, add_counter, observe, span
+from repro.obs import SIZE_BUCKETS, add_counter, observe, span, wall_now
 
 CACHE_SCHEMA_VERSION = "2"
 
@@ -336,7 +335,7 @@ class ResultCache:
         entry = {
             "experiment_id": experiment_id,
             "fingerprint": fingerprint,
-            "created_at": time.time(),
+            "created_at": wall_now(),
             "result": result,
         }
         with span("cache.write", experiment=experiment_id) as write_span:

@@ -53,6 +53,7 @@ EXPERIMENT_FAMILIES = {
     "F": "figure",
     "C": "claim",
     "V": "validation",
+    "S": "scaling",
     "X": "extension",
 }
 

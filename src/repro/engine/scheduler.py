@@ -7,6 +7,13 @@ The scheduler executes any subset of the experiment registry with
   per-experiment **timeout** that actually kills the worker, and
   **bounded retries** spaced by exponential backoff with deterministic
   jitter (:class:`~repro.reliability.backoff.BackoffPolicy`);
+* **adaptive chunking** for large sweeps: when pending work exceeds
+  roughly four tasks per worker, fresh tasks are grouped into one
+  worker launch (:attr:`EngineConfig.chunk_size`; ``None`` adapts,
+  an explicit value pins it) to amortise fork cost, with per-task
+  outcome streaming so a crash mid-chunk only retries -- singly --
+  the tasks the worker never finished.  Retries and fault-plan runs
+  are never chunked;
 * **failure isolation**: a crashing, raising, or hanging runner yields
   a failed/timeout :class:`~repro.engine.records.RunRecord` while the
   rest of the sweep completes;
@@ -77,6 +84,7 @@ from repro.obs import (
     add_counter,
     current_metrics,
     current_trace,
+    observe,
     record_resource_delta,
     record_resource_metrics,
     record_span,
@@ -134,7 +142,25 @@ def observe_record_metrics(metrics: MetricsRegistry,
 
 
 def default_jobs() -> int:
-    """Default worker count: min(4, CPUs)."""
+    """Default worker count: ``REPRO_WORKERS`` if set, else min(4, CPUs).
+
+    The four-worker cap keeps CI machines and laptops responsive, but it
+    is a *default*, not a limit: operators running large sweeps on big
+    hosts lift it with the ``REPRO_WORKERS`` environment variable or the
+    ``--workers`` CLI flag (which wins when both are given).
+    """
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is not None and raw.strip():
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"REPRO_WORKERS must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ReproError(
+                f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
     return max(1, min(4, os.cpu_count() or 1))
 
 
@@ -151,6 +177,12 @@ class EngineConfig:
     executor: str = EXECUTOR_PROCESS
     backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
     fault_plan: FaultPlan | None = None
+    #: Tasks per worker launch.  ``None`` adapts to the sweep size
+    #: (chunks only form once pending work exceeds ~4 tasks per
+    #: worker, so small sweeps keep one-process-per-task isolation);
+    #: an explicit value pins it.  Retries and fault-plan runs always
+    #: execute singly.
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -159,6 +191,9 @@ class EngineConfig:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.executor not in (EXECUTOR_PROCESS, EXECUTOR_INLINE):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {self.chunk_size}")
 
     @property
     def effective_journal_path(self) -> Path | None:
@@ -229,6 +264,48 @@ def _worker_entry(experiment_id: str, conn,
         conn.close()
 
 
+def _worker_chunk_entry(experiment_ids: Sequence[str], conn,
+                        traced: bool = False) -> None:
+    """Child-process body for a chunk: run several experiments in turn.
+
+    One outcome message is shipped per experiment as it finishes, so a
+    crash mid-chunk costs only the unfinished tasks -- the parent
+    retries exactly those, singly.  A trailing ``("done", payload)``
+    carries the worker trace for the whole chunk.
+    """
+    reset_tracing()
+    child_trace = (Trace(f"worker-chunk-{experiment_ids[0]}")
+                   if traced else None)
+    if child_trace is not None:
+        activate(child_trace)
+    try:
+        from repro.analysis.experiments import EXPERIMENTS
+        for experiment_id in experiment_ids:
+            start = time.monotonic()
+            try:
+                with span("worker.run", experiment=experiment_id,
+                          chunked=True):
+                    result = EXPERIMENTS[experiment_id].runner()
+                conn.send(("task", experiment_id, STATUS_OK, result,
+                           time.monotonic() - start))
+            except Exception as exc:
+                conn.send(("task", experiment_id, STATUS_FAILED,
+                           repr(exc), time.monotonic() - start))
+        payload = None
+        if child_trace is not None:
+            record_resource_metrics(child_trace.metrics, scope="task")
+            payload = child_trace.to_payload()
+        conn.send(("done", payload))
+    except BaseException:  # must not escape the process boundary
+        try:
+            conn.send(("done", child_trace.to_payload()
+                       if child_trace is not None else None))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
 @dataclass
 class _Task:
     experiment_id: str
@@ -254,6 +331,15 @@ class _Task:
 @dataclass
 class _Slot:
     task: _Task
+    process: multiprocessing.process.BaseProcess
+    conn: Any
+    deadline: float | None
+    launched: float
+
+
+@dataclass
+class _ChunkSlot:
+    tasks: list[_Task]
     process: multiprocessing.process.BaseProcess
     conn: Any
     deadline: float | None
@@ -503,10 +589,11 @@ class ExecutionEngine:
                        results: dict[str, Any]) -> None:
         ctx = _mp_context()
         max_attempts = 1 + self.config.retries
-        running: list[_Slot] = []
+        running: list[_Slot | _ChunkSlot] = []
 
         while pending or running:
             now = time.monotonic()
+            chunk_target = self._chunk_target(len(pending))
             deferred: list[_Task] = []
             while pending and len(running) < self.config.jobs:
                 task = pending.popleft()
@@ -516,6 +603,15 @@ class ExecutionEngine:
                 if task.attempts > 0 and self._retry_cache_hit(
                         task, records, results):
                     continue
+                if task.attempts == 0 and chunk_target > 1:
+                    batch = [task]
+                    while (len(batch) < chunk_target and pending
+                           and pending[0].attempts == 0
+                           and pending[0].not_before <= now):
+                        batch.append(pending.popleft())
+                    if len(batch) > 1:
+                        running.append(self._launch_chunk(ctx, batch))
+                        continue
                 running.append(self._launch(ctx, task))
             pending.extendleft(reversed(deferred))
 
@@ -533,19 +629,42 @@ class ExecutionEngine:
                 timeout=timeout))
             now = time.monotonic()
 
-            still_running: list[_Slot] = []
+            still_running: list[_Slot | _ChunkSlot] = []
             for slot in running:
-                if (slot.process.sentinel in ready
-                        or not slot.process.is_alive()):
-                    self._collect(slot, pending, records, results,
-                                  max_attempts, timed_out=False)
-                elif slot.deadline is not None and now >= slot.deadline:
-                    self._kill(slot)
-                    self._collect(slot, pending, records, results,
-                                  max_attempts, timed_out=True)
-                else:
+                timed_out = (slot.process.sentinel not in ready
+                             and slot.process.is_alive()
+                             and slot.deadline is not None
+                             and now >= slot.deadline)
+                done = (slot.process.sentinel in ready
+                        or not slot.process.is_alive())
+                if not (done or timed_out):
                     still_running.append(slot)
+                    continue
+                if timed_out:
+                    self._kill(slot)
+                if isinstance(slot, _ChunkSlot):
+                    self._collect_chunk(slot, pending, records, results,
+                                        max_attempts,
+                                        timed_out=timed_out)
+                else:
+                    self._collect(slot, pending, records, results,
+                                  max_attempts, timed_out=timed_out)
             running = still_running
+
+    def _chunk_target(self, n_pending: int) -> int:
+        """Fresh tasks to group per worker launch for this refill.
+
+        Chunking amortises process start-up over large sweeps; it never
+        engages (target 1) while each worker would get at most ~4
+        tasks, under a fault plan (faults are injected per attempt and
+        need per-task isolation), or when the operator pinned
+        ``chunk_size``.
+        """
+        if self.config.fault_plan is not None:
+            return 1
+        if self.config.chunk_size is not None:
+            return self.config.chunk_size
+        return min(8, max(1, n_pending // (self.config.jobs * 4)))
 
     def _launch(self, ctx, task: _Task) -> _Slot:
         launched = time.monotonic()
@@ -578,8 +697,36 @@ class ExecutionEngine:
         return _Slot(task=task, process=process, conn=parent_conn,
                      deadline=deadline, launched=launched)
 
+    def _launch_chunk(self, ctx, batch: list[_Task]) -> _ChunkSlot:
+        launched = time.monotonic()
+        for task in batch:
+            task.started_at = wall_now()
+            if task.ready_at:
+                # Fresh tasks only (attempts == 0): the whole wait since
+                # becoming runnable is slot contention.
+                task.add_phase("queue", max(0.0, launched - task.ready_at))
+            task.attempts += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_chunk_entry,
+            args=([task.experiment_id for task in batch], child_conn,
+                  tracing_enabled()),
+            name=f"repro-engine-chunk-{batch[0].experiment_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        # The per-experiment budget applies to each task in the chunk.
+        deadline = (launched + self.config.timeout_s * len(batch)
+                    if self.config.timeout_s is not None else None)
+        add_counter("engine.chunks")
+        observe("engine.chunk_size", len(batch), COUNT_BUCKETS)
+        return _ChunkSlot(tasks=batch, process=process,
+                          conn=parent_conn, deadline=deadline,
+                          launched=launched)
+
     @staticmethod
-    def _poll_timeout(running: list[_Slot],
+    def _poll_timeout(running: list["_Slot | _ChunkSlot"],
                       waiting: Sequence[_Task] = ()) -> float | None:
         wakes = [slot.deadline for slot in running
                  if slot.deadline is not None]
@@ -589,7 +736,7 @@ class ExecutionEngine:
         return max(0.0, min(wakes) - time.monotonic()) + 0.01
 
     @staticmethod
-    def _kill(slot: _Slot) -> None:
+    def _kill(slot: "_Slot | _ChunkSlot") -> None:
         slot.process.terminate()
         slot.process.join(timeout=5.0)
         if slot.process.is_alive():
@@ -645,6 +792,89 @@ class ExecutionEngine:
             return
         status = STATUS_TIMEOUT if timed_out else STATUS_FAILED
         records[task.experiment_id] = self._final_record(task, status)
+
+    def _collect_chunk(self, slot: _ChunkSlot, pending: deque[_Task],
+                       records: dict[str, RunRecord],
+                       results: dict[str, Any],
+                       max_attempts: int, timed_out: bool) -> None:
+        """Drain a chunk worker's per-task outcomes and settle each task.
+
+        Tasks the worker finished are stored/recorded exactly as in the
+        single-task path; tasks it never reached (crash, exit, or the
+        chunk deadline) are retried individually, so one bad task in a
+        chunk cannot take its neighbours' results down with it.
+        """
+        elapsed = time.monotonic() - slot.launched
+        outcomes: dict[str, tuple[str, Any, float]] = {}
+        payload = None
+        try:
+            while slot.conn.poll(0):
+                message = slot.conn.recv()
+                if message[0] == "task":
+                    _, experiment_id, status, value, duration = message
+                    outcomes[experiment_id] = (status, value, duration)
+                elif message[0] == "done":
+                    payload = message[1]
+        except (EOFError, OSError):
+            pass
+        slot.process.join(timeout=5.0)
+        slot.conn.close()
+
+        if payload:
+            trace = current_trace()
+            if trace is not None:
+                trace.merge_payload(payload)
+
+        accounted = sum(duration for _, _, duration
+                        in outcomes.values())
+        unfinished = [task for task in slot.tasks
+                      if task.experiment_id not in outcomes]
+        # Telemetry only: split the unattributed tail of the chunk's
+        # wall time evenly over the tasks that never reported.
+        residual = (max(0.0, elapsed - accounted)
+                    / max(1, len(unfinished)))
+
+        for task in slot.tasks:
+            outcome = outcomes.get(task.experiment_id)
+            if outcome is not None:
+                status, value, duration = outcome
+                task.add_phase("run", duration)
+                record_span("engine.run", slot.launched, duration,
+                            experiment=task.experiment_id,
+                            attempt=task.attempts,
+                            worker_pid=slot.process.pid, chunked=True,
+                            timed_out=False)
+                if status == STATUS_OK:
+                    self._store(task, value)
+                    results[task.experiment_id] = value
+                    records[task.experiment_id] = self._final_record(
+                        task, STATUS_OK)
+                    continue
+                task.last_error = value
+            else:
+                task.add_phase("run", residual)
+                record_span("engine.run", slot.launched, residual,
+                            experiment=task.experiment_id,
+                            attempt=task.attempts,
+                            worker_pid=slot.process.pid, chunked=True,
+                            timed_out=timed_out)
+                if timed_out:
+                    add_counter("engine.timeouts")
+                    task.last_error = (
+                        f"timeout: chunk of {len(slot.tasks)} exceeded "
+                        f"{elapsed:.1f} s")
+                else:
+                    task.last_error = (
+                        f"worker exited before a result "
+                        f"(exit code {slot.process.exitcode})")
+            if task.attempts < max_attempts:
+                self._schedule_retry(task, pending)
+            else:
+                status_final = (STATUS_TIMEOUT
+                                if timed_out and outcome is None
+                                else STATUS_FAILED)
+                records[task.experiment_id] = self._final_record(
+                    task, status_final)
 
     @staticmethod
     def _final_record(task: _Task, status: str) -> RunRecord:

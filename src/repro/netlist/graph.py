@@ -209,6 +209,38 @@ class Netlist:
             delay *= lc_delay_factor(vdd / self.nominal_vdd_v)
         return delay
 
+    def gate_delays(self) -> dict[str, float]:
+        """Delay of every instance into its current load, in bulk [s].
+
+        Identical arithmetic to calling :meth:`gate_delay_s` per name --
+        sink pin capacitances accumulate onto the wire capacitance in
+        fanout order -- but each instance's gate model and input
+        capacitance are evaluated once instead of once per fanout edge,
+        which is what makes full-netlist timing passes scale.
+        """
+        if not self.instances:
+            return {}
+        models = {name: instance.model()
+                  for name, instance in self.instances.items()}
+        input_caps = {name: model.input_cap_f
+                      for name, model in models.items()}
+        unit_cap = self._unit_input_cap()
+        delays: dict[str, float] = {}
+        for name, instance in self.instances.items():
+            load = self.wire_cap_per_net_f
+            for sink_name in self._fanouts[name]:
+                load += input_caps[sink_name]
+            if name in self._output_set:
+                load += FLOP_LOAD_FACTOR * unit_cap
+            if instance.level_converter:
+                load += self.lc_cap_f(instance)
+            vdd = instance.effective_vdd(self.nominal_vdd_v)
+            delay = models[name].delay_s(load, vdd_v=vdd)
+            if instance.level_converter:
+                delay *= lc_delay_factor(vdd / self.nominal_vdd_v)
+            delays[name] = delay
+        return delays
+
     def needs_level_converter(self, name: str) -> bool:
         """True when ``name`` drives any sink at a higher supply."""
         instance = self.instances[name]

@@ -5,8 +5,9 @@ run at Vdd,l and only critical gates keep Vdd,h, with the structural rule
 that a Vdd,l gate never drives a Vdd,h gate directly -- level conversion
 happens only at the (flop) boundary.  We therefore sweep the netlist in
 reverse topological order: a gate is a candidate once *all* of its
-fanouts are already at Vdd,l (or it is an endpoint), and the assignment
-is kept only if the clock period still holds.
+fanouts already run at Vdd,l (a fanout-free gate must be an endpoint,
+and a mixed endpoint/fanout gate still needs every gate fanout low),
+and the assignment is kept only if the clock period still holds.
 
 The paper's calibration points, which the benchmarks check:
 
@@ -92,19 +93,37 @@ def assign_cvs(netlist: Netlist, vdd_ratio: float = DEFAULT_VDD_RATIO,
     for name in reversed(netlist.topo_order()):
         instance = netlist.instances[name]
         fanouts = netlist.fanouts(name)
+        # Structural eligibility.  Every fanout sink must already *run*
+        # at Vdd,l -- judged by effective supply, not by whether an
+        # override is merely present, so a sink explicitly pinned at
+        # Vdd,h (or reverted by a failed timing probe) blocks its
+        # drivers.  Sinks are always instances in this graph model
+        # (primary outputs are instances, never bare terminals), so the
+        # supply lookup is total.  A gate with no fanouts must be an
+        # endpoint (finalize() guarantees this); a *mixed*
+        # endpoint/fanout gate still needs all its fanouts low -- its
+        # flop boundary converts, its gate fanouts do not.
         eligible = all(
-            netlist.instances[sink].vdd_v is not None for sink in fanouts
-        ) and (fanouts or name in endpoints)
+            netlist.instances[sink].effective_vdd(vdd_high)
+            <= vdd_low + 1e-9
+            for sink in fanouts
+        ) and (bool(fanouts) or name in endpoints)
         if not eligible:
             continue
+        # A failed probe restores the supply the gate *had*, not the
+        # nominal default -- on a repeated pass (deeper ratio) the gate
+        # may already hold a previous Vdd,l, and snapping it back to
+        # Vdd,h would retroactively break the structural rule for the
+        # drivers lowered beneath it.
+        previous_vdd = instance.vdd_v
+        previous_lc = instance.level_converter
         instance.vdd_v = vdd_low
-        needs_lc = netlist.needs_level_converter(name)
-        instance.level_converter = needs_lc
+        instance.level_converter = netlist.needs_level_converter(name)
         if timer.try_change([name]):
             n_low += 1
         else:
-            instance.vdd_v = None
-            instance.level_converter = False
+            instance.vdd_v = previous_vdd
+            instance.level_converter = previous_lc
 
     n_lc = netlist.refresh_level_converters()
     power_after = netlist_power(netlist, activity, temperature_k)

@@ -47,6 +47,7 @@ from repro.reliability.faults import (
 from repro.reliability.guard import (
     FALLBACK_BISECT,
     FALLBACK_DENSE,
+    FALLBACK_DIRECT,
     FALLBACK_RELAXATION,
     GuardedRoot,
     GuardedSolution,
@@ -70,6 +71,7 @@ __all__ = [
     "FAULT_TRANSIENT",
     "FALLBACK_BISECT",
     "FALLBACK_DENSE",
+    "FALLBACK_DIRECT",
     "FALLBACK_RELAXATION",
     "FaultOutcome",
     "FaultPlan",

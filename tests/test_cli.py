@@ -80,6 +80,31 @@ def test_run_all_subset(capsys, tmp_path):
     assert "2 total: 2 ok" in out
 
 
+def test_run_all_workers_alias(capsys, tmp_path):
+    code = main(["run-all", "--workers", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1", "E-T2"])
+    assert code == 0
+    assert "2 total: 2 ok" in capsys.readouterr().out
+
+
+def test_bad_repro_workers_is_a_clean_usage_error(capsys, tmp_path,
+                                                  monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "many")
+    # Unrelated commands resolve no worker count and stay unaffected.
+    assert main(["roadmap"]) == 0
+    capsys.readouterr()
+    # Sweep commands report the bad value as a usage error (exit 2)...
+    code = main(["run-all", "--cache-dir", str(tmp_path / "cache"),
+                 "E-T1"])
+    assert code == 2
+    assert "REPRO_WORKERS" in capsys.readouterr().err
+    # ...unless --jobs/--workers overrides the environment.
+    code = main(["run-all", "--jobs", "1",
+                 "--cache-dir", str(tmp_path / "cache"), "E-T1"])
+    assert code == 0
+
+
 def test_run_all_warm_run_hits_cache(capsys, tmp_path):
     cache_dir = str(tmp_path / "cache")
     assert main(["run-all", "--jobs", "2", "--cache-dir", cache_dir,

@@ -354,6 +354,102 @@ def test_bounded_retries_recover_flaky_runner(tmp_path, monkeypatch):
     assert sweep.results["E-FLAKY"] == {"value": "recovered"}
 
 
+# -- scheduler: worker configuration and chunking ---------------------
+
+
+def test_default_jobs_honours_repro_workers(monkeypatch):
+    from repro.engine import default_jobs
+
+    monkeypatch.setenv("REPRO_WORKERS", "9")
+    assert default_jobs() == 9
+    monkeypatch.setenv("REPRO_WORKERS", "many")
+    with pytest.raises(ReproError, match="REPRO_WORKERS"):
+        default_jobs()
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    with pytest.raises(ReproError, match=">= 1"):
+        default_jobs()
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert 1 <= default_jobs() <= 4  # capped default for CI machines
+
+
+def test_chunk_target_policy(tmp_path):
+    engine = ExecutionEngine(_config(tmp_path, jobs=2))
+    # Small sweeps never chunk: each worker would get <= 4 tasks.
+    assert engine._chunk_target(8) == 1
+    # Large backlogs amortise process start-up, capped at 8.
+    assert engine._chunk_target(40) == 5
+    assert engine._chunk_target(1000) == 8
+    pinned = ExecutionEngine(_config(tmp_path, jobs=2, chunk_size=3))
+    assert pinned._chunk_target(1000) == 3
+    # Fault plans need per-task process isolation.
+    plan = FaultPlan("t", (FaultSpec("transient", "E-T1"),))
+    faulty = ExecutionEngine(_config(tmp_path, jobs=2, chunk_size=3,
+                                     fault_plan=plan))
+    assert faulty._chunk_target(1000) == 1
+
+
+def test_chunked_sweep_returns_every_result(tmp_path, monkeypatch):
+    ids = []
+    for index in range(10):
+        experiment_id = f"E-CHUNK{index}"
+
+        def runner(index=index):
+            return {"value": index}
+
+        _inject(monkeypatch, experiment_id, runner)
+        ids.append(experiment_id)
+    sweep = run_experiments(ids,
+                            config=_config(tmp_path, chunk_size=4))
+    assert sweep.all_ok
+    assert sweep.results == {f"E-CHUNK{i}": {"value": i}
+                             for i in range(10)}
+    assert all(record.attempts == 1 for record in sweep.records)
+
+
+def test_chunk_isolates_failing_member(tmp_path, monkeypatch):
+    def bad_runner():
+        raise ValueError("chunk member fails")
+
+    _inject(monkeypatch, "E-BAD", bad_runner)
+    ids = ["E-T1", "E-BAD", "E-T2", "E-F1"]
+    sweep = run_experiments(ids,
+                            config=_config(tmp_path, jobs=1,
+                                           chunk_size=4))
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-BAD"].status == "failed"
+    assert "chunk member fails" in by_id["E-BAD"].error
+    for ok_id in ("E-T1", "E-T2", "E-F1"):
+        assert by_id[ok_id].status == "ok"
+        assert ok_id in sweep.results
+
+
+def test_chunk_crash_retries_unfinished_singly(tmp_path, monkeypatch):
+    # A worker dying mid-chunk must not lose its chunk-mates: every
+    # unreported task is retried individually (attempts > 0 tasks are
+    # never re-chunked).
+    marker = tmp_path / "died.log"
+
+    def dying_once_runner():
+        if not marker.exists():
+            marker.write_text("x")
+            os._exit(9)
+        return {"value": "recovered"}
+
+    def ok_runner():
+        return {"value": "fine"}
+
+    _inject(monkeypatch, "E-DIE", dying_once_runner)
+    _inject(monkeypatch, "E-AFTER", ok_runner)
+    sweep = run_experiments(
+        ["E-DIE", "E-AFTER"],
+        config=_config(tmp_path, jobs=1, chunk_size=2, retries=1))
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-DIE"].status == "ok"
+    assert by_id["E-DIE"].attempts == 2
+    assert by_id["E-AFTER"].status == "ok"
+    assert sweep.results["E-DIE"] == {"value": "recovered"}
+
+
 # -- scheduler: API surface -------------------------------------------
 
 
@@ -497,10 +593,11 @@ def test_wall_time_immune_to_backwards_clock(tmp_path, monkeypatch):
 
 
 def test_no_wall_clock_deltas_in_repro_sources():
-    """time.time() may appear only where a unix *timestamp* is wanted:
-    the cache's created_at field and the obs clock anchor."""
+    """time.time() may appear only at the obs clock anchor; every other
+    unix-scale stamp (including the cache's created_at) must come from
+    wall_now(), which is monotonic-derived and NTP-step-safe."""
     src = Path(__file__).resolve().parent.parent / "src" / "repro"
-    allowed = {src / "engine" / "cache.py", src / "obs" / "clock.py"}
+    allowed = {src / "obs" / "clock.py"}
     offenders = sorted(
         str(path.relative_to(src)) for path in src.rglob("*.py")
         if path not in allowed

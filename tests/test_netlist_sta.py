@@ -106,6 +106,36 @@ class TestInvariants:
         utilisation = report.path_utilisation()
         assert all(0.0 < value <= 1.0 for value in utilisation.values())
 
+    def test_path_utilisation_covers_exactly_the_endpoints(self):
+        # The statistic is a per-*path* utilisation: one entry per
+        # primary-output endpoint, none for internal gates (which used
+        # to dilute the distribution toward zero).
+        netlist = random_netlist(100, n_gates=200, seed=3,
+                                 clock_margin=1.1)
+        report = compute_sta(netlist)
+        utilisation = report.path_utilisation()
+        assert set(utilisation) == set(netlist.primary_outputs)
+        assert len(utilisation) < len(netlist.topo_order())
+
+    def test_path_utilisation_pinned_on_chain(self, library):
+        # A 4-stage chain has exactly one endpoint; its utilisation is
+        # the endpoint arrival over the clock period, to the digit.
+        netlist = _chain(library, 4)
+        report = compute_sta(netlist)
+        utilisation = report.path_utilisation()
+        assert list(utilisation) == ["g3"]
+        assert utilisation["g3"] == pytest.approx(
+            report.arrival_s["g3"] / netlist.clock_period_s, rel=1e-12)
+
+    def test_critical_path_from_primary_input_only(self, library):
+        # Worst endpoint driven directly by a PI: its worst_fanin is
+        # None immediately, so the critical path is that single gate.
+        netlist = _chain(library, 1)
+        report = compute_sta(netlist)
+        assert list(report.critical_path) == ["g0"]
+        assert report.critical_delay_s == pytest.approx(
+            netlist.gate_delay_s("g0"))
+
     def test_bad_period_rejected(self):
         netlist = random_netlist(100, n_gates=60, seed=0)
         with pytest.raises(NetlistError):

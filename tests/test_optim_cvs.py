@@ -93,3 +93,49 @@ def test_lower_ratio_lowers_fewer_gates():
     gentle = assign_cvs(_netlist(seed=7), vdd_ratio=0.8)
     harsh = assign_cvs(_netlist(seed=7), vdd_ratio=0.5)
     assert harsh.low_vdd_fraction <= gentle.low_vdd_fraction
+
+
+def test_repeated_passes_respect_effective_supplies():
+    # A second CVS pass at a deeper ratio sees sinks whose overrides
+    # are *present* but sit at the previous, higher Vdd,l (or were
+    # reverted by a failed timing probe).  Eligibility judges effective
+    # supply, not override presence, so a re-lowered driver can never
+    # end up below a sink that kept the older level.
+    netlist = _netlist(seed=5)
+    assign_cvs(netlist, vdd_ratio=0.8)
+    assign_cvs(netlist, vdd_ratio=0.5)
+    nominal = netlist.nominal_vdd_v
+    for name, instance in netlist.instances.items():
+        driver_vdd = instance.effective_vdd(nominal)
+        for sink in netlist.fanouts(name):
+            sink_vdd = netlist.instances[sink].effective_vdd(nominal)
+            assert driver_vdd >= sink_vdd - 1e-9, \
+                f"{name} at {driver_vdd} V drives {sink} at {sink_vdd} V"
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
+
+
+def test_mixed_endpoint_and_fanout_gate_lowered_with_its_fanout():
+    # A gate can be a primary output *and* drive further logic.  Such a
+    # mixed gate is lowered only once every gate fanout runs low (its
+    # flop boundary converts; the gate edge does not), and on a
+    # slack-rich chain both it and its fanout end up low.
+    from repro.circuits.gate import GateKind
+    from repro.circuits.library import build_library
+    from repro.netlist.graph import Netlist
+
+    library = build_library(100)
+    inv = library.cells_of_kind(GateKind.INVERTER)[6]
+    netlist = Netlist(100, clock_period_s=1e-9)
+    netlist.add_input("a")
+    netlist.add_instance("g0", inv, ("a",))
+    netlist.add_instance("g1", inv, ("g0",))
+    netlist.mark_output("g0")
+    netlist.finalize()
+    assert set(netlist.primary_outputs) == {"g0", "g1"}
+    assert netlist.fanouts("g0") == ("g1",)
+
+    result = assign_cvs(netlist)
+    assert result.n_low_vdd == 2
+    assert netlist.instances["g0"].vdd_v is not None
+    assert netlist.instances["g1"].vdd_v is not None
+    assert compute_sta(netlist).meets_timing(tolerance_s=1e-15)
