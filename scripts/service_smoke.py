@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the experiment service daemon.
+
+CI gate for ``repro serve``: starts the daemon as a subprocess, drives
+it over HTTP with the :class:`~repro.service.client.ServiceClient`,
+and asserts the service contract:
+
+1. a **cold** job over the given experiments completes via the job API
+   (submit -> poll -> done) with results for every experiment;
+2. an identical **warm** resubmission is served from the shared result
+   store (>= ``--min-hit-rate`` of its records are cache hits) and the
+   store stats route shows the hits;
+3. the JSONL event stream replays the full job lifecycle
+   (queued -> running -> record* -> done);
+4. ``SIGTERM`` shuts the daemon down gracefully: it drains, writes the
+   service trace artifact, and exits with the interrupted code (4).
+
+Exit 0 when every check passes; exit 1 with the failure list
+otherwise.  The trace artifact is left behind for
+``scripts/check_trace.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py \
+        --cache-dir smoke-store --trace-out service-trace.json \
+        E-T1 E-T2
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service import ServiceClient, ServiceError
+
+#: ``repro serve`` exits with this after a drain signal.
+EXIT_INTERRUPTED = 4
+
+DEFAULT_IDS = ("E-T1", "E-T2")
+
+
+def _fail(problems: list[str], message: str) -> None:
+    problems.append(message)
+    print(f"FAIL: {message}", file=sys.stderr)
+
+
+def _wait_for_port(log_path: Path, deadline_s: float) -> str:
+    """The daemon announces its URL on stdout; poll the log for it."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if log_path.exists():
+            text = log_path.read_text(encoding="utf-8")
+            for token in text.split():
+                if token.startswith("http://"):
+                    return token
+        time.sleep(0.1)
+    raise RuntimeError(
+        f"service did not announce a URL within {deadline_s:.0f}s; "
+        f"log:\n{log_path.read_text(encoding='utf-8') if log_path.exists() else '<missing>'}")
+
+
+def _run_job(client: ServiceClient, ids: list[str], tenant: str,
+             timeout_s: float) -> dict:
+    job = client.submit(ids, tenant=tenant)
+    print(f"submitted {job['id']} (tenant={tenant}, "
+          f"state={job['state']})")
+    final = client.wait(job["id"], timeout_s=timeout_s)
+    print(f"  -> {final['state']}, "
+          f"{len(final.get('records', []))} record(s)")
+    return final
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment_ids", nargs="*", metavar="id",
+                        default=None,
+                        help=f"experiments to sweep (default: "
+                             f"{' '.join(DEFAULT_IDS)})")
+    parser.add_argument("--cache-dir", default="smoke-store",
+                        help="shared store directory")
+    parser.add_argument("--trace-out", default="service-trace.json",
+                        help="service trace artifact path")
+    parser.add_argument("--job-timeout", type=float, default=300.0,
+                        help="per-job wait deadline in seconds")
+    parser.add_argument("--min-hit-rate", type=float, default=0.9,
+                        help="required warm-resubmit cache-hit "
+                             "fraction (default: %(default)s)")
+    args = parser.parse_args()
+    ids = list(args.experiment_ids or DEFAULT_IDS)
+    problems: list[str] = []
+
+    log_path = Path(args.cache_dir) / "serve.log"
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    with log_path.open("w", encoding="utf-8") as log:
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache-dir", args.cache_dir,
+             "--trace-out", args.trace_out],
+            stdout=log, stderr=subprocess.STDOUT)
+    try:
+        url = _wait_for_port(log_path, deadline_s=30.0)
+        print(f"daemon up at {url} (pid {daemon.pid})")
+        client = ServiceClient(url, timeout_s=60.0)
+
+        health = client.health()
+        if not health.get("ok"):
+            _fail(problems, f"healthz not ok: {health}")
+
+        cold = _run_job(client, ids, "smoke-cold", args.job_timeout)
+        if cold["state"] != "done":
+            _fail(problems,
+                  f"cold job finished {cold['state']}: "
+                  f"{cold.get('error')}")
+        results = client.result(cold["id"])["results"] or {}
+        missing = [i for i in ids if i not in results]
+        if missing:
+            _fail(problems, f"cold job results missing {missing}")
+
+        warm = _run_job(client, ids, "smoke-warm", args.job_timeout)
+        records = warm.get("records", [])
+        hits = sum(1 for record in records if record["cache_hit"])
+        rate = hits / max(1, len(records))
+        print(f"warm resubmit: {hits}/{len(records)} served from "
+              f"the shared store ({100.0 * rate:.0f}%)")
+        if warm["state"] != "done":
+            _fail(problems,
+                  f"warm job finished {warm['state']}: "
+                  f"{warm.get('error')}")
+        if rate < args.min_hit_rate:
+            _fail(problems,
+                  f"warm hit rate {rate:.2f} below required "
+                  f"{args.min_hit_rate:.2f}")
+
+        events = [event["event"] for event
+                  in client.events(warm["id"])]
+        for expected in ("queued", "running", "record", "done"):
+            if expected not in events:
+                _fail(problems,
+                      f"event stream missing {expected!r}: {events}")
+
+        store = client.store()
+        print(f"store: {store['entries']} entries, "
+              f"{store['bytes']} bytes, "
+              f"hit rate {store['hit_rate']}")
+        if store["entries"] < len(ids):
+            _fail(problems,
+                  f"store holds {store['entries']} entries, "
+                  f"expected >= {len(ids)}")
+        if not store["journal_hits"]:
+            _fail(problems, "store journal shows no cache hits "
+                            "after a warm resubmission")
+
+        stats = client.stats()
+        done = stats["counters"].get("service.jobs_done", 0)
+        if done < 2:
+            _fail(problems,
+                  f"service.jobs_done counter is {done}, expected 2")
+    except (ServiceError, RuntimeError, OSError) as exc:
+        _fail(problems, f"smoke driver error: {exc}")
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            code = daemon.wait()
+            _fail(problems, "daemon did not drain within 60s of "
+                            "SIGTERM (killed)")
+        else:
+            print(f"daemon exited {code} after SIGTERM")
+            if code != EXIT_INTERRUPTED:
+                _fail(problems,
+                      f"expected graceful-drain exit code "
+                      f"{EXIT_INTERRUPTED}, got {code}")
+
+    if not Path(args.trace_out).exists():
+        _fail(problems,
+              f"no service trace artifact at {args.trace_out}")
+
+    if problems:
+        print(f"\nservice smoke FAILED "
+              f"({len(problems)} problem(s))", file=sys.stderr)
+        return 1
+    print("\nservice smoke passed: cold sweep, warm shared-store "
+          "resubmit, event stream, graceful SIGTERM drain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

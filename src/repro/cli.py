@@ -28,6 +28,18 @@ Commands
     per experiment, written as a schema-versioned ``BENCH_*.json``
     snapshot and compared against the newest earlier snapshot in the
     output directory with a noise-aware threshold.
+``serve [--host H] [--port P] [--queue-depth N] ...``
+    Run the experiment service daemon: an HTTP/JSON job API with a
+    bounded multi-tenant admission queue, dispatcher threads over the
+    execution engine, and the shared result store.  SIGINT/SIGTERM
+    drains in-flight jobs and exits with the interrupted code.
+``jobs <submit|list|status|events|results|cancel|stats|store|shutdown>``
+    Client for a running service: submit a sweep and optionally wait,
+    inspect or cancel jobs, stream JSONL events, read service metrics.
+``cache <stats|prune> [--cache-dir D]``
+    Inspect the shared result store (entry count, bytes, hit rate,
+    quarantine and claim populations) or prune it by age / entry
+    count / total size with LRU eviction.
 ``roadmap``
     Print the ITRS roadmap table the models are built on.
 
@@ -35,13 +47,19 @@ Exit codes
 ----------
 ``run-all``, ``trace`` and ``stats``: 0 all experiments ok; 1 partial
 success (some ran, some failed); 2 usage/configuration error; 3 total
-failure (nothing ok).
+failure (nothing ok); 4 a drain signal (SIGINT/SIGTERM) interrupted
+the sweep -- in-flight experiments finished and were journalled,
+pending ones were cancelled.
 ``chaos``: 0 every recoverable fault absorbed; 1 an unrecoverable
 fault surfaced (by design); 2 usage error; 3 a recoverable fault
 surfaced or results were lost -- a reliability bug.
 ``bench``: 0 snapshot written and no regression (or nothing to compare
 against); 1 a benchmark regressed past the threshold; 2 usage error;
 3 a benchmarked experiment failed.
+``serve``: 0 clean shutdown (``POST /v1/shutdown``); 4 stopped by a
+drain signal.
+``jobs``: 0 success; 1 the awaited job failed; 2 usage error; 5 the
+service rejected the submission with backpressure (HTTP 429).
 """
 
 from __future__ import annotations
@@ -87,11 +105,27 @@ from repro.obs import (
     write_trace,
 )
 from repro.reliability import BUILTIN_PLANS, load_plan, run_chaos
+from repro.service import (
+    BackpressureError,
+    PRIORITIES,
+    QueueConfig,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    StoreManager,
+    run_service,
+)
 
 #: run-all exit codes (2 is argparse/config usage errors).
 EXIT_ALL_OK = 0
 EXIT_PARTIAL_FAILURE = 1
 EXIT_TOTAL_FAILURE = 3
+#: A drain signal stopped the sweep (or the daemon) gracefully.
+EXIT_INTERRUPTED = 4
+#: The service refused a submission with backpressure (HTTP 429).
+EXIT_BACKPRESSURE = 5
+
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8023"
 
 
 def _print_result(result: Any) -> None:
@@ -163,7 +197,9 @@ def _sweep_rows(sweep: SweepResult) -> list[list[Any]]:
 
 
 def _sweep_exit_code(sweep: SweepResult) -> int:
-    """0 all ok; 1 partial success; 3 total failure."""
+    """0 all ok; 1 partial success; 3 total failure; 4 interrupted."""
+    if sweep.interrupted:
+        return EXIT_INTERRUPTED
     if sweep.metrics.all_ok:
         return EXIT_ALL_OK
     if sweep.metrics.ok > 0:
@@ -449,6 +485,165 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison is None else comparison.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            cache_dir=Path(args.cache_dir),
+            queue=QueueConfig(max_depth=args.queue_depth,
+                              max_per_tenant=args.tenant_depth),
+            dispatchers=args.dispatchers,
+            executor=args.executor,
+            trace_out=(Path(args.trace_out)
+                       if args.trace_out else None),
+            store_max_bytes=args.store_max_bytes,
+            store_max_entries=args.store_max_entries,
+            store_max_age_s=args.store_max_age,
+        )
+    except (ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    signalled = run_service(config)
+    print("repro service stopped"
+          + (" (drain signal)" if signalled else ""))
+    return EXIT_INTERRUPTED if signalled else EXIT_ALL_OK
+
+
+def _jobs_client(args: argparse.Namespace) -> ServiceClient:
+    return ServiceClient(args.url, timeout_s=args.http_timeout)
+
+
+def _job_row(job: dict) -> list[Any]:
+    return [job["id"], job["state"], job["tenant"], job["priority"],
+            len(job.get("experiments", [])) or "all",
+            _error_tail(job.get("error"), width=40)]
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = _jobs_client(args)
+    try:
+        return _dispatch_jobs(args, client)
+    except BackpressureError as exc:
+        print(f"rejected: {exc} "
+              f"(retry after {exc.retry_after_s:g}s)",
+              file=sys.stderr)
+        return EXIT_BACKPRESSURE
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch_jobs(args: argparse.Namespace,
+                   client: ServiceClient) -> int:
+    action = args.jobs_command
+    if action == "submit":
+        job = client.submit(
+            args.experiment_ids or None, tenant=args.tenant,
+            priority=args.priority, timeout_s=args.timeout,
+            retries=args.retries, workers=args.workers,
+            use_cache=not args.no_cache)
+        if not args.wait:
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return EXIT_ALL_OK
+        final = client.wait(job["id"], timeout_s=args.wait_timeout)
+        print(json.dumps(final, indent=2, sort_keys=True))
+        return (EXIT_ALL_OK if final["state"] == "done"
+                else EXIT_PARTIAL_FAILURE)
+    if action == "list":
+        jobs = client.jobs(args.tenant)
+        print(render_table(
+            ["id", "state", "tenant", "priority", "experiments",
+             "error"], [_job_row(job) for job in jobs]))
+        return EXIT_ALL_OK
+    if action == "status":
+        print(json.dumps(client.job(args.job_id), indent=2,
+                         sort_keys=True))
+        return EXIT_ALL_OK
+    if action == "events":
+        for event in client.events(args.job_id, follow=args.follow):
+            print(json.dumps(event, sort_keys=True))
+        return EXIT_ALL_OK
+    if action == "results":
+        payload = client.result(args.job_id)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return (EXIT_ALL_OK if payload["state"] == "done"
+                else EXIT_PARTIAL_FAILURE)
+    if action == "cancel":
+        payload = client.cancel(args.job_id)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_ALL_OK if payload["cancelled"] else 2
+    if action == "stats":
+        if args.format == "prom":
+            print(client.stats_prometheus(), end="")
+        else:
+            print(json.dumps(client.stats(), indent=2,
+                             sort_keys=True))
+        return EXIT_ALL_OK
+    if action == "store":
+        print(json.dumps(client.store(), indent=2, sort_keys=True))
+        return EXIT_ALL_OK
+    # shutdown
+    print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+    return EXIT_ALL_OK
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return (f"{value:.1f} {unit}" if unit != "B"
+                    else f"{count} B")
+        value /= 1024.0
+    return f"{count} B"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    manager = StoreManager(Path(args.cache_dir))
+    if args.cache_command == "stats":
+        stats = manager.stats()
+        if args.json:
+            print(json.dumps(stats.to_json_dict(), indent=2,
+                             sort_keys=True))
+            return EXIT_ALL_OK
+        hit_rate = ("-" if stats.hit_rate is None
+                    else f"{100.0 * stats.hit_rate:.1f}%")
+        print(render_table(["store", "value"], [
+            ["directory", str(manager.root)],
+            ["entries", stats.entries],
+            ["size", _format_bytes(stats.bytes)],
+            ["quarantined", stats.quarantined],
+            ["live claims", stats.claims],
+            ["journalled runs", stats.journal_runs],
+            ["journalled hits", stats.journal_hits],
+            ["hit rate", hit_rate],
+        ]))
+        return EXIT_ALL_OK
+    # prune
+    if (args.max_age is None and args.max_entries is None
+            and args.max_bytes is None):
+        print("error: prune needs at least one bound "
+              "(--max-age / --max-entries / --max-bytes)",
+              file=sys.stderr)
+        return 2
+    report = manager.prune(max_age_s=args.max_age,
+                           max_entries=args.max_entries,
+                           max_bytes=args.max_bytes)
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2,
+                         sort_keys=True))
+    else:
+        reasons = ", ".join(f"{reason}: {count}" for reason, count
+                            in sorted(report.reasons.items()))
+        print(f"evicted {report.evicted} entr"
+              f"{'y' if report.evicted == 1 else 'ies'} "
+              f"({_format_bytes(report.freed_bytes)} freed"
+              + (f"; {reasons}" if reasons else "")
+              + f"), kept {report.kept} "
+              f"({_format_bytes(report.kept_bytes)})")
+    return EXIT_ALL_OK
+
+
 def _cmd_roadmap() -> int:
     headers = ["node [nm]", "year", "Vdd [V]", "Leff [nm]", "Tox [A]",
                "clock [GHz]", "power [W]", "area [mm2]", "Tj [C]"]
@@ -583,6 +778,118 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="write the snapshot without comparing")
     bench.add_argument("--json", action="store_true",
                        help="emit the snapshot + comparison as JSON")
+    serve = subparsers.add_parser(
+        "serve", help="run the experiment service daemon")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: %(default)s)")
+    serve.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help=f"shared result store directory "
+                            f"(default: {DEFAULT_CACHE_DIR})")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="global admission queue bound "
+                            "(default: %(default)s)")
+    serve.add_argument("--tenant-depth", type=int, default=8,
+                       help="per-tenant queued-job bound "
+                            "(default: %(default)s)")
+    serve.add_argument("--dispatchers", type=int, default=1,
+                       help="concurrent jobs (default: %(default)s)")
+    serve.add_argument("--executor", choices=("process", "inline"),
+                       default="process",
+                       help="engine executor for job sweeps "
+                            "(default: %(default)s)")
+    serve.add_argument("--trace-out", default=None,
+                       help="write the service trace summary here on "
+                            "shutdown (json format)")
+    serve.add_argument("--store-max-bytes", type=int, default=None,
+                       help="prune the store past this size (LRU)")
+    serve.add_argument("--store-max-entries", type=int, default=None,
+                       help="prune the store past this entry count")
+    serve.add_argument("--store-max-age", type=float, default=None,
+                       metavar="S",
+                       help="prune entries idle longer than S seconds")
+
+    jobs = subparsers.add_parser(
+        "jobs", help="client for a running experiment service")
+    jobs.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                      help="service base URL (default: %(default)s)")
+    jobs.add_argument("--http-timeout", type=float, default=30.0,
+                      help="per-request timeout in seconds "
+                           "(default: %(default)s)")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_submit = jobs_sub.add_parser(
+        "submit", help="submit a sweep job")
+    jobs_submit.add_argument("experiment_ids", nargs="*", metavar="id",
+                             help="experiment ids (default: all)")
+    jobs_submit.add_argument("--tenant", default="default",
+                             help="tenant name (default: %(default)s)")
+    jobs_submit.add_argument("--priority", choices=PRIORITIES,
+                             default="normal",
+                             help="priority class "
+                                  "(default: %(default)s)")
+    jobs_submit.add_argument("--timeout", type=float, default=120.0,
+                             help="per-experiment timeout in seconds")
+    jobs_submit.add_argument("--retries", type=int, default=0,
+                             help="retries per failing experiment")
+    jobs_submit.add_argument("--workers", type=int, default=1,
+                             help="engine workers for this job")
+    jobs_submit.add_argument("--no-cache", action="store_true",
+                             help="bypass the shared result store")
+    jobs_submit.add_argument("--wait", action="store_true",
+                             help="poll until the job finishes and "
+                                  "print the final state")
+    jobs_submit.add_argument("--wait-timeout", type=float,
+                             default=300.0,
+                             help="--wait deadline in seconds "
+                                  "(default: %(default)s)")
+    jobs_list = jobs_sub.add_parser("list", help="list jobs")
+    jobs_list.add_argument("--tenant", default=None,
+                           help="only this tenant's jobs")
+    for name, help_text in (("status", "one job's full state"),
+                            ("results", "a finished job's results"),
+                            ("cancel", "cancel a queued job")):
+        sub = jobs_sub.add_parser(name, help=help_text)
+        sub.add_argument("job_id", help="job id")
+    jobs_events = jobs_sub.add_parser(
+        "events", help="print a job's JSONL event stream")
+    jobs_events.add_argument("job_id", help="job id")
+    jobs_events.add_argument("--follow", action="store_true",
+                             help="stream until the job finishes")
+    jobs_stats = jobs_sub.add_parser(
+        "stats", help="service metrics registry")
+    jobs_stats.add_argument("--format", choices=("json", "prom"),
+                            default="json",
+                            help="json (registry + queue summary) or "
+                                 "prom (Prometheus text exposition)")
+    jobs_sub.add_parser("store", help="shared store stats")
+    jobs_sub.add_parser("shutdown", help="gracefully stop the service")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune the shared result store")
+    cache.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
+                       help=f"store directory "
+                            f"(default: {DEFAULT_CACHE_DIR})")
+    cache_sub = cache.add_subparsers(dest="cache_command",
+                                     required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, size, hit rate, quarantine")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit stats as JSON")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict LRU entries down to the given bounds")
+    cache_prune.add_argument("--max-age", type=float, default=None,
+                             metavar="S",
+                             help="evict entries idle longer than S "
+                                  "seconds")
+    cache_prune.add_argument("--max-entries", type=int, default=None,
+                             help="keep at most N entries")
+    cache_prune.add_argument("--max-bytes", type=int, default=None,
+                             help="keep at most N bytes")
+    cache_prune.add_argument("--json", action="store_true",
+                             help="emit the prune report as JSON")
+
     subparsers.add_parser("roadmap", help="print the ITRS roadmap")
 
     args = parser.parse_args(argv)
@@ -600,4 +907,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_roadmap()

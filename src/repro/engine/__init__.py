@@ -29,11 +29,14 @@ path.
 
 from repro.engine.cache import (
     CacheStats,
+    ClaimInfo,
+    DEFAULT_CLAIM_TTL_S,
     ResultCache,
     runner_fingerprint,
 )
 from repro.engine.metrics import EngineMetrics
 from repro.engine.records import (
+    STATUS_CANCELLED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_TIMEOUT,
@@ -51,13 +54,16 @@ from repro.engine.scheduler import (
 
 __all__ = [
     "CacheStats",
+    "ClaimInfo",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_CLAIM_TTL_S",
     "EngineConfig",
     "EngineMetrics",
     "ExecutionEngine",
     "ResultCache",
     "RunJournal",
     "RunRecord",
+    "STATUS_CANCELLED",
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_TIMEOUT",

@@ -11,6 +11,7 @@ unchanged experiments return instantly while touched ones re-run.
 Layout under the cache root::
 
     <cache_dir>/objects/<experiment_id>--<fingerprint[:24]>.rpc
+    <cache_dir>/objects/<...>.rpc.claim    (in-flight computation leases)
     <cache_dir>/quarantine/                (corrupt entries, kept for autopsy)
     <cache_dir>/journal.jsonl              (written by the scheduler)
 
@@ -30,6 +31,21 @@ Crash safety:
 
 Results are pickled so they round-trip exactly (numpy scalars,
 tuples); an unpicklable result is simply not cached.
+
+Claims (cross-process dedup):
+
+When several processes -- concurrent CLI sweeps, or service jobs from
+different clients -- miss on the same ``(experiment, fingerprint)``
+key, only one should compute it.  A **claim** is an advisory lease on
+an in-flight entry: a ``<entry>.rpc.claim`` file created with
+``O_CREAT | O_EXCL`` (atomic on every platform we care about) holding
+the claimant's pid/host/timestamp.  The scheduler acquires the claim
+before launching a runner and releases it after the store; a process
+that loses the claim race polls for the stored result instead of
+recomputing.  Claims are *advisory* and crash-tolerant: a claim whose
+process died (same host) or whose age exceeds the TTL is **stale** and
+may be broken by any waiter, so a crashed claimant can never wedge the
+key -- the worst outcome is the duplicate computation we started with.
 """
 
 from __future__ import annotations
@@ -39,8 +55,10 @@ import hashlib
 import importlib.util
 import inspect
 import itertools
+import json
 import os
 import pickle
+import socket
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
@@ -52,6 +70,14 @@ CACHE_SCHEMA_VERSION = "2"
 
 #: Leading bytes of every valid cache entry file.
 ENTRY_MAGIC = b"RPROC2\n"
+
+#: Suffix appended to an entry path to form its claim (lease) file.
+CLAIM_SUFFIX = ".claim"
+
+#: Age past which a claim is considered abandoned by any waiter.  Two
+#: minutes matches the default per-experiment timeout: a healthy
+#: claimant either stores or releases well within it.
+DEFAULT_CLAIM_TTL_S = 120.0
 
 _DIGEST_BYTES = 32
 
@@ -222,6 +248,41 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     quarantined: int = 0
+    claims: int = 0
+    claim_waits: int = 0
+    claims_broken: int = 0
+
+
+@dataclass(frozen=True)
+class ClaimInfo:
+    """Who holds (or held) an in-flight entry's lease."""
+
+    pid: int
+    host: str
+    created_at: float  # wall_now() unix-scale stamp
+
+    def age_s(self, now: float | None = None) -> float:
+        return max(0.0, (wall_now() if now is None else now)
+                   - self.created_at)
+
+    def holder_alive(self) -> bool | None:
+        """Liveness of the claiming process.
+
+        ``True``/``False`` when the claim was taken on this host (pid
+        probe-able with ``os.kill(pid, 0)``), ``None`` when it came
+        from another machine and only the TTL can judge it.
+        """
+        if self.host != socket.gethostname():
+            return None
+        if self.pid <= 0:
+            return False
+        try:
+            os.kill(self.pid, 0)
+        except ProcessLookupError:
+            return False
+        except (OSError, PermissionError):
+            return True  # exists, just not ours to signal
+        return True
 
 
 class ResultCache:
@@ -233,6 +294,9 @@ class ResultCache:
         self._misses = 0
         self._stores = 0
         self._quarantined = 0
+        self._claims = 0
+        self._claim_waits = 0
+        self._claims_broken = 0
 
     @property
     def objects_dir(self) -> Path:
@@ -324,6 +388,12 @@ class ResultCache:
             read_span.set(hit=True, bytes=len(blob))
             observe("cache.entry_bytes", len(blob), SIZE_BUCKETS,
                     op="read")
+        try:
+            # Touch-on-read keeps mtime ~= last access, which is what
+            # the shared store's LRU eviction orders entries by.
+            os.utime(path)
+        except OSError:
+            pass
         self._hits += 1
         add_counter("cache.hits")
         return True, entry["result"]
@@ -362,6 +432,106 @@ class ResultCache:
         add_counter("cache.stores")
         return True
 
+    # -- claims (in-flight entry leases) ------------------------------
+
+    def claim_path(self, experiment_id: str, fingerprint: str) -> Path:
+        return Path(str(self.path_for(experiment_id, fingerprint))
+                    + CLAIM_SUFFIX)
+
+    def claim(self, experiment_id: str, fingerprint: str) -> bool:
+        """Try to lease the in-flight entry; True if this process won.
+
+        The claim file is created with ``O_CREAT | O_EXCL`` so exactly
+        one of any number of simultaneous claimants succeeds.  Failure
+        to create for any other reason (read-only cache, I/O error) is
+        reported as an acquired claim: claims are an optimisation, and
+        a cache that cannot hold leases must never block computation.
+        """
+        path = self.claim_path(experiment_id, fingerprint)
+        body = json.dumps({
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "created_at": wall_now(),
+        }).encode("utf-8")
+        try:
+            ensure_dir(path.parent)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                         0o644)
+        except FileExistsError:
+            return False
+        except (OSError, ReproError):
+            return True
+        try:
+            os.write(fd, body)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+        self._claims += 1
+        add_counter("cache.claims")
+        return True
+
+    def claim_holder(self, experiment_id: str,
+                     fingerprint: str) -> ClaimInfo | None:
+        """Parse the current claim; ``None`` when the key is unclaimed.
+
+        A claim file that cannot be parsed (torn write, foreign
+        content) reports an ancient zero-stamp holder, which every
+        staleness check treats as breakable.
+        """
+        path = self.claim_path(experiment_id, fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return ClaimInfo(pid=int(payload["pid"]),
+                             host=str(payload["host"]),
+                             created_at=float(payload["created_at"]))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            if not path.exists():
+                return None
+            return ClaimInfo(pid=0, host="", created_at=0.0)
+
+    @staticmethod
+    def claim_is_stale(info: ClaimInfo,
+                       ttl_s: float = DEFAULT_CLAIM_TTL_S) -> bool:
+        """True when a waiter may break this claim and take over."""
+        if info.age_s() > ttl_s:
+            return True
+        return info.holder_alive() is False
+
+    def release_claim(self, experiment_id: str,
+                      fingerprint: str) -> None:
+        """Drop this process's lease (missing file is fine)."""
+        try:
+            self.claim_path(experiment_id, fingerprint).unlink()
+        except OSError:
+            pass
+
+    def break_claim(self, experiment_id: str, fingerprint: str) -> None:
+        """Forcibly remove a stale claim so a waiter can take over."""
+        try:
+            self.claim_path(experiment_id, fingerprint).unlink()
+        except OSError:
+            return
+        self._claims_broken += 1
+        add_counter("cache.claims_broken")
+
+    def note_claim_wait(self) -> None:
+        """Count one task that waited on a foreign claim."""
+        self._claim_waits += 1
+        add_counter("cache.claim_waits")
+
+    def claim_count(self) -> int:
+        """Live claim files under the objects directory."""
+        if not self.objects_dir.is_dir():
+            return 0
+        try:
+            return sum(1 for _ in
+                       self.objects_dir.glob("*.rpc" + CLAIM_SUFFIX))
+        except OSError:
+            return 0
+
     def clear(self) -> int:
         """Delete every cache object; returns the number removed."""
         removed = 0
@@ -388,4 +558,7 @@ class ResultCache:
     def stats(self) -> CacheStats:
         return CacheStats(hits=self._hits, misses=self._misses,
                           stores=self._stores,
-                          quarantined=self._quarantined)
+                          quarantined=self._quarantined,
+                          claims=self._claims,
+                          claim_waits=self._claim_waits,
+                          claims_broken=self._claims_broken)

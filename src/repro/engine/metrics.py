@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Sequence
 
 from repro.engine.records import (
+    STATUS_CANCELLED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_TIMEOUT,
@@ -39,6 +40,7 @@ class EngineMetrics:
     ok: int
     failed: int
     timed_out: int
+    cancelled: int
     cache_hits: int
     cache_misses: int
     attempts: int
@@ -66,6 +68,8 @@ class EngineMetrics:
             ok=sum(r.status == STATUS_OK for r in records),
             failed=sum(r.status == STATUS_FAILED for r in records),
             timed_out=sum(r.status == STATUS_TIMEOUT for r in records),
+            cancelled=sum(r.status == STATUS_CANCELLED
+                          for r in records),
             cache_hits=sum(r.cache_hit for r in records),
             cache_misses=sum(not r.cache_hit for r in records),
             attempts=sum(r.attempts for r in records),
@@ -80,7 +84,8 @@ class EngineMetrics:
 
     @property
     def all_ok(self) -> bool:
-        return self.failed == 0 and self.timed_out == 0
+        return (self.failed == 0 and self.timed_out == 0
+                and self.cancelled == 0)
 
     @property
     def fully_cached(self) -> bool:
@@ -109,7 +114,8 @@ class EngineMetrics:
                         else f"{speedup:.2f}x")
         lines = [
             f"experiments  {self.total} total: {self.ok} ok, "
-            f"{self.failed} failed, {self.timed_out} timed out",
+            f"{self.failed} failed, {self.timed_out} timed out, "
+            f"{self.cancelled} cancelled",
             f"cache        {self.cache_hits} hits, "
             f"{self.cache_misses} misses",
             f"attempts     {self.attempts} ({self.retries} retries)",

@@ -14,9 +14,11 @@ Journal schema (one JSON object per line)::
      "started_at": 1754380800.123,
      "phases": {"lookup": 0.001, "run": 0.011}}
 
-``status`` is one of ``ok`` / ``failed`` / ``timeout``; ``error`` is
-the ``repr`` of the exception for failed runs (or a worker-exit /
-timeout description) and ``null`` otherwise; ``started_at`` is a unix
+``status`` is one of ``ok`` / ``failed`` / ``timeout`` /
+``cancelled`` (the task was still pending when a graceful-shutdown
+signal drained the sweep); ``error`` is the ``repr`` of the exception
+for failed runs (or a worker-exit / timeout / interruption
+description) and ``null`` otherwise; ``started_at`` is a unix
 timestamp of the first attempt (monotonic-anchored, see
 :func:`repro.obs.wall_now`).  ``phases`` maps phase name to seconds
 spent in it across all attempts: ``lookup`` / ``run`` / ``store`` are
@@ -42,8 +44,10 @@ from typing import Iterable
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
+STATUS_CANCELLED = "cancelled"
 
-STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT)
+STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT,
+            STATUS_CANCELLED)
 
 #: Experiment-id letter -> artifact family, e.g. ``E-T1`` -> table.
 #: Families label the per-family latency histograms and the

@@ -20,6 +20,17 @@ The scheduler executes any subset of the experiment registry with
 * the **content-addressed cache** of :mod:`repro.engine.cache`, so
   experiments whose transitive source is unchanged return instantly
   without spawning a worker;
+* **cross-process claims**: before launching a runner the scheduler
+  leases the task's cache key (``<entry>.rpc.claim``); a concurrent
+  sweep or service job that loses the race polls for the winner's
+  stored result (``shared`` wait phase) instead of recomputing, with
+  TTL-bounded staleness so a crashed claimant never wedges a key;
+* **graceful shutdown**: SIGINT/SIGTERM (main thread only) switch the
+  scheduler into drain mode -- no new launches, in-flight workers and
+  chunks finish and store their results, never-launched tasks settle
+  as ``cancelled`` records, and the journal is flushed on the normal
+  exit path.  :attr:`SweepResult.interrupted` reports it and the CLI
+  maps it to a distinct exit code;
 * a JSONL **run journal** plus an aggregate
   :class:`~repro.engine.metrics.EngineMetrics` summary;
 * an optional **fault-injection hook**: when
@@ -57,6 +68,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as signal_module
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -64,9 +77,14 @@ from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 from typing import Any, Sequence
 
-from repro.engine.cache import ResultCache, runner_fingerprint
+from repro.engine.cache import (
+    DEFAULT_CLAIM_TTL_S,
+    ResultCache,
+    runner_fingerprint,
+)
 from repro.engine.metrics import EngineMetrics
 from repro.engine.records import (
+    STATUS_CANCELLED,
     STATUS_FAILED,
     STATUS_OK,
     STATUS_TIMEOUT,
@@ -110,8 +128,9 @@ EXECUTOR_INLINE = "inline"
 
 #: Phase names that measure waiting rather than work; every other
 #: phase on a record is active time, and the active phases sum to the
-#: record's ``wall_time_s``.
-WAIT_PHASES = ("queue", "retry")
+#: record's ``wall_time_s``.  ``shared`` is time spent waiting on a
+#: foreign cache claim (another process computing the same key).
+WAIT_PHASES = ("queue", "retry", "shared")
 
 #: record phase -> histogram metric it lands in when metrics are
 #: active.  The ``run`` phase additionally carries a ``family`` label
@@ -122,7 +141,13 @@ _PHASE_METRICS = {
     "store": "engine.store_s",
     "queue": "engine.queue_wait_s",
     "retry": "engine.retry_wait_s",
+    "shared": "engine.shared_wait_s",
 }
+
+#: Signals that trigger a graceful drain when the engine runs on the
+#: main thread (worker threads -- e.g. inside the service daemon --
+#: never install handlers; the daemon owns its own signal policy).
+DRAIN_SIGNALS = (signal_module.SIGINT, signal_module.SIGTERM)
 
 
 def observe_record_metrics(metrics: MetricsRegistry,
@@ -183,6 +208,18 @@ class EngineConfig:
     #: an explicit value pins it.  Retries and fault-plan runs always
     #: execute singly.
     chunk_size: int | None = None
+    #: Lease in-flight cache entries so concurrent sweeps over the
+    #: same cache directory never compute the same key twice: the
+    #: claim loser polls for the winner's stored result instead of
+    #: launching a worker.  Claims are advisory and TTL-bounded --
+    #: a crashed claimant's lease goes stale and is broken.
+    claim_results: bool = True
+    claim_ttl_s: float = DEFAULT_CLAIM_TTL_S
+    claim_poll_s: float = 0.05
+    #: Install SIGINT/SIGTERM handlers (main thread only) that drain
+    #: in-flight tasks, cancel pending ones, and flush the journal
+    #: instead of tearing the pool down mid-chunk.
+    handle_signals: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -194,6 +231,12 @@ class EngineConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.claim_ttl_s <= 0:
+            raise ValueError(
+                f"claim_ttl_s must be > 0, got {self.claim_ttl_s}")
+        if self.claim_poll_s <= 0:
+            raise ValueError(
+                f"claim_poll_s must be > 0, got {self.claim_poll_s}")
 
     @property
     def effective_journal_path(self) -> Path | None:
@@ -213,6 +256,10 @@ class SweepResult:
     results: dict[str, Any]
     metrics: EngineMetrics
     fired_faults: tuple[FiredFault, ...] = ()
+    #: True when a drain signal interrupted the sweep: in-flight tasks
+    #: finished and were stored, pending ones carry ``cancelled``
+    #: records, and the journal holds all of them.
+    interrupted: bool = False
 
     @property
     def all_ok(self) -> bool:
@@ -315,6 +362,9 @@ class _Task:
     last_error: str | None = None
     ready_at: float = 0.0    # monotonic time the task became runnable
     not_before: float = 0.0  # monotonic time gating the next attempt
+    claimed: bool = False            # this process holds the lease
+    claim_wait_start: float = 0.0    # monotonic; 0 = not waiting
+    claim_deadline: float = 0.0      # give up waiting and run anyway
     phases: dict[str, float] = field(default_factory=dict)
 
     def add_phase(self, name: str, duration_s: float) -> None:
@@ -357,6 +407,7 @@ class ExecutionEngine:
         self.journal = (RunJournal(journal_path)
                         if journal_path is not None else None)
         self._fired: list[FiredFault] = []
+        self._interrupted = False
 
     # -- public API ---------------------------------------------------
 
@@ -377,32 +428,37 @@ class ExecutionEngine:
 
         sweep_start = time.monotonic()
         self._fired = []
+        self._interrupted = False
         records: dict[str, RunRecord] = {}
         results: dict[str, Any] = {}
         metrics = current_metrics()
         sweep_sample = (sample_resources() if metrics is not None
                         else None)
 
-        with span("engine.sweep", experiments=len(ids),
-                  jobs=self.config.jobs,
-                  executor=self.config.executor):
-            pending: deque[_Task] = deque()
-            for experiment_id in ids:
-                record, result, task = self._try_cache(
-                    EXPERIMENTS, experiment_id)
-                if record is not None:
-                    records[experiment_id] = record
-                    results[experiment_id] = result
-                else:
-                    task.ready_at = time.monotonic()
-                    pending.append(task)
+        restore_handlers = self._install_signal_handlers()
+        try:
+            with span("engine.sweep", experiments=len(ids),
+                      jobs=self.config.jobs,
+                      executor=self.config.executor):
+                pending: deque[_Task] = deque()
+                for experiment_id in ids:
+                    record, result, task = self._try_cache(
+                        EXPERIMENTS, experiment_id)
+                    if record is not None:
+                        records[experiment_id] = record
+                        results[experiment_id] = result
+                    else:
+                        task.ready_at = time.monotonic()
+                        pending.append(task)
 
-            if pending:
-                if self.config.executor == EXECUTOR_INLINE:
-                    self._run_inline(EXPERIMENTS, pending, records,
-                                     results)
-                else:
-                    self._run_processes(pending, records, results)
+                if pending:
+                    if self.config.executor == EXECUTOR_INLINE:
+                        self._run_inline(EXPERIMENTS, pending, records,
+                                         results)
+                    else:
+                        self._run_processes(pending, records, results)
+        finally:
+            restore_handlers()
 
         ordered = [records[experiment_id] for experiment_id in ids]
         if metrics is not None:
@@ -421,7 +477,53 @@ class ExecutionEngine:
             self.journal.append_many(ordered)
         return SweepResult(records=ordered, results=results,
                            metrics=sweep_metrics,
-                           fired_faults=tuple(self._fired))
+                           fired_faults=tuple(self._fired),
+                           interrupted=self._interrupted)
+
+    # -- graceful shutdown --------------------------------------------
+
+    def _install_signal_handlers(self):
+        """Arm the drain signals; returns the restore callback.
+
+        Handlers only install on the main thread (CPython restricts
+        ``signal.signal`` to it, and the service daemon runs engines on
+        worker threads under its own signal policy).  The first signal
+        requests a drain: no new launches, in-flight work finishes and
+        is stored, pending tasks become ``cancelled`` records, and the
+        journal is flushed on the normal exit path.
+        """
+        if (not self.config.handle_signals
+                or threading.current_thread()
+                is not threading.main_thread()):
+            return lambda: None
+        previous = []
+        for sig in DRAIN_SIGNALS:
+            try:
+                previous.append(
+                    (sig, signal_module.signal(sig, self._on_signal)))
+            except (ValueError, OSError):
+                pass
+        def restore():
+            for sig, old in previous:
+                try:
+                    signal_module.signal(sig, old)
+                except (ValueError, OSError):
+                    pass
+        return restore
+
+    def _on_signal(self, signum, frame) -> None:
+        add_counter("engine.drain_signals")
+        self._interrupted = True
+
+    def _cancel_pending(self, pending: deque[_Task],
+                        records: dict[str, RunRecord]) -> None:
+        """Settle never-launched tasks as ``cancelled`` after a drain."""
+        while pending:
+            task = pending.popleft()
+            task.last_error = ("interrupted: drain signal received "
+                               "before this task launched")
+            records[task.experiment_id] = self._finalize(
+                task, STATUS_CANCELLED)
 
     # -- cache front-end ----------------------------------------------
 
@@ -475,6 +577,7 @@ class ExecutionEngine:
         task.add_phase("lookup", time.monotonic() - lookup_start)
         if not hit:
             return False
+        self._release_claim(task)
         results[task.experiment_id] = result
         records[task.experiment_id] = RunRecord(
             experiment_id=task.experiment_id,
@@ -487,12 +590,119 @@ class ExecutionEngine:
         )
         return True
 
+    # -- claims (cross-process in-flight dedup) -----------------------
+
+    def _claims_enabled(self, task: _Task) -> bool:
+        return (self.cache is not None and self.config.claim_results
+                and task.fingerprint is not None)
+
+    def _release_claim(self, task: _Task) -> None:
+        if task.claimed and self.cache is not None \
+                and task.fingerprint is not None:
+            self.cache.release_claim(task.experiment_id,
+                                     task.fingerprint)
+        task.claimed = False
+
+    def _settle_claim_wait(self, task: _Task) -> None:
+        """Bank the time spent waiting on a foreign claim, if any.
+
+        ``ready_at`` is advanced so the same interval is not counted a
+        second time as queue wait by the launch accounting.
+        """
+        if task.claim_wait_start:
+            task.add_phase("shared",
+                           time.monotonic() - task.claim_wait_start)
+            task.claim_wait_start = 0.0
+            if task.ready_at:
+                task.ready_at = time.monotonic()
+
+    def _acquire_claim(self, task: _Task,
+                       records: dict[str, RunRecord],
+                       results: dict[str, Any]) -> str:
+        """Lease ``task``'s cache key, or learn why not (non-blocking).
+
+        Returns ``"run"`` (lease held or claims disabled -- launch the
+        runner), ``"hit"`` (the foreign claimant stored the result
+        while we waited; a cache-hit record was emitted), or ``"wait"``
+        (a live foreign claim exists -- poll again in
+        :attr:`EngineConfig.claim_poll_s`).  A stale claim (dead or
+        TTL-expired holder) is broken and re-contested; a waiter that
+        exceeds its own TTL-sized budget runs anyway, so claims can
+        delay but never deadlock a sweep.
+        """
+        if not self._claims_enabled(task):
+            return "run"
+        while True:
+            if task.claimed:
+                return "run"
+            # A waiter re-checks the store before contesting the
+            # lease: the winner's protocol is put-then-release, so a
+            # released claim usually means the result is sitting there.
+            if task.claim_wait_start and self._shared_hit(
+                    task, records, results):
+                return "hit"
+            if self.cache.claim(task.experiment_id, task.fingerprint):
+                task.claimed = True
+                if task.claim_wait_start and self._shared_hit(
+                        task, records, results):
+                    # put landed between our re-check and the claim
+                    self._release_claim(task)
+                    return "hit"
+                self._settle_claim_wait(task)
+                return "run"
+            if not task.claim_wait_start and self._shared_hit(
+                    task, records, results):
+                return "hit"  # lost the race but the winner was faster
+            holder = self.cache.claim_holder(task.experiment_id,
+                                             task.fingerprint)
+            now = time.monotonic()
+            if holder is None:
+                continue  # lease vanished between checks; re-contest
+            if task.claim_wait_start == 0.0:
+                task.claim_wait_start = now
+                task.claim_deadline = now + self.config.claim_ttl_s
+                self.cache.note_claim_wait()
+            if self.cache.claim_is_stale(holder,
+                                         self.config.claim_ttl_s):
+                self.cache.break_claim(task.experiment_id,
+                                       task.fingerprint)
+                continue
+            if now >= task.claim_deadline:
+                # Waited a full TTL: compute anyway rather than trust
+                # the foreign claimant any longer.
+                self._settle_claim_wait(task)
+                return "run"
+            return "wait"
+
+    def _shared_hit(self, task: _Task, records: dict[str, RunRecord],
+                    results: dict[str, Any]) -> bool:
+        """Serve ``task`` from an entry a foreign claimant stored."""
+        with span("engine.lookup", experiment=task.experiment_id,
+                  shared=True):
+            hit, result = self.cache.get(task.experiment_id,
+                                         task.fingerprint)
+        if not hit:
+            return False
+        self._settle_claim_wait(task)
+        results[task.experiment_id] = result
+        records[task.experiment_id] = RunRecord(
+            experiment_id=task.experiment_id,
+            status=STATUS_OK,
+            wall_time_s=task.active_s,
+            cache_hit=True,
+            attempts=task.attempts,
+            started_at=task.started_at or wall_now(),
+            phases=dict(task.phases),
+        )
+        return True
+
     def _store(self, task: _Task, result: Any) -> None:
         if self.cache is None or task.fingerprint is None:
             return
         store_start = time.monotonic()
         with span("engine.store", experiment=task.experiment_id):
             self.cache.put(task.experiment_id, task.fingerprint, result)
+        self._release_claim(task)
         task.add_phase("store", time.monotonic() - store_start)
         self._apply_cache_fault(task)
 
@@ -540,7 +750,30 @@ class ExecutionEngine:
                     results: dict[str, Any]) -> None:
         max_attempts = 1 + self.config.retries
         metrics = current_metrics()
-        for task in pending:
+        while pending:
+            task = pending.popleft()
+            if self._interrupted:
+                task.last_error = ("interrupted: drain signal received "
+                                   "before this task launched")
+                records[task.experiment_id] = self._finalize(
+                    task, STATUS_CANCELLED)
+                continue
+            claim_state = self._acquire_claim(task, records, results)
+            while claim_state == "wait":
+                time.sleep(self.config.claim_poll_s)
+                if self._interrupted:
+                    break
+                claim_state = self._acquire_claim(task, records,
+                                                  results)
+            if claim_state == "hit":
+                continue
+            if claim_state == "wait":  # interrupted mid-wait
+                self._settle_claim_wait(task)
+                task.last_error = ("interrupted: drain signal received "
+                                   "while waiting on a foreign claim")
+                records[task.experiment_id] = self._finalize(
+                    task, STATUS_CANCELLED)
+                continue
             task.started_at = wall_now()
             task_sample = (sample_resources() if metrics is not None
                            else None)
@@ -569,13 +802,13 @@ class ExecutionEngine:
                                                  results):
                             break
                         continue
-                    records[task.experiment_id] = self._final_record(
+                    records[task.experiment_id] = self._finalize(
                         task, STATUS_FAILED)
                     break
                 task.add_phase("run", time.monotonic() - run_start)
                 self._store(task, result)
                 results[task.experiment_id] = result
-                records[task.experiment_id] = self._final_record(
+                records[task.experiment_id] = self._finalize(
                     task, STATUS_OK)
                 break
             if metrics is not None:
@@ -592,10 +825,15 @@ class ExecutionEngine:
         running: list[_Slot | _ChunkSlot] = []
 
         while pending or running:
+            if self._interrupted and not running:
+                # drained: every in-flight worker has been collected
+                self._cancel_pending(pending, records)
+                break
             now = time.monotonic()
             chunk_target = self._chunk_target(len(pending))
             deferred: list[_Task] = []
-            while pending and len(running) < self.config.jobs:
+            while (pending and not self._interrupted
+                   and len(running) < self.config.jobs):
                 task = pending.popleft()
                 if task.not_before > now:
                     deferred.append(task)  # backoff window still open
@@ -603,12 +841,32 @@ class ExecutionEngine:
                 if task.attempts > 0 and self._retry_cache_hit(
                         task, records, results):
                     continue
+                claim_state = self._acquire_claim(task, records,
+                                                  results)
+                if claim_state == "hit":
+                    continue
+                if claim_state == "wait":
+                    task.not_before = (time.monotonic()
+                                       + self.config.claim_poll_s)
+                    deferred.append(task)
+                    continue
                 if task.attempts == 0 and chunk_target > 1:
                     batch = [task]
                     while (len(batch) < chunk_target and pending
                            and pending[0].attempts == 0
                            and pending[0].not_before <= now):
-                        batch.append(pending.popleft())
+                        candidate = pending.popleft()
+                        state = self._acquire_claim(candidate, records,
+                                                    results)
+                        if state == "hit":
+                            continue
+                        if state == "wait":
+                            candidate.not_before = (
+                                time.monotonic()
+                                + self.config.claim_poll_s)
+                            deferred.append(candidate)
+                            continue
+                        batch.append(candidate)
                     if len(batch) > 1:
                         running.append(self._launch_chunk(ctx, batch))
                         continue
@@ -616,7 +874,12 @@ class ExecutionEngine:
             pending.extendleft(reversed(deferred))
 
             if not running:
-                # every runnable task is waiting out its backoff
+                if self._interrupted:
+                    continue  # loop back to the drain branch above
+                if not pending:
+                    break
+                # every runnable task is waiting out its backoff or a
+                # foreign claim's poll interval
                 wake = min(task.not_before for task in pending)
                 time.sleep(max(0.0, wake - time.monotonic()))
                 continue
@@ -777,7 +1040,7 @@ class ExecutionEngine:
         elif outcome is not None and outcome[0] == "ok":
             self._store(task, outcome[1])
             results[task.experiment_id] = outcome[1]
-            records[task.experiment_id] = self._final_record(
+            records[task.experiment_id] = self._finalize(
                 task, STATUS_OK)
             return
         elif outcome is not None:
@@ -791,7 +1054,7 @@ class ExecutionEngine:
             self._schedule_retry(task, pending)
             return
         status = STATUS_TIMEOUT if timed_out else STATUS_FAILED
-        records[task.experiment_id] = self._final_record(task, status)
+        records[task.experiment_id] = self._finalize(task, status)
 
     def _collect_chunk(self, slot: _ChunkSlot, pending: deque[_Task],
                        records: dict[str, RunRecord],
@@ -847,7 +1110,7 @@ class ExecutionEngine:
                 if status == STATUS_OK:
                     self._store(task, value)
                     results[task.experiment_id] = value
-                    records[task.experiment_id] = self._final_record(
+                    records[task.experiment_id] = self._finalize(
                         task, STATUS_OK)
                     continue
                 task.last_error = value
@@ -873,11 +1136,11 @@ class ExecutionEngine:
                 status_final = (STATUS_TIMEOUT
                                 if timed_out and outcome is None
                                 else STATUS_FAILED)
-                records[task.experiment_id] = self._final_record(
+                records[task.experiment_id] = self._finalize(
                     task, status_final)
 
-    @staticmethod
-    def _final_record(task: _Task, status: str) -> RunRecord:
+    def _finalize(self, task: _Task, status: str) -> RunRecord:
+        self._release_claim(task)
         return RunRecord(
             experiment_id=task.experiment_id,
             status=status,

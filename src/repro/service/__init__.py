@@ -1,0 +1,88 @@
+"""Long-running experiment service: async job API over the engine.
+
+The service layer turns one-shot ``repro run`` sweeps into a daemon
+(``repro serve``) with an HTTP/JSON job API:
+
+* :mod:`repro.service.jobs` -- job specs, lifecycle state machine,
+  JSONL event log;
+* :mod:`repro.service.queue` -- bounded multi-tenant admission queue
+  with priority classes and explicit 429 backpressure;
+* :mod:`repro.service.store` -- shared result store management: stats
+  and LRU eviction over the engine's ``.rpc`` cache;
+* :mod:`repro.service.daemon` -- the asyncio HTTP server and the
+  dispatcher threads that run jobs on the execution engine;
+* :mod:`repro.service.client` -- the ``urllib`` client used by the
+  ``repro jobs`` CLI and the smoke tests.
+
+Cross-process coordination (claim files on in-flight cache entries)
+lives with the cache itself in :mod:`repro.engine.cache`; the service
+inherits it by pointing every job at one shared cache directory.
+"""
+
+from repro.service.client import (
+    BackpressureError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.daemon import (
+    ExperimentService,
+    ServiceConfig,
+    ServiceServer,
+    run_service,
+)
+from repro.service.jobs import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JOB_STATES,
+    PRIORITIES,
+    TERMINAL_STATES,
+    Job,
+    JobEventLog,
+    JobSpec,
+    json_safe,
+    next_job_id,
+)
+from repro.service.queue import (
+    AdmissionQueue,
+    QueueConfig,
+    QueueFullError,
+)
+from repro.service.store import (
+    PruneReport,
+    StoreEntry,
+    StoreManager,
+    StoreStats,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BackpressureError",
+    "ExperimentService",
+    "JOB_CANCELLED",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_STATES",
+    "Job",
+    "JobEventLog",
+    "JobSpec",
+    "PRIORITIES",
+    "PruneReport",
+    "QueueConfig",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "StoreEntry",
+    "StoreManager",
+    "StoreStats",
+    "TERMINAL_STATES",
+    "json_safe",
+    "next_job_id",
+    "run_service",
+]

@@ -1,0 +1,157 @@
+"""HTTP client for the experiment service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` wraps the daemon's JSON API for the ``repro
+jobs`` CLI, the smoke script, and tests.  Every method raises
+:class:`ServiceError` on a non-2xx answer; a ``429`` rejection raises
+the :class:`BackpressureError` subclass carrying the server's
+``retry_after_s`` hint so callers can implement polite retry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.errors import ReproError
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceError(ReproError):
+    """A request the service answered with an error status."""
+
+    def __init__(self, message: str, *, status: int = 0,
+                 payload: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class BackpressureError(ServiceError):
+    """Admission rejected (HTTP 429); retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, *, payload: dict | None = None,
+                 retry_after_s: float = 2.0) -> None:
+        super().__init__(message, status=429, payload=payload)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str,
+                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"}
+            if body else {})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(raw)
+            except json.JSONDecodeError:
+                detail = {"error": raw.strip()}
+            message = detail.get("error", f"HTTP {exc.code}")
+            if exc.code == 429:
+                raise BackpressureError(
+                    message, payload=detail,
+                    retry_after_s=float(
+                        detail.get("retry_after_s", 2.0))) from None
+            raise ServiceError(message, status=exc.code,
+                               payload=detail) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from None
+
+    # -- API ----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, experiments: list[str] | None = None, *,
+               tenant: str = "default", priority: str = "normal",
+               timeout_s: float = 120.0, retries: int = 0,
+               workers: int = 1, use_cache: bool = True) -> dict:
+        return self._request("POST", "/v1/jobs", {
+            "experiments": experiments or [],
+            "tenant": tenant, "priority": priority,
+            "timeout_s": timeout_s, "retries": retries,
+            "workers": workers, "use_cache": use_cache,
+        })
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def stats_prometheus(self) -> str:
+        request = urllib.request.Request(
+            self.base_url + "/v1/stats?format=prom")
+        with urllib.request.urlopen(
+                request, timeout=self.timeout_s) as response:
+            return response.read().decode("utf-8")
+
+    def store(self) -> dict:
+        return self._request("GET", "/v1/store")
+
+    def prune_store(self) -> dict:
+        return self._request("POST", "/v1/store/prune")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")
+
+    def events(self, job_id: str,
+               follow: bool = False) -> Iterator[dict]:
+        """Yield the job's JSONL events; with ``follow`` streams until
+        the job reaches a terminal state."""
+        url = (f"{self.base_url}/v1/jobs/{job_id}/events"
+               + ("?follow=1" if follow else ""))
+        request = urllib.request.Request(url)
+        with urllib.request.urlopen(
+                request, timeout=self.timeout_s) as response:
+            for line in response:
+                text = line.decode("utf-8").strip()
+                if text:
+                    yield json.loads(text)
+
+    def wait(self, job_id: str, *, timeout_s: float = 300.0,
+             poll_s: float = 0.1) -> dict:
+        """Poll until the job is terminal; returns the final job dict."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout_s:.0f}s")
+            time.sleep(poll_s)

@@ -1,0 +1,601 @@
+"""The experiment service daemon: async HTTP/JSON job API.
+
+``repro serve`` turns the one-shot sweep engine into a long-running
+multi-tenant service.  Architecture, front to back:
+
+* **HTTP front end** -- an asyncio-streams HTTP/1.1 server (stdlib
+  only, no web framework).  Handlers parse a request, call into
+  :class:`ExperimentService`, and encode a JSON response; the events
+  route streams JSONL and can *follow* a running job.
+* **Admission** -- submissions pass through the bounded multi-tenant
+  :class:`~repro.service.queue.AdmissionQueue`; a full queue answers
+  ``429`` with a ``Retry-After`` hint instead of buffering without
+  bound.
+* **Dispatch** -- worker threads pop jobs in priority order and run
+  each through a fresh :class:`~repro.engine.scheduler.ExecutionEngine`
+  against the **shared result store**, so a job resubmitted by any
+  tenant is served from cache and two jobs racing on one key settle it
+  via claim files, not duplicate computation.  Engines run with
+  ``handle_signals=False``: the daemon owns signal policy.
+* **Shutdown** -- SIGINT/SIGTERM (or ``POST /v1/shutdown``) stops
+  admission (503), cancels queued jobs, drains in-flight ones, prunes
+  the store to its configured bounds, writes the service trace
+  artifact, and reports whether the stop came from a signal so the CLI
+  can exit with the distinct interrupted code.
+
+Routes::
+
+    GET  /healthz                   liveness + population counts
+    POST /v1/jobs                   submit a sweep      -> 202 | 429
+    GET  /v1/jobs[?tenant=]         list jobs
+    GET  /v1/jobs/<id>              one job, records included
+    GET  /v1/jobs/<id>/events       JSONL event stream [?follow=1]
+    GET  /v1/jobs/<id>/result       results payload of a done job
+    POST /v1/jobs/<id>/cancel       cancel while queued -> 200 | 409
+    GET  /v1/stats[?format=prom]    service metrics registry
+    GET  /v1/store                  shared store stats
+    POST /v1/store/prune            apply the configured store bounds
+    POST /v1/shutdown               graceful remote stop
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine import EngineConfig, ExecutionEngine
+from repro.engine.scheduler import EXECUTOR_INLINE, EXECUTOR_PROCESS
+from repro.errors import ReproError
+from repro.obs import (
+    DURATION_BUCKETS,
+    FORMAT_JSON,
+    Trace,
+    activate,
+    add_counter,
+    deactivate,
+    observe,
+    registry_summary,
+    span,
+    to_prometheus,
+    write_trace,
+)
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    Job,
+    JobEventLog,
+    JobSpec,
+    json_safe,
+    next_job_id,
+)
+from repro.service.queue import AdmissionQueue, QueueConfig, QueueFullError
+from repro.service.store import StoreManager
+
+#: Bytes of request body the server is willing to buffer.
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                     # 0 = ephemeral, announced on start
+    cache_dir: Path = field(default_factory=lambda: Path(".repro_cache"))
+    queue: QueueConfig = field(default_factory=QueueConfig)
+    dispatchers: int = 1              # concurrent jobs (worker threads)
+    executor: str = EXECUTOR_PROCESS  # engine executor for job sweeps
+    trace_out: Path | None = None     # service trace artifact on stop
+    #: Store bounds applied after every job and on demand; ``None``
+    #: disables that bound.
+    store_max_bytes: int | None = None
+    store_max_entries: int | None = None
+    store_max_age_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.dispatchers < 1:
+            raise ValueError(
+                f"dispatchers must be >= 1, got {self.dispatchers}")
+        if self.executor not in (EXECUTOR_PROCESS, EXECUTOR_INLINE):
+            raise ValueError(f"unknown executor {self.executor!r}")
+
+
+class ExperimentService:
+    """Daemon state: job table, queue, store, dispatcher threads."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.queue = AdmissionQueue(self.config.queue)
+        self.store = StoreManager(self.config.cache_dir)
+        self.trace = Trace("repro-service")
+        self.jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._work = threading.Event()
+        self._draining = threading.Event()
+        self._threads: list[threading.Thread] = []
+        #: Set when shutdown came from SIGINT/SIGTERM rather than the
+        #: shutdown route; the CLI maps it to the interrupted exit code.
+        self.signalled = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        activate(self.trace)
+        for index in range(self.config.dispatchers):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-dispatch-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, *, drain_timeout_s: float = 60.0) -> None:
+        """Drain and shut down; idempotent."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self._work.set()  # wake dispatchers so they observe the drain
+        for job in self.queue.pending():
+            self.queue.cancel(job.id)
+        for thread in self._threads:
+            thread.join(timeout=drain_timeout_s)
+        self.prune_store()
+        deactivate()
+        if self.config.trace_out is not None:
+            try:
+                write_trace(self.trace, self.config.trace_out,
+                            format=FORMAT_JSON)
+            except OSError:
+                pass
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- job submission / lookup --------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit a job (raises QueueFullError / ReproError)."""
+        if self._draining.is_set():
+            raise ReproError("service is shutting down")
+        job_id = next_job_id()
+        event_path = (Path(self.config.cache_dir) / "service"
+                      / f"{job_id}.events.jsonl")
+        job = Job(id=job_id, spec=spec,
+                  event_log=JobEventLog(event_path))
+        with self._jobs_lock:
+            self.jobs[job_id] = job
+        try:
+            self.queue.submit(job)
+        except QueueFullError:
+            with self._jobs_lock:
+                del self.jobs[job_id]
+            raise
+        job.add_event(JOB_QUEUED, tenant=spec.tenant,
+                      priority=spec.priority,
+                      experiments=list(spec.experiment_ids))
+        self._work.set()
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self.jobs.get(job_id)
+
+    def list_jobs(self, tenant: str | None = None) -> list[Job]:
+        with self._jobs_lock:
+            jobs = list(self.jobs.values())
+        if tenant is not None:
+            jobs = [job for job in jobs if job.spec.tenant == tenant]
+        return sorted(jobs, key=lambda job: job.submitted_at)
+
+    def cancel(self, job_id: str) -> tuple[bool, str]:
+        """(ok, reason).  Only queued jobs are cancellable."""
+        job = self.job(job_id)
+        if job is None:
+            return False, "unknown job"
+        if self.queue.cancel(job_id) is not None:
+            return True, "cancelled"
+        return False, f"job is {job.state}, not queued"
+
+    def prune_store(self):
+        return self.store.prune(
+            max_age_s=self.config.store_max_age_s,
+            max_entries=self.config.store_max_entries,
+            max_bytes=self.config.store_max_bytes)
+
+    # -- dispatch -----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                if self._draining.is_set():
+                    return
+                self._work.wait(timeout=0.2)
+                self._work.clear()
+                continue
+            self._run_job(job)
+
+    def _engine_config(self, spec: JobSpec) -> EngineConfig:
+        return EngineConfig(
+            jobs=spec.workers,
+            timeout_s=spec.timeout_s,
+            retries=spec.retries,
+            cache_enabled=spec.use_cache,
+            cache_dir=Path(self.config.cache_dir),
+            executor=self.config.executor,
+            handle_signals=False,  # worker thread; daemon owns signals
+        )
+
+    def _run_job(self, job: Job) -> None:
+        spec = job.spec
+        job.transition("running", tenant=spec.tenant)
+        wait_s = job.queue_wait_s() or 0.0
+        observe("service.queue_wait_s", wait_s, DURATION_BUCKETS,
+                tenant=spec.tenant)
+        add_counter("service.jobs_started")
+        try:
+            with span("service.job", job=job.id, tenant=spec.tenant,
+                      priority=spec.priority):
+                engine = ExecutionEngine(self._engine_config(spec))
+                sweep = engine.run(spec.experiment_ids or None)
+        except (ReproError, Exception) as exc:  # job must never kill us
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.transition(JOB_FAILED, error=job.error)
+            add_counter("service.jobs_failed")
+            return
+        job.records = [record.to_json_dict()
+                       for record in sweep.records]
+        job.metrics = sweep.metrics.to_json_dict()
+        job.results = json_safe(sweep.results)
+        job.interrupted = sweep.interrupted
+        for record in sweep.records:
+            job.add_event("record", experiment_id=record.experiment_id,
+                          status=record.status,
+                          cache_hit=record.cache_hit,
+                          wall_time_s=record.wall_time_s)
+        observe("service.job_wall_s", job.wall_s() or 0.0,
+                DURATION_BUCKETS, tenant=spec.tenant)
+        if sweep.metrics.all_ok:
+            job.transition(JOB_DONE, ok=sweep.metrics.ok,
+                           cache_hits=sweep.metrics.cache_hits)
+            add_counter("service.jobs_done")
+            add_counter(f"service.jobs_done.{spec.tenant}")
+        else:
+            failed = [record.experiment_id for record in sweep.records
+                      if not record.ok]
+            job.error = f"{len(failed)} experiment(s) not ok: {failed}"
+            job.transition(JOB_FAILED, error=job.error)
+            add_counter("service.jobs_failed")
+        self.prune_store()
+
+
+# -- HTTP plumbing ----------------------------------------------------
+
+
+class _BadRequest(Exception):
+    pass
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    query: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from None
+
+
+def _parse_query(raw: str) -> dict[str, str]:
+    query: dict[str, str] = {}
+    for pair in raw.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        query[key] = value
+    return query
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest("malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path, _, raw_query = target.partition("?")
+    return _Request(method=method.upper(), path=path,
+                    query=_parse_query(raw_query), body=body)
+
+
+def _response(status: int, payload: Any, *,
+              headers: dict[str, str] | None = None) -> bytes:
+    body = (json.dumps(json_safe(payload), sort_keys=True) + "\n"
+            ).encode("utf-8")
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _stream_head(status: int = 200) -> bytes:
+    return (f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/jsonl\r\n"
+            "Connection: close\r\n\r\n").encode("latin-1")
+
+
+class ServiceServer:
+    """Binds the HTTP front end to an :class:`ExperimentService`."""
+
+    def __init__(self, service: ExperimentService) -> None:
+        self.service = service
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        config = self.service.config
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, config.host, config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until a drain signal or shutdown request arrives."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, self._initiate_stop, True)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without support
+        await self._stopping.wait()
+        await self._shutdown()
+
+    def _initiate_stop(self, signalled: bool = False) -> None:
+        if signalled:
+            self.service.signalled = True
+            add_counter("service.drain_signals")
+        self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain runs in a thread: in-flight jobs may take a while and
+        # must not block the loop (follow-streams still read events).
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.service.stop)
+
+    # -- request handling ---------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except _BadRequest as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            try:
+                await self._route(request, writer)
+            except _BadRequest as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+            except ReproError as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+            except Exception as exc:
+                writer.write(_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}))
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request: _Request,
+                     writer: asyncio.StreamWriter) -> None:
+        service = self.service
+        method, path = request.method, request.path
+        add_counter("service.requests")
+
+        if path == "/healthz" and method == "GET":
+            writer.write(_response(200, {
+                "ok": True,
+                "draining": service.draining,
+                "jobs": len(service.jobs),
+                "queued": service.queue.depth(),
+            }))
+            return
+
+        if path == "/v1/jobs" and method == "POST":
+            if service.draining:
+                writer.write(_response(
+                    503, {"error": "service is shutting down"}))
+                return
+            spec = JobSpec.from_json_dict(request.json())
+            try:
+                job = service.submit(spec)
+            except QueueFullError as exc:
+                writer.write(_response(
+                    429, {"error": str(exc), "reason": exc.reason,
+                          "retry_after_s": exc.retry_after_s},
+                    headers={"Retry-After":
+                             f"{max(1, round(exc.retry_after_s))}"}))
+                return
+            writer.write(_response(
+                202, job.to_json_dict(include_records=False)))
+            return
+
+        if path == "/v1/jobs" and method == "GET":
+            tenant = request.query.get("tenant") or None
+            writer.write(_response(200, {
+                "jobs": [job.to_json_dict(include_records=False)
+                         for job in service.list_jobs(tenant)]}))
+            return
+
+        if path.startswith("/v1/jobs/"):
+            await self._route_job(request, writer)
+            return
+
+        if path == "/v1/stats" and method == "GET":
+            if request.query.get("format") == "prom":
+                body = to_prometheus(service.trace.metrics).encode()
+                writer.write(
+                    (f"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+                     f"Content-Length: {len(body)}\r\n"
+                     "Connection: close\r\n\r\n").encode("latin-1")
+                    + body)
+                return
+            writer.write(_response(200, {
+                "metrics": registry_summary(service.trace.metrics),
+                "counters": service.trace.counters.as_dict(),
+                "queue": {"depth": service.queue.depth(),
+                          "admitted": service.queue.admitted,
+                          "rejected": service.queue.rejected},
+            }))
+            return
+
+        if path == "/v1/store" and method == "GET":
+            writer.write(_response(
+                200, service.store.stats().to_json_dict()))
+            return
+
+        if path == "/v1/store/prune" and method == "POST":
+            writer.write(_response(
+                200, service.prune_store().to_json_dict()))
+            return
+
+        if path == "/v1/shutdown" and method == "POST":
+            writer.write(_response(200, {"ok": True,
+                                         "stopping": True}))
+            await writer.drain()
+            self._initiate_stop(False)
+            return
+
+        writer.write(_response(404, {
+            "error": f"no route for {method} {path}"}))
+
+    async def _route_job(self, request: _Request,
+                         writer: asyncio.StreamWriter) -> None:
+        service = self.service
+        parts = request.path.split("/")  # '', 'v1', 'jobs', id[, sub]
+        job_id = parts[3] if len(parts) > 3 else ""
+        sub = parts[4] if len(parts) > 4 else None
+        job = service.job(job_id)
+        if job is None:
+            writer.write(_response(
+                404, {"error": f"unknown job {job_id!r}"}))
+            return
+
+        if sub is None and request.method == "GET":
+            writer.write(_response(200, job.to_json_dict()))
+            return
+
+        if sub == "events" and request.method == "GET":
+            await self._stream_events(
+                job, writer,
+                follow=request.query.get("follow") in ("1", "true"))
+            return
+
+        if sub == "result" and request.method == "GET":
+            if not job.terminal:
+                writer.write(_response(409, {
+                    "error": f"job is {job.state}; results are "
+                             "available once it finishes"}))
+                return
+            writer.write(_response(200, {
+                "id": job.id, "state": job.state, "error": job.error,
+                "interrupted": job.interrupted,
+                "results": job.results, "metrics": job.metrics}))
+            return
+
+        if sub == "cancel" and request.method == "POST":
+            ok, reason = service.cancel(job.id)
+            writer.write(_response(
+                200 if ok else 409,
+                {"id": job.id, "cancelled": ok, "reason": reason}))
+            return
+
+        writer.write(_response(405, {
+            "error": f"no route for {request.method} {request.path}"}))
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter,
+                             follow: bool) -> None:
+        writer.write(_stream_head())
+        sent = 0
+        while True:
+            with job.lock:
+                fresh = list(job.events[sent:])
+            for event in fresh:
+                writer.write(
+                    (json.dumps(json_safe(event), sort_keys=True)
+                     + "\n").encode("utf-8"))
+            sent += len(fresh)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+            if not follow or job.terminal:
+                return
+            await asyncio.sleep(0.05)
+
+
+async def _serve(config: ServiceConfig,
+                 announce=print) -> ExperimentService:
+    service = ExperimentService(config)
+    server = ServiceServer(service)
+    await server.start()
+    announce(f"repro service listening on "
+             f"http://{config.host}:{server.port}")
+    await server.serve_forever()
+    return service
+
+
+def run_service(config: ServiceConfig, announce=print) -> bool:
+    """Run the daemon until shutdown; True when a signal stopped it."""
+    service = asyncio.run(_serve(config, announce))
+    return service.signalled

@@ -1,0 +1,167 @@
+"""Multi-tenant admission control for the experiment service.
+
+The queue is deliberately **bounded everywhere**: a global depth cap
+(`max_depth`) protects the daemon from unbounded memory growth under
+a thundering herd, and a per-tenant cap (`max_per_tenant`) stops one
+noisy tenant from starving everyone else out of the shared depth.  A
+submission that would exceed either bound is **rejected immediately**
+with :class:`QueueFullError` -- the HTTP layer maps it to ``429 Too
+Many Requests`` with a ``retry_after_s`` hint -- never silently
+queued.
+
+Scheduling order is priority class first (``high`` > ``normal`` >
+``low``), FIFO within a class.  Priorities order *dispatch*, they do
+not preempt: a running low-priority job finishes even if a high
+arrives behind it.
+
+Thread safety: the daemon's asyncio handlers and its dispatcher
+threads share one queue; every operation takes the internal lock.
+Admission/rejection counters land on the active metrics registry
+(``service.admitted`` / ``service.rejected``) with the rejection
+reason, so backpressure is visible in ``repro jobs stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.obs import add_counter, observe, COUNT_BUCKETS
+from repro.service.jobs import JOB_CANCELLED, PRIORITIES, Job
+
+#: Suggested client back-off when rejected, seconds.
+DEFAULT_RETRY_AFTER_S = 2.0
+
+
+class QueueFullError(ReproError):
+    """Admission refused: accepting would exceed a configured bound."""
+
+    def __init__(self, message: str, *, reason: str,
+                 retry_after_s: float = DEFAULT_RETRY_AFTER_S) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Bounds for one :class:`AdmissionQueue`."""
+
+    max_depth: int = 32
+    max_per_tenant: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError(
+                f"max_depth must be >= 1, got {self.max_depth}")
+        if self.max_per_tenant < 1:
+            raise ValueError(
+                f"max_per_tenant must be >= 1, got {self.max_per_tenant}")
+
+
+class AdmissionQueue:
+    """Bounded, priority-classed, per-tenant-fair job queue."""
+
+    def __init__(self, config: QueueConfig | None = None) -> None:
+        self.config = config or QueueConfig()
+        self._lock = threading.Lock()
+        self._queues: dict[str, deque[Job]] = {
+            priority: deque() for priority in PRIORITIES}
+        self._admitted = 0
+        self._rejected = 0
+
+    # -- introspection ------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def tenant_depth(self, tenant: str) -> int:
+        with self._lock:
+            return self._tenant_depth_locked(tenant)
+
+    def _tenant_depth_locked(self, tenant: str) -> int:
+        return sum(1 for q in self._queues.values()
+                   for job in q if job.spec.tenant == tenant)
+
+    def pending(self) -> list[Job]:
+        """Queued jobs in dispatch order."""
+        with self._lock:
+            return [job for priority in PRIORITIES
+                    for job in self._queues[priority]]
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    # -- admission ----------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`QueueFullError`.
+
+        The two bounds are checked under one lock acquisition so a
+        burst of concurrent submissions cannot overshoot either.
+        """
+        with self._lock:
+            depth = sum(len(q) for q in self._queues.values())
+            if depth >= self.config.max_depth:
+                self._rejected += 1
+                add_counter("service.rejected")
+                add_counter("service.rejected.depth")
+                raise QueueFullError(
+                    f"queue depth {self.config.max_depth} reached "
+                    f"({depth} queued); retry later",
+                    reason="queue_depth")
+            tenant = job.spec.tenant
+            tenant_depth = self._tenant_depth_locked(tenant)
+            if tenant_depth >= self.config.max_per_tenant:
+                self._rejected += 1
+                add_counter("service.rejected")
+                add_counter("service.rejected.tenant")
+                raise QueueFullError(
+                    f"tenant {tenant!r} already has {tenant_depth} "
+                    f"queued job(s) (cap "
+                    f"{self.config.max_per_tenant}); retry later",
+                    reason="tenant_depth")
+            self._queues[job.spec.priority].append(job)
+            self._admitted += 1
+        add_counter("service.admitted")
+        observe("service.queue_depth", depth + 1, COUNT_BUCKETS)
+
+    # -- dispatch -----------------------------------------------------
+
+    def pop(self) -> Job | None:
+        """Next job in priority order, or ``None`` when empty."""
+        with self._lock:
+            for priority in PRIORITIES:
+                queue = self._queues[priority]
+                if queue:
+                    return queue.popleft()
+        return None
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Remove a still-queued job; returns it (cancelled) or None.
+
+        Running and terminal jobs are not the queue's to cancel -- the
+        daemon answers 409 for those.
+        """
+        with self._lock:
+            for queue in self._queues.values():
+                for job in queue:
+                    if job.id == job_id:
+                        queue.remove(job)
+                        break
+                else:
+                    continue
+                break
+            else:
+                return None
+        job.transition(JOB_CANCELLED, reason="client cancel")
+        add_counter("service.cancelled")
+        return job

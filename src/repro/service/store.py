@@ -1,0 +1,232 @@
+"""Shared result store management: stats, LRU eviction, pruning.
+
+The engine's :class:`~repro.engine.cache.ResultCache` handles single
+entries (checksums, quarantine, claims).  The service layer promotes
+that directory to a **shared, bounded store**: many tenants' jobs read
+and write the same ``objects/`` directory, so somebody has to answer
+"how big is it?" and "what goes when it is too big?".  That somebody
+is :class:`StoreManager`.
+
+Eviction policy is plain LRU over entry mtime.  The cache touches an
+entry (``os.utime``) on every hit, so mtime tracks *last access*, not
+creation -- a hot entry written weeks ago outlives a cold one written
+yesterday.  Pruning applies bounds in order: first age (drop entries
+idle longer than ``max_age_s``), then count, then bytes (drop
+least-recently-used until under ``max_entries`` / ``max_bytes``).
+
+Safety under concurrency: eviction never touches claim files (an
+in-flight computation keeps its lease) and deleting an entry that a
+racing reader just opened is fine -- the reader either got the full
+pre-unlink bytes or sees a miss and recomputes.  Corrupt entries are
+the cache's problem (quarantine on read); the manager only reports
+the quarantine population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.cache import CLAIM_SUFFIX, ResultCache
+from repro.engine.records import RunJournal
+from repro.obs import add_counter, set_gauge, span, wall_now
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One ``.rpc`` object as the store manager sees it."""
+
+    path: Path
+    size: int
+    mtime: float  # last access (touch-on-read), unix scale
+
+    def age_s(self, now: float | None = None) -> float:
+        return max(0.0, (wall_now() if now is None else now) - self.mtime)
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time population of a shared store."""
+
+    entries: int = 0
+    bytes: int = 0
+    quarantined: int = 0
+    claims: int = 0
+    journal_runs: int = 0
+    journal_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Lifetime cache-hit fraction from the store's run journal."""
+        if self.journal_runs == 0:
+            return None
+        return self.journal_hits / self.journal_runs
+
+    def to_json_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "quarantined": self.quarantined,
+            "claims": self.claims,
+            "journal_runs": self.journal_runs,
+            "journal_hits": self.journal_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class PruneReport:
+    """What one :meth:`StoreManager.prune` pass removed and why."""
+
+    evicted: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+    #: eviction reason -> count (``age`` / ``entries`` / ``bytes``).
+    reasons: dict[str, int] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "evicted": self.evicted,
+            "freed_bytes": self.freed_bytes,
+            "kept": self.kept,
+            "kept_bytes": self.kept_bytes,
+            "reasons": dict(self.reasons),
+        }
+
+
+class StoreManager:
+    """Stats and bounded-size enforcement for one cache directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.cache = ResultCache(self.root)
+
+    # -- scanning -----------------------------------------------------
+
+    def scan(self) -> list[StoreEntry]:
+        """Entries oldest-access first (LRU order); tolerant of races."""
+        objects = self.cache.objects_dir
+        if not objects.is_dir():
+            return []
+        entries = []
+        for path in objects.glob("*.rpc"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted or unreadable mid-scan
+            entries.append(StoreEntry(path=path, size=stat.st_size,
+                                      mtime=stat.st_mtime))
+        entries.sort(key=lambda entry: entry.mtime)
+        return entries
+
+    def _quarantine_count(self) -> int:
+        quarantine = self.cache.quarantine_dir
+        if not quarantine.is_dir():
+            return 0
+        try:
+            return sum(1 for _ in quarantine.glob("*.rpc*"))
+        except OSError:
+            return 0
+
+    def stats(self) -> StoreStats:
+        """Scan the store and publish ``store.*`` gauges."""
+        with span("store.stats", root=str(self.root)):
+            entries = self.scan()
+            total_bytes = sum(entry.size for entry in entries)
+            runs = hits = 0
+            journal = self.root / "journal.jsonl"
+            if journal.is_file():
+                try:
+                    records, _ = RunJournal.recover(journal)
+                except OSError:
+                    records = []
+                runs = len(records)
+                hits = sum(1 for record in records if record.cache_hit)
+            stats = StoreStats(
+                entries=len(entries),
+                bytes=total_bytes,
+                quarantined=self._quarantine_count(),
+                claims=self.cache.claim_count(),
+                journal_runs=runs,
+                journal_hits=hits,
+            )
+        set_gauge("store.entries", stats.entries)
+        set_gauge("store.bytes", stats.bytes)
+        set_gauge("store.quarantined", stats.quarantined)
+        set_gauge("store.claims", stats.claims)
+        return stats
+
+    # -- eviction -----------------------------------------------------
+
+    def _evict(self, entry: StoreEntry, reason: str,
+               report: PruneReport) -> bool:
+        try:
+            entry.path.unlink()
+        except FileNotFoundError:
+            return False  # a racing pruner got it; not our eviction
+        except OSError:
+            return False
+        # An evicted entry's lease is meaningless; drop it too.  A
+        # *live* claim means the entry is mid-(re)compute -- prune
+        # skips those entirely, so this only sweeps leftovers.
+        try:
+            Path(str(entry.path) + CLAIM_SUFFIX).unlink(missing_ok=True)
+        except OSError:
+            pass
+        report.evicted += 1
+        report.freed_bytes += entry.size
+        report.reasons[reason] = report.reasons.get(reason, 0) + 1
+        add_counter("store.evicted")
+        add_counter(f"store.evicted.{reason}")
+        return True
+
+    def prune(self, *, max_age_s: float | None = None,
+              max_entries: int | None = None,
+              max_bytes: int | None = None) -> PruneReport:
+        """Evict LRU entries until every given bound holds.
+
+        Entries with a live claim file are skipped: a lease means some
+        process is about to rewrite the entry, and deleting under it
+        would only force a recompute.
+        """
+        report = PruneReport()
+        with span("store.prune", root=str(self.root)):
+            entries = self.scan()
+            now = wall_now()
+            survivors: list[StoreEntry] = []
+            for entry in entries:
+                claimed = Path(str(entry.path) + CLAIM_SUFFIX).exists()
+                if (not claimed and max_age_s is not None
+                        and entry.age_s(now) > max_age_s):
+                    if self._evict(entry, "age", report):
+                        continue
+                survivors.append(entry)
+
+            if max_entries is not None:
+                index = 0
+                while len(survivors) > max_entries and index < len(survivors):
+                    entry = survivors[index]
+                    if (not Path(str(entry.path) + CLAIM_SUFFIX).exists()
+                            and self._evict(entry, "entries", report)):
+                        survivors.pop(index)
+                    else:
+                        index += 1
+
+            if max_bytes is not None:
+                index = 0
+                total = sum(entry.size for entry in survivors)
+                while total > max_bytes and index < len(survivors):
+                    entry = survivors[index]
+                    if (not Path(str(entry.path) + CLAIM_SUFFIX).exists()
+                            and self._evict(entry, "bytes", report)):
+                        survivors.pop(index)
+                        total -= entry.size
+                    else:
+                        index += 1
+
+            report.kept = len(survivors)
+            report.kept_bytes = sum(entry.size for entry in survivors)
+        set_gauge("store.entries", report.kept)
+        set_gauge("store.bytes", report.kept_bytes)
+        return report

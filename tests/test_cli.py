@@ -470,3 +470,71 @@ def test_bench_failing_experiment_exits_3(capsys, tmp_path,
                  "--out-dir", str(tmp_path / "baselines"), "E-T1"])
     assert code == 3
     assert "bench failure" in capsys.readouterr().err
+
+
+# -- cache command ----------------------------------------------------
+
+
+def _seed_store(tmp_path, count=3):
+    from repro.engine import ResultCache
+    cache = ResultCache(tmp_path)
+    for index in range(count):
+        cache.put(f"E-T{index}", "f" * 64, {"value": index})
+    return cache
+
+
+def test_cache_stats_command(tmp_path, capsys):
+    _seed_store(tmp_path)
+    assert main(["cache", "--cache-dir", str(tmp_path), "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out
+    assert "3" in out
+
+
+def test_cache_stats_json(tmp_path, capsys):
+    _seed_store(tmp_path, 2)
+    assert main(["cache", "--cache-dir", str(tmp_path), "stats",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 2
+    assert payload["quarantined"] == 0
+
+
+def test_cache_prune_command(tmp_path, capsys):
+    _seed_store(tmp_path)
+    assert main(["cache", "--cache-dir", str(tmp_path), "prune",
+                 "--max-entries", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted 2" in out
+    assert len(list((tmp_path / "objects").glob("*.rpc"))) == 1
+
+
+def test_cache_prune_requires_a_bound(tmp_path, capsys):
+    assert main(["cache", "--cache-dir", str(tmp_path),
+                 "prune"]) == 2
+    assert "at least one bound" in capsys.readouterr().err
+
+
+# -- service client errors --------------------------------------------
+
+
+def test_jobs_unreachable_service_is_a_clean_error(capsys):
+    assert main(["jobs", "--url", "http://127.0.0.1:1",
+                 "list"]) == 2
+    assert "cannot reach service" in capsys.readouterr().err
+
+
+# -- interrupted sweeps -----------------------------------------------
+
+
+def test_interrupted_sweep_maps_to_exit_code_4():
+    from repro.cli import EXIT_INTERRUPTED, _sweep_exit_code
+    from repro.engine import EngineMetrics, SweepResult
+    from repro.engine.records import RunRecord
+
+    records = [RunRecord("E-T1", "cancelled", 0.0, False, 0)]
+    sweep = SweepResult(
+        records=records, results={},
+        metrics=EngineMetrics.from_records(records, 0.0),
+        interrupted=True)
+    assert _sweep_exit_code(sweep) == EXIT_INTERRUPTED == 4

@@ -746,3 +746,226 @@ def test_untraced_sweep_leaves_no_trace_state(tmp_path):
         ["E-T1"], config=_config(tmp_path, executor="inline"))
     assert sweep.all_ok
     assert current_trace() is None
+
+
+# -- claims (cross-process in-flight leases) --------------------------
+
+
+def _claims_cache(tmp_path):
+    from repro.engine import ResultCache
+    return ResultCache(tmp_path / "cache")
+
+
+def test_claim_is_exclusive_until_released(tmp_path):
+    cache = _claims_cache(tmp_path)
+    assert cache.claim("E-T1", "f" * 64) is True
+    assert cache.claim("E-T1", "f" * 64) is False
+    cache.release_claim("E-T1", "f" * 64)
+    assert cache.claim("E-T1", "f" * 64) is True
+    assert cache.claim_count() == 1
+    assert cache.stats.claims == 2
+
+
+def test_claim_holder_identifies_this_process(tmp_path):
+    import socket
+
+    from repro.engine import ResultCache
+    cache = _claims_cache(tmp_path)
+    assert cache.claim_holder("E-T1", "f" * 64) is None
+    cache.claim("E-T1", "f" * 64)
+    holder = cache.claim_holder("E-T1", "f" * 64)
+    assert holder.pid == os.getpid()
+    assert holder.host == socket.gethostname()
+    assert holder.holder_alive() is True
+    assert not ResultCache.claim_is_stale(holder)
+
+
+def test_dead_holder_claim_is_stale_and_breakable(tmp_path):
+    import multiprocessing
+    import socket
+
+    from repro.engine import ClaimInfo, ResultCache
+    from repro.obs import wall_now
+
+    probe = multiprocessing.get_context().Process(target=lambda: None)
+    probe.start()
+    probe.join()
+    dead = ClaimInfo(pid=probe.pid, host=socket.gethostname(),
+                     created_at=wall_now())
+    assert dead.holder_alive() is False
+    assert ResultCache.claim_is_stale(dead)
+
+    cache = _claims_cache(tmp_path)
+    path = cache.claim_path("E-T1", "f" * 64)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"pid": probe.pid,
+                                "host": socket.gethostname(),
+                                "created_at": wall_now()}))
+    cache.break_claim("E-T1", "f" * 64)
+    assert not path.exists()
+    assert cache.stats.claims_broken == 1
+
+
+def test_corrupt_claim_file_reads_as_stale(tmp_path):
+    from repro.engine import ResultCache
+    cache = _claims_cache(tmp_path)
+    path = cache.claim_path("E-T1", "f" * 64)
+    path.parent.mkdir(parents=True)
+    path.write_text("not json at all")
+    holder = cache.claim_holder("E-T1", "f" * 64)
+    assert holder is not None
+    assert ResultCache.claim_is_stale(holder)
+
+
+def test_sweep_waits_on_foreign_claim_then_reads_stored_result(
+        tmp_path, monkeypatch):
+    """The claim loser never recomputes: it polls the lease and is
+    served the winner's stored result as a shared-store hit."""
+    import threading
+
+    from repro.engine import ResultCache, runner_fingerprint
+
+    def runner():  # pragma: no cover - must never execute
+        raise AssertionError("claim waiter recomputed the key")
+
+    _inject(monkeypatch, "E-T1", runner)
+    fingerprint = runner_fingerprint("E-T1", runner)
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.claim("E-T1", fingerprint)  # "foreign" live claim
+
+    config = _config(tmp_path, jobs=1, executor="inline",
+                     claim_poll_s=0.01)
+    done = {}
+
+    def sweep():
+        done["sweep"] = ExecutionEngine(config).run(["E-T1"])
+
+    waiter = threading.Thread(target=sweep)
+    waiter.start()
+    time.sleep(0.15)  # the waiter is now polling the claim
+    cache.put("E-T1", fingerprint, {"from": "winner"})
+    cache.release_claim("E-T1", fingerprint)
+    waiter.join(timeout=30.0)
+
+    record = done["sweep"].records[0]
+    assert record.status == "ok"
+    assert record.cache_hit is True
+    assert done["sweep"].results["E-T1"] == {"from": "winner"}
+    assert record.phases.get("shared", 0.0) > 0.0
+
+
+def test_expired_claim_ttl_lets_the_waiter_take_over(
+        tmp_path, monkeypatch):
+    from repro.engine import ResultCache, runner_fingerprint
+
+    calls = []
+
+    def runner():
+        calls.append(1)
+        return {"value": 9}
+
+    _inject(monkeypatch, "E-T1", runner)
+    fingerprint = runner_fingerprint("E-T1", runner)
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.claim("E-T1", fingerprint)  # held by us, never freed
+
+    config = _config(tmp_path, jobs=1, executor="inline",
+                     claim_ttl_s=0.1, claim_poll_s=0.01)
+    sweep = ExecutionEngine(config).run(["E-T1"])
+    assert sweep.records[0].status == "ok"
+    assert calls == [1]  # the stale lease was broken, the task ran
+    assert not cache.claim_path("E-T1", fingerprint).exists()
+
+
+def test_claims_disabled_skips_lease_protocol(tmp_path, monkeypatch):
+    from repro.engine import ResultCache, runner_fingerprint
+
+    def runner():
+        return 5
+
+    _inject(monkeypatch, "E-T1", runner)
+    fingerprint = runner_fingerprint("E-T1", runner)
+    cache = ResultCache(tmp_path / "cache")
+    cache.claim("E-T1", fingerprint)  # a foreign claim to ignore
+
+    config = _config(tmp_path, jobs=1, executor="inline",
+                     claim_results=False)
+    sweep = ExecutionEngine(config).run(["E-T1"])
+    assert sweep.records[0].status == "ok"
+    assert sweep.results["E-T1"] == 5  # ran straight through
+
+
+# -- graceful shutdown ------------------------------------------------
+
+
+def test_drain_signal_cancels_pending_tasks(tmp_path, monkeypatch):
+    """SIGINT mid-sweep: the in-flight task finishes and is stored;
+    tasks not yet launched settle as ``cancelled``; the journal holds
+    every record and the result carries ``interrupted``."""
+    import signal
+
+    def first():
+        os.kill(os.getpid(), signal.SIGINT)
+        return "finished anyway"
+
+    def second():  # pragma: no cover - must never execute
+        raise AssertionError("cancelled task was launched")
+
+    _inject(monkeypatch, "E-T1", first)
+    _inject(monkeypatch, "E-T2", second)
+    config = _config(tmp_path, jobs=1, executor="inline")
+    sweep = ExecutionEngine(config).run(["E-T1", "E-T2"])
+
+    assert sweep.interrupted is True
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-T1"].status == "ok"
+    assert by_id["E-T2"].status == "cancelled"
+    assert "interrupted" in by_id["E-T2"].error
+    assert sweep.metrics.cancelled == 1
+    assert not sweep.metrics.all_ok
+    # the journal flushed both records
+    journal = RunJournal.read(config.effective_journal_path)
+    assert {record.status for record in journal} == {"ok", "cancelled"}
+
+
+def test_drain_signal_process_pool(tmp_path, monkeypatch):
+    import signal
+
+    def first():
+        os.kill(os.getppid(), signal.SIGTERM)
+        time.sleep(0.3)  # give the parent time to take the signal
+        return 1
+
+    def second():  # pragma: no cover
+        raise AssertionError("cancelled task was launched")
+
+    _inject(monkeypatch, "E-T1", first)
+    _inject(monkeypatch, "E-T2", second)
+    config = _config(tmp_path, jobs=1)
+    sweep = ExecutionEngine(config).run(["E-T1", "E-T2"])
+    assert sweep.interrupted is True
+    by_id = {record.experiment_id: record for record in sweep.records}
+    assert by_id["E-T1"].status == "ok"  # in-flight work completed
+    assert by_id["E-T2"].status == "cancelled"
+
+
+def test_handlers_restored_after_sweep(tmp_path):
+    import signal
+
+    before = (signal.getsignal(signal.SIGINT),
+              signal.getsignal(signal.SIGTERM))
+    run_experiments(["E-T1"],
+                    config=_config(tmp_path, executor="inline"))
+    after = (signal.getsignal(signal.SIGINT),
+             signal.getsignal(signal.SIGTERM))
+    assert before == after
+
+
+def test_metrics_count_cancelled_records():
+    records = [RunRecord("E-T1", "ok", 0.1, False, 1),
+               RunRecord("E-T2", "cancelled", 0.0, False, 0,
+                         error="interrupted")]
+    metrics = EngineMetrics.from_records(records, 0.1)
+    assert metrics.cancelled == 1
+    assert not metrics.all_ok
+    assert "1 cancelled" in metrics.render()
