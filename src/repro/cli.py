@@ -14,6 +14,9 @@ Commands
     Run a sweep under a named fault plan (crash/hang/transient/
     corrupt-cache/slow-start faults) and report which faults the
     engine absorbed vs surfaced; ``--list-plans`` shows the builtins.
+    ``chaos --service`` instead SIGKILLs a live daemon mid-sweep,
+    restarts it over the same state dir, and asserts the recovery
+    contract: zero lost jobs, no recomputed keys, bounded requeues.
 ``trace [ids...] --out trace.json [--format chrome|json] [--top N]``
     Run a sweep with the tracing layer active and export the result:
     a Chrome/Perfetto trace (or a plain-JSON summary), plus a
@@ -52,7 +55,8 @@ the sweep -- in-flight experiments finished and were journalled,
 pending ones were cancelled.
 ``chaos``: 0 every recoverable fault absorbed; 1 an unrecoverable
 fault surfaced (by design); 2 usage error; 3 a recoverable fault
-surfaced or results were lost -- a reliability bug.
+surfaced or results were lost -- a reliability bug.  ``--service``
+mode: 0 crash absorbed; 2 driver error; 3 recovery contract violated.
 ``bench``: 0 snapshot written and no regression (or nothing to compare
 against); 1 a benchmark regressed past the threshold; 2 usage error;
 3 a benchmarked experiment failed.
@@ -105,6 +109,7 @@ from repro.obs import (
     write_trace,
 )
 from repro.reliability import BUILTIN_PLANS, load_plan, run_chaos
+from repro.service.chaos import run_service_chaos
 from repro.service import (
     BackpressureError,
     PRIORITIES,
@@ -259,7 +264,35 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return _sweep_exit_code(sweep)
 
 
+def _cmd_chaos_service(args: argparse.Namespace) -> int:
+    """SIGKILL/restart recovery drill against a real daemon."""
+    import tempfile
+
+    def run(state_dir: str) -> int:
+        report = run_service_chaos(
+            state_dir,
+            experiment_ids=args.experiment_ids or None,
+            job_timeout_s=args.job_timeout,
+            out=(lambda *_: None) if args.json else print)
+        if args.json:
+            print(json.dumps(report.to_json_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            print()
+            print(report.render())
+        return report.exit_code
+
+    state_dir = args.state_dir or args.cache_dir
+    if state_dir is not None:
+        return run(state_dir)
+    with tempfile.TemporaryDirectory(
+            prefix="repro-service-chaos-") as tmp:
+        return run(tmp)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.service:
+        return _cmd_chaos_service(args)
     if args.list_plans:
         rows = [[plan.name, len(plan.faults),
                  ", ".join(sorted({s.kind for s in plan.faults}))]
@@ -500,6 +533,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             store_max_bytes=args.store_max_bytes,
             store_max_entries=args.store_max_entries,
             store_max_age_s=args.store_max_age,
+            stall_timeout_s=args.stall_timeout,
+            watchdog_poll_s=args.watchdog_poll,
+            max_recovery_attempts=args.max_recovery_attempts,
         )
     except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -511,7 +547,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _jobs_client(args: argparse.Namespace) -> ServiceClient:
-    return ServiceClient(args.url, timeout_s=args.http_timeout)
+    return ServiceClient(args.url, timeout_s=args.http_timeout,
+                         retries=args.http_retries)
 
 
 def _job_row(job: dict) -> list[Any]:
@@ -542,7 +579,9 @@ def _dispatch_jobs(args: argparse.Namespace,
             args.experiment_ids or None, tenant=args.tenant,
             priority=args.priority, timeout_s=args.timeout,
             retries=args.retries, workers=args.workers,
-            use_cache=not args.no_cache)
+            use_cache=not args.no_cache,
+            deadline_s=args.deadline,
+            idempotency_key=args.idempotency_key)
         if not args.wait:
             print(json.dumps(job, indent=2, sort_keys=True))
             return EXIT_ALL_OK
@@ -561,7 +600,8 @@ def _dispatch_jobs(args: argparse.Namespace,
                          sort_keys=True))
         return EXIT_ALL_OK
     if action == "events":
-        for event in client.events(args.job_id, follow=args.follow):
+        for event in client.events(args.job_id, follow=args.follow,
+                                   since=args.since):
             print(json.dumps(event, sort_keys=True))
         return EXIT_ALL_OK
     if action == "results":
@@ -700,6 +740,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                             "temporary dir, removed afterwards)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the chaos report as JSON")
+    chaos.add_argument("--service", action="store_true",
+                       help="SIGKILL a live daemon mid-sweep, restart "
+                            "it over the same state dir, and verify "
+                            "crash recovery instead of a fault plan")
+    chaos.add_argument("--state-dir", default=None,
+                       help="service state dir for --service "
+                            "(default: --cache-dir, else a temp dir)")
+    chaos.add_argument("--job-timeout", type=float, default=120.0,
+                       help="--service per-job recovery deadline in "
+                            "seconds (default: %(default)s)")
     trace_parser = subparsers.add_parser(
         "trace",
         help="run a traced sweep and export the profile")
@@ -810,6 +860,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve.add_argument("--store-max-age", type=float, default=None,
                        metavar="S",
                        help="prune entries idle longer than S seconds")
+    serve.add_argument("--stall-timeout", type=float, default=300.0,
+                       metavar="S",
+                       help="watchdog requeues a job whose heartbeat "
+                            "is older than S seconds "
+                            "(default: %(default)s)")
+    serve.add_argument("--watchdog-poll", type=float, default=0.25,
+                       metavar="S",
+                       help="watchdog scan interval in seconds "
+                            "(default: %(default)s)")
+    serve.add_argument("--max-recovery-attempts", type=int, default=3,
+                       help="crash/stall requeues per job before it "
+                            "fails for good (default: %(default)s)")
 
     jobs = subparsers.add_parser(
         "jobs", help="client for a running experiment service")
@@ -817,6 +879,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                       help="service base URL (default: %(default)s)")
     jobs.add_argument("--http-timeout", type=float, default=30.0,
                       help="per-request timeout in seconds "
+                           "(default: %(default)s)")
+    jobs.add_argument("--http-retries", type=int, default=2,
+                      help="retries for connection errors and "
+                           "retryable 5xx answers "
                            "(default: %(default)s)")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
     jobs_submit = jobs_sub.add_parser(
@@ -837,6 +903,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                              help="engine workers for this job")
     jobs_submit.add_argument("--no-cache", action="store_true",
                              help="bypass the shared result store")
+    jobs_submit.add_argument("--deadline", type=float, default=None,
+                             metavar="S",
+                             help="whole-job wall-clock budget; the "
+                                  "watchdog fails the job past it")
+    jobs_submit.add_argument("--idempotency-key", default=None,
+                             help="resubmitting the same key returns "
+                                  "the original job, even across a "
+                                  "daemon crash")
     jobs_submit.add_argument("--wait", action="store_true",
                              help="poll until the job finishes and "
                                   "print the final state")
@@ -856,7 +930,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "events", help="print a job's JSONL event stream")
     jobs_events.add_argument("job_id", help="job id")
     jobs_events.add_argument("--follow", action="store_true",
-                             help="stream until the job finishes")
+                             help="stream until the job finishes; "
+                                  "reconnects through daemon restarts")
+    jobs_events.add_argument("--since", type=int, default=0,
+                             help="start from this event seq "
+                                  "(default: %(default)s)")
     jobs_stats = jobs_sub.add_parser(
         "stats", help="service metrics registry")
     jobs_stats.add_argument("--format", choices=("json", "prom"),

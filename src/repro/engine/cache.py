@@ -479,18 +479,8 @@ class ResultCache:
         content) reports an ancient zero-stamp holder, which every
         staleness check treats as breakable.
         """
-        path = self.claim_path(experiment_id, fingerprint)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            return ClaimInfo(pid=int(payload["pid"]),
-                             host=str(payload["host"]),
-                             created_at=float(payload["created_at"]))
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            if not path.exists():
-                return None
-            return ClaimInfo(pid=0, host="", created_at=0.0)
+        return self._claim_info_at(
+            self.claim_path(experiment_id, fingerprint))
 
     @staticmethod
     def claim_is_stale(info: ClaimInfo,
@@ -516,6 +506,53 @@ class ResultCache:
             return
         self._claims_broken += 1
         add_counter("cache.claims_broken")
+
+    def _claim_info_at(self, path: Path) -> ClaimInfo | None:
+        """Parse the claim file at ``path`` (same rules as claim_holder)."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return ClaimInfo(pid=int(payload["pid"]),
+                             host=str(payload["host"]),
+                             created_at=float(payload["created_at"]))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            if not path.exists():
+                return None
+            return ClaimInfo(pid=0, host="", created_at=0.0)
+
+    def sweep_stale_claims(self,
+                           ttl_s: float = DEFAULT_CLAIM_TTL_S) -> int:
+        """Break every stale claim under the objects dir; returns count.
+
+        Waiters already break a dead-pid claim the moment they contest
+        it, but a claim with no active waiter -- a worker SIGKILLed
+        mid-compute, a daemon that died with leases held -- would
+        otherwise linger until the next contender shows up, shielding
+        its entry from store pruning the whole time.  The daemon runs
+        this sweep on startup recovery and the store manager before
+        pruning.
+        """
+        if not self.objects_dir.is_dir():
+            return 0
+        broken = 0
+        try:
+            claim_paths = list(
+                self.objects_dir.glob("*.rpc" + CLAIM_SUFFIX))
+        except OSError:
+            return 0
+        for path in claim_paths:
+            info = self._claim_info_at(path)
+            if info is None or not self.claim_is_stale(info, ttl_s):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            broken += 1
+            self._claims_broken += 1
+            add_counter("cache.claims_broken")
+        return broken
 
     def note_claim_wait(self) -> None:
         """Count one task that waited on a foreign claim."""

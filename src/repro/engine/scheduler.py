@@ -220,6 +220,12 @@ class EngineConfig:
     #: in-flight tasks, cancel pending ones, and flush the journal
     #: instead of tearing the pool down mid-chunk.
     handle_signals: bool = True
+    #: Optional no-arg callable invoked whenever the sweep makes
+    #: genuine progress (a task finishes, a cache hit lands).  The
+    #: service daemon points this at the job's heartbeat so its
+    #: watchdog can tell a slow sweep from a wedged one.  Exceptions
+    #: from the callback are swallowed.
+    progress: Any = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -408,6 +414,8 @@ class ExecutionEngine:
                         if journal_path is not None else None)
         self._fired: list[FiredFault] = []
         self._interrupted = False
+        self._aborted = False
+        self._abort_reason = ""
 
     # -- public API ---------------------------------------------------
 
@@ -429,6 +437,8 @@ class ExecutionEngine:
         sweep_start = time.monotonic()
         self._fired = []
         self._interrupted = False
+        self._aborted = False
+        self._abort_reason = ""
         records: dict[str, RunRecord] = {}
         results: dict[str, Any] = {}
         metrics = current_metrics()
@@ -447,6 +457,7 @@ class ExecutionEngine:
                     if record is not None:
                         records[experiment_id] = record
                         results[experiment_id] = result
+                        self._beat()
                     else:
                         task.ready_at = time.monotonic()
                         pending.append(task)
@@ -515,6 +526,51 @@ class ExecutionEngine:
         add_counter("engine.drain_signals")
         self._interrupted = True
 
+    def abort(self, reason: str = "aborted") -> None:
+        """Kill the sweep from another thread (watchdog enforcement).
+
+        Unlike a drain signal, an abort does **not** let in-flight
+        workers finish: the process pool is torn down at the next poll
+        (bounded by the 0.5 s poll cap), in-flight tasks settle as
+        ``failed`` records carrying the reason, and never-launched
+        tasks settle as ``cancelled``.  The inline executor checks the
+        flag between tasks -- it cannot interrupt a running one.
+        """
+        self._abort_reason = reason
+        self._aborted = True
+        add_counter("engine.aborts")
+
+    def _beat(self) -> None:
+        """Report genuine sweep progress to the configured callback."""
+        progress = self.config.progress
+        if progress is not None:
+            try:
+                progress()
+            except Exception:
+                pass
+
+    def _abort_all(self, running: list, pending: deque[_Task],
+                   records: dict[str, RunRecord]) -> None:
+        """Tear down every slot and settle all remaining tasks."""
+        for slot in running:
+            self._kill(slot)
+            tasks = (slot.tasks if isinstance(slot, _ChunkSlot)
+                     else [slot.task])
+            for task in tasks:
+                task.last_error = f"aborted: {self._abort_reason}"
+                records[task.experiment_id] = self._finalize(
+                    task, STATUS_FAILED)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        running.clear()
+        while pending:
+            task = pending.popleft()
+            task.last_error = f"aborted: {self._abort_reason}"
+            records[task.experiment_id] = self._finalize(
+                task, STATUS_CANCELLED)
+
     def _cancel_pending(self, pending: deque[_Task],
                         records: dict[str, RunRecord]) -> None:
         """Settle never-launched tasks as ``cancelled`` after a drain."""
@@ -578,6 +634,7 @@ class ExecutionEngine:
         if not hit:
             return False
         self._release_claim(task)
+        self._beat()
         results[task.experiment_id] = result
         records[task.experiment_id] = RunRecord(
             experiment_id=task.experiment_id,
@@ -684,6 +741,7 @@ class ExecutionEngine:
         if not hit:
             return False
         self._settle_claim_wait(task)
+        self._beat()
         results[task.experiment_id] = result
         records[task.experiment_id] = RunRecord(
             experiment_id=task.experiment_id,
@@ -752,6 +810,11 @@ class ExecutionEngine:
         metrics = current_metrics()
         while pending:
             task = pending.popleft()
+            if self._aborted:
+                task.last_error = f"aborted: {self._abort_reason}"
+                records[task.experiment_id] = self._finalize(
+                    task, STATUS_CANCELLED)
+                continue
             if self._interrupted:
                 task.last_error = ("interrupted: drain signal received "
                                    "before this task launched")
@@ -761,11 +824,12 @@ class ExecutionEngine:
             claim_state = self._acquire_claim(task, records, results)
             while claim_state == "wait":
                 time.sleep(self.config.claim_poll_s)
-                if self._interrupted:
+                if self._interrupted or self._aborted:
                     break
                 claim_state = self._acquire_claim(task, records,
                                                   results)
             if claim_state == "hit":
+                self._beat()
                 continue
             if claim_state == "wait":  # interrupted mid-wait
                 self._settle_claim_wait(task)
@@ -811,6 +875,7 @@ class ExecutionEngine:
                 records[task.experiment_id] = self._finalize(
                     task, STATUS_OK)
                 break
+            self._beat()
             if metrics is not None:
                 record_resource_delta(metrics, task_sample,
                                       scope="task")
@@ -825,6 +890,9 @@ class ExecutionEngine:
         running: list[_Slot | _ChunkSlot] = []
 
         while pending or running:
+            if self._aborted:
+                self._abort_all(running, pending, records)
+                break
             if self._interrupted and not running:
                 # drained: every in-flight worker has been collected
                 self._cancel_pending(pending, records)
@@ -881,12 +949,16 @@ class ExecutionEngine:
                 # every runnable task is waiting out its backoff or a
                 # foreign claim's poll interval
                 wake = min(task.not_before for task in pending)
-                time.sleep(max(0.0, wake - time.monotonic()))
+                time.sleep(min(0.5, max(0.0,
+                                        wake - time.monotonic())))
                 continue
 
             timeout = self._poll_timeout(running, pending
                                          if len(running)
                                          < self.config.jobs else ())
+            # Capped so a cross-thread abort() takes effect promptly
+            # even when no per-task deadline is armed.
+            timeout = 0.5 if timeout is None else min(timeout, 0.5)
             ready = set(_connection_wait(
                 [slot.process.sentinel for slot in running],
                 timeout=timeout))
@@ -1042,6 +1114,7 @@ class ExecutionEngine:
             results[task.experiment_id] = outcome[1]
             records[task.experiment_id] = self._finalize(
                 task, STATUS_OK)
+            self._beat()
             return
         elif outcome is not None:
             task.last_error = outcome[1]
@@ -1112,6 +1185,7 @@ class ExecutionEngine:
                     results[task.experiment_id] = value
                     records[task.experiment_id] = self._finalize(
                         task, STATUS_OK)
+                    self._beat()
                     continue
                 task.last_error = value
             else:

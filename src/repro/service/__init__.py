@@ -9,10 +9,16 @@ The service layer turns one-shot ``repro run`` sweeps into a daemon
   with priority classes and explicit 429 backpressure;
 * :mod:`repro.service.store` -- shared result store management: stats
   and LRU eviction over the engine's ``.rpc`` cache;
-* :mod:`repro.service.daemon` -- the asyncio HTTP server and the
-  dispatcher threads that run jobs on the execution engine;
+* :mod:`repro.service.daemon` -- the asyncio HTTP server, the
+  dispatcher threads that run jobs on the execution engine, startup
+  crash recovery, and the watchdog supervisor;
+* :mod:`repro.service.wal` -- the fsync'd write-ahead job journal that
+  makes submissions and state transitions durable across a crash;
 * :mod:`repro.service.client` -- the ``urllib`` client used by the
-  ``repro jobs`` CLI and the smoke tests.
+  ``repro jobs`` CLI and the smoke tests, with bounded retries and
+  reconnecting streams;
+* :mod:`repro.service.chaos` -- the SIGKILL/restart recovery harness
+  behind ``repro chaos --service``.
 
 Cross-process coordination (claim files on in-flight cache entries)
 lives with the cache itself in :mod:`repro.engine.cache`; the service
@@ -23,6 +29,7 @@ from repro.service.client import (
     BackpressureError,
     ServiceClient,
     ServiceError,
+    ServiceUnavailableError,
 )
 from repro.service.daemon import (
     ExperimentService,
@@ -38,6 +45,10 @@ from repro.service.jobs import (
     JOB_RUNNING,
     JOB_STATES,
     PRIORITIES,
+    REASON_DEADLINE,
+    REASON_RECOVERED,
+    REASON_RECOVERY_EXHAUSTED,
+    REASON_STALL,
     TERMINAL_STATES,
     Job,
     JobEventLog,
@@ -56,6 +67,7 @@ from repro.service.store import (
     StoreManager,
     StoreStats,
 )
+from repro.service.wal import JobWAL, ReplayReport, WalEntry
 
 __all__ = [
     "AdmissionQueue",
@@ -70,18 +82,26 @@ __all__ = [
     "Job",
     "JobEventLog",
     "JobSpec",
+    "JobWAL",
     "PRIORITIES",
     "PruneReport",
     "QueueConfig",
     "QueueFullError",
+    "REASON_DEADLINE",
+    "REASON_RECOVERED",
+    "REASON_RECOVERY_EXHAUSTED",
+    "REASON_STALL",
+    "ReplayReport",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceServer",
+    "ServiceUnavailableError",
     "StoreEntry",
     "StoreManager",
     "StoreStats",
     "TERMINAL_STATES",
+    "WalEntry",
     "json_safe",
     "next_job_id",
     "run_service",

@@ -5,6 +5,18 @@ jobs`` CLI, the smoke script, and tests.  Every method raises
 :class:`ServiceError` on a non-2xx answer; a ``429`` rejection raises
 the :class:`BackpressureError` subclass carrying the server's
 ``retry_after_s`` hint so callers can implement polite retry.
+
+Resilience: with ``retries > 0`` the client absorbs transient faults
+instead of surfacing the first one -- connection errors (refused,
+reset, DNS) raise :class:`ServiceUnavailableError` only after the
+retry budget is spent, and retryable 5xx answers (500/502/503/504) are
+retried with capped-jitter exponential backoff honouring any
+``Retry-After`` the server sent.  :meth:`wait` and
+:meth:`events(follow=True) <events>` additionally survive a daemon
+restart mid-stream: ``wait`` keeps polling through connection drops
+until its own deadline, and a following event stream reconnects with
+``?since=<next seq>`` so no event is lost or duplicated across the
+drop.
 """
 
 from __future__ import annotations
@@ -16,8 +28,13 @@ import urllib.request
 from typing import Any, Iterator
 
 from repro.errors import ReproError
+from repro.reliability.backoff import BackoffPolicy
 
 DEFAULT_TIMEOUT_S = 30.0
+
+#: 5xx statuses worth retrying: transient server trouble, not a bug in
+#: the request.  503 is also what the daemon answers while draining.
+RETRYABLE_STATUSES = frozenset((500, 502, 503, 504))
 
 
 class ServiceError(ReproError):
@@ -39,18 +56,26 @@ class BackpressureError(ServiceError):
         self.retry_after_s = retry_after_s
 
 
+class ServiceUnavailableError(ServiceError):
+    """The service could not be reached at all (connection-level)."""
+
+
 class ServiceClient:
     """Thin JSON-over-HTTP client bound to one daemon base URL."""
 
     def __init__(self, base_url: str,
-                 timeout_s: float = DEFAULT_TIMEOUT_S) -> None:
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 retries: int = 0,
+                 backoff: BackoffPolicy | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy(base_s=0.2, max_s=5.0)
 
     # -- plumbing -----------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> Any:
+    def _request_once(self, method: str, path: str,
+                      payload: dict | None = None) -> Any:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         request = urllib.request.Request(
@@ -73,12 +98,52 @@ class ServiceClient:
                     message, payload=detail,
                     retry_after_s=float(
                         detail.get("retry_after_s", 2.0))) from None
-            raise ServiceError(message, status=exc.code,
-                               payload=detail) from None
+            retry_after = exc.headers.get("Retry-After")
+            error = ServiceError(message, status=exc.code,
+                                 payload=detail)
+            if retry_after is not None:
+                try:
+                    error.payload.setdefault(
+                        "retry_after_s", float(retry_after))
+                except ValueError:
+                    pass
+            raise error from None
         except urllib.error.URLError as exc:
-            raise ServiceError(
+            raise ServiceUnavailableError(
                 f"cannot reach service at {self.base_url}: "
                 f"{exc.reason}") from None
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc}") from None
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        """One API call with up to ``self.retries`` bounded retries.
+
+        Retries cover connection-level failures and retryable 5xx
+        answers only -- 4xx (including 429 backpressure) and success
+        always surface immediately.  The wait between attempts is the
+        capped-jitter backoff schedule, stretched to honour any
+        ``Retry-After`` hint the server sent.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceUnavailableError:
+                if attempt >= self.retries:
+                    raise
+                delay = self.backoff.delay_s(path, attempt + 1)
+            except ServiceError as exc:
+                if (exc.status not in RETRYABLE_STATUSES
+                        or attempt >= self.retries):
+                    raise
+                delay = max(
+                    self.backoff.delay_s(path, attempt + 1),
+                    float(exc.payload.get("retry_after_s", 0.0)))
+            attempt += 1
+            time.sleep(delay)
 
     # -- API ----------------------------------------------------------
 
@@ -88,13 +153,20 @@ class ServiceClient:
     def submit(self, experiments: list[str] | None = None, *,
                tenant: str = "default", priority: str = "normal",
                timeout_s: float = 120.0, retries: int = 0,
-               workers: int = 1, use_cache: bool = True) -> dict:
-        return self._request("POST", "/v1/jobs", {
+               workers: int = 1, use_cache: bool = True,
+               deadline_s: float | None = None,
+               idempotency_key: str | None = None) -> dict:
+        spec: dict[str, Any] = {
             "experiments": experiments or [],
             "tenant": tenant, "priority": priority,
             "timeout_s": timeout_s, "retries": retries,
             "workers": workers, "use_cache": use_cache,
-        })
+        }
+        if deadline_s is not None:
+            spec["deadline_s"] = deadline_s
+        if idempotency_key is not None:
+            spec["idempotency_key"] = idempotency_key
+        return self._request("POST", "/v1/jobs", spec)
 
     def jobs(self, tenant: str | None = None) -> list[dict]:
         path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
@@ -128,12 +200,13 @@ class ServiceClient:
     def shutdown(self) -> dict:
         return self._request("POST", "/v1/shutdown")
 
-    def events(self, job_id: str,
-               follow: bool = False) -> Iterator[dict]:
-        """Yield the job's JSONL events; with ``follow`` streams until
-        the job reaches a terminal state."""
+    def _events_once(self, job_id: str, follow: bool,
+                     since: int) -> Iterator[dict]:
+        query = [f"since={since}"] if since else []
+        if follow:
+            query.append("follow=1")
         url = (f"{self.base_url}/v1/jobs/{job_id}/events"
-               + ("?follow=1" if follow else ""))
+               + ("?" + "&".join(query) if query else ""))
         request = urllib.request.Request(url)
         with urllib.request.urlopen(
                 request, timeout=self.timeout_s) as response:
@@ -142,12 +215,72 @@ class ServiceClient:
                 if text:
                     yield json.loads(text)
 
+    def events(self, job_id: str, follow: bool = False,
+               since: int = 0) -> Iterator[dict]:
+        """Yield the job's JSONL events from seq ``since`` onwards.
+
+        With ``follow`` the stream runs until the job reaches a
+        terminal state -- surviving connection drops: a dropped or
+        refused stream is reconnected (up to ``self.retries`` extra
+        times, backoff between attempts) with ``since`` advanced past
+        the last delivered event, so a daemon restart mid-follow
+        neither loses nor duplicates events.
+        """
+        next_seq = since
+        attempt = 0
+        while True:
+            try:
+                for event in self._events_once(job_id, follow,
+                                               next_seq):
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if seq < next_seq:
+                            continue  # duplicate across a reconnect
+                        next_seq = seq + 1
+                    attempt = 0  # progress resets the retry budget
+                    yield event
+                return
+            except urllib.error.HTTPError as exc:
+                raw = exc.read().decode("utf-8", errors="replace")
+                try:
+                    detail = json.loads(raw)
+                except json.JSONDecodeError:
+                    detail = {"error": raw.strip()}
+                raise ServiceError(
+                    detail.get("error", f"HTTP {exc.code}"),
+                    status=exc.code, payload=detail) from None
+            except (urllib.error.URLError, ConnectionError,
+                    TimeoutError, OSError) as exc:
+                if not follow or attempt >= self.retries:
+                    raise ServiceUnavailableError(
+                        f"event stream for {job_id} dropped: "
+                        f"{exc}") from None
+                attempt += 1
+                time.sleep(self.backoff.delay_s(
+                    f"events:{job_id}", attempt))
+
     def wait(self, job_id: str, *, timeout_s: float = 300.0,
              poll_s: float = 0.1) -> dict:
-        """Poll until the job is terminal; returns the final job dict."""
+        """Poll until the job is terminal; returns the final job dict.
+
+        Connection failures during the poll (a daemon restarting under
+        the job) are absorbed with capped backoff until ``timeout_s``
+        runs out -- the recovered daemon still knows the job.
+        """
         deadline = time.monotonic() + timeout_s
+        failures = 0
         while True:
-            job = self.job(job_id)
+            try:
+                job = self.job(job_id)
+            except ServiceUnavailableError:
+                if time.monotonic() >= deadline:
+                    raise
+                failures += 1
+                time.sleep(min(
+                    self.backoff.delay_s(f"wait:{job_id}", failures),
+                    max(0.0, deadline - time.monotonic())))
+                continue
+            failures = 0
             if job["state"] in ("done", "failed", "cancelled"):
                 return job
             if time.monotonic() >= deadline:

@@ -44,6 +44,7 @@ import asyncio
 import json
 import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -51,6 +52,7 @@ from typing import Any
 from repro.engine import EngineConfig, ExecutionEngine
 from repro.engine.scheduler import EXECUTOR_INLINE, EXECUTOR_PROCESS
 from repro.errors import ReproError
+from repro.reliability.backoff import BackoffPolicy
 from repro.obs import (
     DURATION_BUCKETS,
     FORMAT_JSON,
@@ -65,9 +67,15 @@ from repro.obs import (
     write_trace,
 )
 from repro.service.jobs import (
+    JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
     JOB_QUEUED,
+    JOB_RUNNING,
+    REASON_DEADLINE,
+    REASON_RECOVERED,
+    REASON_RECOVERY_EXHAUSTED,
+    REASON_STALL,
     Job,
     JobEventLog,
     JobSpec,
@@ -76,6 +84,7 @@ from repro.service.jobs import (
 )
 from repro.service.queue import AdmissionQueue, QueueConfig, QueueFullError
 from repro.service.store import StoreManager
+from repro.service.wal import WAL_FILENAME, JobWAL, WalEntry
 
 #: Bytes of request body the server is willing to buffer.
 MAX_BODY_BYTES = 1 << 20
@@ -104,6 +113,19 @@ class ServiceConfig:
     store_max_bytes: int | None = None
     store_max_entries: int | None = None
     store_max_age_s: float | None = None
+    #: Watchdog: a running job whose engine reports no progress for
+    #: this long is treated as stalled, aborted, and requeued.
+    stall_timeout_s: float = 300.0
+    #: How often the watchdog scans running jobs.
+    watchdog_poll_s: float = 0.25
+    #: Times an orphaned (crash) or stalled run may be requeued before
+    #: the job fails with reason ``recovery_exhausted``.
+    max_recovery_attempts: int = 3
+    #: Jittered exponential backoff between recovery requeues.
+    recovery_backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(base_s=0.5, max_s=30.0))
+    #: Terminal job stubs retained in the WAL across compactions.
+    wal_keep_terminal: int = 256
 
     def __post_init__(self) -> None:
         if self.dispatchers < 1:
@@ -111,21 +133,55 @@ class ServiceConfig:
                 f"dispatchers must be >= 1, got {self.dispatchers}")
         if self.executor not in (EXECUTOR_PROCESS, EXECUTOR_INLINE):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be > 0, got {self.stall_timeout_s}")
+        if self.watchdog_poll_s <= 0:
+            raise ValueError(
+                f"watchdog_poll_s must be > 0, got {self.watchdog_poll_s}")
+        if self.max_recovery_attempts < 0:
+            raise ValueError(
+                f"max_recovery_attempts must be >= 0, "
+                f"got {self.max_recovery_attempts}")
+
+
+@dataclass
+class _RunningJob:
+    """Watchdog bookkeeping for one in-flight job."""
+
+    job: Job
+    engine: ExecutionEngine
+    started: float    # monotonic
+    heartbeat: float  # monotonic, advanced by engine progress
+    #: Set once by the watchdog (``stall`` / ``deadline``) so the
+    #: dispatcher knows why its engine run came back dead.
+    verdict: str | None = None
+
+    def beat(self) -> None:
+        self.heartbeat = time.monotonic()
 
 
 class ExperimentService:
-    """Daemon state: job table, queue, store, dispatcher threads."""
+    """Daemon state: job table, queue, store, WAL, worker threads."""
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.queue = AdmissionQueue(self.config.queue)
         self.store = StoreManager(self.config.cache_dir)
         self.trace = Trace("repro-service")
+        self.wal = JobWAL(Path(self.config.cache_dir) / "service"
+                          / WAL_FILENAME)
         self.jobs: dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
+        #: idempotency key -> job id, rebuilt from the WAL on startup.
+        self._idempotency: dict[str, str] = {}
+        self._running: dict[str, _RunningJob] = {}
+        self._running_lock = threading.Lock()
         self._work = threading.Event()
         self._draining = threading.Event()
         self._threads: list[threading.Thread] = []
+        #: Jobs re-admitted by the last startup recovery.
+        self.recovered_jobs = 0
         #: Set when shutdown came from SIGINT/SIGTERM rather than the
         #: shutdown route; the CLI maps it to the interrupted exit code.
         self.signalled = False
@@ -134,12 +190,17 @@ class ExperimentService:
 
     def start(self) -> None:
         activate(self.trace)
+        self._recover()
         for index in range(self.config.dispatchers):
             thread = threading.Thread(
                 target=self._dispatch_loop,
                 name=f"repro-dispatch-{index}", daemon=True)
             thread.start()
             self._threads.append(thread)
+        watchdog = threading.Thread(target=self._watchdog_loop,
+                                    name="repro-watchdog", daemon=True)
+        watchdog.start()
+        self._threads.append(watchdog)
 
     def stop(self, *, drain_timeout_s: float = 60.0) -> None:
         """Drain and shut down; idempotent."""
@@ -152,6 +213,8 @@ class ExperimentService:
         for thread in self._threads:
             thread.join(timeout=drain_timeout_s)
         self.prune_store()
+        self.wal.compact(self._wal_entries(),
+                         keep_terminal=self.config.wal_keep_terminal)
         deactivate()
         if self.config.trace_out is not None:
             try:
@@ -164,30 +227,170 @@ class ExperimentService:
     def draining(self) -> bool:
         return self._draining.is_set()
 
+    # -- crash recovery -----------------------------------------------
+
+    def _event_log_path(self, job_id: str) -> Path:
+        return (Path(self.config.cache_dir) / "service"
+                / f"{job_id}.events.jsonl")
+
+    def _wal_entries(self) -> list[WalEntry]:
+        """Current job table as WAL entries, in submission order."""
+        with self._jobs_lock:
+            jobs = sorted(self.jobs.values(),
+                          key=lambda job: (job.submitted_at, job.id))
+        return [WalEntry(job_id=job.id, spec=job.spec,
+                         submitted_at=job.submitted_at,
+                         state=job.state, reason=job.reason,
+                         error=job.error,
+                         recovery_attempts=job.recovery_attempts,
+                         arrival=index)
+                for index, job in enumerate(jobs)]
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the WAL after a crash/restart.
+
+        Queued jobs are re-admitted in original priority/arrival order
+        (``force=True``: they were already acknowledged, backpressure
+        does not apply to them twice).  Jobs that were ``running`` when
+        the previous process died are orphans: requeued with a bounded
+        ``recovery_attempts`` counter and jittered exponential backoff,
+        or failed with reason ``recovery_exhausted`` once the bound is
+        hit.  Terminal jobs come back as state-only stubs -- their
+        results died with the old process, their outcome did not.
+        """
+        report = self.wal.replay()
+        if report.skipped:
+            add_counter("wal.skipped_lines", report.skipped)
+        if report.dangling:
+            add_counter("wal.dangling_records", report.dangling)
+        if not report.entries:
+            return
+        now = time.monotonic()
+        ordered = sorted(report.entries.values(),
+                         key=lambda entry: entry.arrival)
+        for entry in ordered:
+            log = JobEventLog(self._event_log_path(entry.job_id))
+            events, skipped = log.replay()
+            if skipped:
+                add_counter("service.events_skipped", skipped)
+            job = Job(id=entry.job_id, spec=entry.spec,
+                      state=entry.state,
+                      submitted_at=entry.submitted_at,
+                      error=entry.error,
+                      recovery_attempts=entry.recovery_attempts,
+                      reason=entry.reason,
+                      events=events, event_log=log, wal=self.wal)
+            with self._jobs_lock:
+                self.jobs[job.id] = job
+                if entry.spec.idempotency_key:
+                    self._idempotency[entry.spec.idempotency_key] \
+                        = job.id
+            if entry.terminal:
+                continue
+            if entry.orphaned:
+                attempts = entry.recovery_attempts + 1
+                if attempts > self.config.max_recovery_attempts:
+                    job.error = (
+                        "orphaned run exceeded "
+                        f"{self.config.max_recovery_attempts} recovery "
+                        "attempt(s)")
+                    job.transition(JOB_FAILED,
+                                   reason=REASON_RECOVERY_EXHAUSTED,
+                                   error=job.error)
+                    add_counter("jobs.recovery_exhausted")
+                    add_counter("service.jobs_failed")
+                    continue
+                job.recovery_attempts = attempts
+                delay = self.config.recovery_backoff.delay_s(
+                    job.id, attempts)
+                job.not_before = now + delay
+                job.transition(JOB_QUEUED, reason=REASON_RECOVERED,
+                               recovery_attempts=attempts,
+                               backoff_s=round(delay, 3))
+                add_counter("jobs.recovered")
+                self.recovered_jobs += 1
+            self.queue.submit(job, force=True)
+        # leases the dead process held will never be released by it
+        self.store.cache.sweep_stale_claims()
+        self.wal.compact(self._wal_entries(),
+                         keep_terminal=self.config.wal_keep_terminal)
+        if self.recovered_jobs or self.queue.depth():
+            self._work.set()
+
+    # -- watchdog -----------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        """Abort runs past their deadline or with stale heartbeats."""
+        while not self._draining.is_set():
+            now = time.monotonic()
+            with self._running_lock:
+                entries = list(self._running.values())
+            for entry in entries:
+                if entry.verdict is not None:
+                    continue
+                deadline_s = entry.job.spec.deadline_s
+                if (deadline_s is not None
+                        and now - entry.started > deadline_s):
+                    entry.verdict = "deadline"
+                    entry.engine.abort(
+                        f"deadline_s={deadline_s:g} exceeded")
+                    continue
+                if now - entry.heartbeat > self.config.stall_timeout_s:
+                    entry.verdict = "stall"
+                    entry.engine.abort(
+                        "no progress for "
+                        f"{self.config.stall_timeout_s:g} s")
+            self._draining.wait(timeout=self.config.watchdog_poll_s)
+
     # -- job submission / lookup --------------------------------------
 
-    def submit(self, spec: JobSpec) -> Job:
-        """Admit a job (raises QueueFullError / ReproError)."""
+    def submit(self, spec: JobSpec) -> tuple[Job, bool]:
+        """Admit a job; returns ``(job, created)``.
+
+        ``created`` is False when ``spec.idempotency_key`` matched an
+        existing job, which is returned instead of admitting a
+        duplicate.  The submission is journalled to the WAL **before**
+        this returns, so an acknowledged job survives a crash.  Raises
+        QueueFullError / ReproError.
+        """
         if self._draining.is_set():
             raise ReproError("service is shutting down")
-        job_id = next_job_id()
-        event_path = (Path(self.config.cache_dir) / "service"
-                      / f"{job_id}.events.jsonl")
-        job = Job(id=job_id, spec=spec,
-                  event_log=JobEventLog(event_path))
         with self._jobs_lock:
+            key = spec.idempotency_key
+            if key is not None:
+                existing_id = self._idempotency.get(key)
+                existing = (self.jobs.get(existing_id)
+                            if existing_id is not None else None)
+                if existing is not None:
+                    add_counter("service.idempotent_hits")
+                    return existing, False
+            job_id = next_job_id()
+            job = Job(id=job_id, spec=spec,
+                      event_log=JobEventLog(
+                          self._event_log_path(job_id)),
+                      wal=self.wal)
             self.jobs[job_id] = job
+            if key is not None:
+                self._idempotency[key] = job_id
+        # Journal before admission: a dispatcher may transition the job
+        # the instant it is queued, and a state record must never reach
+        # the WAL ahead of its submit record.
+        self.wal.log_submit(job_id, spec, job.submitted_at)
         try:
             self.queue.submit(job)
         except QueueFullError:
             with self._jobs_lock:
                 del self.jobs[job_id]
+                if key is not None:
+                    self._idempotency.pop(key, None)
+            self.wal.log_state(job_id, JOB_CANCELLED,
+                               reason="rejected: backpressure")
             raise
         job.add_event(JOB_QUEUED, tenant=spec.tenant,
                       priority=spec.priority,
                       experiments=list(spec.experiment_ids))
         self._work.set()
-        return job
+        return job, True
 
     def job(self, job_id: str) -> Job | None:
         with self._jobs_lock:
@@ -228,7 +431,8 @@ class ExperimentService:
                 continue
             self._run_job(job)
 
-    def _engine_config(self, spec: JobSpec) -> EngineConfig:
+    def _engine_config(self, spec: JobSpec,
+                       progress=None) -> EngineConfig:
         return EngineConfig(
             jobs=spec.workers,
             timeout_s=spec.timeout_s,
@@ -237,25 +441,63 @@ class ExperimentService:
             cache_dir=Path(self.config.cache_dir),
             executor=self.config.executor,
             handle_signals=False,  # worker thread; daemon owns signals
+            progress=progress,
         )
+
+    def _requeue_stalled(self, job: Job) -> None:
+        """Requeue a watchdog-stalled job, bounded by recovery limits."""
+        add_counter("jobs.stalled")
+        attempts = job.recovery_attempts + 1
+        if (attempts > self.config.max_recovery_attempts
+                or self._draining.is_set()):
+            job.error = ("stalled run exceeded "
+                         f"{self.config.max_recovery_attempts} "
+                         "recovery attempt(s)"
+                         if not self._draining.is_set()
+                         else "stalled while the service was draining")
+            job.transition(JOB_FAILED,
+                           reason=(REASON_RECOVERY_EXHAUSTED
+                                   if not self._draining.is_set()
+                                   else REASON_STALL),
+                           error=job.error)
+            add_counter("service.jobs_failed")
+            return
+        job.recovery_attempts = attempts
+        delay = self.config.recovery_backoff.delay_s(job.id, attempts)
+        job.not_before = time.monotonic() + delay
+        job.transition(JOB_QUEUED, reason=REASON_STALL,
+                       recovery_attempts=attempts,
+                       backoff_s=round(delay, 3))
+        self.queue.submit(job, force=True)
+        self._work.set()
 
     def _run_job(self, job: Job) -> None:
         spec = job.spec
-        job.transition("running", tenant=spec.tenant)
+        job.transition(JOB_RUNNING, tenant=spec.tenant)
         wait_s = job.queue_wait_s() or 0.0
         observe("service.queue_wait_s", wait_s, DURATION_BUCKETS,
                 tenant=spec.tenant)
         add_counter("service.jobs_started")
+        now = time.monotonic()
+        entry = _RunningJob(job=job, engine=None, started=now,
+                            heartbeat=now)
+        engine = ExecutionEngine(
+            self._engine_config(spec, progress=entry.beat))
+        entry.engine = engine
+        with self._running_lock:
+            self._running[job.id] = entry
         try:
             with span("service.job", job=job.id, tenant=spec.tenant,
                       priority=spec.priority):
-                engine = ExecutionEngine(self._engine_config(spec))
                 sweep = engine.run(spec.experiment_ids or None)
         except (ReproError, Exception) as exc:  # job must never kill us
             job.error = f"{type(exc).__name__}: {exc}"
             job.transition(JOB_FAILED, error=job.error)
             add_counter("service.jobs_failed")
             return
+        finally:
+            with self._running_lock:
+                self._running.pop(job.id, None)
         job.records = [record.to_json_dict()
                        for record in sweep.records]
         job.metrics = sweep.metrics.to_json_dict()
@@ -268,7 +510,16 @@ class ExperimentService:
                           wall_time_s=record.wall_time_s)
         observe("service.job_wall_s", job.wall_s() or 0.0,
                 DURATION_BUCKETS, tenant=spec.tenant)
-        if sweep.metrics.all_ok:
+        if entry.verdict == "deadline":
+            job.error = (f"deadline_s={spec.deadline_s:g} exceeded "
+                         "(run aborted by the watchdog)")
+            job.transition(JOB_FAILED, reason=REASON_DEADLINE,
+                           error=job.error)
+            add_counter("jobs.deadline_exceeded")
+            add_counter("service.jobs_failed")
+        elif entry.verdict == "stall":
+            self._requeue_stalled(job)
+        elif sweep.metrics.all_ok:
             job.transition(JOB_DONE, ok=sweep.metrics.ok,
                            cache_hits=sweep.metrics.cache_hits)
             add_counter("service.jobs_done")
@@ -442,11 +693,15 @@ class ServiceServer:
         add_counter("service.requests")
 
         if path == "/healthz" and method == "GET":
+            with service._running_lock:
+                running = len(service._running)
             writer.write(_response(200, {
                 "ok": True,
                 "draining": service.draining,
                 "jobs": len(service.jobs),
                 "queued": service.queue.depth(),
+                "running": running,
+                "recovered": service.recovered_jobs,
             }))
             return
 
@@ -457,7 +712,7 @@ class ServiceServer:
                 return
             spec = JobSpec.from_json_dict(request.json())
             try:
-                job = service.submit(spec)
+                job, created = service.submit(spec)
             except QueueFullError as exc:
                 writer.write(_response(
                     429, {"error": str(exc), "reason": exc.reason,
@@ -465,8 +720,9 @@ class ServiceServer:
                     headers={"Retry-After":
                              f"{max(1, round(exc.retry_after_s))}"}))
                 return
-            writer.write(_response(
-                202, job.to_json_dict(include_records=False)))
+            payload = job.to_json_dict(include_records=False)
+            payload["deduplicated"] = not created
+            writer.write(_response(202 if created else 200, payload))
             return
 
         if path == "/v1/jobs" and method == "GET":
@@ -495,6 +751,12 @@ class ServiceServer:
                 "queue": {"depth": service.queue.depth(),
                           "admitted": service.queue.admitted,
                           "rejected": service.queue.rejected},
+                "recovery": {
+                    "recovered_jobs": service.recovered_jobs,
+                    "wal_write_errors": service.wal.write_errors,
+                    "max_recovery_attempts":
+                        service.config.max_recovery_attempts,
+                },
             }))
             return
 
@@ -535,9 +797,14 @@ class ServiceServer:
             return
 
         if sub == "events" and request.method == "GET":
+            try:
+                since = int(request.query.get("since", "0") or "0")
+            except ValueError:
+                raise _BadRequest("since must be an integer") from None
             await self._stream_events(
                 job, writer,
-                follow=request.query.get("follow") in ("1", "true"))
+                follow=request.query.get("follow") in ("1", "true"),
+                since=since)
             return
 
         if sub == "result" and request.method == "GET":
@@ -564,17 +831,25 @@ class ServiceServer:
 
     async def _stream_events(self, job: Job,
                              writer: asyncio.StreamWriter,
-                             follow: bool) -> None:
+                             follow: bool, since: int = 0) -> None:
+        """Stream events as JSONL, optionally skipping ``seq < since``.
+
+        ``since`` is what lets a reconnecting follower resume where its
+        dropped connection left off instead of re-reading (and
+        re-yielding) the whole history.
+        """
         writer.write(_stream_head())
-        sent = 0
+        sent = max(0, since)
         while True:
             with job.lock:
-                fresh = list(job.events[sent:])
+                fresh = [event for event in job.events
+                         if event["seq"] >= sent]
             for event in fresh:
                 writer.write(
                     (json.dumps(json_safe(event), sort_keys=True)
                      + "\n").encode("utf-8"))
-            sent += len(fresh)
+            if fresh:
+                sent = fresh[-1]["seq"] + 1
             try:
                 await writer.drain()
             except (ConnectionError, OSError):

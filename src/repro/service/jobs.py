@@ -54,9 +54,15 @@ TERMINAL_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
 
 DEFAULT_TENANT = "default"
 
+#: Distinct terminal/requeue reasons surfaced in status and stats.
+REASON_STALL = "stall"
+REASON_DEADLINE = "deadline_exceeded"
+REASON_RECOVERED = "recovered"
+REASON_RECOVERY_EXHAUSTED = "recovery_exhausted"
+
 _SPEC_KEYS = frozenset((
     "experiments", "tenant", "priority", "timeout_s", "retries",
-    "workers", "use_cache",
+    "workers", "use_cache", "deadline_s", "idempotency_key",
 ))
 
 
@@ -99,6 +105,13 @@ class JobSpec:
     retries: int = 0
     workers: int = 1
     use_cache: bool = True
+    #: Wall-clock budget for the whole job; the watchdog fails the job
+    #: (reason ``deadline_exceeded``) once it runs past this.  None
+    #: means no deadline.
+    deadline_s: float | None = None
+    #: Client-chosen dedup key: resubmitting the same key returns the
+    #: existing job instead of admitting a duplicate.
+    idempotency_key: str | None = None
 
     def __post_init__(self) -> None:
         if self.priority not in PRIORITIES:
@@ -121,6 +134,17 @@ class JobSpec:
         if self.workers < 1:
             raise ReproError(
                 f"workers must be >= 1, got {self.workers}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ReproError(
+                f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.idempotency_key is not None:
+            key = self.idempotency_key
+            if (not isinstance(key, str) or not key or len(key) > 128
+                    or not all(ch.isalnum() or ch in "-_.:"
+                               for ch in key)):
+                raise ReproError(
+                    "idempotency_key must be <= 128 chars of "
+                    f"[a-zA-Z0-9._:-], got {key!r}")
 
     @classmethod
     def from_json_dict(cls, payload: Any) -> "JobSpec":
@@ -145,6 +169,9 @@ class JobSpec:
                 retries=int(payload.get("retries", 0)),
                 workers=int(payload.get("workers", 1)),
                 use_cache=bool(payload.get("use_cache", True)),
+                deadline_s=(None if payload.get("deadline_s") is None
+                            else float(payload["deadline_s"])),
+                idempotency_key=payload.get("idempotency_key"),
             )
         except (TypeError, ValueError) as exc:
             raise ReproError(f"malformed job spec: {exc}") from None
@@ -158,6 +185,8 @@ class JobSpec:
             "retries": self.retries,
             "workers": self.workers,
             "use_cache": self.use_cache,
+            "deadline_s": self.deadline_s,
+            "idempotency_key": self.idempotency_key,
         }
 
 
@@ -186,6 +215,35 @@ class JobEventLog:
         except OSError:
             pass  # event files are best-effort observability
 
+    def replay(self) -> tuple[list[dict], int]:
+        """Read back the event file, tolerating a torn final line.
+
+        Returns ``(events, skipped)`` where ``skipped`` counts lines
+        dropped because they did not parse (a writer killed mid-append
+        leaves exactly such a partial record).  Events are returned in
+        file order with sequence numbers as written.
+        """
+        if self.path is None:
+            return [], 0
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return [], 0
+        events: list[dict] = []
+        skipped = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+                if not isinstance(event, dict) or "seq" not in event:
+                    raise ValueError("not an event record")
+            except (ValueError, TypeError):
+                skipped += 1
+                continue
+            events.append(event)
+        return events, skipped
+
 
 @dataclass
 class Job:
@@ -205,9 +263,20 @@ class Job:
     #: json-safe results payload, kept until the job is reaped.
     results: dict | None = None
     interrupted: bool = False
+    #: Times this job was requeued after an orphaned/stalled run.
+    recovery_attempts: int = 0
+    #: Why the job last changed state abnormally (``stall``,
+    #: ``deadline_exceeded``, ``recovered``, ``recovery_exhausted``).
+    reason: str | None = None
+    #: Monotonic clock before which the queue must not dispatch this
+    #: job (recovery/stall backoff).
+    not_before: float = 0.0
     events: list[dict] = field(default_factory=list)
     event_log: JobEventLog = field(
         default_factory=lambda: JobEventLog(None))
+    #: When set, every transition is journalled here before clients see
+    #: it (assigned by the daemon; None in unit tests).
+    wal: Any = None
     lock: threading.Lock = field(default_factory=threading.Lock)
 
     def add_event(self, kind: str, **data: Any) -> dict:
@@ -233,6 +302,13 @@ class Job:
                 self.started_at = wall_now()
             elif state in TERMINAL_STATES:
                 self.finished_at = wall_now()
+            if "reason" in data:
+                self.reason = data["reason"]
+        if self.wal is not None:
+            self.wal.log_state(
+                self.id, state, reason=self.reason,
+                error=data.get("error", self.error),
+                recovery_attempts=self.recovery_attempts)
         self.add_event(state, **data)
 
     def queue_wait_s(self) -> float | None:
@@ -258,6 +334,8 @@ class Job:
                 "finished_at": self.finished_at,
                 "error": self.error,
                 "interrupted": self.interrupted,
+                "recovery_attempts": self.recovery_attempts,
+                "reason": self.reason,
                 "events": len(self.events),
             }
             if self.metrics is not None:

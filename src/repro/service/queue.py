@@ -24,6 +24,7 @@ reason, so backpressure is visible in ``repro jobs stats``.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -102,14 +103,21 @@ class AdmissionQueue:
 
     # -- admission ----------------------------------------------------
 
-    def submit(self, job: Job) -> None:
+    def submit(self, job: Job, *, force: bool = False) -> None:
         """Admit ``job`` or raise :class:`QueueFullError`.
 
         The two bounds are checked under one lock acquisition so a
         burst of concurrent submissions cannot overshoot either.
+        ``force=True`` bypasses both bounds: recovery re-admission of
+        already-acknowledged jobs must never bounce off backpressure
+        meant for *new* work.
         """
         with self._lock:
             depth = sum(len(q) for q in self._queues.values())
+            if force:
+                self._queues[job.spec.priority].append(job)
+                self._admitted += 1
+                return
             if depth >= self.config.max_depth:
                 self._rejected += 1
                 add_counter("service.rejected")
@@ -137,12 +145,20 @@ class AdmissionQueue:
     # -- dispatch -----------------------------------------------------
 
     def pop(self) -> Job | None:
-        """Next job in priority order, or ``None`` when empty."""
+        """Next dispatchable job in priority order, or ``None``.
+
+        Jobs whose ``not_before`` (recovery/stall backoff) has not yet
+        elapsed are passed over without losing their position; they
+        become eligible again on a later poll.
+        """
+        now = time.monotonic()
         with self._lock:
             for priority in PRIORITIES:
                 queue = self._queues[priority]
-                if queue:
-                    return queue.popleft()
+                for index, job in enumerate(queue):
+                    if job.not_before <= now:
+                        del queue[index]
+                        return job
         return None
 
     def cancel(self, job_id: str) -> Job | None:

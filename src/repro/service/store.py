@@ -188,10 +188,13 @@ class StoreManager:
 
         Entries with a live claim file are skipped: a lease means some
         process is about to rewrite the entry, and deleting under it
-        would only force a recompute.
+        would only force a recompute.  Stale claims (dead same-host
+        holder, or past the TTL) are swept first so a crashed worker's
+        lease cannot shield its entry from eviction forever.
         """
         report = PruneReport()
         with span("store.prune", root=str(self.root)):
+            self.cache.sweep_stale_claims()
             entries = self.scan()
             now = wall_now()
             survivors: list[StoreEntry] = []
