@@ -21,7 +21,12 @@ from repro.analysis.extensions import (
     extension_x4_electrothermal,
 )
 from repro.analysis.figure1 import reproduce_figure1
-from repro.analysis.scaling import scaling_s1_grid, scaling_s2_sta
+from repro.analysis.scaling import (
+    scaling_s1_grid,
+    scaling_s2_sta,
+    scaling_s3_grid_million,
+    scaling_s4_reuse_sweep,
+)
 from repro.analysis.figure2 import reproduce_figure2
 from repro.analysis.figure3 import reproduce_figure3
 from repro.analysis.figure4 import reproduce_figure4
@@ -89,6 +94,10 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "(perf)", scaling_s1_grid),
         Experiment("E-S2", "Solver scaling: 4000-gate full STA",
                    "(perf)", scaling_s2_sta),
+        Experiment("E-S3", "Solver scaling: million-unknown AMG-CG mesh",
+                   "(perf)", scaling_s3_grid_million),
+        Experiment("E-S4", "Solver scaling: 10-point setup-reuse sweep",
+                   "(perf)", scaling_s4_reuse_sweep),
         Experiment("E-X1", "Standby-leakage technique toolbox",
                    "Sections 3.2.1/3.3 (extension)",
                    extension_x1_leakage_toolbox),

@@ -30,7 +30,10 @@ Commands
     Run the perf-regression benchmark harness: median-of-N cold runs
     per experiment, written as a schema-versioned ``BENCH_*.json``
     snapshot and compared against the newest earlier snapshot in the
-    output directory with a noise-aware threshold.
+    output directory with a noise-aware threshold.  ``run``,
+    ``run-all`` and ``bench`` accept ``--preconditioner
+    auto|jacobi|amg|none`` to pin the SPD-solver policy (exported as
+    ``REPRO_PRECONDITIONER`` so pool workers inherit it).
 ``serve [--host H] [--port P] [--queue-depth N] ...``
     Run the experiment service daemon: an HTTP/JSON job API with a
     bounded multi-tenant admission queue, dispatcher threads over the
@@ -70,6 +73,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Sequence
@@ -108,7 +112,13 @@ from repro.obs import (
     tracing,
     write_trace,
 )
-from repro.reliability import BUILTIN_PLANS, load_plan, run_chaos
+from repro.reliability import (
+    BUILTIN_PLANS,
+    PRECONDITIONER_CHOICES,
+    PRECONDITIONER_ENV,
+    load_plan,
+    run_chaos,
+)
 from repro.service.chaos import run_service_chaos
 from repro.service import (
     BackpressureError,
@@ -230,6 +240,23 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         "--jobs", "--workers", dest="jobs", type=int, default=None,
         help="worker processes (default: $REPRO_WORKERS if set, "
              "else min(4, CPUs))")
+
+
+def _add_preconditioner_argument(
+        parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preconditioner", choices=PRECONDITIONER_CHOICES,
+        default=None,
+        help="SPD solver preconditioner policy: auto picks jacobi "
+             "below the AMG threshold and the multilevel hierarchy "
+             "above it (default: $REPRO_PRECONDITIONER or auto)")
+
+
+def _apply_preconditioner(args: argparse.Namespace) -> None:
+    """Export ``--preconditioner`` so worker processes inherit it."""
+    choice = getattr(args, "preconditioner", None)
+    if choice:
+        os.environ[PRECONDITIONER_ENV] = choice
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
@@ -704,11 +731,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("list", help="list experiments")
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    _add_preconditioner_argument(run_parser)
     run_all = subparsers.add_parser(
         "run-all", help="run many experiments through the engine")
     run_all.add_argument("experiment_ids", nargs="*", metavar="id",
                          help="experiment ids (default: all)")
     _add_jobs_argument(run_all)
+    _add_preconditioner_argument(run_all)
     run_all.add_argument("--no-cache", action="store_true",
                          help="bypass the result cache")
     run_all.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR),
@@ -828,6 +857,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="write the snapshot without comparing")
     bench.add_argument("--json", action="store_true",
                        help="emit the snapshot + comparison as JSON")
+    _add_preconditioner_argument(bench)
     serve = subparsers.add_parser(
         "serve", help="run the experiment service daemon")
     serve.add_argument("--host", default="127.0.0.1",
@@ -971,6 +1001,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers.add_parser("roadmap", help="print the ITRS roadmap")
 
     args = parser.parse_args(argv)
+    _apply_preconditioner(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

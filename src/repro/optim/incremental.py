@@ -33,6 +33,7 @@ class IncrementalTimer:
         self._topo = netlist.topo_order()
         self._index = {name: i for i, name in enumerate(self._topo)}
         self._endpoints = set(netlist.primary_outputs)
+        self._primary_inputs = frozenset(netlist.primary_inputs)
         self.delay_s: dict[str, float] = {}
         self.arrival_s: dict[str, float] = {}
         self.full_refresh()
@@ -44,10 +45,31 @@ class IncrementalTimer:
             self.arrival_s[name] = (self._fanin_arrival(name)
                                     + self.delay_s[name])
 
-    def _fanin_arrival(self, name: str) -> float:
+    def _fanin_arrival(self, name: str,
+                       overlay: dict[str, float] | None = None) -> float:
+        """Latest fanin arrival of ``name`` (0.0 for primary inputs).
+
+        A fanin that is neither a primary input nor a timed instance is
+        an undriven or misnamed net; full STA rejects those at
+        construction, and silently treating one as arriving at t=0
+        would optimistically pass timing -- so raise instead.
+        """
         instance = self.netlist.instances[name]
-        return max((self.arrival_s.get(fanin, 0.0)
-                    for fanin in instance.fanins), default=0.0)
+        latest = 0.0
+        for fanin in instance.fanins:
+            if overlay is not None and fanin in overlay:
+                latest = max(latest, overlay[fanin])
+                continue
+            arrival = self.arrival_s.get(fanin)
+            if arrival is None:
+                if fanin in self._primary_inputs:
+                    continue  # PI terminals arrive at t = 0
+                raise NetlistError(
+                    f"instance {name!r}: fanin {fanin!r} is neither a "
+                    f"primary input nor a timed instance (undriven or "
+                    f"misnamed net)")
+            latest = max(latest, arrival)
+        return latest
 
     @property
     def critical_delay_s(self) -> float:
@@ -90,10 +112,8 @@ class IncrementalTimer:
         while heap:
             _, name = heapq.heappop(heap)
             queued.discard(name)
-            instance = self.netlist.instances[name]
-            fanin_arrival = max(
-                (new_arrival.get(f, self.arrival_s.get(f, 0.0))
-                 for f in instance.fanins), default=0.0)
+            fanin_arrival = self._fanin_arrival(name,
+                                                overlay=new_arrival)
             delay = new_delay.get(name, self.delay_s[name])
             arrival = fanin_arrival + delay
             if name in self._endpoints and arrival > period + _EPS_S:

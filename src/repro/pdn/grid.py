@@ -69,8 +69,13 @@ def _strip_laplacian(n_interior: int, conductance: float) -> csr_matrix:
 
 def _solve_strip_drops(current_per_m: float, sheet_resistance: float,
                        width_m: float, span_m: float, n_segments: int,
-                       *, solver: str, name: str) -> np.ndarray:
-    """Drop profile of one uniformly loaded rail between two bumps."""
+                       *, solver: str, name: str,
+                       preconditioner: str | None = None):
+    """Drop profile of one uniformly loaded rail between two bumps.
+
+    Returns the full :class:`~repro.reliability.guard.GuardedSolution`
+    so callers can surface the solver diagnostics.
+    """
     seg_len = span_m / n_segments
     seg_res = sheet_resistance * seg_len / width_m
     # Interior nodes 1..n-1; ends grounded (at the supply).
@@ -82,7 +87,8 @@ def _solve_strip_drops(current_per_m: float, sheet_resistance: float,
     add_counter("pdn.unknowns", n_interior)
     observe("pdn.system_unknowns", n_interior, COUNT_BUCKETS,
             solver=solver)
-    return guarded_linear_solve(matrix, rhs, name=name, spd=True).x
+    return guarded_linear_solve(matrix, rhs, name=name, spd=True,
+                                preconditioner=preconditioner)
 
 
 def solve_rail_strip(current_per_m: float, sheet_resistance: float,
@@ -99,17 +105,25 @@ def solve_rail_strip(current_per_m: float, sheet_resistance: float,
         raise ModelParameterError("need at least two segments")
     drops = _solve_strip_drops(current_per_m, sheet_resistance, width_m,
                                span_m, n_segments, solver="rail-strip",
-                               name="pdn-rail-strip")
+                               name="pdn-rail-strip").x
     return float(np.max(drops))
 
 
 @dataclass(frozen=True)
 class GridSolution:
-    """Result of the 2-D mesh solve."""
+    """Result of the 2-D mesh solve (plus solver diagnostics)."""
 
     worst_drop_v: float
     mean_drop_v: float
     n_nodes: int
+    #: How the linear system was solved ("cg" / "spsolve").
+    solver_method: str = ""
+    solver_iterations: int = 0
+    #: Preconditioner applied on the CG path, ``None`` otherwise.
+    preconditioner: str | None = None
+    #: True when the multilevel setup came from the reuse cache --
+    #: the signal that a sweep is amortizing setup as intended.
+    setup_reused: bool = False
 
 
 def _mesh_laplacian(n_side: int, rails_per_pitch: int,
@@ -162,7 +176,9 @@ def _mesh_laplacian(n_side: int, rails_per_pitch: int,
 def solve_power_grid_2d(current_density_a_m2: float,
                         sheet_resistance: float, width_m: float,
                         bump_pitch_m: float, rails_per_pitch: int = 4,
-                        cells: int = 2) -> GridSolution:
+                        cells: int = 2,
+                        preconditioner: str | None = None
+                        ) -> GridSolution:
     """Solve a 2-D power mesh patch with bumps on a regular grid.
 
     ``rails_per_pitch`` rails (each ``width_m`` wide) run in each
@@ -186,14 +202,19 @@ def solve_power_grid_2d(current_density_a_m2: float,
         raise ModelParameterError("rails_per_pitch and cells must be >= 1")
 
     if rails_per_pitch == 1:
-        drops = _solve_strip_drops(
+        solution = _solve_strip_drops(
             current_density_a_m2 * bump_pitch_m, sheet_resistance,
             width_m, bump_pitch_m, 200, solver="grid-2d",
-            name="pdn-grid-2d")
+            name="pdn-grid-2d", preconditioner=preconditioner)
+        drops = solution.x
         return GridSolution(
             worst_drop_v=float(np.max(drops)),
             mean_drop_v=float(np.mean(drops)),
             n_nodes=int(drops.size),
+            solver_method=solution.diagnostics.method,
+            solver_iterations=solution.diagnostics.iterations,
+            preconditioner=solution.diagnostics.preconditioner,
+            setup_reused=solution.diagnostics.setup_reused,
         )
 
     n_side = rails_per_pitch * cells + 1
@@ -210,12 +231,18 @@ def solve_power_grid_2d(current_density_a_m2: float,
     add_counter("pdn.unknowns", n_unknown)
     observe("pdn.system_unknowns", n_unknown, COUNT_BUCKETS,
             solver="grid-2d")
-    drops = guarded_linear_solve(matrix, rhs, name="pdn-grid-2d",
-                                 spd=True).x
+    solution = guarded_linear_solve(matrix, rhs, name="pdn-grid-2d",
+                                    spd=True,
+                                    preconditioner=preconditioner)
+    drops = solution.x
     return GridSolution(
         worst_drop_v=float(np.max(drops)),
         mean_drop_v=float(np.mean(drops)),
         n_nodes=n_unknown,
+        solver_method=solution.diagnostics.method,
+        solver_iterations=solution.diagnostics.iterations,
+        preconditioner=solution.diagnostics.preconditioner,
+        setup_reused=solution.diagnostics.setup_reused,
     )
 
 

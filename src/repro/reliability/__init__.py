@@ -49,11 +49,24 @@ from repro.reliability.guard import (
     FALLBACK_DENSE,
     FALLBACK_DIRECT,
     FALLBACK_RELAXATION,
+    PRECONDITIONER_AMG,
+    PRECONDITIONER_AUTO,
+    PRECONDITIONER_CHOICES,
+    PRECONDITIONER_ENV,
+    PRECONDITIONER_JACOBI,
+    PRECONDITIONER_NONE,
     GuardedRoot,
     GuardedSolution,
     SolveDiagnostics,
     guarded_linear_solve,
     guarded_solve,
+)
+from repro.reliability.precond import (
+    MultilevelPreconditioner,
+    PRECONDITIONER_CACHE,
+    PreconditionerCache,
+    build_multilevel,
+    sparsity_fingerprint,
 )
 
 __all__ = [
@@ -80,12 +93,23 @@ __all__ = [
     "GuardedRoot",
     "GuardedSolution",
     "KINDS",
+    "MultilevelPreconditioner",
     "NO_BACKOFF",
+    "PRECONDITIONER_AMG",
+    "PRECONDITIONER_AUTO",
+    "PRECONDITIONER_CACHE",
+    "PRECONDITIONER_CHOICES",
+    "PRECONDITIONER_ENV",
+    "PRECONDITIONER_JACOBI",
+    "PRECONDITIONER_NONE",
+    "PreconditionerCache",
     "SolveDiagnostics",
     "apply_runner_fault",
+    "build_multilevel",
     "guarded_linear_solve",
     "guarded_solve",
     "load_plan",
     "run_chaos",
+    "sparsity_fingerprint",
     "tear_cache_entry",
 ]

@@ -25,6 +25,8 @@ iteration stalls.  This module wraps them with one contract:
 from __future__ import annotations
 
 import math
+import os
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -35,10 +37,15 @@ from scipy.optimize import brentq
 from repro.errors import CalibrationError
 from repro.obs import (
     COUNT_BUCKETS,
+    DURATION_BUCKETS,
     RESIDUAL_BUCKETS,
     add_counter,
     observe,
     span,
+)
+from repro.reliability.precond import (
+    PRECONDITIONER_CACHE,
+    jacobi_preconditioner,
 )
 
 FALLBACK_BISECT = "bisect"
@@ -49,6 +56,44 @@ FALLBACK_DIRECT = "direct"
 #: Below this many unknowns a direct factorization beats CG setup cost,
 #: so the ``spd=True`` path skips straight to ``spsolve``.
 CG_MIN_UNKNOWNS = 256
+
+#: ``auto`` ladder threshold: below this many unknowns Jacobi-CG
+#: converges in affordable O(sqrt(n)) iterations; at or above it the
+#: multilevel setup cost pays for itself within a single solve.
+AMG_MIN_UNKNOWNS = 32768
+
+#: Iteration budget for multilevel-preconditioned CG.  The V-cycle
+#: makes the iteration count essentially mesh-size-independent (tens),
+#: so the budget is a small constant rather than a function of ``n``.
+AMG_MAX_ITERATIONS = 300
+
+#: CG cannot reliably push the preconditioned relative residual below
+#: the float64 rounding floor, which grows like ``eps * sqrt(n)`` for
+#: mesh-like operators.  This factor sets the safety margin above it.
+CG_NOISE_FLOOR_FACTOR = 50.0
+
+#: Memory cap for the dense fallback: ``n^2 * 8`` bytes must stay
+#: under this bound (512 MiB -> n <= ~8192) regardless of the caller's
+#: ``dense_fallback_max``, so a failed sparse solve on a huge system
+#: degrades to a structured error instead of an OOM kill.
+DENSE_FALLBACK_MAX_BYTES = 512 * 1024 * 1024
+
+PRECONDITIONER_AUTO = "auto"
+PRECONDITIONER_JACOBI = "jacobi"
+PRECONDITIONER_AMG = "amg"
+PRECONDITIONER_NONE = "none"
+PRECONDITIONER_CHOICES = (PRECONDITIONER_AUTO, PRECONDITIONER_JACOBI,
+                          PRECONDITIONER_AMG, PRECONDITIONER_NONE)
+
+#: Environment override for the default preconditioner policy --
+#: the CLI ``--preconditioner`` knob sets this for child workers too.
+PRECONDITIONER_ENV = "REPRO_PRECONDITIONER"
+
+
+def _default_preconditioner() -> str:
+    value = os.environ.get(PRECONDITIONER_ENV, "").strip().lower()
+    return value if value in PRECONDITIONER_CHOICES \
+        else PRECONDITIONER_AUTO
 
 
 def _observe_solve(kind: str, iterations: int, residual: float | None,
@@ -81,6 +126,15 @@ class SolveDiagnostics:
     fallback: str | None = None
     bracket: tuple[float, float] | None = None
     converged: bool = True
+    #: Preconditioner kind actually applied on the CG path
+    #: ("jacobi" / "amg" / "none"), ``None`` for non-CG methods.
+    preconditioner: str | None = None
+    #: True when the multilevel setup came from the reuse cache.
+    setup_reused: bool = False
+    #: Preconditioner setup seconds vs iteration seconds -- the split
+    #: that justifies (and monitors) setup reuse across sweep points.
+    setup_s: float | None = None
+    solve_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -286,34 +340,48 @@ def guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
                          rtol: float = 1e-8,
                          dense_fallback_max: int = 20000,
                          spd: bool = False,
-                         cg_min_unknowns: int = CG_MIN_UNKNOWNS
+                         cg_min_unknowns: int = CG_MIN_UNKNOWNS,
+                         preconditioner: str | None = None
                          ) -> GuardedSolution:
     """Solve a sparse linear system with validation and fallbacks.
 
     With ``spd=True`` the caller asserts the matrix is symmetric
     positive definite, and systems of at least ``cg_min_unknowns``
-    unknowns are solved by Jacobi-preconditioned conjugate gradients
-    first -- the scaling path for large Laplacians, whose iteration
-    count and residual land in the ``solver.iterations_per_solve`` /
-    ``solver.residual`` histograms like every other guarded solve.  A
-    CG breakdown or missed tolerance falls back to the direct
-    factorization (``fallback="direct"`` in the diagnostics), so the
-    iterative path can never *weaken* the guarantee.
+    unknowns are solved by preconditioned conjugate gradients first --
+    the scaling path for large Laplacians, whose iteration count and
+    residual land in the ``solver.iterations_per_solve`` /
+    ``solver.residual`` histograms like every other guarded solve.
+    ``preconditioner`` picks the rung: ``"auto"`` (default; Jacobi
+    below :data:`AMG_MIN_UNKNOWNS`, smoothed-aggregation multilevel at
+    or above it), ``"jacobi"``, ``"amg"``, or ``"none"``; ``None``
+    reads the :data:`PRECONDITIONER_ENV` environment override (the CLI
+    ``--preconditioner`` knob).  Multilevel setups are reused across
+    solves that share a sparsity fingerprint, and setup vs iteration
+    time lands in the ``solver.setup_s`` / ``solver.solve_s``
+    histograms.  A CG breakdown or missed tolerance falls back to the
+    direct factorization (``fallback="direct"`` in the diagnostics),
+    so the iterative path can never *weaken* the guarantee.
 
     The sparse factorization (``scipy.sparse.linalg.spsolve``) is the
     primary strategy otherwise; if it raises, or the solution carries
     NaN/Inf, or the relative residual exceeds ``rtol``, one dense
     (``numpy.linalg.solve``) attempt is made for systems up to
-    ``dense_fallback_max`` unknowns.  Failures raise
+    ``dense_fallback_max`` unknowns *and* at most
+    :data:`DENSE_FALLBACK_MAX_BYTES` of dense storage.  Failures raise
     :class:`~repro.errors.CalibrationError` with the residual achieved.
     """
+    if preconditioner is None:
+        preconditioner = _default_preconditioner()
+    if preconditioner not in PRECONDITIONER_CHOICES:
+        raise ValueError(f"unknown preconditioner {preconditioner!r}")
     with span(f"solve.{name}", kind="linear") as solve_span:
         add_counter("solver.solves")
         try:
             result = _guarded_linear_solve(
                 matrix, rhs, name=name, rtol=rtol,
                 dense_fallback_max=dense_fallback_max, spd=spd,
-                cg_min_unknowns=cg_min_unknowns)
+                cg_min_unknowns=cg_min_unknowns,
+                preconditioner=preconditioner)
         except CalibrationError as exc:
             add_counter("solver.failures")
             add_counter("solver.iterations", exc.iterations or 0)
@@ -327,57 +395,130 @@ def guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
         _observe_solve("linear", diagnostics.iterations,
                        diagnostics.residual, diagnostics.fallback,
                        converged=True)
+        if diagnostics.preconditioner is not None:
+            reused = "1" if diagnostics.setup_reused else "0"
+            if diagnostics.setup_s is not None:
+                observe("solver.setup_s", diagnostics.setup_s,
+                        DURATION_BUCKETS,
+                        preconditioner=diagnostics.preconditioner,
+                        reused=reused)
+            if diagnostics.solve_s is not None:
+                observe("solver.solve_s", diagnostics.solve_s,
+                        DURATION_BUCKETS,
+                        preconditioner=diagnostics.preconditioner,
+                        reused=reused)
+            solve_span.set(preconditioner=diagnostics.preconditioner,
+                           setup_reused=diagnostics.setup_reused)
         solve_span.set(method=diagnostics.method,
                        unknowns=int(result.x.size))
     return result
 
 
-def _try_cg(sparse: Any, rhs: np.ndarray, *, rtol: float,
-            rel_residual: Callable[[np.ndarray], float]
-            ) -> tuple[np.ndarray | None, int]:
-    """One Jacobi-preconditioned CG attempt; ``(None, iters)`` on miss.
+def _cg_tolerance(rtol: float, n: int) -> float:
+    """Scale-aware CG relative tolerance.
 
-    The CG tolerance is driven two decades below the guard's ``rtol``
-    (2-norm vs the guard's max-norm check) and the iteration budget
-    scales with ``sqrt(n)`` -- the expected count for a
-    Jacobi-preconditioned 2-D Laplacian -- so a genuinely
-    ill-conditioned system falls through to the factorization quickly
-    instead of spinning.
+    Two decades below the guard's ``rtol`` (2-norm vs the guard's
+    max-norm check) but never below the float64 rounding floor, which
+    grows like ``eps * sqrt(n)`` for mesh-like operators.  The old
+    policy clamped to ``min(1e-10, rtol * 1e-2)``: at 10^6 unknowns
+    1e-10 sits *at* the noise floor, so CG burned its whole budget
+    chasing an unreachable tolerance and reported a spurious miss.
+    """
+    floor = CG_NOISE_FLOOR_FACTOR * np.finfo(float).eps * math.sqrt(n)
+    return max(rtol * 1e-2, floor)
+
+
+def _resolve_preconditioner(kind: str, n: int) -> str:
+    """Collapse ``auto`` onto the concrete ladder rung for ``n``."""
+    if kind == PRECONDITIONER_AUTO:
+        return PRECONDITIONER_AMG if n >= AMG_MIN_UNKNOWNS \
+            else PRECONDITIONER_JACOBI
+    return kind
+
+
+@dataclass(frozen=True)
+class _CGAttempt:
+    """Outcome of one preconditioned-CG attempt."""
+
+    x: np.ndarray | None
+    iterations: int
+    preconditioner: str | None
+    setup_reused: bool
+    setup_s: float
+    solve_s: float
+
+
+def _try_cg(sparse: Any, rhs: np.ndarray, *, rtol: float,
+            preconditioner: str,
+            rel_residual: Callable[[np.ndarray], float]) -> _CGAttempt:
+    """One preconditioned CG attempt; ``x=None`` on a miss.
+
+    The preconditioner ladder: ``amg`` builds (or reuses from the
+    fingerprint cache) a multilevel hierarchy whose V-cycle keeps the
+    iteration count mesh-size-independent; ``jacobi`` scales as
+    ``O(sqrt(n))`` iterations; ``none`` runs raw CG.  The iteration
+    budget matches the preconditioner -- a small constant for ``amg``,
+    ``8 sqrt(n) + 100`` otherwise -- so a genuinely ill-conditioned
+    system falls through to the factorization quickly instead of
+    spinning.
     """
     from scipy.sparse.linalg import LinearOperator, cg
 
-    diag = np.asarray(sparse.diagonal(), dtype=float)
-    if not (np.all(np.isfinite(diag)) and np.all(diag > 0.0)):
-        return None, 0  # not plausibly SPD; skip straight to direct
-    inv_diag = 1.0 / diag
-    preconditioner = LinearOperator(
-        sparse.shape, matvec=lambda v: inv_diag * v)
+    n = int(rhs.size)
+    setup_start = time.monotonic()
+    applied = preconditioner
+    setup_reused = False
+    operator = None
+    if preconditioner == PRECONDITIONER_AMG:
+        built, setup_reused, _ = PRECONDITIONER_CACHE.get_or_build(
+            sparse)
+        if built is None:  # cannot coarsen: degrade one rung
+            applied = PRECONDITIONER_JACOBI
+        else:
+            operator = LinearOperator(sparse.shape, matvec=built.apply)
+    if applied == PRECONDITIONER_JACOBI:
+        jacobi = jacobi_preconditioner(sparse)
+        if jacobi is None:
+            # not plausibly SPD; skip straight to direct
+            return _CGAttempt(None, 0, None, False,
+                              time.monotonic() - setup_start, 0.0)
+        operator = LinearOperator(sparse.shape, matvec=jacobi.apply)
+    setup_s = time.monotonic() - setup_start
+
+    if applied == PRECONDITIONER_AMG:
+        budget = AMG_MAX_ITERATIONS
+    else:
+        budget = int(8.0 * math.sqrt(n)) + 100
     iterations = 0
 
     def count(_: np.ndarray) -> None:
         nonlocal iterations
         iterations += 1
 
+    solve_start = time.monotonic()
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
             x, info = cg(sparse, rhs,
-                         rtol=min(1e-10, rtol * 1e-2), atol=0.0,
-                         maxiter=int(8.0 * math.sqrt(rhs.size)) + 100,
-                         M=preconditioner, callback=count)
+                         rtol=_cg_tolerance(rtol, n), atol=0.0,
+                         maxiter=budget, M=operator, callback=count)
     except Exception:
-        return None, iterations
+        return _CGAttempt(None, iterations, applied, setup_reused,
+                          setup_s, time.monotonic() - solve_start)
+    solve_s = time.monotonic() - solve_start
     x = np.asarray(x, dtype=float)
     if info == 0 and np.all(np.isfinite(x)) \
             and rel_residual(x) <= rtol:
-        return x, iterations
-    return None, iterations
+        return _CGAttempt(x, iterations, applied, setup_reused,
+                          setup_s, solve_s)
+    return _CGAttempt(None, iterations, applied, setup_reused,
+                      setup_s, solve_s)
 
 
 def _guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
                           rtol: float, dense_fallback_max: int,
-                          spd: bool, cg_min_unknowns: int
-                          ) -> GuardedSolution:
+                          spd: bool, cg_min_unknowns: int,
+                          preconditioner: str) -> GuardedSolution:
     from scipy.sparse.linalg import spsolve
 
     rhs = np.asarray(rhs, dtype=float)
@@ -400,12 +541,17 @@ def _guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
     cg_iterations = 0
     if spd and rhs.size >= cg_min_unknowns and hasattr(sparse, "diagonal"):
         cg_attempted = True
-        x, cg_iterations = _try_cg(sparse, rhs, rtol=rtol,
-                                   rel_residual=rel_residual)
-        if x is not None:
-            return GuardedSolution(x, SolveDiagnostics(
+        kind = _resolve_preconditioner(preconditioner, int(rhs.size))
+        attempt = _try_cg(sparse, rhs, rtol=rtol, preconditioner=kind,
+                          rel_residual=rel_residual)
+        cg_iterations = attempt.iterations
+        if attempt.x is not None:
+            return GuardedSolution(attempt.x, SolveDiagnostics(
                 name=name, method="cg", iterations=cg_iterations,
-                residual=rel_residual(x)))
+                residual=rel_residual(attempt.x),
+                preconditioner=attempt.preconditioner,
+                setup_reused=attempt.setup_reused,
+                setup_s=attempt.setup_s, solve_s=attempt.solve_s))
 
     fallback_used = None
     try:
@@ -422,9 +568,13 @@ def _guarded_linear_solve(matrix: Any, rhs: np.ndarray, *, name: str,
     except Exception:
         x = None
 
-    # one dense fallback attempt
+    # one dense fallback attempt, memory-capped: a million-unknown
+    # dense matrix would be terabytes, so the cap turns a would-be OOM
+    # kill into a structured CalibrationError.
     residual = None
-    if rhs.size <= dense_fallback_max:
+    dense_bytes = int(rhs.size) * int(rhs.size) * 8
+    if rhs.size <= dense_fallback_max \
+            and dense_bytes <= DENSE_FALLBACK_MAX_BYTES:
         fallback_used = FALLBACK_DENSE
         try:
             dense = (matrix.toarray() if hasattr(matrix, "toarray")

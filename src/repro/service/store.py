@@ -161,6 +161,21 @@ class StoreManager:
 
     def _evict(self, entry: StoreEntry, reason: str,
                report: PruneReport) -> bool:
+        # TOCTOU guard: the LRU decision was made from a scan()
+        # snapshot, but touch-on-read refreshes mtime on every cache
+        # hit -- an entry that went hot (or grew a claim lease)
+        # between the scan and this unlink must survive.  Re-stat and
+        # re-check the claim immediately before deleting.
+        try:
+            current = entry.path.stat()
+        except OSError:
+            return False  # already gone or unreadable
+        if current.st_mtime > entry.mtime + 1e-9:
+            add_counter("store.evict_races")
+            return False  # touched since the scan: no longer cold
+        if Path(str(entry.path) + CLAIM_SUFFIX).exists():
+            add_counter("store.evict_races")
+            return False  # claimed since the scan: mid-(re)compute
         try:
             entry.path.unlink()
         except FileNotFoundError:

@@ -98,3 +98,23 @@ def test_random_mutation_sequence_stays_consistent(seed, picks):
     assert timer.critical_delay_s == pytest.approx(
         report.critical_delay_s)
     assert report.meets_timing()
+
+
+def test_undriven_fanin_raises_at_construction(netlist):
+    # A fanin that is neither a primary input nor a timed instance
+    # used to be silently treated as arriving at t = 0, optimistically
+    # passing timing; the timer must refuse the netlist instead.
+    name = netlist.topo_order()[-1]
+    instance = netlist.instances[name]
+    instance.fanins = (*instance.fanins, "ghost-net")
+    with pytest.raises(NetlistError, match="ghost-net"):
+        IncrementalTimer(netlist)
+
+
+def test_misnamed_fanin_raises_during_try_change(netlist):
+    timer = IncrementalTimer(netlist)
+    name = netlist.topo_order()[-1]
+    instance = netlist.instances[name]
+    instance.fanins = (*instance.fanins, "ghost-net")
+    with pytest.raises(NetlistError, match="ghost-net"):
+        timer.try_change([name])

@@ -168,3 +168,22 @@ class TestGuardedSolve:
         singular = csr_matrix(np.zeros((3, 3)))
         with pytest.raises(CalibrationError, match="pdn"):
             guarded_linear_solve(singular, np.ones(3), name="pdn-test")
+
+
+class TestSolverDiagnostics:
+    def test_mesh_reports_cg_and_preconditioner(self):
+        grid = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6,
+                                   rails_per_pitch=4, cells=4)
+        assert grid.solver_method == "cg"
+        assert grid.preconditioner == "jacobi"  # auto, below threshold
+        assert grid.solver_iterations > 0
+
+    def test_preconditioner_knob_passes_through(self):
+        auto = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6,
+                                   rails_per_pitch=4, cells=4)
+        amg = solve_power_grid_2d(1e6, 0.1, 1e-6, 80e-6,
+                                  rails_per_pitch=4, cells=4,
+                                  preconditioner="amg")
+        assert amg.preconditioner == "amg"
+        assert amg.worst_drop_v == pytest.approx(auto.worst_drop_v,
+                                                 rel=1e-6)

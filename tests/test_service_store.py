@@ -209,3 +209,80 @@ def test_corrupt_entry_quarantined_under_contention(
     # the recomputed entry replaced the corrupt one
     hit, result = ResultCache(cache_dir).get(RACE_ID, fingerprint)
     assert hit and result == {"sentinel": 42}
+
+
+def test_prune_race_respects_touch_on_read(tmp_path, monkeypatch):
+    """An entry that goes hot between the LRU scan and the unlink
+    must survive: ``_evict`` re-stats immediately before deleting."""
+    import threading
+
+    from repro.obs import Trace, tracing
+
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3)
+    manager = StoreManager(tmp_path)
+    victim = manager.scan()[0]  # coldest: the first eviction target
+
+    stalled = threading.Event()
+    release = threading.Event()
+    original = StoreManager._evict
+
+    def stalling_evict(self, entry, reason, report):
+        # Freeze the pruner with its scan snapshot in hand, exactly
+        # in the window where a racing reader can touch the victim.
+        stalled.set()
+        assert release.wait(timeout=30)
+        return original(self, entry, reason, report)
+
+    monkeypatch.setattr(StoreManager, "_evict", stalling_evict)
+
+    with tracing(Trace("prune-race")) as trace:
+        pruner = threading.Thread(target=manager.prune,
+                                  kwargs={"max_entries": 2})
+        pruner.start()
+        assert stalled.wait(timeout=30)
+        # The reader hits the victim: touch-on-read refreshes mtime.
+        now = time.time() + 10.0
+        os.utime(victim.path, (now, now))
+        release.set()
+        pruner.join(timeout=30)
+        assert not pruner.is_alive()
+
+    survivors = {p.name.split("--")[0]
+                 for p in (tmp_path / "objects").glob("*.rpc")}
+    # E-T0 went hot mid-prune and survives; the pruner falls back to
+    # the next-coldest entry to satisfy the bound.
+    assert victim.path.exists()
+    assert survivors == {"E-T0", "E-T2"}
+    assert trace.counters.get("store.evict_races") >= 1
+
+
+def test_prune_race_respects_late_claim(tmp_path, monkeypatch):
+    """A claim lease appearing after the scan also vetoes eviction."""
+    import threading
+
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3)
+    manager = StoreManager(tmp_path)
+
+    stalled = threading.Event()
+    release = threading.Event()
+    original = StoreManager._evict
+
+    def stalling_evict(self, entry, reason, report):
+        stalled.set()
+        assert release.wait(timeout=30)
+        return original(self, entry, reason, report)
+
+    monkeypatch.setattr(StoreManager, "_evict", stalling_evict)
+    pruner = threading.Thread(target=manager.prune,
+                              kwargs={"max_entries": 2})
+    pruner.start()
+    assert stalled.wait(timeout=30)
+    assert cache.claim("E-T0", "f" * 64)  # recompute begins mid-prune
+    release.set()
+    pruner.join(timeout=30)
+
+    survivors = {p.name.split("--")[0]
+                 for p in (tmp_path / "objects").glob("*.rpc")}
+    assert survivors == {"E-T0", "E-T2"}
