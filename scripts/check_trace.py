@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Validate a trace artifact produced by ``repro trace``.
+"""Validate an observability artifact produced by the repro tooling.
 
-CI gate: after ``python -m repro trace --format chrome --out trace.json``
-this script confirms the artifact is well-formed before it is uploaded.
-Both export formats are accepted and auto-detected:
+CI gate: after ``python -m repro trace``/``profile`` or a daemon run
+this script confirms the artifact is well-formed before it is
+uploaded.  Four kinds are accepted, auto-detected by default:
 
 * **chrome** -- the event list is validated
   (:func:`repro.obs.validate_chrome_trace`) and the complete-event
@@ -11,15 +11,29 @@ Both export formats are accepted and auto-detected:
 * **json** (summary) -- the span list is checked against
   ``--min-spans`` and the ``metrics`` section (counters, gauges,
   histogram bounds/counts invariants) is validated with
-  :func:`repro.obs.validate_metrics_payload`.
+  :func:`repro.obs.validate_metrics_payload`;
+* **log** -- a structured JSONL log file: every line must be a JSON
+  object with the required record fields
+  (:func:`repro.obs.validate_log_records`), with at least
+  ``--min-records`` records;
+* **profile** -- a collapsed-stack file (``frame;frame;... count``
+  lines, :func:`repro.obs.validate_collapsed`) with at least
+  ``--min-stacks`` distinct stacks.
 
-Exit 0 when the artifact loads and clears every check; exit 1 with the
-problem list otherwise.
+Auto-detection: JSON payloads route to chrome/json as before;
+non-JSON files whose first non-blank line is a JSON object are logs,
+anything else is treated as a collapsed-stack profile.
+
+Exit 0 when the artifact loads and clears every check; exit 1 with
+the problem list otherwise.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_trace.py trace.json
     PYTHONPATH=src python scripts/check_trace.py trace.json --min-spans 5
+    PYTHONPATH=src python scripts/check_trace.py service.log.jsonl --kind log
+    PYTHONPATH=src python scripts/check_trace.py job.profile.txt \
+        --kind profile --min-stacks 1
 """
 
 import argparse
@@ -27,7 +41,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs import validate_chrome_trace, validate_metrics_payload
+from repro.obs import (
+    validate_chrome_trace,
+    validate_collapsed,
+    validate_log_records,
+    validate_metrics_payload,
+)
+
+KINDS = ("auto", "chrome", "json", "log", "profile")
 
 
 def _check_chrome(path, payload, min_spans):
@@ -89,36 +110,131 @@ def _check_json_summary(path, payload, min_spans):
     return 0
 
 
+def _check_log(path, text, min_records):
+    count, problems = validate_log_records(text)
+    if problems:
+        print(f"error: {path}: invalid structured log:",
+              file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  - {problem}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"  ... and {len(problems) - 20} more",
+                  file=sys.stderr)
+        return 1
+    if count < min_records:
+        print(f"error: {path}: {count} log record(s), need at least "
+              f"{min_records}", file=sys.stderr)
+        return 1
+    events = set()
+    traced = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.add(record.get("event"))
+        if record.get("trace_id"):
+            traced += 1
+    print(f"{path}: {count} schema-valid log record(s), "
+          f"{traced} carrying a trace_id")
+    names = sorted(str(name) for name in events)
+    print(f"  events: {', '.join(names[:10])}"
+          + (" ..." if len(names) > 10 else ""))
+    return 0
+
+
+def _check_profile(path, text, min_stacks):
+    stacks, problems = validate_collapsed(text)
+    if problems:
+        print(f"error: {path}: invalid collapsed-stack profile:",
+              file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    if stacks < min_stacks:
+        print(f"error: {path}: {stacks} stack(s), need at least "
+              f"{min_stacks}", file=sys.stderr)
+        return 1
+    samples = sum(int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines() if line.strip())
+    print(f"{path}: {stacks} distinct stack(s), "
+          f"{samples} sample(s) total")
+    return 0
+
+
+def _detect_kind(payload, text):
+    """chrome/json for JSON payloads; log vs profile for line files."""
+    if payload is not None:
+        if isinstance(payload, list) or (
+                isinstance(payload, dict)
+                and "traceEvents" in payload):
+            return "chrome"
+        if isinstance(payload, dict) and "event" in payload \
+                and "ts" in payload:
+            return "log"  # a one-record JSONL file parses as JSON
+        return "json"
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            return "log" if line.startswith("{") else "profile"
+    return "profile"
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Validate a repro trace artifact "
-                    "(Chrome trace-event or JSON summary).")
+        description="Validate a repro observability artifact "
+                    "(Chrome trace, JSON summary, structured JSONL "
+                    "log, or collapsed-stack profile).")
     parser.add_argument("trace", type=Path,
-                        help="path to the trace JSON artifact")
+                        help="path to the artifact")
+    parser.add_argument("--kind", choices=KINDS, default="auto",
+                        help="artifact kind (default: auto-detect)")
     parser.add_argument("--min-spans", type=int, default=1,
-                        help="minimum number of spans required "
+                        help="minimum spans for trace artifacts "
                              "(default: %(default)s)")
+    parser.add_argument("--min-records", type=int, default=1,
+                        help="minimum records for log artifacts "
+                             "(default: %(default)s)")
+    parser.add_argument("--min-stacks", type=int, default=1,
+                        help="minimum distinct stacks for profile "
+                             "artifacts (default: %(default)s)")
     args = parser.parse_args(argv)
 
     if not args.trace.is_file():
-        print(f"error: no trace file at {args.trace}", file=sys.stderr)
+        print(f"error: no artifact at {args.trace}", file=sys.stderr)
         return 1
 
     try:
-        payload = json.loads(args.trace.read_text("utf-8"))
-    except (ValueError, OSError) as exc:
+        text = args.trace.read_text("utf-8")
+    except OSError as exc:
         print(f"error: {args.trace}: {exc}", file=sys.stderr)
         return 1
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = None
 
-    if isinstance(payload, list) or (
-            isinstance(payload, dict) and "traceEvents" in payload):
+    kind = args.kind
+    if kind == "auto":
+        kind = _detect_kind(payload, text)
+    if kind in ("chrome", "json") and payload is None:
+        print(f"error: {args.trace}: not valid JSON "
+              f"(required for --kind {kind})", file=sys.stderr)
+        return 1
+
+    if kind == "chrome":
         return _check_chrome(args.trace, payload, args.min_spans)
-    if isinstance(payload, dict):
-        return _check_json_summary(args.trace, payload, args.min_spans)
-    print(f"error: {args.trace}: payload is "
-          f"{type(payload).__name__}, expected a trace object",
-          file=sys.stderr)
-    return 1
+    if kind == "json":
+        if not isinstance(payload, dict):
+            print(f"error: {args.trace}: payload is "
+                  f"{type(payload).__name__}, expected a trace "
+                  f"object", file=sys.stderr)
+            return 1
+        return _check_json_summary(args.trace, payload,
+                                   args.min_spans)
+    if kind == "log":
+        return _check_log(args.trace, text, args.min_records)
+    return _check_profile(args.trace, text, args.min_stacks)
 
 
 if __name__ == "__main__":

@@ -44,8 +44,11 @@ from repro.errors import ReproError
 from repro.obs import (
     MetricsRegistry,
     Trace,
+    get_logger,
+    logging_configured,
     round_metric,
     sample_resources,
+    span,
     tracing,
     wall_now,
 )
@@ -98,6 +101,41 @@ def env_slowdown_s() -> float:
     if value < 0:
         raise ReproError(f"{SLOWDOWN_ENV} must be >= 0, got {value}")
     return value
+
+
+def measure_telemetry_overhead(iterations: int = 1000) -> dict:
+    """Measured per-span and per-log-record cost on this host.
+
+    Recorded into every snapshot so the comparator can tell a code
+    regression from a telemetry-configuration difference: a baseline
+    captured with structured logging off is not an apples-to-apples
+    baseline for a run with it on.  ``span_overhead_s`` times a
+    no-child span under an active trace (the bench harness always
+    traces its repeats); ``log_overhead_s`` times an info-level emit
+    through the current logging configuration (the cheap no-op path
+    when no sink is configured).
+    """
+    if iterations < 1:
+        raise ReproError(
+            f"iterations must be >= 1, got {iterations}")
+    probe = Trace("bench-telemetry-probe")
+    start = time.perf_counter()
+    with tracing(probe):
+        for _ in range(iterations):
+            with span("bench.telemetry_probe"):
+                pass
+    span_overhead_s = (time.perf_counter() - start) / iterations
+    logger = get_logger("bench.telemetry_probe")
+    start = time.perf_counter()
+    for _ in range(iterations):
+        logger.info("bench.telemetry_probe")
+    log_overhead_s = (time.perf_counter() - start) / iterations
+    return {
+        "tracing": True,
+        "logging": logging_configured(),
+        "span_overhead_s": round_metric(span_overhead_s),
+        "log_overhead_s": round_metric(log_overhead_s),
+    }
 
 
 def _histogram_sum(metrics: MetricsRegistry, name: str) -> float:
@@ -166,6 +204,7 @@ def run_benchmarks(experiment_ids: Sequence[str] | None = None, *,
         "host": host_fingerprint(),
         "config": {"repeats": repeats,
                    "slowdown_s": round_metric(slowdown_s)},
+        "telemetry": measure_telemetry_overhead(),
         "benchmarks": benchmarks,
     }
 
@@ -188,6 +227,19 @@ def validate_snapshot(payload: Any) -> list[str]:
             or not isinstance(config.get("repeats"), int) \
             or config["repeats"] < 1:
         errors.append("config.repeats missing or < 1")
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:  # optional: pre-telemetry snapshots
+        if not isinstance(telemetry, dict):
+            errors.append("telemetry is not an object")
+        else:
+            for key in ("tracing", "logging"):
+                if not isinstance(telemetry.get(key), bool):
+                    errors.append(f"telemetry.{key} is not a boolean")
+            for key in ("span_overhead_s", "log_overhead_s"):
+                value = telemetry.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(f"telemetry.{key} missing or "
+                                  f"negative")
     benchmarks = payload.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         errors.append("benchmarks missing or empty")
@@ -287,6 +339,11 @@ class BenchComparison:
     abs_floor_s: float
     rows: list[dict] = field(default_factory=list)
     cross_host: bool = False
+    #: The two snapshots ran with different telemetry switches
+    #: (tracing/logging on vs off) -- deltas may measure the
+    #: instrumentation, not the code.  Only set when both sides
+    #: recorded a telemetry block.
+    telemetry_mismatch: bool = False
 
     @property
     def regressions(self) -> list[dict]:
@@ -321,6 +378,11 @@ class BenchComparison:
             lines.append("warning: baseline was recorded on a "
                          "different host; deltas may reflect the "
                          "machine, not the code")
+        if self.telemetry_mismatch:
+            lines.append("warning: baseline was recorded with "
+                         "different telemetry switches (tracing/"
+                         "logging); deltas may reflect the "
+                         "instrumentation, not the code")
         regressed = self.regressions
         if regressed:
             lines.append(
@@ -339,6 +401,7 @@ class BenchComparison:
             "rel_tol": self.rel_tol,
             "abs_floor_s": self.abs_floor_s,
             "cross_host": self.cross_host,
+            "telemetry_mismatch": self.telemetry_mismatch,
             "rows": self.rows,
             "regressions": [row["id"] for row in self.regressions],
         }
@@ -391,8 +454,16 @@ def compare_snapshots(baseline: Mapping[str, Any],
                      "status": "removed"})
     cross_host = (baseline.get("host", {}).get("platform")
                   != current.get("host", {}).get("platform"))
+    old_telemetry = baseline.get("telemetry")
+    new_telemetry = current.get("telemetry")
+    telemetry_mismatch = (
+        isinstance(old_telemetry, dict)
+        and isinstance(new_telemetry, dict)
+        and any(old_telemetry.get(key) != new_telemetry.get(key)
+                for key in ("tracing", "logging")))
     return BenchComparison(rel_tol=rel_tol, abs_floor_s=abs_floor_s,
-                           rows=rows, cross_host=cross_host)
+                           rows=rows, cross_host=cross_host,
+                           telemetry_mismatch=telemetry_mismatch)
 
 
 __all__ = [
@@ -410,6 +481,7 @@ __all__ = [
     "latest_baseline",
     "list_snapshots",
     "load_snapshot",
+    "measure_telemetry_overhead",
     "run_benchmarks",
     "snapshot_filename",
     "validate_snapshot",

@@ -20,12 +20,31 @@ Commands
 ``trace [ids...] --out trace.json [--format chrome|json] [--top N]``
     Run a sweep with the tracing layer active and export the result:
     a Chrome/Perfetto trace (or a plain-JSON summary), plus a
-    per-phase breakdown table and counter dump on stdout.
+    per-phase breakdown table and counter dump on stdout.  Every span
+    of a direct run carries a freshly minted ``trace_id`` (pin it with
+    ``--trace-id``).  ``--in artifact.json`` instead loads a previously
+    written trace (either format) and renders it offline; ``--job`` /
+    ``--trace-id`` filter the spans to one job's lanes -- an empty or
+    missing artifact reports "no trace data" and exits 0.
 ``stats [ids...] [--format table|prom|json]``
     Run a sweep with metrics active and report the distributions: a
     per-family run-latency table plus histogram/gauge summaries
     (``table``), the Prometheus text exposition format (``prom``), or
-    the full registry summary as JSON (``json``).
+    the full registry summary as JSON (``json``).  ``--in`` renders a
+    saved registry summary (or a json trace artifact's ``metrics``
+    section) offline; empty/missing payloads exit 0 with "no stats
+    data".
+``top [--url U] [--once] [--interval S] [--iterations N]``
+    Render the daemon's metrics history (the ``/metrics/history``
+    ring buffer): queue depth, running jobs, verdict counters, RSS
+    and job-latency quantiles per sample, refreshed every sampling
+    interval until interrupted (or ``--once``).
+``profile [ids...] [--out profile.txt] [--interval S] [--top N]``
+    Run an inline sweep under the wall-clock sampling profiler and
+    print the hottest functions; ``--out`` writes the collapsed-stack
+    file (one ``frame;frame;... count`` line per stack, ready for
+    flamegraph tooling).  Profiling a job on a live daemon instead is
+    ``jobs submit --profile``.
 ``bench [ids...] [--quick] [--repeats N] [--out-dir D]``
     Run the perf-regression benchmark harness: median-of-N cold runs
     per experiment, written as a schema-versioned ``BENCH_*.json``
@@ -75,6 +94,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -105,10 +125,14 @@ from repro.itrs import ITRS_2000
 from repro.obs import (
     EXPORT_FORMATS,
     FORMAT_CHROME,
+    MetricsRegistry,
+    SamplingProfiler,
     Trace,
+    new_trace_id,
     phase_breakdown,
     registry_summary,
     to_prometheus,
+    trace_context,
     tracing,
     write_trace,
 )
@@ -355,7 +379,133 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _artifact_spans(payload: Any) -> list[dict]:
+    """Span dicts from either trace artifact format.
+
+    A ``json``-format artifact carries a ``spans`` list directly; a
+    ``chrome`` artifact's complete (``ph=X``) events are mapped back
+    to span dicts (``dur`` is microseconds there).
+    """
+    if not isinstance(payload, (dict, list)):
+        return []
+    if isinstance(payload, dict) \
+            and isinstance(payload.get("spans"), list):
+        return [span for span in payload["spans"]
+                if isinstance(span, dict)]
+    events = (payload.get("traceEvents")
+              if isinstance(payload, dict) else payload)
+    spans: list[dict] = []
+    for event in events if isinstance(events, list) else ():
+        if isinstance(event, dict) and event.get("ph") == "X":
+            spans.append({
+                "name": event.get("name", "?"),
+                "duration_s": float(event.get("dur") or 0.0) / 1e6,
+                "pid": event.get("pid", 0),
+                "attributes": dict(event.get("args") or {}),
+            })
+    return spans
+
+
+def _filter_spans(spans: list[dict], job_id: str | None,
+                  trace_id: str | None) -> list[dict]:
+    """Spans whose correlation attributes match every given filter."""
+    if job_id is None and trace_id is None:
+        return spans
+    kept = []
+    for span in spans:
+        attributes = span.get("attributes") or {}
+        if job_id is not None \
+                and attributes.get("job_id") != job_id:
+            continue
+        if trace_id is not None \
+                and attributes.get("trace_id") != trace_id:
+            continue
+        kept.append(span)
+    return kept
+
+
+def _span_dict_breakdown(spans: list[dict],
+                         top: int | None = None) -> list[dict]:
+    """``phase_breakdown`` over plain span dicts (loaded artifacts)."""
+    grouped: dict[str, dict] = {}
+    for span in spans:
+        duration_s = float(span.get("duration_s") or 0.0)
+        row = grouped.setdefault(str(span.get("name", "?")), {
+            "name": str(span.get("name", "?")), "count": 0,
+            "total_s": 0.0, "max_s": 0.0})
+        row["count"] += 1
+        row["total_s"] += duration_s
+        row["max_s"] = max(row["max_s"], duration_s)
+    rows = sorted(grouped.values(),
+                  key=lambda row: (-row["total_s"], row["name"]))
+    if top is not None and top >= 0:
+        rows = rows[:top]
+    grand_total = sum(row["total_s"] for row in grouped.values())
+    for row in rows:
+        row["mean_s"] = row["total_s"] / row["count"]
+        row["share"] = (row["total_s"] / grand_total
+                        if grand_total > 0 else 0.0)
+    return rows
+
+
+def _phase_rows(breakdown: list[dict]) -> list[list[Any]]:
+    return [[row["name"], row["count"], f"{row['total_s']:.4f}",
+             f"{row['mean_s']:.4f}", f"{row['max_s']:.4f}",
+             f"{100.0 * row['share']:.1f}%"]
+            for row in breakdown]
+
+
+_PHASE_HEADERS = ["phase", "count", "total [s]", "mean [s]",
+                  "max [s]", "share"]
+
+
+def _render_span_lanes(spans: list[dict]) -> str:
+    """Per-process lane summary for a filtered span set."""
+    lanes: dict[Any, dict] = {}
+    for span in spans:
+        lane = lanes.setdefault(span.get("pid", 0),
+                                {"count": 0, "total_s": 0.0})
+        lane["count"] += 1
+        lane["total_s"] += float(span.get("duration_s") or 0.0)
+    rows = [[pid, lane["count"], f"{lane['total_s']:.4f}"]
+            for pid, lane in sorted(lanes.items())]
+    return render_table(["pid", "spans", "total [s]"], rows)
+
+
+def _cmd_trace_artifact(args: argparse.Namespace) -> int:
+    """Offline mode: render (and filter) a saved trace artifact."""
+    path = Path(args.in_path)
+    try:
+        payload = json.loads(path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"no trace data in {path}: {exc}")
+        return EXIT_ALL_OK
+    spans = _artifact_spans(payload)
+    if not spans:
+        print(f"no trace data in {path}")
+        return EXIT_ALL_OK
+    filtered = _filter_spans(spans, args.job, args.trace_id)
+    if not filtered:
+        wanted = " ".join(
+            part for part in (
+                f"job_id={args.job}" if args.job else "",
+                f"trace_id={args.trace_id}" if args.trace_id else "")
+            if part)
+        print(f"no trace data matching {wanted or 'filters'} "
+              f"in {path} ({len(spans)} spans total)")
+        return EXIT_ALL_OK
+    print(render_table(
+        _PHASE_HEADERS,
+        _phase_rows(_span_dict_breakdown(filtered, top=args.top))))
+    print()
+    print(_render_span_lanes(filtered))
+    print(f"\n{len(filtered)} of {len(spans)} spans from {path}")
+    return EXIT_ALL_OK
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.in_path is not None:
+        return _cmd_trace_artifact(args)
     ids = args.experiment_ids or None
     try:
         config = EngineConfig(
@@ -368,22 +518,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    # Direct runs mint their own correlation id (the daemon mints one
+    # per job); every span -- including pool workers' -- carries it.
+    trace_id = args.trace_id or new_trace_id()
     trace = Trace("repro-sweep")
     try:
-        with tracing(trace):
+        with tracing(trace), trace_context(trace_id=trace_id):
             sweep = run_experiments(ids, config=config)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     out_path = write_trace(trace, args.out, format=args.format)
 
-    rows = [[row["name"], row["count"], f"{row['total_s']:.4f}",
-             f"{row['mean_s']:.4f}", f"{row['max_s']:.4f}",
-             f"{100.0 * row['share']:.1f}%"]
-            for row in phase_breakdown(trace, top=args.top)]
-    print(render_table(
-        ["phase", "count", "total [s]", "mean [s]", "max [s]", "share"],
-        rows))
+    span_dicts = [span.to_json_dict() for span in trace.spans]
+    filtered = _filter_spans(span_dicts, args.job, None)
+    if filtered is not span_dicts and len(filtered) != len(span_dicts):
+        print(f"{len(filtered)} of {len(span_dicts)} spans match "
+              f"job_id={args.job}")
+        print()
+        rows = _phase_rows(_span_dict_breakdown(filtered,
+                                                top=args.top))
+    else:
+        rows = _phase_rows(phase_breakdown(trace, top=args.top))
+    print(render_table(_PHASE_HEADERS, rows))
     counters = trace.counters.as_dict()
     if counters:
         print()
@@ -392,7 +549,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             [[name, f"{value:g}"] for name, value in counters.items()]))
     print()
     print(sweep.metrics.render())
-    print(f"\ntrace ({args.format}, {len(trace)} spans) "
+    print(f"\ntrace_id {trace_id}")
+    print(f"trace ({args.format}, {len(trace)} spans) "
           f"written to {out_path}")
     return _sweep_exit_code(sweep)
 
@@ -455,7 +613,76 @@ def _stats_tables(trace: Trace) -> str:
     return "\n\n".join(sections)
 
 
+def _summary_stats_tables(summary: dict) -> str:
+    """The ``repro stats`` table body from a saved registry summary."""
+    sections: list[str] = []
+    histogram_rows = []
+    for entry in summary.get("histograms") or []:
+        if not isinstance(entry, dict):
+            continue
+        histogram_rows.append([
+            _series_label(str(entry.get("name", "?")),
+                          dict(entry.get("labels") or {})),
+            entry.get("count", 0),
+            *("-" if entry.get(key) is None
+              else f"{float(entry[key]):.4g}"
+              for key in ("mean", "p50", "p99", "max")),
+        ])
+    if histogram_rows:
+        sections.append("histograms:")
+        sections.append(render_table(
+            ["series", "count", "mean", "p50", "p99", "max"],
+            histogram_rows))
+    gauges = summary.get("gauges") or {}
+    if gauges:
+        sections.append("gauges:")
+        sections.append(render_table(
+            ["gauge", "value"],
+            [[name, f"{float(value):g}"]
+             for name, value in sorted(gauges.items())]))
+    counters = summary.get("counters") or {}
+    if counters:
+        sections.append("counters:")
+        sections.append(render_table(
+            ["counter", "value"],
+            [[name, f"{float(value):g}"]
+             for name, value in sorted(counters.items())]))
+    return "\n\n".join(sections)
+
+
+def _cmd_stats_artifact(args: argparse.Namespace) -> int:
+    """Offline mode: render a saved metrics summary."""
+    path = Path(args.in_path)
+    try:
+        payload = json.loads(path.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"no stats data in {path}: {exc}")
+        return EXIT_ALL_OK
+    # Accept a bare registry summary or a json trace artifact (whose
+    # metrics section is one).
+    summary = (payload.get("metrics")
+               if isinstance(payload, dict)
+               and isinstance(payload.get("metrics"), dict)
+               else payload)
+    if not isinstance(summary, dict) or not any(
+            summary.get(key) for key in ("counters", "gauges",
+                                         "histograms")):
+        print(f"no stats data in {path}")
+        return EXIT_ALL_OK
+    if args.format == "prom":
+        registry = MetricsRegistry()
+        registry.merge_payload(summary)
+        print(to_prometheus(registry), end="")
+    elif args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(_summary_stats_tables(summary))
+    return EXIT_ALL_OK
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.in_path is not None:
+        return _cmd_stats_artifact(args)
     ids = args.experiment_ids or None
     try:
         config = EngineConfig(
@@ -545,6 +772,123 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if comparison is None else comparison.exit_code
 
 
+#: ``repro top`` columns: (sample key, header, formatter).
+_TOP_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("queued", "queued"),
+    ("running", "running"),
+    ("jobs", "jobs"),
+    ("jobs_done", "done"),
+    ("jobs_failed", "failed"),
+    ("requests", "requests"),
+    ("rss_peak_kb", "rss [MB]"),
+    ("service.job_wall_s.p50", "job p50 [s]"),
+    ("service.job_wall_s.p99", "job p99 [s]"),
+)
+
+
+def _history_table(samples: list[dict]) -> str:
+    rows = []
+    for sample in samples:
+        row: list[Any] = [sample.get("seq", "-")]
+        for key, _header in _TOP_COLUMNS:
+            value = sample.get(key)
+            if value is None:
+                row.append("-")
+            elif key == "rss_peak_kb":
+                row.append(f"{float(value) / 1024.0:.1f}")
+            elif isinstance(value, float) and not value.is_integer():
+                row.append(f"{value:.4g}")
+            else:
+                row.append(f"{value:g}" if isinstance(value, float)
+                           else value)
+        rows.append(row)
+    return render_table(
+        ["seq"] + [header for _key, header in _TOP_COLUMNS], rows)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render the daemon's metrics-history ring buffer."""
+    client = ServiceClient(args.url, timeout_s=args.http_timeout,
+                           retries=args.http_retries)
+    iterations = 1 if args.once else args.iterations
+    since = 0
+    shown = 0
+    printed_any = False
+    try:
+        while True:
+            try:
+                payload = client.history(since=since,
+                                         limit=args.limit)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            samples = payload.get("samples") or []
+            if samples:
+                if printed_any:
+                    print()
+                print(_history_table(samples))
+                printed_any = True
+                next_seq = payload.get("next_seq")
+                if isinstance(next_seq, int):
+                    since = next_seq
+            shown += 1
+            if iterations and shown >= iterations:
+                if not printed_any:
+                    print("no metrics history yet (the daemon "
+                          "samples once per interval)")
+                return EXIT_ALL_OK
+            interval = args.interval
+            if interval is None:
+                interval = float(payload.get("interval_s") or 1.0)
+            time.sleep(max(0.05, interval))
+    except KeyboardInterrupt:
+        return EXIT_ALL_OK
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Inline sweep under the sampling profiler; hottest functions."""
+    ids = args.experiment_ids or None
+    try:
+        # Inline executor: the wall-clock sampler only sees threads of
+        # this process, so the sweep must not fork pool workers.
+        config = EngineConfig(
+            jobs=1,
+            executor="inline",
+            timeout_s=args.timeout,
+            retries=0,
+            cache_enabled=not args.no_cache,
+            cache_dir=Path(args.cache_dir),
+        )
+        profiler = SamplingProfiler(args.interval)
+    except (ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profiler.start()
+    try:
+        sweep = run_experiments(ids, config=config)
+    except ReproError as exc:
+        profiler.stop()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        profiler.stop()
+    rows = [[row["function"], row["samples"],
+             f"{100.0 * row['share']:.1f}%"]
+            for row in profiler.top_functions(top=args.top)]
+    if rows:
+        print(render_table(["function", "samples", "share"], rows))
+    else:
+        print("no samples captured (sweep finished faster than one "
+              f"sampling interval of {profiler.interval_s:g}s)")
+    print(f"\n{profiler.samples} samples over "
+          f"{profiler.duration_s:.3f}s "
+          f"({len(profiler.collapsed())} distinct stacks)")
+    if args.out:
+        out_path = profiler.write_collapsed(args.out)
+        print(f"collapsed stacks written to {out_path}")
+    return _sweep_exit_code(sweep)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         config = ServiceConfig(
@@ -563,6 +907,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stall_timeout_s=args.stall_timeout,
             watchdog_poll_s=args.watchdog_poll,
             max_recovery_attempts=args.max_recovery_attempts,
+            log_path=Path(args.log_path) if args.log_path else None,
+            log_level=args.log_level,
+            history_interval_s=args.history_interval,
+            history_capacity=args.history_capacity,
+            profile_interval_s=args.profile_interval,
         )
     except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -608,7 +957,8 @@ def _dispatch_jobs(args: argparse.Namespace,
             retries=args.retries, workers=args.workers,
             use_cache=not args.no_cache,
             deadline_s=args.deadline,
-            idempotency_key=args.idempotency_key)
+            idempotency_key=args.idempotency_key,
+            profile=args.profile)
         if not args.wait:
             print(json.dumps(job, indent=2, sort_keys=True))
             return EXIT_ALL_OK
@@ -649,6 +999,16 @@ def _dispatch_jobs(args: argparse.Namespace,
         return EXIT_ALL_OK
     if action == "store":
         print(json.dumps(client.store(), indent=2, sort_keys=True))
+        return EXIT_ALL_OK
+    if action == "profile":
+        text = client.profile(args.job_id)
+        if args.out:
+            out_path = Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(text, encoding="utf-8")
+            print(f"collapsed stacks written to {out_path}")
+        else:
+            print(text, end="")
         return EXIT_ALL_OK
     # shutdown
     print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
@@ -794,6 +1154,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_parser.add_argument("--top", type=int, default=None,
                               metavar="N",
                               help="show only the N slowest phases")
+    trace_parser.add_argument("--in", dest="in_path", default=None,
+                              metavar="ARTIFACT",
+                              help="render a saved trace artifact "
+                                   "(chrome or json format) instead "
+                                   "of running a sweep; empty or "
+                                   "missing data exits 0")
+    trace_parser.add_argument("--job", default=None, metavar="JOB_ID",
+                              help="only spans tagged with this "
+                                   "job_id (service traces)")
+    trace_parser.add_argument("--trace-id", default=None,
+                              help="with --in: only spans tagged with "
+                                   "this trace_id; live runs: pin the "
+                                   "minted correlation id instead")
     _add_jobs_argument(trace_parser)
     trace_parser.add_argument("--no-cache", action="store_true",
                               help="bypass the result cache")
@@ -815,6 +1188,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                        help="table (per-family latency + histogram "
                             "summaries), prom (Prometheus text "
                             "exposition), or json (registry summary)")
+    stats.add_argument("--in", dest="in_path", default=None,
+                       metavar="ARTIFACT",
+                       help="render a saved registry summary (or a "
+                            "json trace artifact's metrics section) "
+                            "instead of running a sweep; empty or "
+                            "missing data exits 0")
     _add_jobs_argument(stats)
     stats.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache")
@@ -858,6 +1237,59 @@ def main(argv: Sequence[str] | None = None) -> int:
     bench.add_argument("--json", action="store_true",
                        help="emit the snapshot + comparison as JSON")
     _add_preconditioner_argument(bench)
+    top = subparsers.add_parser(
+        "top", help="render the daemon's metrics history")
+    top.add_argument("--url", default=DEFAULT_SERVICE_URL,
+                     help="service base URL (default: %(default)s)")
+    top.add_argument("--http-timeout", type=float, default=10.0,
+                     help="per-request timeout in seconds "
+                          "(default: %(default)s)")
+    top.add_argument("--http-retries", type=int, default=0,
+                     help="retries for connection errors "
+                          "(default: %(default)s)")
+    top.add_argument("--once", action="store_true",
+                     help="print the current history and exit")
+    top.add_argument("--interval", type=float, default=None,
+                     metavar="S",
+                     help="refresh period (default: the daemon's "
+                          "sampling interval)")
+    top.add_argument("--iterations", type=int, default=0,
+                     metavar="N",
+                     help="stop after N refreshes (default: run "
+                          "until interrupted)")
+    top.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="at most N samples per refresh (newest)")
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="run an inline sweep under the sampling profiler")
+    profile_parser.add_argument("experiment_ids", nargs="*",
+                                metavar="id",
+                                help="experiment ids (default: all)")
+    profile_parser.add_argument("--out", default=None,
+                                metavar="PATH",
+                                help="write the collapsed-stack file "
+                                     "here (flamegraph.pl input)")
+    profile_parser.add_argument("--interval", type=float,
+                                default=0.005, metavar="S",
+                                help="sampling period in seconds "
+                                     "(default: %(default)s)")
+    profile_parser.add_argument("--top", type=int, default=15,
+                                metavar="N",
+                                help="hottest functions to print "
+                                     "(default: %(default)s)")
+    profile_parser.add_argument("--no-cache", action="store_true",
+                                help="bypass the result cache (cache "
+                                     "hits skip the compute you are "
+                                     "trying to profile)")
+    profile_parser.add_argument("--cache-dir",
+                                default=str(DEFAULT_CACHE_DIR),
+                                help=f"cache directory "
+                                     f"(default: {DEFAULT_CACHE_DIR})")
+    profile_parser.add_argument("--timeout", type=float,
+                                default=120.0,
+                                help="per-experiment timeout in "
+                                     "seconds")
+    _add_preconditioner_argument(profile_parser)
     serve = subparsers.add_parser(
         "serve", help="run the experiment service daemon")
     serve.add_argument("--host", default="127.0.0.1",
@@ -902,6 +1334,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     serve.add_argument("--max-recovery-attempts", type=int, default=3,
                        help="crash/stall requeues per job before it "
                             "fails for good (default: %(default)s)")
+    serve.add_argument("--log-path", default=None, metavar="PATH",
+                       help="structured JSONL log file (default: "
+                            "<cache-dir>/service/service.log.jsonl)")
+    serve.add_argument("--log-level",
+                       choices=("debug", "info", "warning", "error"),
+                       default=None,
+                       help="structured-log threshold (default: "
+                            "$REPRO_LOG_LEVEL or info)")
+    serve.add_argument("--history-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="metrics-history sampling period "
+                            "(default: %(default)s)")
+    serve.add_argument("--history-capacity", type=int, default=600,
+                       help="metrics-history ring-buffer size "
+                            "(default: %(default)s)")
+    serve.add_argument("--profile-interval", type=float,
+                       default=0.005, metavar="S",
+                       help="sampling period for jobs submitted with "
+                            "--profile (default: %(default)s)")
 
     jobs = subparsers.add_parser(
         "jobs", help="client for a running experiment service")
@@ -941,6 +1392,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                              help="resubmitting the same key returns "
                                   "the original job, even across a "
                                   "daemon crash")
+    jobs_submit.add_argument("--profile", action="store_true",
+                             help="attach the daemon's sampling "
+                                  "profiler to this job; fetch the "
+                                  "collapsed stacks with "
+                                  "'jobs profile <job-id>'")
     jobs_submit.add_argument("--wait", action="store_true",
                              help="poll until the job finishes and "
                                   "print the final state")
@@ -971,6 +1427,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                             default="json",
                             help="json (registry + queue summary) or "
                                  "prom (Prometheus text exposition)")
+    jobs_profile = jobs_sub.add_parser(
+        "profile", help="a profiled job's collapsed stacks")
+    jobs_profile.add_argument("job_id", help="job id (submitted "
+                                             "with --profile)")
+    jobs_profile.add_argument("--out", default=None, metavar="PATH",
+                              help="write the collapsed-stack file "
+                                   "here instead of stdout")
     jobs_sub.add_parser("store", help="shared store stats")
     jobs_sub.add_parser("shutdown", help="gracefully stop the service")
 
@@ -1016,6 +1479,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_stats(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "jobs":

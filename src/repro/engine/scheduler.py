@@ -72,6 +72,7 @@ import signal as signal_module
 import threading
 import time
 from collections import deque
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
@@ -94,21 +95,26 @@ from repro.engine.records import (
 )
 from repro.errors import ReproError
 from repro.obs import (
+    CONTEXT_FIELDS,
     COUNT_BUCKETS,
     DURATION_BUCKETS,
     MetricsRegistry,
     Trace,
     activate,
     add_counter,
+    context_fields,
     current_metrics,
     current_trace,
+    get_logger,
     observe,
     record_resource_delta,
     record_resource_metrics,
     record_span,
     reset_tracing,
     sample_resources,
+    set_trace_context,
     span,
+    trace_context,
     tracing_enabled,
     wall_now,
 )
@@ -148,6 +154,8 @@ _PHASE_METRICS = {
 #: main thread (worker threads -- e.g. inside the service daemon --
 #: never install handlers; the daemon owns its own signal policy).
 DRAIN_SIGNALS = (signal_module.SIGINT, signal_module.SIGTERM)
+
+_log = get_logger("engine.scheduler")
 
 
 def observe_record_metrics(metrics: MetricsRegistry,
@@ -226,6 +234,12 @@ class EngineConfig:
     #: watchdog can tell a slow sweep from a wedged one.  Exceptions
     #: from the callback are swallowed.
     progress: Any = None
+    #: Correlation fields (``trace_id``/``job_id``/``tenant`` mapping)
+    #: installed for the run's duration and shipped to worker
+    #: processes, so spans and log records on both sides of the fork
+    #: carry the submitting job's ids.  Merged over any context
+    #: already active on the calling thread (explicit config wins).
+    trace_context: Any = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -282,14 +296,20 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 
 def _worker_entry(experiment_id: str, conn,
                   fault: FaultSpec | None = None,
-                  traced: bool = False) -> None:
+                  traced: bool = False,
+                  context: dict | None = None) -> None:
     """Child-process body: run one experiment, ship back the outcome.
 
     With ``traced`` set, the worker records its own trace (a forked
     parent trace would be a dead copy) and ships the span/counter
     payload alongside the result so the parent can merge it.
+    ``context`` is the parent's correlation-field snapshot
+    (thread-local state does not survive fork from a non-main thread),
+    re-installed so worker spans and log records carry the job's ids.
     """
     reset_tracing()  # a trace inherited over fork would swallow spans
+    if context:
+        set_trace_context(**context)
     child_trace = Trace(f"worker-{experiment_id}") if traced else None
     if child_trace is not None:
         activate(child_trace)
@@ -318,7 +338,8 @@ def _worker_entry(experiment_id: str, conn,
 
 
 def _worker_chunk_entry(experiment_ids: Sequence[str], conn,
-                        traced: bool = False) -> None:
+                        traced: bool = False,
+                        context: dict | None = None) -> None:
     """Child-process body for a chunk: run several experiments in turn.
 
     One outcome message is shipped per experiment as it finishes, so a
@@ -327,6 +348,8 @@ def _worker_chunk_entry(experiment_ids: Sequence[str], conn,
     carries the worker trace for the whole chunk.
     """
     reset_tracing()
+    if context:
+        set_trace_context(**context)
     child_trace = (Trace(f"worker-chunk-{experiment_ids[0]}")
                    if traced else None)
     if child_trace is not None:
@@ -445,11 +468,25 @@ class ExecutionEngine:
         sweep_sample = (sample_resources() if metrics is not None
                         else None)
 
+        correlate = dict(context_fields())
+        if self.config.trace_context:
+            correlate.update(
+                (key, str(value)) for key, value
+                in dict(self.config.trace_context).items()
+                if key in CONTEXT_FIELDS and value is not None)
+
         restore_handlers = self._install_signal_handlers()
         try:
-            with span("engine.sweep", experiments=len(ids),
-                      jobs=self.config.jobs,
-                      executor=self.config.executor):
+            with ExitStack() as stack:
+                if correlate:
+                    stack.enter_context(trace_context(**correlate))
+                stack.enter_context(
+                    span("engine.sweep", experiments=len(ids),
+                         jobs=self.config.jobs,
+                         executor=self.config.executor))
+                _log.info("sweep.start", experiments=len(ids),
+                          jobs=self.config.jobs,
+                          executor=self.config.executor)
                 pending: deque[_Task] = deque()
                 for experiment_id in ids:
                     record, result, task = self._try_cache(
@@ -471,6 +508,12 @@ class ExecutionEngine:
         finally:
             restore_handlers()
 
+        with ExitStack() as stack:
+            if correlate:
+                stack.enter_context(trace_context(**correlate))
+            _log.info("sweep.done", experiments=len(ids),
+                      interrupted=self._interrupted,
+                      wall_s=round(time.monotonic() - sweep_start, 6))
         ordered = [records[experiment_id] for experiment_id in ids]
         if metrics is not None:
             for record in ordered:
@@ -539,6 +582,7 @@ class ExecutionEngine:
         self._abort_reason = reason
         self._aborted = True
         add_counter("engine.aborts")
+        _log.warning("engine.abort", reason=reason)
 
     def _beat(self) -> None:
         """Report genuine sweep progress to the configured callback."""
@@ -799,6 +843,9 @@ class ExecutionEngine:
         task.ready_at = time.monotonic()
         task.not_before = task.ready_at + delay
         add_counter("engine.retries")
+        _log.warning("task.retry", experiment=task.experiment_id,
+                     attempt=task.attempts, delay_s=round(delay, 6),
+                     error=task.last_error)
         pending.append(task)
 
     # -- inline executor ----------------------------------------------
@@ -1021,7 +1068,7 @@ class ExecutionEngine:
         process = ctx.Process(
             target=_worker_entry,
             args=(task.experiment_id, child_conn, fault,
-                  tracing_enabled()),
+                  tracing_enabled(), context_fields() or None),
             name=f"repro-engine-{task.experiment_id}",
             daemon=True,
         )
@@ -1045,7 +1092,7 @@ class ExecutionEngine:
         process = ctx.Process(
             target=_worker_chunk_entry,
             args=([task.experiment_id for task in batch], child_conn,
-                  tracing_enabled()),
+                  tracing_enabled(), context_fields() or None),
             name=f"repro-engine-chunk-{batch[0].experiment_id}",
             daemon=True,
         )
@@ -1109,6 +1156,10 @@ class ExecutionEngine:
             add_counter("engine.timeouts")
             task.last_error = (
                 f"timeout: exceeded {self.config.timeout_s:.1f} s")
+            _log.warning("task.timeout",
+                         experiment=task.experiment_id,
+                         attempt=task.attempts,
+                         timeout_s=self.config.timeout_s)
         elif outcome is not None and outcome[0] == "ok":
             self._store(task, outcome[1])
             results[task.experiment_id] = outcome[1]
@@ -1122,6 +1173,10 @@ class ExecutionEngine:
             task.last_error = (
                 f"worker died without a result "
                 f"(exit code {slot.process.exitcode})")
+            _log.warning("task.worker_died",
+                         experiment=task.experiment_id,
+                         attempt=task.attempts,
+                         exit_code=slot.process.exitcode)
 
         if task.attempts < max_attempts:
             self._schedule_retry(task, pending)

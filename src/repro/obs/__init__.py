@@ -36,7 +36,35 @@ Typical use::
 """
 
 from repro.obs.clock import wall_now
+from repro.obs.context import (
+    CONTEXT_FIELDS,
+    TraceContext,
+    clear_trace_context,
+    context_fields,
+    current_trace_context,
+    new_trace_id,
+    set_trace_context,
+    trace_context,
+)
 from repro.obs.counters import Counters
+from repro.obs.log import (
+    StructuredLogger,
+    configure_logging,
+    current_log_path,
+    get_logger,
+    logging_configured,
+    reset_logging,
+    validate_log_records,
+)
+from repro.obs.profiler import (
+    SamplingProfiler,
+    profile,
+    validate_collapsed,
+)
+from repro.obs.timeseries import (
+    HistorySampler,
+    TimeSeriesBuffer,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     DURATION_BUCKETS,
@@ -88,6 +116,7 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CONTEXT_FIELDS",
     "COUNT_BUCKETS",
     "Counters",
     "DURATION_BUCKETS",
@@ -95,39 +124,58 @@ __all__ = [
     "FORMAT_CHROME",
     "FORMAT_JSON",
     "Histogram",
+    "HistorySampler",
     "MetricsRegistry",
     "RESIDUAL_BUCKETS",
     "ResourceSample",
     "ResourceSampler",
     "SIZE_BUCKETS",
+    "SamplingProfiler",
     "SpanRecord",
+    "StructuredLogger",
     "TEMPERATURE_BUCKETS",
+    "TimeSeriesBuffer",
     "Trace",
+    "TraceContext",
     "activate",
     "add_counter",
+    "clear_trace_context",
+    "configure_logging",
+    "context_fields",
+    "current_log_path",
     "current_metrics",
     "current_trace",
+    "current_trace_context",
     "deactivate",
     "exponential_buckets",
+    "get_logger",
     "linear_buckets",
     "load_chrome_trace",
+    "logging_configured",
+    "new_trace_id",
     "observe",
     "phase_breakdown",
+    "profile",
     "record_resource_delta",
     "record_resource_metrics",
     "record_span",
     "registry_summary",
+    "reset_logging",
     "reset_tracing",
     "round_metric",
     "sample_resources",
     "set_gauge",
+    "set_trace_context",
     "span",
     "to_chrome_events",
     "to_prometheus",
+    "trace_context",
     "trace_summary",
     "tracing",
     "tracing_enabled",
     "validate_chrome_trace",
+    "validate_collapsed",
+    "validate_log_records",
     "validate_metrics_payload",
     "wall_now",
     "write_trace",

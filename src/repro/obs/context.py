@@ -1,0 +1,144 @@
+"""Trace correlation context: the ``trace_id`` that follows a job.
+
+A **trace context** is the tuple of correlation fields --
+``trace_id``, ``job_id``, ``tenant`` -- that identifies *whose* work a
+span or log record belongs to.  It is deliberately separate from the
+active :class:`~repro.obs.trace.Trace`: the trace is a *collection
+point* (one per sweep, shared by every job the service daemon runs),
+while the context is *per job* and travels with it across every
+boundary a job crosses:
+
+* **threads** -- context is ``threading.local``: each service
+  dispatcher thread carries its own job's context, so two concurrent
+  jobs recording into the shared service trace stamp their spans with
+  different ``trace_id`` values;
+* **processes** -- thread-local state does not survive ``fork`` from a
+  non-main thread reliably, so the context is never implicitly
+  inherited: the engine snapshots :func:`context_fields` at launch
+  time and passes the plain dict to the worker entry point, which
+  re-installs it with :func:`set_trace_context` after
+  ``reset_tracing()``;
+* **the wire** -- clients send ``X-Repro-Trace-Id`` and the field
+  rides in :class:`~repro.service.jobs.JobSpec`, so the id minted at
+  ``ServiceClient.submit`` is the same one a worker process stamps on
+  its solver spans.
+
+Stamping happens in :meth:`Trace._append
+<repro.obs.trace.Trace._append>` (``setdefault`` -- explicit span
+attributes win) and in :mod:`repro.obs.log` records, which is what
+makes ``repro trace --job <id>`` filtering and log/event correlation
+possible without threading an argument through every call site.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: The correlation fields a context may carry, in stamp order.
+CONTEXT_FIELDS = ("trace_id", "job_id", "tenant")
+
+_local = threading.local()
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One immutable snapshot of the correlation fields."""
+
+    trace_id: str | None = None
+    job_id: str | None = None
+    tenant: str | None = None
+
+    def as_fields(self) -> dict[str, str]:
+        """The non-``None`` fields as a plain dict (stamp payload)."""
+        fields = {}
+        for name in CONTEXT_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                fields[name] = value
+        return fields
+
+    @property
+    def empty(self) -> bool:
+        return (self.trace_id is None and self.job_id is None
+                and self.tenant is None)
+
+
+_EMPTY = TraceContext()
+
+
+def current_trace_context() -> TraceContext:
+    """This thread's active context (the empty context by default)."""
+    return getattr(_local, "context", _EMPTY)
+
+
+def context_fields() -> dict[str, str]:
+    """The active context's non-``None`` fields; ``{}`` when unset.
+
+    This is the hot-path accessor: span append and log record
+    construction call it, so it is one ``getattr`` plus a dict build
+    only when a context is actually installed.
+    """
+    context = getattr(_local, "context", None)
+    if context is None or context is _EMPTY:
+        return {}
+    return context.as_fields()
+
+
+def set_trace_context(trace_id: str | None = None,
+                      job_id: str | None = None,
+                      tenant: str | None = None,
+                      **extra: Any) -> TraceContext:
+    """Install a context on this thread; returns it.
+
+    Unknown keyword fields are ignored rather than rejected so a
+    context dict shipped from a newer parent process never crashes an
+    older worker entry point.
+    """
+    context = TraceContext(
+        trace_id=None if trace_id is None else str(trace_id),
+        job_id=None if job_id is None else str(job_id),
+        tenant=None if tenant is None else str(tenant))
+    _local.context = context
+    return context
+
+
+def clear_trace_context() -> None:
+    """Drop this thread's context."""
+    _local.context = _EMPTY
+
+
+@contextmanager
+def trace_context(trace_id: str | None = None,
+                  job_id: str | None = None,
+                  tenant: str | None = None) -> Iterator[TraceContext]:
+    """Install a context for a ``with`` block, restoring the previous
+    one (if any) on exit -- nesting-safe, like
+    :func:`~repro.obs.trace.tracing`."""
+    previous = getattr(_local, "context", _EMPTY)
+    context = set_trace_context(trace_id=trace_id, job_id=job_id,
+                                tenant=tenant)
+    try:
+        yield context
+    finally:
+        _local.context = previous
+
+
+__all__ = [
+    "CONTEXT_FIELDS",
+    "TraceContext",
+    "clear_trace_context",
+    "context_fields",
+    "current_trace_context",
+    "new_trace_id",
+    "set_trace_context",
+    "trace_context",
+]

@@ -368,8 +368,15 @@ def _prom_value(value: float) -> str:
     return format(round_metric(value), "g")
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash
+    first (it is the escape character), then quotes and newlines."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{_PROM_NAME_RE.sub("_", k)}="{v}"'
+    parts = [f'{_PROM_NAME_RE.sub("_", k)}="{_prom_label_value(v)}"'
              for k, v in sorted(labels.items())]
     if extra:
         parts.append(extra)

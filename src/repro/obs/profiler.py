@@ -1,0 +1,233 @@
+"""Wall-clock sampling profiler with collapsed-stack export.
+
+Spans answer "how long did the phases I thought to instrument take";
+a sampling profiler answers "where was the time I *didn't* think to
+instrument".  This one is stdlib-only and deliberately simple:
+
+* a daemon **sampler thread** wakes every ``interval_s`` and snapshots
+  every Python thread's stack via ``sys._current_frames()`` --
+  thread-based rather than ``signal``-based because the interesting
+  work in this repository runs on service dispatcher threads and in
+  the inline engine, and CPython only delivers signals to the main
+  thread;
+* each snapshot folds into a **collapsed-stack** tally: the key is
+  ``frame;frame;frame`` root-first, each frame rendered as
+  ``<module-stem>:<function>``, the value is how many samples landed
+  there.  ``to_collapsed_text()`` emits the classic one-line-per-stack
+  ``<stack> <count>`` format consumed by ``flamegraph.pl``, speedscope,
+  and friends;
+* **overhead is bounded by the interval**: at the default 10 ms the
+  sampler costs well under 5% of one core for typical thread counts,
+  and nothing at all between ``start()``/``stop()`` pairs.  The
+  sampler excludes its own thread (and any explicitly ignored ids)
+  so the profile shows the profiled workload, not the profiler.
+
+Used per job via ``repro jobs submit --profile`` (the daemon profiles
+its dispatcher threads for the job's duration and serves the artifact
+on ``/v1/jobs/<id>/profile``) and inline via ``repro profile <ids>``.
+:func:`validate_collapsed` is the CI gate for the artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+DEFAULT_INTERVAL_S = 0.01
+
+
+def _frame_label(frame) -> str:
+    """``<module-stem>:<function>`` -- no spaces or semicolons, so the
+    collapsed format stays parseable."""
+    code = frame.f_code
+    stem = Path(code.co_filename).stem or "?"
+    name = code.co_name or "?"
+    label = f"{stem}:{name}"
+    return label.replace(";", "_").replace(" ", "_")
+
+
+def _stack_key(frame) -> str:
+    """Root-first collapsed key for one thread's current stack."""
+    labels: list[str] = []
+    while frame is not None:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return ";".join(labels)
+
+
+class SamplingProfiler:
+    """Collect collapsed-stack samples from live Python threads."""
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S, *,
+                 thread_ids: set[int] | None = None,
+                 max_stacks: int = 10_000) -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be > 0, got {interval_s}")
+        if max_stacks < 1:
+            raise ValueError(
+                f"max_stacks must be >= 1, got {max_stacks}")
+        self.interval_s = interval_s
+        #: Only sample these thread ids when given (None = all threads
+        #: except the sampler itself).
+        self.thread_ids = thread_ids
+        #: Distinct stacks kept; the long tail past the bound folds
+        #: into an ``(other)`` bucket so a pathological workload
+        #: cannot balloon the tally.
+        self.max_stacks = max_stacks
+        self.samples = 0
+        self.truncated = 0
+        self.started_monotonic: float | None = None
+        self.duration_s = 0.0
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- collection ---------------------------------------------------
+
+    def sample_once(self) -> int:
+        """Snapshot every eligible thread once; returns stacks added."""
+        ignore = {threading.get_ident()}
+        if self._thread is not None and self._thread.ident is not None:
+            ignore.add(self._thread.ident)
+        added = 0
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id in ignore:
+                    continue
+                if (self.thread_ids is not None
+                        and thread_id not in self.thread_ids):
+                    continue
+                key = _stack_key(frame)
+                if not key:
+                    continue
+                if (key not in self._counts
+                        and len(self._counts) >= self.max_stacks):
+                    key = "(other)"
+                    self.truncated += 1
+                self._counts[key] = self._counts.get(key, 0) + 1
+                added += 1
+            self.samples += 1
+        return added
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval_s):
+            self.sample_once()
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self.started_monotonic = time.monotonic()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> dict[str, int]:
+        """Stop sampling; returns the collapsed tally."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        if self.started_monotonic is not None:
+            self.duration_s += time.monotonic() - self.started_monotonic
+            self.started_monotonic = None
+        return self.collapsed()
+
+    # -- export -------------------------------------------------------
+
+    def collapsed(self) -> dict[str, int]:
+        """Copy of the ``stack -> sample count`` tally."""
+        with self._lock:
+            return dict(self._counts)
+
+    def to_collapsed_text(self) -> str:
+        """The flamegraph.pl input format: ``<stack> <count>`` lines,
+        heaviest stacks first for human skimming."""
+        with self._lock:
+            items = sorted(self._counts.items(),
+                           key=lambda item: (-item[1], item[0]))
+        return "".join(f"{stack} {count}\n" for stack, count in items)
+
+    def write_collapsed(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_collapsed_text(), encoding="utf-8")
+        return path
+
+    def top_functions(self, top: int = 10) -> list[dict]:
+        """Leaf-frame ranking: where samples actually landed."""
+        leaves: dict[str, int] = {}
+        with self._lock:
+            total = sum(self._counts.values())
+            for stack, count in self._counts.items():
+                leaf = stack.rsplit(";", 1)[-1]
+                leaves[leaf] = leaves.get(leaf, 0) + count
+        rows = [{"function": name, "samples": count,
+                 "share": count / total if total else 0.0}
+                for name, count in leaves.items()]
+        rows.sort(key=lambda row: (-row["samples"], row["function"]))
+        return rows[:top]
+
+
+@contextmanager
+def profile(interval_s: float = DEFAULT_INTERVAL_S, *,
+            thread_ids: set[int] | None = None
+            ) -> Iterator[SamplingProfiler]:
+    """Run a profiler for the block; stopped (tally final) on exit."""
+    profiler = SamplingProfiler(interval_s, thread_ids=thread_ids)
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()
+
+
+def validate_collapsed(text: str) -> tuple[int, list[str]]:
+    """Check collapsed-stack text; returns ``(stacks, problems)``.
+
+    Every non-blank line must be ``<stack> <count>`` with a
+    semicolon-separated non-empty stack and a positive integer count.
+    An empty artifact (no stacks at all) is a problem: a profiled job
+    that produced zero samples means the profiler never ran.
+    """
+    problems: list[str] = []
+    stacks = 0
+    for index, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        stack, _, raw_count = line.rpartition(" ")
+        if not stack:
+            problems.append(f"line {index}: no stack before the count")
+            continue
+        if any(not frame for frame in stack.split(";")):
+            problems.append(f"line {index}: empty frame in {stack!r}")
+        try:
+            count = int(raw_count)
+        except ValueError:
+            problems.append(
+                f"line {index}: count {raw_count!r} is not an integer")
+            continue
+        if count < 1:
+            problems.append(f"line {index}: count {count} < 1")
+            continue
+        stacks += 1
+    if stacks == 0 and not problems:
+        problems.append("no stacks: profile is empty")
+    return stacks, problems
+
+
+__all__ = [
+    "DEFAULT_INTERVAL_S",
+    "SamplingProfiler",
+    "profile",
+    "validate_collapsed",
+]

@@ -1,0 +1,144 @@
+"""Bounded metrics history: a ring buffer plus a cadence sampler.
+
+The service daemon's ``MetricsRegistry`` answers "what happened since
+start" -- totals and distributions -- but not "what was happening five
+minutes ago".  This module adds the missing time axis with two small
+pieces:
+
+* :class:`TimeSeriesBuffer` -- a thread-safe, bounded
+  (``deque(maxlen=...)``) buffer of sample dicts.  Memory is capped by
+  construction: at the default one-second cadence and 600-sample
+  capacity the daemon retains ten minutes of history in a few hundred
+  kilobytes, forever, no compaction task needed.  Samples carry a
+  monotonically increasing ``seq`` so pollers (``repro top``, the
+  ``/metrics/history?since=`` route) can fetch increments without
+  re-reading the window.
+* :class:`HistorySampler` -- a daemon thread calling a sample function
+  at a fixed cadence and appending whatever it returns.  A sampler
+  tick that raises is counted and dropped, never fatal: history is
+  observability, not control flow.
+
+Sample dicts are produced by the owner (the daemon samples queue
+depths, running jobs, RSS, and selected latency quantiles); the buffer
+only guarantees ``ts`` (wall) and ``seq`` stamps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from repro.obs.clock import wall_now
+
+DEFAULT_CAPACITY = 600
+DEFAULT_INTERVAL_S = 1.0
+
+
+class TimeSeriesBuffer:
+    """Thread-safe bounded buffer of stamped sample dicts."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._samples: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        #: Samples pushed out of the window by the bound (telemetry).
+        self.evicted = 0
+
+    def append(self, sample: dict[str, Any]) -> dict:
+        """Stamp and store one sample; returns the stored record."""
+        with self._lock:
+            record = dict(sample)
+            record.setdefault("ts", wall_now())
+            record["seq"] = self._seq
+            self._seq += 1
+            if len(self._samples) == self.capacity:
+                self.evicted += 1
+            self._samples.append(record)
+            return record
+
+    def samples(self, since_seq: int | None = None,
+                limit: int | None = None) -> list[dict]:
+        """Samples with ``seq >= since_seq``, newest-last.
+
+        ``limit`` keeps the *newest* N of the selection -- a live view
+        wants the most recent window, not the oldest.
+        """
+        with self._lock:
+            selected = [dict(sample) for sample in self._samples
+                        if since_seq is None
+                        or sample["seq"] >= since_seq]
+        if limit is not None and limit >= 0:
+            selected = selected[-limit:]
+        return selected
+
+    def latest(self) -> dict | None:
+        with self._lock:
+            return dict(self._samples[-1]) if self._samples else None
+
+    def next_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+class HistorySampler:
+    """Daemon thread appending ``sample_fn()`` output at a cadence."""
+
+    def __init__(self, sample_fn: Callable[[], dict[str, Any] | None],
+                 buffer: TimeSeriesBuffer, *,
+                 interval_s: float = DEFAULT_INTERVAL_S,
+                 name: str = "repro-history") -> None:
+        if interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be > 0, got {interval_s}")
+        self.sample_fn = sample_fn
+        self.buffer = buffer
+        self.interval_s = interval_s
+        #: Ticks whose sample function raised (dropped, not fatal).
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, name=name,
+                                        daemon=True)
+
+    def start(self) -> None:
+        self.tick()  # an immediate first sample: history never empty
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout_s)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    def tick(self) -> dict | None:
+        """Take one sample now (also used by tests; never raises)."""
+        try:
+            sample = self.sample_fn()
+        except Exception:
+            self.errors += 1
+            return None
+        if sample is None:
+            return None
+        return self.buffer.append(sample)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.interval_s):
+            self.tick()
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL_S",
+    "HistorySampler",
+    "TimeSeriesBuffer",
+]

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.obs.clock import wall_now
+from repro.obs.context import context_fields
 from repro.obs.counters import Counters
 from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
 
@@ -190,6 +191,14 @@ class Trace:
         return stack
 
     def _append(self, record: SpanRecord, observe: bool = True) -> None:
+        if observe:
+            # Stamp the thread's correlation context (trace_id/job_id/
+            # tenant) so filters like ``repro trace --job`` work.
+            # setdefault: explicit span attributes win.  Merged worker
+            # payloads arrive with observe=False and keep the fields
+            # their own process stamped.
+            for key, value in context_fields().items():
+                record.attributes.setdefault(key, value)
         with self._lock:
             self._spans.append(record)
         if observe and self.span_histograms:

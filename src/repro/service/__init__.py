@@ -26,6 +26,7 @@ inherits it by pointing every job at one shared cache directory.
 """
 
 from repro.service.client import (
+    TRACE_HEADER,
     BackpressureError,
     ServiceClient,
     ServiceError,
@@ -101,6 +102,7 @@ __all__ = [
     "StoreManager",
     "StoreStats",
     "TERMINAL_STATES",
+    "TRACE_HEADER",
     "WalEntry",
     "json_safe",
     "next_job_id",

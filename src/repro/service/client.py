@@ -28,9 +28,13 @@ import urllib.request
 from typing import Any, Iterator
 
 from repro.errors import ReproError
+from repro.obs import new_trace_id
 from repro.reliability.backoff import BackoffPolicy
 
 DEFAULT_TIMEOUT_S = 30.0
+
+#: Header carrying the client-minted correlation id to the daemon.
+TRACE_HEADER = "X-Repro-Trace-Id"
 
 #: 5xx statuses worth retrying: transient server trouble, not a bug in
 #: the request.  503 is also what the daemon answers while draining.
@@ -75,13 +79,17 @@ class ServiceClient:
     # -- plumbing -----------------------------------------------------
 
     def _request_once(self, method: str, path: str,
-                      payload: dict | None = None) -> Any:
+                      payload: dict | None = None,
+                      headers: dict[str, str] | None = None) -> Any:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
+        request_headers = dict(headers or {})
+        if body:
+            request_headers.setdefault("Content-Type",
+                                       "application/json")
         request = urllib.request.Request(
             self.base_url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"}
-            if body else {})
+            headers=request_headers)
         try:
             with urllib.request.urlopen(
                     request, timeout=self.timeout_s) as response:
@@ -118,7 +126,8 @@ class ServiceClient:
                 f"{exc}") from None
 
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> Any:
+                 payload: dict | None = None,
+                 headers: dict[str, str] | None = None) -> Any:
         """One API call with up to ``self.retries`` bounded retries.
 
         Retries cover connection-level failures and retryable 5xx
@@ -130,6 +139,9 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
+                if headers:
+                    return self._request_once(method, path, payload,
+                                              headers)
                 return self._request_once(method, path, payload)
             except ServiceUnavailableError:
                 if attempt >= self.retries:
@@ -155,18 +167,28 @@ class ServiceClient:
                timeout_s: float = 120.0, retries: int = 0,
                workers: int = 1, use_cache: bool = True,
                deadline_s: float | None = None,
-               idempotency_key: str | None = None) -> dict:
+               idempotency_key: str | None = None,
+               trace_id: str | None = None,
+               profile: bool = False) -> dict:
+        # Mint the correlation id client-side so spans/logs around the
+        # submit call can already carry the id the daemon will use.
+        if trace_id is None:
+            trace_id = new_trace_id()
         spec: dict[str, Any] = {
             "experiments": experiments or [],
             "tenant": tenant, "priority": priority,
             "timeout_s": timeout_s, "retries": retries,
             "workers": workers, "use_cache": use_cache,
+            "trace_id": trace_id,
         }
         if deadline_s is not None:
             spec["deadline_s"] = deadline_s
         if idempotency_key is not None:
             spec["idempotency_key"] = idempotency_key
-        return self._request("POST", "/v1/jobs", spec)
+        if profile:
+            spec["profile"] = True
+        return self._request("POST", "/v1/jobs", spec,
+                             headers={TRACE_HEADER: trace_id})
 
     def jobs(self, tenant: str | None = None) -> list[dict]:
         path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
@@ -190,6 +212,41 @@ class ServiceClient:
         with urllib.request.urlopen(
                 request, timeout=self.timeout_s) as response:
             return response.read().decode("utf-8")
+
+    def history(self, since: int = 0,
+                limit: int | None = None) -> dict:
+        """Metrics-history samples with ``seq >= since`` (newest last)."""
+        query = []
+        if since:
+            query.append(f"since={since}")
+        if limit is not None:
+            query.append(f"limit={limit}")
+        path = ("/metrics/history"
+                + ("?" + "&".join(query) if query else ""))
+        return self._request("GET", path)
+
+    def profile(self, job_id: str) -> str:
+        """The job's collapsed-stack profile (text; 404 when absent)."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/profile")
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(raw)
+            except json.JSONDecodeError:
+                detail = {"error": raw.strip()}
+            raise ServiceError(
+                detail.get("error", f"HTTP {exc.code}"),
+                status=exc.code, payload=detail) from None
+        except (urllib.error.URLError, ConnectionError,
+                TimeoutError, OSError) as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc}") from None
 
     def store(self) -> dict:
         return self._request("GET", "/v1/store")

@@ -45,7 +45,7 @@ import json
 import signal
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -54,18 +54,28 @@ from repro.engine.scheduler import EXECUTOR_INLINE, EXECUTOR_PROCESS
 from repro.errors import ReproError
 from repro.reliability.backoff import BackoffPolicy
 from repro.obs import (
+    COUNT_BUCKETS,
     DURATION_BUCKETS,
     FORMAT_JSON,
+    HistorySampler,
+    SamplingProfiler,
+    TimeSeriesBuffer,
     Trace,
     activate,
     add_counter,
+    configure_logging,
     deactivate,
+    get_logger,
+    new_trace_id,
     observe,
     registry_summary,
+    sample_resources,
     span,
     to_prometheus,
+    trace_context,
     write_trace,
 )
+from repro.obs.log import LEVELS
 from repro.service.jobs import (
     JOB_CANCELLED,
     JOB_DONE,
@@ -126,6 +136,17 @@ class ServiceConfig:
         default_factory=lambda: BackoffPolicy(base_s=0.5, max_s=30.0))
     #: Terminal job stubs retained in the WAL across compactions.
     wal_keep_terminal: int = 256
+    #: Structured-log sink; ``None`` defaults to
+    #: ``<cache_dir>/service/service.log.jsonl``.
+    log_path: Path | None = None
+    #: Log level (``debug``/``info``/``warning``/``error``); ``None``
+    #: defers to ``REPRO_LOG_LEVEL`` (else ``info``).
+    log_level: str | None = None
+    #: Metrics-history sampling cadence and window.
+    history_interval_s: float = 1.0
+    history_capacity: int = 600
+    #: Sampling interval for per-job profilers (``submit --profile``).
+    profile_interval_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.dispatchers < 1:
@@ -143,6 +164,22 @@ class ServiceConfig:
             raise ValueError(
                 f"max_recovery_attempts must be >= 0, "
                 f"got {self.max_recovery_attempts}")
+        if self.log_level is not None and self.log_level not in LEVELS:
+            raise ValueError(
+                f"log_level must be one of {sorted(LEVELS)}, "
+                f"got {self.log_level!r}")
+        if self.history_interval_s <= 0:
+            raise ValueError(
+                f"history_interval_s must be > 0, "
+                f"got {self.history_interval_s}")
+        if self.history_capacity < 1:
+            raise ValueError(
+                f"history_capacity must be >= 1, "
+                f"got {self.history_capacity}")
+        if self.profile_interval_s <= 0:
+            raise ValueError(
+                f"profile_interval_s must be > 0, "
+                f"got {self.profile_interval_s}")
 
 
 @dataclass
@@ -180,6 +217,9 @@ class ExperimentService:
         self._work = threading.Event()
         self._draining = threading.Event()
         self._threads: list[threading.Thread] = []
+        self.history = TimeSeriesBuffer(self.config.history_capacity)
+        self._sampler: HistorySampler | None = None
+        self._log = get_logger("service.daemon")
         #: Jobs re-admitted by the last startup recovery.
         self.recovered_jobs = 0
         #: Set when shutdown came from SIGINT/SIGTERM rather than the
@@ -189,7 +229,16 @@ class ExperimentService:
     # -- lifecycle ----------------------------------------------------
 
     def start(self) -> None:
+        log_path = (Path(self.config.log_path)
+                    if self.config.log_path is not None
+                    else Path(self.config.cache_dir) / "service"
+                    / "service.log.jsonl")
+        configure_logging(log_path, level=self.config.log_level)
         activate(self.trace)
+        self._log.info("service.start",
+                       dispatchers=self.config.dispatchers,
+                       executor=self.config.executor,
+                       log_path=str(log_path))
         self._recover()
         for index in range(self.config.dispatchers):
             thread = threading.Thread(
@@ -201,17 +250,24 @@ class ExperimentService:
                                     name="repro-watchdog", daemon=True)
         watchdog.start()
         self._threads.append(watchdog)
+        self._sampler = HistorySampler(
+            self._history_sample, self.history,
+            interval_s=self.config.history_interval_s)
+        self._sampler.start()
 
     def stop(self, *, drain_timeout_s: float = 60.0) -> None:
         """Drain and shut down; idempotent."""
         if self._draining.is_set():
             return
         self._draining.set()
+        self._log.info("service.stop", signalled=self.signalled)
         self._work.set()  # wake dispatchers so they observe the drain
         for job in self.queue.pending():
             self.queue.cancel(job.id)
         for thread in self._threads:
             thread.join(timeout=drain_timeout_s)
+        if self._sampler is not None:
+            self._sampler.stop()
         self.prune_store()
         self.wal.compact(self._wal_entries(),
                          keep_terminal=self.config.wal_keep_terminal)
@@ -226,6 +282,39 @@ class ExperimentService:
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
+
+    # -- metrics history ----------------------------------------------
+
+    def _history_sample(self) -> dict:
+        """One cadence sample: load, latency quantiles, resources."""
+        with self._running_lock:
+            running = len(self._running)
+        with self._jobs_lock:
+            jobs = len(self.jobs)
+        counters = self.trace.counters.as_dict()
+        sample = {
+            "queued": self.queue.depth(),
+            "running": running,
+            "jobs": jobs,
+            "rss_peak_kb": sample_resources().rss_peak_kb,
+            "jobs_done": counters.get("service.jobs_done", 0),
+            "jobs_failed": counters.get("service.jobs_failed", 0),
+            "requests": counters.get("service.requests", 0),
+        }
+        series = self.trace.metrics.histograms()
+        for name in ("service.job_wall_s", "engine.run_s"):
+            matching = [h for n, _, h in series if n == name and h.count]
+            if not matching:
+                continue
+            # Quantiles over the label-merged series would need a
+            # rebuild; sample the largest series instead (label splits
+            # are usually singular in practice).
+            biggest = max(matching, key=lambda h: h.count)
+            for q_name, q in (("p50", 0.50), ("p99", 0.99)):
+                value = biggest.quantile(q)
+                if value is not None:
+                    sample[f"{name}.{q_name}"] = round(value, 6)
+        return sample
 
     # -- crash recovery -----------------------------------------------
 
@@ -299,6 +388,10 @@ class ExperimentService:
                                    error=job.error)
                     add_counter("jobs.recovery_exhausted")
                     add_counter("service.jobs_failed")
+                    self._log.warning(
+                        "recovery.exhausted", job_id=job.id,
+                        trace_id=job.spec.trace_id,
+                        attempts=attempts - 1)
                     continue
                 job.recovery_attempts = attempts
                 delay = self.config.recovery_backoff.delay_s(
@@ -309,6 +402,10 @@ class ExperimentService:
                                backoff_s=round(delay, 3))
                 add_counter("jobs.recovered")
                 self.recovered_jobs += 1
+                self._log.info("recovery.requeued", job_id=job.id,
+                               trace_id=job.spec.trace_id,
+                               attempt=attempts,
+                               backoff_s=round(delay, 3))
             self.queue.submit(job, force=True)
         # leases the dead process held will never be released by it
         self.store.cache.sweep_stale_claims()
@@ -332,11 +429,19 @@ class ExperimentService:
                 if (deadline_s is not None
                         and now - entry.started > deadline_s):
                     entry.verdict = "deadline"
+                    self._log.warning(
+                        "watchdog.deadline", job_id=entry.job.id,
+                        trace_id=entry.job.spec.trace_id,
+                        deadline_s=deadline_s)
                     entry.engine.abort(
                         f"deadline_s={deadline_s:g} exceeded")
                     continue
                 if now - entry.heartbeat > self.config.stall_timeout_s:
                     entry.verdict = "stall"
+                    self._log.warning(
+                        "watchdog.stall", job_id=entry.job.id,
+                        trace_id=entry.job.spec.trace_id,
+                        stall_timeout_s=self.config.stall_timeout_s)
                     entry.engine.abort(
                         "no progress for "
                         f"{self.config.stall_timeout_s:g} s")
@@ -355,6 +460,11 @@ class ExperimentService:
         """
         if self._draining.is_set():
             raise ReproError("service is shutting down")
+        # Mint the correlation id before the WAL sees the spec, so a
+        # recovered job keeps the same trace_id across a crash.  Direct
+        # submissions (no client-minted id) get a daemon-side one.
+        if spec.trace_id is None:
+            spec = replace(spec, trace_id=new_trace_id())
         with self._jobs_lock:
             key = spec.idempotency_key
             if key is not None:
@@ -389,6 +499,11 @@ class ExperimentService:
         job.add_event(JOB_QUEUED, tenant=spec.tenant,
                       priority=spec.priority,
                       experiments=list(spec.experiment_ids))
+        self._log.info("job.submit", trace_id=spec.trace_id,
+                       job_id=job_id, tenant=spec.tenant,
+                       priority=spec.priority,
+                       experiments=len(spec.experiment_ids),
+                       profile=spec.profile)
         self._work.set()
         return job, True
 
@@ -431,8 +546,9 @@ class ExperimentService:
                 continue
             self._run_job(job)
 
-    def _engine_config(self, spec: JobSpec,
+    def _engine_config(self, job: Job,
                        progress=None) -> EngineConfig:
+        spec = job.spec
         return EngineConfig(
             jobs=spec.workers,
             timeout_s=spec.timeout_s,
@@ -442,6 +558,8 @@ class ExperimentService:
             executor=self.config.executor,
             handle_signals=False,  # worker thread; daemon owns signals
             progress=progress,
+            trace_context={"trace_id": spec.trace_id,
+                           "job_id": job.id, "tenant": spec.tenant},
         )
 
     def _requeue_stalled(self, job: Job) -> None:
@@ -471,22 +589,39 @@ class ExperimentService:
         self.queue.submit(job, force=True)
         self._work.set()
 
+    def _profile_path(self, job_id: str) -> Path:
+        return (Path(self.config.cache_dir) / "service"
+                / f"{job_id}.profile.txt")
+
     def _run_job(self, job: Job) -> None:
+        spec = job.spec
+        with trace_context(trace_id=spec.trace_id, job_id=job.id,
+                           tenant=spec.tenant):
+            self._run_job_in_context(job)
+
+    def _run_job_in_context(self, job: Job) -> None:
         spec = job.spec
         job.transition(JOB_RUNNING, tenant=spec.tenant)
         wait_s = job.queue_wait_s() or 0.0
         observe("service.queue_wait_s", wait_s, DURATION_BUCKETS,
                 tenant=spec.tenant)
         add_counter("service.jobs_started")
+        self._log.info("job.dispatch",
+                       queue_wait_s=round(wait_s, 6),
+                       priority=spec.priority)
         now = time.monotonic()
         entry = _RunningJob(job=job, engine=None, started=now,
                             heartbeat=now)
         engine = ExecutionEngine(
-            self._engine_config(spec, progress=entry.beat))
+            self._engine_config(job, progress=entry.beat))
         entry.engine = engine
         with self._running_lock:
             self._running[job.id] = entry
+        profiler = (SamplingProfiler(self.config.profile_interval_s)
+                    if spec.profile else None)
         try:
+            if profiler is not None:
+                profiler.start()
             with span("service.job", job=job.id, tenant=spec.tenant,
                       priority=spec.priority):
                 sweep = engine.run(spec.experiment_ids or None)
@@ -494,8 +629,12 @@ class ExperimentService:
             job.error = f"{type(exc).__name__}: {exc}"
             job.transition(JOB_FAILED, error=job.error)
             add_counter("service.jobs_failed")
+            self._log.error("job.crashed", error=job.error)
             return
         finally:
+            if profiler is not None:
+                profiler.stop()
+                self._store_profile(job, profiler)
             with self._running_lock:
                 self._running.pop(job.id, None)
         job.records = [record.to_json_dict()
@@ -508,7 +647,10 @@ class ExperimentService:
                           status=record.status,
                           cache_hit=record.cache_hit,
                           wall_time_s=record.wall_time_s)
-        observe("service.job_wall_s", job.wall_s() or 0.0,
+        # Measured from dispatch, not job.wall_s(): finished_at is only
+        # stamped by the terminal transition below, and a stalled job
+        # requeues without one -- wall_s() here would always be None.
+        observe("service.job_wall_s", time.monotonic() - now,
                 DURATION_BUCKETS, tenant=spec.tenant)
         if entry.verdict == "deadline":
             job.error = (f"deadline_s={spec.deadline_s:g} exceeded "
@@ -517,20 +659,46 @@ class ExperimentService:
                            error=job.error)
             add_counter("jobs.deadline_exceeded")
             add_counter("service.jobs_failed")
+            self._log.warning("job.deadline_exceeded",
+                              deadline_s=spec.deadline_s)
         elif entry.verdict == "stall":
+            self._log.warning("job.stalled",
+                              stall_timeout_s=
+                              self.config.stall_timeout_s)
             self._requeue_stalled(job)
         elif sweep.metrics.all_ok:
             job.transition(JOB_DONE, ok=sweep.metrics.ok,
                            cache_hits=sweep.metrics.cache_hits)
             add_counter("service.jobs_done")
             add_counter(f"service.jobs_done.{spec.tenant}")
+            self._log.info("job.done", ok=sweep.metrics.ok,
+                           cache_hits=sweep.metrics.cache_hits,
+                           wall_s=round(job.wall_s() or 0.0, 6))
         else:
             failed = [record.experiment_id for record in sweep.records
                       if not record.ok]
             job.error = f"{len(failed)} experiment(s) not ok: {failed}"
             job.transition(JOB_FAILED, error=job.error)
             add_counter("service.jobs_failed")
+            self._log.warning("job.failed", error=job.error)
         self.prune_store()
+
+    def _store_profile(self, job: Job,
+                       profiler: SamplingProfiler) -> None:
+        """Keep the collapsed profile on the job and next to the WAL."""
+        text = profiler.to_collapsed_text()
+        job.profile_text = text
+        observe("service.profile_samples", profiler.samples,
+                COUNT_BUCKETS)
+        self._log.info("job.profiled", samples=profiler.samples,
+                       stacks=len(profiler.collapsed()),
+                       duration_s=round(profiler.duration_s, 6))
+        try:
+            path = self._profile_path(job.id)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+        except OSError:
+            pass  # the in-memory copy still serves the route
 
 
 # -- HTTP plumbing ----------------------------------------------------
@@ -546,6 +714,8 @@ class _Request:
     path: str
     query: dict[str, str]
     body: bytes
+    #: Header names lowercased by the parser.
+    headers: dict[str, str] = field(default_factory=dict)
 
     def json(self) -> Any:
         try:
@@ -588,7 +758,8 @@ async def _read_request(reader: asyncio.StreamReader) -> _Request | None:
     body = await reader.readexactly(length) if length else b""
     path, _, raw_query = target.partition("?")
     return _Request(method=method.upper(), path=path,
-                    query=_parse_query(raw_query), body=body)
+                    query=_parse_query(raw_query), body=body,
+                    headers=headers)
 
 
 def _response(status: int, payload: Any, *,
@@ -710,7 +881,14 @@ class ServiceServer:
                 writer.write(_response(
                     503, {"error": "service is shutting down"}))
                 return
-            spec = JobSpec.from_json_dict(request.json())
+            payload = request.json()
+            # A client-minted X-Repro-Trace-Id header wins over nothing
+            # but never over an explicit spec field.
+            header_trace = request.headers.get("x-repro-trace-id")
+            if (header_trace and isinstance(payload, dict)
+                    and not payload.get("trace_id")):
+                payload["trace_id"] = header_trace
+            spec = JobSpec.from_json_dict(payload)
             try:
                 job, created = service.submit(spec)
             except QueueFullError as exc:
@@ -757,6 +935,24 @@ class ServiceServer:
                     "max_recovery_attempts":
                         service.config.max_recovery_attempts,
                 },
+            }))
+            return
+
+        if path == "/metrics/history" and method == "GET":
+            try:
+                since = int(request.query.get("since", "0") or "0")
+                raw_limit = request.query.get("limit")
+                limit = int(raw_limit) if raw_limit else None
+            except ValueError:
+                raise _BadRequest(
+                    "since/limit must be integers") from None
+            writer.write(_response(200, {
+                "samples": service.history.samples(
+                    since_seq=since or None, limit=limit),
+                "next_seq": service.history.next_seq(),
+                "evicted": service.history.evicted,
+                "interval_s": service.config.history_interval_s,
+                "capacity": service.config.history_capacity,
             }))
             return
 
@@ -824,6 +1020,28 @@ class ServiceServer:
             writer.write(_response(
                 200 if ok else 409,
                 {"id": job.id, "cancelled": ok, "reason": reason}))
+            return
+
+        if sub == "profile" and request.method == "GET":
+            text = job.profile_text
+            if text is None:
+                try:
+                    text = service._profile_path(job.id).read_text(
+                        encoding="utf-8")
+                except OSError:
+                    text = None
+            if text is None:
+                writer.write(_response(404, {
+                    "error": (f"job {job.id} has no profile; submit "
+                              "with profile=true and wait for it to "
+                              "finish")}))
+                return
+            body = text.encode("utf-8")
+            writer.write(
+                (f"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+                 f"Content-Length: {len(body)}\r\n"
+                 "Connection: close\r\n\r\n").encode("latin-1")
+                + body)
             return
 
         writer.write(_response(405, {

@@ -63,6 +63,7 @@ REASON_RECOVERY_EXHAUSTED = "recovery_exhausted"
 _SPEC_KEYS = frozenset((
     "experiments", "tenant", "priority", "timeout_s", "retries",
     "workers", "use_cache", "deadline_s", "idempotency_key",
+    "trace_id", "profile",
 ))
 
 
@@ -112,6 +113,12 @@ class JobSpec:
     #: Client-chosen dedup key: resubmitting the same key returns the
     #: existing job instead of admitting a duplicate.
     idempotency_key: str | None = None
+    #: Correlation id shared by every span, log record, and event this
+    #: job produces.  Client-minted (``X-Repro-Trace-Id``) or minted by
+    #: the daemon at submit -- always set before the WAL sees the spec.
+    trace_id: str | None = None
+    #: Attach the sampling profiler to this job's run.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.priority not in PRIORITIES:
@@ -145,6 +152,14 @@ class JobSpec:
                 raise ReproError(
                     "idempotency_key must be <= 128 chars of "
                     f"[a-zA-Z0-9._:-], got {key!r}")
+        if self.trace_id is not None:
+            tid = self.trace_id
+            if (not isinstance(tid, str) or not tid or len(tid) > 64
+                    or not all(ch.isalnum() or ch == "-"
+                               for ch in tid)):
+                raise ReproError(
+                    "trace_id must be <= 64 chars of [a-zA-Z0-9-], "
+                    f"got {tid!r}")
 
     @classmethod
     def from_json_dict(cls, payload: Any) -> "JobSpec":
@@ -172,6 +187,8 @@ class JobSpec:
                 deadline_s=(None if payload.get("deadline_s") is None
                             else float(payload["deadline_s"])),
                 idempotency_key=payload.get("idempotency_key"),
+                trace_id=payload.get("trace_id"),
+                profile=bool(payload.get("profile", False)),
             )
         except (TypeError, ValueError) as exc:
             raise ReproError(f"malformed job spec: {exc}") from None
@@ -187,6 +204,8 @@ class JobSpec:
             "use_cache": self.use_cache,
             "deadline_s": self.deadline_s,
             "idempotency_key": self.idempotency_key,
+            "trace_id": self.trace_id,
+            "profile": self.profile,
         }
 
 
@@ -271,6 +290,9 @@ class Job:
     #: Monotonic clock before which the queue must not dispatch this
     #: job (recovery/stall backoff).
     not_before: float = 0.0
+    #: Collapsed-stack profile text when the job ran with
+    #: ``spec.profile`` (served on ``/v1/jobs/<id>/profile``).
+    profile_text: str | None = None
     events: list[dict] = field(default_factory=list)
     event_log: JobEventLog = field(
         default_factory=lambda: JobEventLog(None))
@@ -284,6 +306,8 @@ class Job:
         with self.lock:
             event = {"seq": len(self.events), "ts": wall_now(),
                      "event": kind, "job": self.id, **data}
+            if self.spec.trace_id is not None:
+                event.setdefault("trace_id", self.spec.trace_id)
             self.events.append(event)
         self.event_log.append(event)
         return event
@@ -328,6 +352,8 @@ class Job:
                 "state": self.state,
                 "tenant": self.spec.tenant,
                 "priority": self.spec.priority,
+                "trace_id": self.spec.trace_id,
+                "profiled": self.profile_text is not None,
                 "experiments": list(self.spec.experiment_ids),
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,

@@ -178,6 +178,54 @@ def test_compare_reports_added_and_removed_benchmarks():
     assert comparison.exit_code == 0  # membership changes never gate
 
 
+def test_snapshot_carries_telemetry_block():
+    from repro.bench import measure_telemetry_overhead
+
+    snapshot = run_benchmarks(["E-T2"], repeats=1)
+    telemetry = snapshot["telemetry"]
+    assert telemetry["tracing"] is True
+    assert isinstance(telemetry["logging"], bool)
+    assert telemetry["span_overhead_s"] >= 0
+    assert telemetry["log_overhead_s"] >= 0
+    assert validate_snapshot(snapshot) == []
+    probe = measure_telemetry_overhead(iterations=50)
+    assert set(probe) == {"tracing", "logging",
+                          "span_overhead_s", "log_overhead_s"}
+
+
+def test_validate_snapshot_accepts_missing_telemetry_and_flags_bad():
+    # Pre-telemetry snapshots stay valid (the block is optional)...
+    assert validate_snapshot(_snapshot({"a": 1.0})) == []
+    # ...but a malformed block is flagged.
+    bad = _snapshot({"a": 1.0}) | {"telemetry": "yes"}
+    assert any("telemetry" in problem
+               for problem in validate_snapshot(bad))
+    negative = _snapshot({"a": 1.0}) | {"telemetry": {
+        "tracing": True, "logging": False,
+        "span_overhead_s": -1.0, "log_overhead_s": 0.0}}
+    assert any("telemetry" in problem
+               for problem in validate_snapshot(negative))
+
+
+def test_compare_flags_telemetry_mismatch():
+    baseline = _snapshot({"a": 1.0}) | {"telemetry": {
+        "tracing": True, "logging": False,
+        "span_overhead_s": 1e-6, "log_overhead_s": 1e-7}}
+    current = _snapshot({"a": 1.0}) | {"telemetry": {
+        "tracing": True, "logging": True,
+        "span_overhead_s": 1e-6, "log_overhead_s": 1e-7}}
+    comparison = compare_snapshots(baseline, current)
+    assert comparison.telemetry_mismatch
+    assert "telemetry switches" in comparison.render()
+    assert comparison.to_json_dict()["telemetry_mismatch"] is True
+    # Same switches (or blocks absent on both sides): no warning.
+    same = compare_snapshots(current, current)
+    assert not same.telemetry_mismatch
+    legacy = compare_snapshots(_snapshot({"a": 1.0}),
+                               _snapshot({"a": 1.0}))
+    assert not legacy.telemetry_mismatch
+
+
 def test_compare_warns_on_cross_host_baselines():
     baseline = _snapshot({"a": 1.0}, platform="host-one")
     current = _snapshot({"a": 1.0}, platform="host-two")

@@ -279,6 +279,82 @@ def test_trace_command_json_format(capsys, tmp_path):
                for row in payload["phases"])
 
 
+def test_trace_in_missing_artifact_is_no_data_exit_0(capsys,
+                                                     tmp_path):
+    code = main(["trace", "--in", str(tmp_path / "absent.json")])
+    assert code == 0
+    assert "no trace data" in capsys.readouterr().out
+
+
+def test_trace_in_unparseable_artifact_is_no_data_exit_0(capsys,
+                                                         tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main(["trace", "--in", str(bad)]) == 0
+    assert "no trace data" in capsys.readouterr().out
+
+
+def test_trace_in_filters_spans_by_job_and_trace_id(capsys,
+                                                    tmp_path):
+    artifact = tmp_path / "trace.json"
+    span = {"name": "engine.run", "start_s": 0.0, "duration_s": 0.5,
+            "pid": 11, "tid": 1, "depth": 0, "parent": None}
+    artifact.write_text(json.dumps({"spans": [
+        span | {"attributes": {"trace_id": "tid-a", "job_id": "j-1"}},
+        span | {"pid": 12,
+                "attributes": {"trace_id": "tid-a", "job_id": "j-1"}},
+        span | {"attributes": {"trace_id": "tid-b", "job_id": "j-2"}},
+    ]}), encoding="utf-8")
+    assert main(["trace", "--in", str(artifact),
+                 "--trace-id", "tid-a"]) == 0
+    out = capsys.readouterr().out
+    assert "2 of 3 spans" in out
+    assert "engine.run" in out
+    # A filter nothing matches is still exit 0, with the miss named.
+    assert main(["trace", "--in", str(artifact),
+                 "--job", "j-missing"]) == 0
+    out = capsys.readouterr().out
+    assert "no trace data matching job_id=j-missing" in out
+    assert "3 spans total" in out
+
+
+def test_stats_in_missing_artifact_is_no_data_exit_0(capsys,
+                                                     tmp_path):
+    assert main(["stats", "--in", str(tmp_path / "absent.json")]) == 0
+    assert "no stats data" in capsys.readouterr().out
+
+
+def test_stats_in_empty_payload_is_no_data_exit_0(capsys, tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}", encoding="utf-8")
+    assert main(["stats", "--in", str(empty)]) == 0
+    assert "no stats data" in capsys.readouterr().out
+
+
+def test_stats_in_reads_trace_artifact_metrics(capsys, tmp_path):
+    artifact = tmp_path / "trace.json"
+    assert main(["trace", "--format", "json", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--out", str(artifact), "E-T1"]) == 0
+    capsys.readouterr()
+    assert main(["stats", "--in", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "cache.misses" in out
+
+
+def test_profile_command_inline(capsys, tmp_path):
+    out_path = tmp_path / "profile.txt"
+    code = main(["profile", "E-T1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--interval", "0.0005",
+                 "--out", str(out_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "samples over" in out
+    assert str(out_path) in out
+    assert out_path.is_file()
+
+
 def test_trace_command_top_limits_breakdown_rows(capsys, tmp_path):
     code = main(["trace", "--jobs", "2", "--top", "1",
                  "--cache-dir", str(tmp_path / "cache"),

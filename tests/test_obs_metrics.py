@@ -291,6 +291,27 @@ def test_prometheus_histogram_buckets_are_cumulative():
     assert "# TYPE repro_resource_rss_peak_kb gauge" in text
 
 
+def test_prometheus_label_values_are_escaped():
+    from repro.obs.metrics import _prom_label_value
+
+    assert _prom_label_value('a"b') == 'a\\"b'
+    assert _prom_label_value("a\\b") == "a\\\\b"
+    assert _prom_label_value("a\nb") == "a\\nb"
+    # Backslash escapes first, so a literal \n in the input stays a
+    # backslash-n-escape, not a newline escape applied twice.
+    assert _prom_label_value("a\\nb") == "a\\\\nb"
+
+    registry = MetricsRegistry()
+    registry.observe("run_s", 0.5, (1.0,),
+                     family="ta\\ble\none")
+    text = to_prometheus(registry)
+    assert 'family="ta\\\\ble\\none"' in text
+    # No raw newline may survive inside a label value: every line of
+    # the exposition must still match the grammar.
+    for line in text.rstrip("\n").split("\n"):
+        assert _PROM_LINE.match(line), f"bad exposition line: {line!r}"
+
+
 def test_validate_metrics_payload_flags_malformed_sections():
     assert validate_metrics_payload("nope")
     assert validate_metrics_payload({})

@@ -1,0 +1,149 @@
+"""Sampling profiler: collection, collapsed export, validation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, validate_collapsed
+from repro.obs.profiler import profile
+
+
+def _busy_thread(stop: threading.Event) -> threading.Thread:
+    def spin():
+        while not stop.is_set():
+            sum(range(200))
+
+    thread = threading.Thread(target=spin, daemon=True)
+    thread.start()
+    return thread
+
+
+def test_sample_once_captures_other_threads():
+    stop = threading.Event()
+    thread = _busy_thread(stop)
+    try:
+        profiler = SamplingProfiler(interval_s=0.001)
+        added = profiler.sample_once()
+        assert added >= 1
+        assert profiler.samples == 1
+        assert profiler.collapsed()
+    finally:
+        stop.set()
+        thread.join()
+
+
+def test_collapsed_key_format():
+    profiler = SamplingProfiler(interval_s=0.001)
+    profiler.sample_once()
+    for stack, count in profiler.collapsed().items():
+        assert count >= 1
+        for frame in stack.split(";"):
+            # <module-stem>:<function>, no spaces (space is the
+            # collapsed format's stack/count separator).
+            assert ":" in frame
+            assert " " not in frame
+
+
+def test_to_collapsed_text_heaviest_first():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler._lock:
+        profiler._counts.update(
+            {"a:f;b:g": 2, "a:f;c:h": 9, "a:f": 5})
+    lines = profiler.to_collapsed_text().splitlines()
+    assert lines == ["a:f;c:h 9", "a:f 5", "a:f;b:g 2"]
+
+
+def test_write_collapsed_round_trips(tmp_path):
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler._lock:
+        profiler._counts["mod:func;mod:inner"] = 3
+    out = profiler.write_collapsed(tmp_path / "deep" / "prof.txt")
+    stacks, problems = validate_collapsed(
+        out.read_text(encoding="utf-8"))
+    assert (stacks, problems) == (1, [])
+
+
+def test_max_stacks_folds_overflow_into_other():
+    profiler = SamplingProfiler(interval_s=0.001, max_stacks=2)
+    with profiler._lock:
+        profiler._counts.update({"a:f": 1, "b:g": 1})
+    # Simulate the overflow path sample_once() takes.
+    stop = threading.Event()
+    thread = _busy_thread(stop)
+    try:
+        profiler.sample_once()
+    finally:
+        stop.set()
+        thread.join()
+    counts = profiler.collapsed()
+    assert len(counts) <= 3  # the 2 kept stacks + "(other)"
+    assert profiler.truncated >= 1
+    assert counts.get("(other)", 0) >= 1
+
+
+def test_top_functions_ranks_leaves():
+    profiler = SamplingProfiler(interval_s=0.001)
+    with profiler._lock:
+        profiler._counts.update(
+            {"a:f;x:leaf": 6, "b:g;x:leaf": 2, "c:h;y:rare": 2})
+    rows = profiler.top_functions(top=2)
+    assert rows[0]["function"] == "x:leaf"
+    assert rows[0]["samples"] == 8
+    assert rows[0]["share"] == pytest.approx(0.8)
+    assert len(rows) == 2
+
+
+def test_start_stop_lifecycle_and_duration():
+    stop = threading.Event()
+    thread = _busy_thread(stop)
+    profiler = SamplingProfiler(interval_s=0.001)
+    try:
+        profiler.start()
+        with pytest.raises(RuntimeError):
+            profiler.start()  # double-start is a bug, not a no-op
+        time.sleep(0.05)
+        tally = profiler.stop()
+    finally:
+        stop.set()
+        thread.join()
+    assert profiler.samples >= 1
+    assert profiler.duration_s > 0
+    assert tally == profiler.collapsed()
+
+
+def test_profile_context_manager():
+    stop = threading.Event()
+    thread = _busy_thread(stop)
+    try:
+        with profile(interval_s=0.001) as profiler:
+            time.sleep(0.03)
+    finally:
+        stop.set()
+        thread.join()
+    assert profiler.samples >= 1
+    assert profiler.duration_s > 0
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval_s=0)
+    with pytest.raises(ValueError):
+        SamplingProfiler(max_stacks=0)
+
+
+def test_validate_collapsed_accepts_good_text():
+    text = "main:run;engine:sweep 12\nmain:run 3\n\n"
+    stacks, problems = validate_collapsed(text)
+    assert (stacks, problems) == (2, [])
+
+
+def test_validate_collapsed_flags_problems():
+    _, problems = validate_collapsed("")
+    assert problems == ["no stacks: profile is empty"]
+    _, problems = validate_collapsed("stack notanumber\n")
+    assert any("not an integer" in p for p in problems)
+    _, problems = validate_collapsed("a:f;;b:g 3\n")
+    assert any("empty frame" in p for p in problems)
+    _, problems = validate_collapsed("a:f 0\n")
+    assert any("< 1" in p for p in problems)

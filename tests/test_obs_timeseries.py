@@ -1,0 +1,120 @@
+"""Metrics history: ring buffer semantics and the cadence sampler."""
+
+import pytest
+
+from repro.obs import HistorySampler, TimeSeriesBuffer
+
+
+def test_append_stamps_ts_and_seq():
+    buffer = TimeSeriesBuffer(capacity=4)
+    record = buffer.append({"jobs": 1})
+    assert record["seq"] == 0
+    assert record["ts"] > 0
+    assert record["jobs"] == 1
+    assert buffer.append({"jobs": 2})["seq"] == 1
+
+
+def test_append_does_not_mutate_caller_dict():
+    buffer = TimeSeriesBuffer(capacity=4)
+    sample = {"jobs": 1}
+    buffer.append(sample)
+    assert sample == {"jobs": 1}
+
+
+def test_explicit_ts_preserved():
+    buffer = TimeSeriesBuffer(capacity=4)
+    record = buffer.append({"ts": 123.5, "jobs": 1})
+    assert record["ts"] == 123.5
+
+
+def test_capacity_bounds_and_eviction_counter():
+    buffer = TimeSeriesBuffer(capacity=3)
+    for index in range(5):
+        buffer.append({"n": index})
+    assert len(buffer) == 3
+    assert buffer.evicted == 2
+    kept = [sample["n"] for sample in buffer.samples()]
+    assert kept == [2, 3, 4]  # oldest evicted, order preserved
+    # seq keeps counting across evictions.
+    assert [sample["seq"] for sample in buffer.samples()] == [2, 3, 4]
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        TimeSeriesBuffer(capacity=0)
+
+
+def test_samples_since_seq():
+    buffer = TimeSeriesBuffer(capacity=10)
+    for index in range(5):
+        buffer.append({"n": index})
+    tail = buffer.samples(since_seq=3)
+    assert [sample["n"] for sample in tail] == [3, 4]
+    assert buffer.samples(since_seq=99) == []
+
+
+def test_samples_limit_keeps_newest():
+    buffer = TimeSeriesBuffer(capacity=10)
+    for index in range(5):
+        buffer.append({"n": index})
+    window = buffer.samples(limit=2)
+    assert [sample["n"] for sample in window] == [3, 4]
+
+
+def test_latest_and_next_seq():
+    buffer = TimeSeriesBuffer(capacity=2)
+    assert buffer.latest() is None
+    assert buffer.next_seq() == 0
+    buffer.append({"n": 1})
+    buffer.append({"n": 2})
+    assert buffer.latest()["n"] == 2
+    assert buffer.next_seq() == 2
+
+
+def test_sampler_tick_appends():
+    buffer = TimeSeriesBuffer(capacity=8)
+    sampler = HistorySampler(lambda: {"queued": 3}, buffer,
+                             interval_s=60.0)
+    record = sampler.tick()
+    assert record["queued"] == 3
+    assert len(buffer) == 1
+
+
+def test_sampler_tick_swallows_errors():
+    buffer = TimeSeriesBuffer(capacity=8)
+
+    def boom():
+        raise RuntimeError("sampler broke")
+
+    sampler = HistorySampler(boom, buffer, interval_s=60.0)
+    assert sampler.tick() is None
+    assert sampler.errors == 1
+    assert len(buffer) == 0
+
+
+def test_sampler_skips_none_samples():
+    buffer = TimeSeriesBuffer(capacity=8)
+    sampler = HistorySampler(lambda: None, buffer, interval_s=60.0)
+    assert sampler.tick() is None
+    assert sampler.errors == 0
+    assert len(buffer) == 0
+
+
+def test_sampler_start_takes_immediate_sample_then_stops():
+    buffer = TimeSeriesBuffer(capacity=8)
+    sampler = HistorySampler(lambda: {"v": 1}, buffer,
+                             interval_s=60.0)
+    sampler.start()
+    try:
+        # start() ticks synchronously, so history is never empty even
+        # before the first cadence interval elapses.
+        assert len(buffer) >= 1
+        assert sampler.running
+    finally:
+        sampler.stop()
+    assert not sampler.running
+
+
+def test_sampler_bad_interval_rejected():
+    with pytest.raises(ValueError):
+        HistorySampler(lambda: {}, TimeSeriesBuffer(), interval_s=0)
