@@ -14,6 +14,12 @@ from repro.analysis.claims import (
     claim_c6_pdn,
     claim_c7_library,
 )
+from repro.analysis.electrothermal import (
+    electrothermal_et1_wakeup,
+    electrothermal_et2_dtm_virus,
+    electrothermal_et3_runaway,
+    electrothermal_et4_emergency,
+)
 from repro.analysis.extensions import (
     extension_x1_leakage_toolbox,
     extension_x2_dvs_vs_throttling,
@@ -110,6 +116,18 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("E-X4", "Electrothermal leakage feedback and runaway",
                    "Sections 2.1 + 3 (extension)",
                    extension_x4_electrothermal),
+        Experiment("E-ET1", "Wake-up droop co-sim vs L di/dt closed form",
+                   "Section 4 (co-simulation)",
+                   electrothermal_et1_wakeup),
+        Experiment("E-ET2", "DTM virus co-sim: throughput vs Tj margin",
+                   "Sections 2.1 + 4 (co-simulation)",
+                   electrothermal_et2_dtm_virus),
+        Experiment("E-ET3", "Thermal runaway co-sim: unmanaged vs DTM",
+                   "Sections 2.1 + 3 (co-simulation)",
+                   electrothermal_et3_runaway),
+        Experiment("E-ET4", "Step-droop vs decap sizing against Z0",
+                   "Section 4 (co-simulation)",
+                   electrothermal_et4_emergency),
     )
 }
 

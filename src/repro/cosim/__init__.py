@@ -1,0 +1,39 @@
+"""Closed-loop electrothermal co-simulation.
+
+Couples the RLC supply loop (:mod:`repro.pdn.transim`), the lumped
+thermal stack (:mod:`repro.thermal.rc_network`), the DTM throttle
+(:mod:`repro.thermal.dtm`), and temperature-dependent leakage
+(:mod:`repro.thermal.electrothermal`) into one concurrent feedback
+loop, plus the canonical wake-up / emergency / runaway / policy
+scenarios the E-ET experiment family runs.
+"""
+
+from repro.cosim.loop import (
+    EMERGENCY_DROOP_FRACTION,
+    FREQ_VOLTAGE_SENSITIVITY,
+    GATING_EDGE_S,
+    CosimResult,
+    ElectrothermalSimulator,
+)
+from repro.cosim.scenarios import (
+    STANDBY_FRACTION,
+    VALIDATION_DAMPING,
+    dtm_policy_comparison,
+    thermal_runaway,
+    voltage_emergency,
+    wakeup_droop,
+)
+
+__all__ = [
+    "EMERGENCY_DROOP_FRACTION",
+    "FREQ_VOLTAGE_SENSITIVITY",
+    "GATING_EDGE_S",
+    "CosimResult",
+    "ElectrothermalSimulator",
+    "STANDBY_FRACTION",
+    "VALIDATION_DAMPING",
+    "dtm_policy_comparison",
+    "thermal_runaway",
+    "voltage_emergency",
+    "wakeup_droop",
+]

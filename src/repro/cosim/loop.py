@@ -1,0 +1,291 @@
+"""Closed-loop electrothermal co-simulation (Sections 2.1, 3, 4).
+
+The paper's three headline limits -- packaging-limited heat removal,
+exponentially temperature-dependent leakage, and di/dt supply noise --
+are coupled on a real die through one feedback loop:
+
+    power -> supply current -> droop -> effective Vdd / frequency
+          -> junction temperature -> leakage -> power
+
+:class:`ElectrothermalSimulator` closes that loop around the existing
+single-physics models: the :class:`~repro.pdn.transim.SupplyLoop` RLC
+supply (package inductance + grid resistance + on-die decap), the
+lumped :class:`~repro.thermal.rc_network.ThermalNetwork` stack, the
+sensor-driven :class:`~repro.thermal.dtm.DtmController` throttle, and
+:func:`~repro.thermal.electrothermal.chip_leakage_at_c` leakage.
+
+Timescale coupling.  The electrical loop settles in nanoseconds while
+the thermal control interval is milliseconds, so within one control
+interval the supply always reaches steady state and the transient
+matters only at the interval's load edge.  Because the RLC loop is
+*linear*, the droop from an arbitrary load change is the unit-step
+(well, unit-*ramp* over the gating edge time) response scaled by the
+current change -- so the simulator runs the full
+:func:`~repro.pdn.transim.simulate` transient once at construction to
+calibrate the unit dynamic droop, then prices every control interval's
+edge with one multiply.  Scenario code that needs whole waveforms
+(wake-up, emergencies) calls :func:`~repro.pdn.transim.simulate`
+directly.
+
+Per control interval the order of coupling is: read the true junction
+temperature -> DTM modulate the demanded dynamic power -> add leakage
+at that temperature (scaled ~linearly by the sustained supply voltage)
+-> convert total power to load current -> price the supply edge (worst
+droop, voltage-emergency check) -> derate frequency by the worst droop
+-> advance the thermal stack by the delivered heat -> record.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.errors import ModelParameterError
+from repro.obs import add_counter, observe, span, TEMPERATURE_BUCKETS
+from repro.pdn.transim import CurrentStimulus, SupplyLoop, simulate
+from repro.thermal.dtm import DtmController
+from repro.thermal.electrothermal import T_SEARCH_MAX_C, chip_leakage_at_c
+from repro.thermal.rc_network import ThermalNetwork
+from repro.thermal.workloads import PowerTrace
+
+#: Fractional frequency loss per fractional supply droop: delay of a
+#: CMOS stage scales roughly as V / (V - Vt)^alpha, which linearizes to
+#: ~1.5x sensitivity at Vdd ~ 3 Vt.
+FREQ_VOLTAGE_SENSITIVITY = 1.5
+
+#: Droop (as a fraction of Vdd) that counts as a voltage emergency --
+#: the 10 % supply tolerance the PDN sizing chapters budget for.
+EMERGENCY_DROOP_FRACTION = 0.10
+
+#: Load-current edge time within a control interval: clock gating turns
+#: units on in a few cycles, i.e. ~10 ns -- the paper's wake-up number.
+GATING_EDGE_S = 1.0e-8
+
+
+@dataclass(frozen=True)
+class CosimResult:
+    """Per-interval records of one closed-loop co-simulation."""
+
+    dt_s: float
+    #: Junction temperature at the *end* of each interval [C].
+    junction_c: tuple[float, ...]
+    #: Worst die supply voltage within each interval [V].
+    v_min_v: tuple[float, ...]
+    #: Delivered dynamic power per interval [W].
+    delivered_w: tuple[float, ...]
+    #: Leakage power per interval [W].
+    leakage_w: tuple[float, ...]
+    #: DTM throttle flag per interval.
+    throttled: tuple[bool, ...]
+    #: Frequency derating factor per interval (1.0 = full speed).
+    freq_factor: tuple[float, ...]
+    #: Demanded dynamic power per interval [W].
+    demanded_w: tuple[float, ...]
+    vdd_v: float
+    tj_limit_c: float
+    throttle_factor: float
+    #: True when the run hit the leakage-model ceiling and was stopped.
+    runaway: bool = False
+
+    @property
+    def max_junction_c(self) -> float:
+        """Hottest junction temperature reached [C]."""
+        return max(self.junction_c)
+
+    @property
+    def thermal_violation(self) -> bool:
+        """Did the junction exceed its limit?"""
+        return self.max_junction_c > self.tj_limit_c
+
+    @property
+    def max_droop_v(self) -> float:
+        """Worst supply droop over the run [V]."""
+        return self.vdd_v - min(self.v_min_v)
+
+    @property
+    def max_droop_fraction(self) -> float:
+        """Worst droop as a fraction of Vdd."""
+        return self.max_droop_v / self.vdd_v
+
+    @property
+    def voltage_emergencies(self) -> int:
+        """Intervals whose droop exceeded the emergency budget."""
+        limit = (1.0 - EMERGENCY_DROOP_FRACTION) * self.vdd_v
+        return sum(1 for v in self.v_min_v if v < limit)
+
+    @property
+    def throttled_fraction(self) -> float:
+        """Fraction of intervals spent throttled."""
+        return sum(self.throttled) / len(self.throttled)
+
+    @property
+    def mean_leakage_w(self) -> float:
+        """Average leakage power over the run [W]."""
+        return sum(self.leakage_w) / len(self.leakage_w)
+
+    @property
+    def throughput_fraction(self) -> float:
+        """Delivered compute over demanded compute.
+
+        Per interval the chip runs at ``throttle x freq_factor`` of its
+        demanded rate; intervals are weighted by demanded power (the
+        compute proxy the DTM chapter uses).
+        """
+        total_demand = sum(self.demanded_w)
+        if total_demand == 0:
+            return 1.0
+        done = sum(
+            demand * (self.throttle_factor if flag else 1.0) * freq
+            for demand, flag, freq
+            in zip(self.demanded_w, self.throttled, self.freq_factor))
+        return done / total_demand
+
+
+@dataclass
+class ElectrothermalSimulator:
+    """Concurrent electrothermal co-simulator for one chip + package.
+
+    The caller's ``network`` and ``controller`` are never mutated (the
+    same discipline as :func:`~repro.thermal.dtm.simulate_dtm`): every
+    :meth:`run` deep-copies them and resets the sensor, so back-to-back
+    runs are reproducible.
+    """
+
+    node_nm: int
+    supply: SupplyLoop
+    network: ThermalNetwork
+    controller: DtmController | None = None
+    tj_limit_c: float = 85.0
+    freq_sensitivity: float = FREQ_VOLTAGE_SENSITIVITY
+    gating_edge_s: float = GATING_EDGE_S
+    #: Unit dynamic droop [V per A of load increase], calibrated once
+    #: from a full transient of the supply loop.
+    _unit_droop_v_per_a: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tj_limit_c <= self.network.t_ambient_c:
+            raise ModelParameterError(
+                "junction limit must exceed ambient")
+        if self.freq_sensitivity < 0:
+            raise ModelParameterError(
+                "frequency sensitivity cannot be negative")
+        if self.gating_edge_s <= 0:
+            raise ModelParameterError("gating edge must be positive")
+        self._unit_droop_v_per_a = self._calibrate_unit_droop()
+
+    def _calibrate_unit_droop(self) -> float:
+        """Peak dynamic droop below the new DC level per 1 A step [V/A].
+
+        Runs one full :func:`~repro.pdn.transim.simulate` transient of
+        a unit load ramp (over the gating edge time) from the settled
+        state and measures how far the die voltage undershoots the new
+        steady-state level.  Linearity of the RLC loop makes this exact
+        for any step size, so the control loop prices every load edge
+        with a single multiply instead of a transient per interval.
+        """
+        loop = self.supply
+        window = self.gating_edge_s + loop.period_s * 2.0
+        if loop.settle_s != float("inf"):
+            window = self.gating_edge_s \
+                + min(loop.settle_s, loop.period_s * 8.0)
+        stim = CurrentStimulus.ramp(0.0, 1.0, 0.0, self.gating_edge_s)
+        result = simulate(loop, stim, window,
+                          dt_s=loop.period_s / 128.0)
+        v_ss_new = loop.vdd_v - loop.resistance_ohm * 1.0
+        return max(0.0, v_ss_new - result.min_v_die_v)
+
+    def _interval_v_min(self, i_prev_a: float, i_new_a: float) -> float:
+        """Worst die voltage within one control interval [V]."""
+        loop = self.supply
+        v_ss_new = loop.vdd_v - loop.resistance_ohm * i_new_a
+        if i_new_a <= i_prev_a:
+            # load release: voltage overshoots upward; the minimum is
+            # the (lower) pre-release steady level
+            return loop.vdd_v - loop.resistance_ohm * i_prev_a
+        return v_ss_new \
+            - (i_new_a - i_prev_a) * self._unit_droop_v_per_a
+
+    def run(self, trace: PowerTrace,
+            preheat_power_w: float | None = None) -> CosimResult:
+        """Run a demanded-power trace through the closed loop.
+
+        ``preheat_power_w`` settles the thermal stack (default: half
+        the trace peak, matching ``simulate_dtm``).  The run stops
+        early, flagged ``runaway=True``, if the junction passes the
+        leakage model's :data:`~repro.thermal.electrothermal.T_SEARCH_MAX_C`
+        ceiling -- past that point the exponential is unphysical and
+        the conclusion (thermal runaway) is already established.
+        """
+        if preheat_power_w is None:
+            preheat_power_w = 0.5 * trace.peak_w
+        network = copy.deepcopy(self.network)
+        controller = None
+        if self.controller is not None:
+            controller = copy.deepcopy(self.controller)
+            controller.sensor.reset()
+        network.settle(preheat_power_w)
+        vdd = self.supply.vdd_v
+        throttle = (1.0 if controller is None
+                    else controller.throttle_factor)
+        junction: list[float] = []
+        v_min_hist: list[float] = []
+        delivered: list[float] = []
+        leakage_hist: list[float] = []
+        throttled: list[bool] = []
+        freq_hist: list[float] = []
+        demanded: list[float] = []
+        runaway = False
+        i_prev = preheat_power_w / vdd
+        with span("cosim.run", node_nm=self.node_nm,
+                  intervals=len(trace.samples_w),
+                  managed=controller is not None):
+            for demand_w in trace.samples_w:
+                t_j = network.junction_c
+                if t_j > T_SEARCH_MAX_C:
+                    runaway = True
+                    break
+                if controller is None:
+                    dyn_w, flag = demand_w, False
+                else:
+                    dyn_w, flag = controller.modulate(demand_w, t_j)
+                leak_w = chip_leakage_at_c(self.node_nm, t_j)
+                i_new = (dyn_w + leak_w) / vdd
+                v_min = self._interval_v_min(i_prev, i_new)
+                droop_frac = max(0.0, (vdd - v_min) / vdd)
+                freq = max(0.0,
+                           1.0 - self.freq_sensitivity * droop_frac)
+                # sustained heat: throttled dynamic power plus leakage
+                # scaled ~linearly by the sustained supply voltage
+                v_sustained = vdd - self.supply.resistance_ohm * i_new
+                heat_w = dyn_w + leak_w * max(0.0, v_sustained / vdd)
+                network.step(heat_w, trace.dt_s)
+                junction.append(network.junction_c)
+                v_min_hist.append(v_min)
+                delivered.append(dyn_w)
+                leakage_hist.append(leak_w)
+                throttled.append(flag)
+                freq_hist.append(freq)
+                demanded.append(demand_w)
+                i_prev = i_new
+            add_counter("cosim.intervals", len(junction))
+            if junction:
+                observe("cosim.junction_c", max(junction),
+                        TEMPERATURE_BUCKETS)
+        if not junction:
+            raise ModelParameterError(
+                "co-simulation produced no intervals (stack preheated "
+                "past the leakage ceiling?)")
+        return CosimResult(
+            dt_s=trace.dt_s,
+            junction_c=tuple(junction),
+            v_min_v=tuple(v_min_hist),
+            delivered_w=tuple(delivered),
+            leakage_w=tuple(leakage_hist),
+            throttled=tuple(throttled),
+            freq_factor=tuple(freq_hist),
+            demanded_w=tuple(demanded),
+            vdd_v=vdd,
+            tj_limit_c=self.tj_limit_c,
+            throttle_factor=throttle,
+            runaway=runaway,
+        )

@@ -1,0 +1,233 @@
+"""Canonical closed-loop scenarios for the electrothermal co-simulator.
+
+Each scenario wires :class:`~repro.cosim.loop.ElectrothermalSimulator`
+(or the raw :func:`~repro.pdn.transim.simulate` transient solver) into
+one of the failure modes the paper worries about, and returns a flat
+dict of floats so the analysis layer can register it directly as an
+experiment:
+
+* :func:`wakeup_droop` -- the standby wake-up ramp, validated against
+  the closed-form ``L_eff * di/dt`` answer of
+  :func:`~repro.pdn.transients.wakeup_transient`;
+* :func:`voltage_emergency` -- a full-swing current step against the
+  decap tank, validated against the ``dI * Z0`` scaling of
+  :func:`~repro.pdn.transients.supply_impedance_ohm`;
+* :func:`thermal_runaway` -- an under-sized package where leakage
+  feedback diverges unmanaged but DTM holds the loop bounded;
+* :func:`dtm_policy_comparison` -- throttle-factor sweep on the power
+  virus: throughput cost versus peak temperature and supply health.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelParameterError
+from repro.pdn.transim import CurrentStimulus, simulate, supply_loop_for_node
+from repro.pdn.bumps import VDD_PAD_FRACTION as _VDD_PAD_FRACTION
+from repro.pdn.transients import supply_impedance_ohm, wakeup_transient
+from repro.cosim.loop import ElectrothermalSimulator
+from repro.itrs import ITRS_2000
+from repro.thermal.dtm import DtmController
+from repro.thermal.package import theta_ja
+from repro.thermal.rc_network import default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import power_virus_trace
+
+#: Damping ratio used by the validation scenarios.  At zeta = 0.8 the
+#: ramp response overshoots the closed-form ``L di/dt`` plateau by only
+#: ~1.5 % (the overshoot factor is ``exp(-zeta pi / sqrt(1 - zeta^2))``
+#: above unity), so the simulated peak must agree with the analytic
+#: answer well inside the 5 % acceptance band.
+VALIDATION_DAMPING = 0.8
+
+#: Standby fraction of the wake-up scenario (matches
+#: ``pdn.transients.wakeup_transient``).
+STANDBY_FRACTION = 0.05
+
+
+def wakeup_droop(node_nm: int, use_min_pitch: bool, *,
+                 points_per_period: int = 256) -> dict[str, float]:
+    """Simulate the standby wake-up ramp and compare to the closed form.
+
+    The chip ramps from standby (5 % of active current) to full active
+    current over the paper's 10 ns wake time.  The simulated peak
+    inductive kick ``L di_L/dt`` must match the analytic
+    ``L_eff * dI / t_wake`` droop of
+    :func:`~repro.pdn.transients.wakeup_transient`.
+    """
+    analytic = wakeup_transient(node_nm, use_min_pitch,
+                                standby_fraction=STANDBY_FRACTION)
+    loop = supply_loop_for_node(node_nm, use_min_pitch,
+                                damping_ratio=VALIDATION_DAMPING)
+    active_a = analytic.current_step_a / (1.0 - STANDBY_FRACTION)
+    stimulus = CurrentStimulus.ramp(
+        STANDBY_FRACTION * active_a, active_a,
+        0.0, analytic.wake_time_s)
+    result = simulate(loop, stimulus, 4.0 * analytic.wake_time_s,
+                      dt_s=loop.period_s / points_per_period)
+    simulated = result.peak_inductor_kick_v
+    return {
+        "node_nm": float(node_nm),
+        "use_min_pitch": float(use_min_pitch),
+        "wake_time_s": analytic.wake_time_s,
+        "current_step_a": analytic.current_step_a,
+        "analytic_droop_v": analytic.droop_v,
+        "simulated_kick_v": simulated,
+        "rel_error": simulated / analytic.droop_v - 1.0,
+        "max_droop_fraction": result.max_droop_fraction,
+        "n_steps": float(result.n_steps),
+    }
+
+
+def voltage_emergency(node_nm: int, *, decap_scales: tuple[float, ...]
+                      = (0.25, 1.0, 4.0)) -> dict[str, float]:
+    """Full-swing current step against the decap tank, vs ``dI * Z0``.
+
+    A lightly damped loop (zeta = 0.01) is stepped from standby to full
+    supply current; the peak droop must track the characteristic
+    impedance ``Z0 = sqrt(L/C)``, i.e. halve for every 4x decap.  The
+    returned dict carries the simulated droop and the ``dI * Z0``
+    prediction for each decap scale.
+    """
+    if not decap_scales or min(decap_scales) <= 0:
+        raise ModelParameterError("decap scales must be positive")
+    record = ITRS_2000.node(node_nm)
+    step_a = record.supply_current_a * (1.0 - STANDBY_FRACTION)
+    out: dict[str, float] = {
+        "node_nm": float(node_nm),
+        "current_step_a": step_a,
+    }
+    base = supply_loop_for_node(node_nm, False, damping_ratio=0.01)
+    # at scale 1 the loop's Z0 is exactly the roadmap closed form
+    n_bumps = round(record.itrs_total_pads * _VDD_PAD_FRACTION)
+    out["itrs_z0_ohm"] = supply_impedance_ohm(n_bumps,
+                                              record.die_area_m2)
+    for scale in decap_scales:
+        loop = supply_loop_for_node(
+            node_nm, False, damping_ratio=0.01,
+            decap_f=scale * base.decap_f)
+        stimulus = CurrentStimulus.step(
+            STANDBY_FRACTION * record.supply_current_a,
+            STANDBY_FRACTION * record.supply_current_a + step_a)
+        result = simulate(loop, stimulus, 1.5 * loop.period_s,
+                          dt_s=loop.period_s / 1024.0)
+        key = f"decap_x{scale:g}"
+        out[f"{key}_droop_v"] = result.max_droop_v
+        out[f"{key}_predicted_v"] = step_a * loop.z0_ohm
+        out[f"{key}_rel_error"] = \
+            result.max_droop_v / (step_a * loop.z0_ohm) - 1.0
+        out[f"{key}_droop_fraction"] = result.max_droop_fraction
+    return out
+
+
+def _virus_simulator(node_nm: int, *, tj_limit_c: float,
+                     sizing_fraction: float, virus_w: float,
+                     managed: bool, throttle_factor: float = 0.5,
+                     theta_scale: float = 1.0,
+                     t_ambient_c: float = 45.0
+                     ) -> tuple[ElectrothermalSimulator, float]:
+    """Build a co-simulator around a DTM-sized package."""
+    theta = theta_scale * theta_ja(tj_limit_c, t_ambient_c,
+                                   sizing_fraction * virus_w)
+    network = default_thermal_network(theta, t_ambient_c=t_ambient_c)
+    controller = None
+    if managed:
+        controller = DtmController(
+            ThermalSensor(trip_c=tj_limit_c - 2.0),
+            throttle_factor=throttle_factor)
+    supply = supply_loop_for_node(node_nm, False)
+    sim = ElectrothermalSimulator(
+        node_nm=node_nm, supply=supply, network=network,
+        controller=controller, tj_limit_c=tj_limit_c)
+    return sim, theta
+
+
+def thermal_runaway(node_nm: int = 100, *, tj_limit_c: float = 85.0,
+                    virus_w: float | None = None,
+                    theta_scale: float = 4.5,
+                    duration_s: float = 900.0,
+                    dt_s: float = 0.1) -> dict[str, float]:
+    """Leakage feedback on an under-sized package: runaway vs DTM.
+
+    ``theta_scale`` multiplies the properly sized junction-to-ambient
+    resistance, modelling a package sized far below the workload (or a
+    failed fan).  The default 4.5x lands between the two stability
+    thresholds (:func:`~repro.thermal.electrothermal.runaway_theta` at
+    full versus throttled dynamic power): unmanaged, the
+    leakage/temperature loop diverges and the run stops at the leakage
+    model's ceiling; with DTM the permanently-throttled loop settles at
+    a hot-but-*bounded* fixed point instead of diverging, at a
+    throughput cost.  Deterministic: the sensor is seeded.
+    """
+    record = ITRS_2000.node(node_nm)
+    if virus_w is None:
+        virus_w = record.chip_power_w
+    trace = power_virus_trace(virus_w, duration_s, dt_s=dt_s)
+    out: dict[str, float] = {
+        "node_nm": float(node_nm),
+        "virus_w": virus_w,
+        "theta_scale": theta_scale,
+    }
+    for label, managed in (("unmanaged", False), ("dtm", True)):
+        sim, theta = _virus_simulator(
+            node_nm, tj_limit_c=tj_limit_c, sizing_fraction=0.75,
+            virus_w=virus_w, managed=managed, theta_scale=theta_scale)
+        result = sim.run(trace, preheat_power_w=0.25 * virus_w)
+        half = max(1, len(result.leakage_w) // 2)
+        early_leak = sum(result.leakage_w[:half]) / half
+        out[f"{label}_max_junction_c"] = result.max_junction_c
+        out[f"{label}_final_junction_c"] = result.junction_c[-1]
+        out[f"{label}_mean_leakage_w"] = result.mean_leakage_w
+        out[f"{label}_final_leakage_w"] = result.leakage_w[-1]
+        out[f"{label}_leakage_growth"] = \
+            result.leakage_w[-1] / max(early_leak, 1e-12)
+        out[f"{label}_thermal_violation"] = float(
+            result.thermal_violation)
+        out[f"{label}_runaway"] = float(result.runaway)
+        out[f"{label}_throughput_fraction"] = \
+            result.throughput_fraction
+    out["theta_c_per_w"] = theta
+    return out
+
+
+def dtm_policy_comparison(node_nm: int = 100, *,
+                          tj_limit_c: float = 85.0,
+                          throttle_factors: tuple[float, ...]
+                          = (0.3, 0.5, 0.7),
+                          duration_s: float = 30.0,
+                          dt_s: float = 0.01) -> dict[str, float]:
+    """Throttle-factor sweep on the power virus, DTM-sized package.
+
+    The package is sized for the 75 % effective worst case; the virus
+    then overdrives it and each policy trades throughput for junction
+    margin.  Gentler throttles (larger factors) keep more throughput
+    but spend more time throttled and run hotter.
+    """
+    if not throttle_factors:
+        raise ModelParameterError("need at least one throttle factor")
+    record = ITRS_2000.node(node_nm)
+    virus_w = record.chip_power_w
+    trace = power_virus_trace(virus_w, duration_s, dt_s=dt_s)
+    out: dict[str, float] = {
+        "node_nm": float(node_nm),
+        "virus_w": virus_w,
+        "tj_limit_c": tj_limit_c,
+    }
+    unmanaged, _ = _virus_simulator(
+        node_nm, tj_limit_c=tj_limit_c, sizing_fraction=0.75,
+        virus_w=virus_w, managed=False)
+    base = unmanaged.run(trace)
+    out["unmanaged_max_junction_c"] = base.max_junction_c
+    out["unmanaged_violation"] = float(base.thermal_violation)
+    for factor in throttle_factors:
+        sim, _ = _virus_simulator(
+            node_nm, tj_limit_c=tj_limit_c, sizing_fraction=0.75,
+            virus_w=virus_w, managed=True, throttle_factor=factor)
+        result = sim.run(trace)
+        key = f"throttle_{factor:g}"
+        out[f"{key}_max_junction_c"] = result.max_junction_c
+        out[f"{key}_violation"] = float(result.thermal_violation)
+        out[f"{key}_throughput_fraction"] = result.throughput_fraction
+        out[f"{key}_throttled_fraction"] = result.throttled_fraction
+        out[f"{key}_voltage_emergencies"] = \
+            float(result.voltage_emergencies)
+    return out

@@ -59,6 +59,7 @@ EXPERIMENT_FAMILIES = {
     "V": "validation",
     "S": "scaling",
     "X": "extension",
+    "E": "electrothermal",
 }
 
 

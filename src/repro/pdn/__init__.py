@@ -3,8 +3,9 @@
 A BACPAC-style analytic IR-drop model that sizes top-level power rails
 for hot-spot current densities, bump pitch/count budgets against ITRS
 pad projections, an independent sparse resistive-grid solver used to
-validate the analytic model, and di/dt transient models for standby
-wake-up and MCML-vs-CMOS comparisons.
+validate the analytic model, di/dt transient models for standby
+wake-up and MCML-vs-CMOS comparisons, and a time-stepping RLC
+transient simulator of the supply loop that those closed forms anchor.
 """
 
 from repro.pdn.bacpac import (
@@ -40,6 +41,14 @@ from repro.pdn.decap import (
     decap_budget,
     required_decap_f,
 )
+from repro.pdn.transim import (
+    CurrentStimulus,
+    SupplyLoop,
+    TransientResult,
+    select_step,
+    simulate,
+    supply_loop_for_node,
+)
 
 __all__ = [
     "HOTSPOT_FACTOR",
@@ -65,4 +74,10 @@ __all__ = [
     "decap_area_m2",
     "decap_budget",
     "required_decap_f",
+    "CurrentStimulus",
+    "SupplyLoop",
+    "TransientResult",
+    "select_step",
+    "simulate",
+    "supply_loop_for_node",
 ]

@@ -77,8 +77,8 @@ def decap_budget(node_nm: int, use_min_pitch: bool,
     """Size the wake-up decap for a node under either bump scenario.
 
     More bumps (the minimum-pitch scenario) lower the loop inductance
-    quadratically shrink the decap requirement -- the same lever the
-    paper recommends for di/dt control.
+    and thereby quadratically shrink the decap requirement -- the same
+    lever the paper recommends for di/dt control.
     """
     if not 0.0 < droop_fraction < 1.0:
         raise ModelParameterError("droop fraction must lie in (0, 1)")

@@ -14,6 +14,7 @@ applications run essentially unthrottled.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.errors import ModelParameterError
@@ -59,6 +60,9 @@ class DtmResult:
     #: Throttle flag per sample.
     throttled: tuple[bool, ...]
     dt_s: float
+    #: Throttle factor the controller actually applied (1.0 when the
+    #: run was unmanaged); throttled demand is reconstructed with it.
+    throttle_factor: float = DEFAULT_THROTTLE_FACTOR
 
     @property
     def max_junction_c(self) -> float:
@@ -79,7 +83,7 @@ class DtmResult:
         the performance cost of DTM.
         """
         demanded = [delivered if not flag
-                    else delivered / DEFAULT_THROTTLE_FACTOR
+                    else delivered / self.throttle_factor
                     for delivered, flag
                     in zip(self.delivered_w, self.throttled)]
         total_demand = sum(demanded)
@@ -98,9 +102,18 @@ def simulate_dtm(trace: PowerTrace, network: ThermalNetwork,
     before the trace starts (half the trace peak by default), so short
     traces exercise the thermally-loaded regime instead of a cold heat
     sink, without presuming the trace itself has already been running.
+
+    The caller's objects are never mutated: the simulation runs on a
+    copy of ``network`` and (when managed) a copy of ``controller``
+    whose sensor starts from a clean comparator/RNG state, so
+    back-to-back calls on the same objects are reproducible.
     """
     if preheat_power_w is None:
         preheat_power_w = 0.5 * trace.peak_w
+    network = copy.deepcopy(network)
+    if controller is not None:
+        controller = copy.deepcopy(controller)
+        controller.sensor.reset()
     network.settle(preheat_power_w)
     junction: list[float] = []
     delivered: list[float] = []
@@ -119,4 +132,6 @@ def simulate_dtm(trace: PowerTrace, network: ThermalNetwork,
         delivered_w=tuple(delivered),
         throttled=tuple(throttled),
         dt_s=trace.dt_s,
+        throttle_factor=(1.0 if controller is None
+                         else controller.throttle_factor),
     )

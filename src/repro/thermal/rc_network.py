@@ -8,7 +8,9 @@ makes sensor-driven throttling effective.
 The stack is a chain of stages, each with a heat capacity and a thermal
 resistance toward ambient-side; power enters at the junction (stage 0).
 Integration is explicit Euler with an automatic sub-stepping rule that
-keeps the step below a fraction of the fastest RC time constant.
+keeps the step below a fraction of the fastest *stage* time constant
+C_i / g_i, where g_i sums every conductance touching the stage (its
+outward resistance plus, for interior stages, the upstream one).
 """
 
 from __future__ import annotations
@@ -18,7 +20,8 @@ from dataclasses import dataclass
 from repro.errors import ModelParameterError
 from repro.itrs.packaging import AMBIENT_C
 
-#: Explicit-Euler stability/accuracy margin: dt <= margin * min(RC).
+#: Explicit-Euler stability/accuracy margin: dt <= margin * min(C/g),
+#: where g is each stage's total conductance (see _min_stage_time_s).
 _EULER_MARGIN = 0.2
 
 
@@ -80,9 +83,25 @@ class ThermalNetwork:
         """Jump the network to its steady state at ``power_w``."""
         self.temperatures_c = self.steady_state_c(power_w)
 
-    def _min_time_constant_s(self) -> float:
-        return min(stage.capacity_j_per_k * stage.resistance_c_per_w
-                   for stage in self.stages)
+    def _min_stage_time_s(self) -> float:
+        """Fastest per-stage time constant C_i / g_i [s].
+
+        The explicit-Euler update of stage ``i`` has the Jacobian
+        diagonal ``-g_i / C_i`` with ``g_i`` the *sum* of the stage's
+        conductances: ``1/R_i`` toward ambient-side plus, for interior
+        stages, ``1/R_{i-1}`` from upstream.  Bounding the sub-step by
+        ``min(R_i C_i)`` alone (the old rule) misses the upstream term,
+        so a stack with a small upstream resistance could violate the
+        stability bound and oscillate or diverge.
+        """
+        fastest = float("inf")
+        for index, stage in enumerate(self.stages):
+            conductance = 1.0 / stage.resistance_c_per_w
+            if index > 0:
+                conductance += \
+                    1.0 / self.stages[index - 1].resistance_c_per_w
+            fastest = min(fastest, stage.capacity_j_per_k / conductance)
+        return fastest
 
     def step(self, power_w: float, dt_s: float) -> float:
         """Advance the network by ``dt_s`` with power injected at stage 0.
@@ -93,7 +112,7 @@ class ThermalNetwork:
             raise ModelParameterError("power cannot be negative")
         if dt_s <= 0:
             raise ModelParameterError("time step must be positive")
-        max_sub = _EULER_MARGIN * self._min_time_constant_s()
+        max_sub = _EULER_MARGIN * self._min_stage_time_s()
         n_sub = max(1, int(dt_s / max_sub) + 1)
         sub_dt = dt_s / n_sub
         n_stages = len(self.stages)

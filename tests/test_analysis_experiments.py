@@ -12,7 +12,8 @@ from repro.errors import ReproError
 ALL_IDS = {"E-T1", "E-T2", "E-F1", "E-F2", "E-F3", "E-F4", "E-F5",
            "E-C1", "E-C2", "E-C3", "E-C4", "E-C5", "E-C6", "E-C7",
            "E-V1", "E-S1", "E-S2", "E-S3", "E-S4",
-           "E-X1", "E-X2", "E-X3", "E-X4"}
+           "E-X1", "E-X2", "E-X3", "E-X4",
+           "E-ET1", "E-ET2", "E-ET3", "E-ET4"}
 
 
 def test_registry_covers_every_artifact():
@@ -35,7 +36,7 @@ def test_descriptions_nonempty():
 @pytest.mark.parametrize("experiment_id",
                          ["E-T1", "E-T2", "E-F1", "E-F2", "E-F3",
                           "E-F4", "E-F5", "E-C2", "E-C6", "E-V1",
-                          "E-X1", "E-X3"])
+                          "E-X1", "E-X3", "E-ET1", "E-ET4"])
 def test_fast_experiments_run(experiment_id):
     result = run_experiment(experiment_id)
     assert result

@@ -1,0 +1,161 @@
+"""Tests for the closed-loop electrothermal co-simulator."""
+
+import copy
+
+import pytest
+
+from repro.cosim import (
+    EMERGENCY_DROOP_FRACTION,
+    CosimResult,
+    ElectrothermalSimulator,
+    dtm_policy_comparison,
+    thermal_runaway,
+    voltage_emergency,
+    wakeup_droop,
+)
+from repro.errors import ModelParameterError
+from repro.pdn.transim import supply_loop_for_node
+from repro.thermal.dtm import DtmController
+from repro.thermal.rc_network import default_thermal_network
+from repro.thermal.sensor import ThermalSensor
+from repro.thermal.workloads import PowerTrace, power_virus_trace
+
+
+def _simulator(managed=True, theta=0.5, trip_c=83.0, node=100):
+    network = default_thermal_network(theta)
+    controller = (DtmController(ThermalSensor(trip_c=trip_c))
+                  if managed else None)
+    return ElectrothermalSimulator(
+        node_nm=node,
+        supply=supply_loop_for_node(node, False),
+        network=network,
+        controller=controller,
+        tj_limit_c=85.0,
+    )
+
+
+class TestSimulator:
+    def test_run_is_repeatable_and_pure(self):
+        sim = _simulator()
+        network_before = copy.deepcopy(sim.network.temperatures_c)
+        sensor = sim.controller.sensor
+        trace = power_virus_trace(120.0, 5.0, dt_s=0.01)
+        first = sim.run(trace)
+        second = sim.run(trace)
+        assert first.junction_c == second.junction_c
+        assert first.throttled == second.throttled
+        assert sim.network.temperatures_c == network_before
+        assert not sensor._tripped
+
+    def test_unmanaged_hotter_than_managed(self):
+        trace = power_virus_trace(130.0, 10.0, dt_s=0.01)
+        hot = _simulator(managed=False).run(trace)
+        cool = _simulator(managed=True).run(trace)
+        assert hot.max_junction_c > cool.max_junction_c
+        assert cool.throughput_fraction < 1.0
+        assert hot.throughput_fraction <= 1.0
+
+    def test_leakage_grows_with_temperature(self):
+        trace = power_virus_trace(130.0, 10.0, dt_s=0.01)
+        result = _simulator(managed=False).run(trace)
+        assert result.leakage_w[-1] > result.leakage_w[0]
+
+    def test_load_edge_prices_a_droop(self):
+        sim = _simulator(managed=False)
+        # one huge step up in demand must dent the supply
+        trace = PowerTrace(dt_s=0.01,
+                           samples_w=(5.0,) * 10 + (150.0,) + (5.0,) * 10)
+        result = sim.run(trace, preheat_power_w=5.0)
+        vdd = result.vdd_v
+        assert min(result.v_min_v) < vdd
+        step_idx = 10
+        assert result.v_min_v[step_idx] == min(result.v_min_v)
+        # frequency derating tracks the droop
+        assert result.freq_factor[step_idx] == min(result.freq_factor)
+
+    def test_emergency_counter(self):
+        result = CosimResult(
+            dt_s=0.01,
+            junction_c=(50.0, 51.0),
+            v_min_v=(1.19, 1.0),
+            delivered_w=(10.0, 10.0),
+            leakage_w=(1.0, 1.0),
+            throttled=(False, False),
+            freq_factor=(1.0, 0.9),
+            demanded_w=(10.0, 10.0),
+            vdd_v=1.2,
+            tj_limit_c=85.0,
+            throttle_factor=1.0,
+        )
+        limit = (1.0 - EMERGENCY_DROOP_FRACTION) * 1.2
+        assert result.v_min_v[1] < limit < result.v_min_v[0]
+        assert result.voltage_emergencies == 1
+
+    def test_throughput_weights_by_demand(self):
+        result = CosimResult(
+            dt_s=0.01,
+            junction_c=(50.0, 50.0),
+            v_min_v=(1.2, 1.2),
+            delivered_w=(100.0, 50.0),
+            leakage_w=(0.0, 0.0),
+            throttled=(False, True),
+            freq_factor=(1.0, 1.0),
+            demanded_w=(100.0, 100.0),
+            vdd_v=1.2,
+            tj_limit_c=85.0,
+            throttle_factor=0.5,
+        )
+        # interval 1 delivers half its demand -> 150/200 overall
+        assert result.throughput_fraction == pytest.approx(0.75)
+
+    def test_validation(self):
+        network = default_thermal_network(0.5)
+        supply = supply_loop_for_node(100, False)
+        with pytest.raises(ModelParameterError):
+            ElectrothermalSimulator(node_nm=100, supply=supply,
+                                    network=network,
+                                    tj_limit_c=10.0)
+        with pytest.raises(ModelParameterError):
+            ElectrothermalSimulator(node_nm=100, supply=supply,
+                                    network=network,
+                                    freq_sensitivity=-1.0)
+
+
+class TestScenarios:
+    def test_wakeup_droop_within_acceptance(self):
+        for use_min_pitch in (False, True):
+            result = wakeup_droop(100, use_min_pitch)
+            assert abs(result["rel_error"]) <= 0.05
+
+    def test_voltage_emergency_tracks_z0(self):
+        result = voltage_emergency(100)
+        for key in ("decap_x0.25", "decap_x1", "decap_x4"):
+            assert abs(result[f"{key}_rel_error"]) <= 0.05
+        # droop halves per 4x decap (Z0 ~ 1/sqrt(C))
+        assert result["decap_x0.25_droop_v"] == pytest.approx(
+            2.0 * result["decap_x1_droop_v"], rel=0.02)
+        assert result["decap_x1_droop_v"] == pytest.approx(
+            2.0 * result["decap_x4_droop_v"], rel=0.02)
+
+    def test_thermal_runaway_is_deterministic(self):
+        first = thermal_runaway(duration_s=200.0)
+        second = thermal_runaway(duration_s=200.0)
+        assert first == second
+
+    def test_thermal_runaway_discriminates(self):
+        result = thermal_runaway()
+        assert result["unmanaged_runaway"] == 1.0
+        assert result["dtm_runaway"] == 0.0
+        # DTM settles: the junction stops rising by the end
+        assert result["dtm_final_junction_c"] == pytest.approx(
+            result["dtm_max_junction_c"], abs=1.0)
+        assert result["dtm_throughput_fraction"] < \
+            result["unmanaged_throughput_fraction"]
+
+    def test_dtm_policy_comparison(self):
+        result = dtm_policy_comparison(100, duration_s=20.0)
+        assert result["unmanaged_violation"] == 1.0
+        for factor in (0.3, 0.5, 0.7):
+            key = f"throttle_{factor:g}"
+            assert result[f"{key}_violation"] == 0.0
+            assert 0.5 < result[f"{key}_throughput_fraction"] < 1.0

@@ -25,7 +25,8 @@ def test_report_covers_every_experiment(report_text):
     for experiment_id in ("E-T1", "E-T2", "E-F1", "E-F2", "E-F3",
                           "E-F4", "E-F5", "E-C1", "E-C2", "E-C3",
                           "E-C4", "E-C5", "E-C6", "E-C7", "E-V1",
-                          "E-X1", "E-X2", "E-X3"):
+                          "E-X1", "E-X2", "E-X3",
+                          "E-ET1", "E-ET2", "E-ET3", "E-ET4"):
         assert experiment_id in report_text, experiment_id
 
 
@@ -38,7 +39,7 @@ def test_committed_experiments_md_up_to_date_structure():
     committed = (REPO / "EXPERIMENTS.md").read_text()
     # Values drift with calibration, but the committed file must carry
     # the full experiment structure.
-    for heading in ("## E-T2", "## E-F5", "## E-X1"):
+    for heading in ("## E-T2", "## E-F5", "## E-X1", "## E-ET1"):
         assert heading in committed
 
 

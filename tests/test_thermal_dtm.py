@@ -98,3 +98,49 @@ def test_result_arrays_aligned():
 def test_throttle_factor_validated():
     with pytest.raises(ModelParameterError):
         DtmController(ThermalSensor(trip_c=80.0), throttle_factor=0.0)
+
+
+def test_simulate_dtm_is_repeatable():
+    # Regression: simulate_dtm used to mutate the caller's network and
+    # sensor, so a second identical call saw a settled stack and a
+    # dirty comparator/RNG and returned different results.
+    trace = power_virus_trace(VIRUS_W, 10.0)
+    network = _effective_package()
+    controller = _controller()
+    first = simulate_dtm(trace, network, controller)
+    second = simulate_dtm(trace, network, controller)
+    assert first.junction_c == second.junction_c
+    assert first.throttled == second.throttled
+    assert first.delivered_w == second.delivered_w
+
+
+def test_simulate_dtm_leaves_caller_state_untouched():
+    trace = power_virus_trace(VIRUS_W, 5.0)
+    network = _effective_package()
+    controller = _controller()
+    ambient_temps = list(network.temperatures_c)
+    simulate_dtm(trace, network, controller)
+    assert network.temperatures_c == ambient_temps
+    assert not controller.sensor._tripped
+
+
+def test_throughput_uses_actual_throttle_factor():
+    # Regression: throughput_fraction reconstructed demand with the
+    # module default (0.5) even when the controller used another
+    # factor, overstating the loss for gentle throttles.
+    trace = power_virus_trace(VIRUS_W, 60.0)
+    gentle = DtmController(ThermalSensor(trip_c=TJ_LIMIT - 2.0),
+                           throttle_factor=0.8)
+    result = simulate_dtm(trace, _effective_package(), gentle)
+    assert result.throttle_factor == pytest.approx(0.8)
+    assert result.throttled_fraction > 0.0
+    # every throttled sample delivers 0.8x demand, so throughput can
+    # never drop below the factor itself
+    assert 0.8 <= result.throughput_fraction <= 1.0
+
+
+def test_unmanaged_result_reports_unit_throttle_factor():
+    result = simulate_dtm(power_virus_trace(VIRUS_W, 2.0),
+                          _effective_package(), None)
+    assert result.throttle_factor == 1.0
+    assert result.throughput_fraction == 1.0

@@ -104,3 +104,36 @@ def test_stage_validation():
         ThermalNetwork([])
     with pytest.raises(ModelParameterError):
         default_thermal_network(0.0)
+
+
+def test_substep_rule_counts_upstream_conductance():
+    # Regression: the sub-step rule used min(R_i * C_i), ignoring the
+    # upstream conductance of interior stages.  A stack whose middle
+    # stage has a tiny upstream resistance then violated the explicit
+    # Euler stability bound and oscillated/diverged.
+    stiff = ThermalNetwork([
+        ThermalStage("die", capacity_j_per_k=0.3,
+                     resistance_c_per_w=0.001),
+        ThermalStage("spreader", capacity_j_per_k=0.01,
+                     resistance_c_per_w=10.0),
+        ThermalStage("sink", capacity_j_per_k=400.0,
+                     resistance_c_per_w=0.5),
+    ])
+    power = 50.0
+    ceiling = max(stiff.steady_state_c(power)) + 1.0
+    previous = stiff.junction_c
+    for _ in range(200):
+        current = stiff.step(power, 0.05)
+        # monotone approach to steady state: no oscillation, no blow-up
+        assert current >= previous - 1e-9
+        assert current <= ceiling
+        previous = current
+
+
+def test_substep_rule_matches_single_stage():
+    # For a single stage the new rule reduces to the old R*C bound.
+    single = ThermalNetwork([
+        ThermalStage("die", capacity_j_per_k=0.3,
+                     resistance_c_per_w=0.4),
+    ])
+    assert single._min_stage_time_s() == pytest.approx(0.3 * 0.4)
